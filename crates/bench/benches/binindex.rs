@@ -1,0 +1,65 @@
+//! Wall-clock micro-benchmarks of the bin-based dedup index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dr_binindex::{BinIndex, BinIndexConfig, ChunkRef};
+use dr_hashes::{sha1_digest, ChunkDigest};
+use std::hint::black_box;
+
+fn digests(n: usize) -> Vec<ChunkDigest> {
+    (0..n as u64).map(|i| sha1_digest(&i.to_le_bytes())).collect()
+}
+
+fn populated_index(n: usize) -> BinIndex {
+    let mut index = BinIndex::new(BinIndexConfig::default());
+    for (i, d) in digests(n).into_iter().enumerate() {
+        index.insert(d, ChunkRef::new(i as u64 * 4096, 4096));
+    }
+    index
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let ds = digests(10_000);
+    let mut group = c.benchmark_group("index-insert");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("10k", |b| {
+        b.iter(|| {
+            let mut index = BinIndex::new(BinIndexConfig::default());
+            for (i, d) in ds.iter().enumerate() {
+                index.insert(*d, ChunkRef::new(i as u64 * 4096, 4096));
+            }
+            black_box(index.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut index = populated_index(50_000);
+    let queries = digests(100_000); // half hit, half miss
+    let mut group = c.benchmark_group("index-lookup");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for d in &queries {
+                if index.lookup(black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel-batch", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| black_box(index.lookup_batch_parallel(&queries, workers).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock micro-benchmarks of the chunkers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dr_chunking::{Chunker, FixedChunker, RabinChunker, RabinConfig};
+use std::hint::black_box;
+
+fn stream(len: usize) -> Vec<u8> {
+    let mut state = 0x243F_6A88u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let data = stream(8 << 20);
+    let mut group = c.benchmark_group("chunking-8m");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    let fixed = FixedChunker::new(4096);
+    group.bench_function("fixed-4k", |b| {
+        b.iter(|| black_box(fixed.chunk(black_box(&data)).count()))
+    });
+    let rabin = RabinChunker::new(RabinConfig::default());
+    group.bench_function("rabin-8k-avg", |b| {
+        b.iter(|| black_box(rabin.chunk(black_box(&data)).count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunkers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wall-clock micro-benchmarks of the LZ codecs on 4 KB chunks.
+//!
+//! Compares the QuickLZ-class [`FastLz`], the deeper [`Lz77`], and the GPU
+//! sub-chunk algorithm's functional path (token surgery only — device
+//! timing is simulated elsewhere), at three compressibility levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dr_compress::{Codec, FastLz, GpuCompressor, GpuCompressorConfig, Lz77};
+use dr_workload::synthesize_block;
+use std::hint::black_box;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress-4k");
+    group.throughput(Throughput::Bytes(4096));
+    for ratio in [1.0f64, 2.0, 4.0] {
+        let chunk = synthesize_block(42, 4096, ratio);
+        group.bench_with_input(
+            BenchmarkId::new("fastlz", format!("r{ratio}")),
+            &chunk,
+            |b, chunk| b.iter(|| FastLz::new().compress(black_box(chunk))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lz77", format!("r{ratio}")),
+            &chunk,
+            |b, chunk| b.iter(|| Lz77::new().compress(black_box(chunk))),
+        );
+        let gpu = GpuCompressor::new(GpuCompressorConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("gpu-subchunk", format!("r{ratio}")),
+            &chunk,
+            |b, chunk| b.iter(|| gpu.compress_functional(black_box(chunk))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress-4k");
+    group.throughput(Throughput::Bytes(4096));
+    let chunk = synthesize_block(42, 4096, 2.0);
+    let fast = FastLz::new().compress(&chunk);
+    let deep = Lz77::new().compress(&chunk);
+    group.bench_function("fastlz", |b| {
+        b.iter(|| FastLz::new().decompress(black_box(&fast)).unwrap())
+    });
+    group.bench_function("lz77", |b| {
+        b.iter(|| Lz77::new().decompress(black_box(&deep)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wall-clock micro-benchmarks of the hashing substrate.
+//!
+//! These measure the *real* host implementations (the simulated-time cost
+//! model in `dr-reduction` is calibrated separately); the interesting
+//! comparisons are SHA-1 vs SHA-256 vs the fast hash, and the scaling of
+//! multi-buffer parallel hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dr_hashes::{fnv1a64, hash_chunks_parallel, sha1_digest, sha256_digest};
+use std::hint::black_box;
+
+fn data(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_digests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest-4k");
+    let chunk = data(4096);
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha1", |b| b.iter(|| sha1_digest(black_box(&chunk))));
+    group.bench_function("sha256", |b| b.iter(|| sha256_digest(black_box(&chunk))));
+    group.bench_function("fnv1a64", |b| b.iter(|| fnv1a64(black_box(&chunk))));
+    group.finish();
+}
+
+fn bench_sha1_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1-by-size");
+    for size in [512usize, 4096, 65536] {
+        let chunk = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &chunk, |b, chunk| {
+            b.iter(|| sha1_digest(black_box(chunk)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel-hash-128x4k");
+    let chunks: Vec<Vec<u8>> = (0..128).map(|i| data(4096 + i % 3)).collect();
+    group.throughput(Throughput::Bytes(128 * 4096));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| hash_chunks_parallel(black_box(&chunks), workers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_digests, bench_sha1_sizes, bench_parallel_hash);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock benchmark of the full pipeline (host-side functional work:
+//! SHA-1, index probes, LZ, destage packing — the simulated clock is free).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
+use dr_workload::{StreamConfig, StreamGenerator};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let stream = StreamGenerator::new(StreamConfig {
+        total_bytes: 4 << 20,
+        ..StreamConfig::default()
+    })
+    .generate();
+
+    let mut group = c.benchmark_group("pipeline-4m");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(10);
+    for mode in IntegrationMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut pipeline = Pipeline::new(PipelineConfig {
+                    mode,
+                    ..PipelineConfig::default()
+                });
+                black_box(pipeline.run(black_box(&stream)).chunks)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

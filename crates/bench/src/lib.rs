@@ -1,0 +1,116 @@
+//! Shared harness utilities for the experiment binaries (`src/bin/e*.rs`)
+//! that regenerate every table and figure of the paper's evaluation, and
+//! for the Criterion micro-benchmarks (`benches/`).
+//!
+//! Experiment index (see `DESIGN.md` §4 and `EXPERIMENTS.md`):
+//!
+//! | binary | paper result |
+//! |---|---|
+//! | `e1_indexing_cpu_vs_gpu` | CPU indexing 4.16–5.45× faster than GPU |
+//! | `e2_dedup_throughput` | GPU-assisted dedup +15%, 3× SSD |
+//! | `e3_compress_throughput` | GPU compression ≈ +88.3%, always > SSD |
+//! | `e4_fig2_integration` | Figure 2: four integration modes |
+//! | `e5_calibration` | dummy-I/O probe picks the best mode |
+
+use std::fmt::Write as _;
+
+/// Renders an aligned ASCII table: a header row plus data rows.
+///
+/// ```
+/// use dr_bench::render_table;
+/// let t = render_table(
+///     &["mode", "iops"],
+///     &[vec!["cpu".into(), "50000".into()], vec!["gpu".into(), "100000".into()]],
+/// );
+/// assert!(t.contains("cpu"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header width");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let emit_row = |cells: &[String], out: &mut String| {
+        let line = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:>w$} "))
+            .collect::<Vec<_>>()
+            .join("|");
+        writeln!(out, "{line}").expect("writing to String cannot fail");
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    writeln!(out, "{rule}").unwrap();
+    emit_row(&header_cells, &mut out);
+    writeln!(out, "{rule}").unwrap();
+    for row in rows {
+        emit_row(row, &mut out);
+    }
+    writeln!(out, "{rule}").unwrap();
+    out
+}
+
+/// Percentage change from `old` to `new` (positive = improvement).
+pub fn pct_gain(new: f64, old: f64) -> f64 {
+    (new / old - 1.0) * 100.0
+}
+
+/// Formats a throughput in thousands of IOPS ("83.4K").
+pub fn kiops(iops: f64) -> String {
+    format!("{:.1}K", iops / 1000.0)
+}
+
+/// Reads an experiment scale factor from `DR_SCALE` (default 1.0): CI runs
+/// use small streams; pass `DR_SCALE=4` for paper-sized runs.
+pub fn scale() -> f64 {
+    std::env::var("DR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // rule, header, rule, 2 rows, rule
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+    }
+
+    #[test]
+    fn pct_gain_signs() {
+        assert!((pct_gain(150.0, 100.0) - 50.0).abs() < 1e-9);
+        assert!((pct_gain(75.0, 100.0) + 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kiops_format() {
+        assert_eq!(kiops(83_400.0), "83.4K");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,252 @@
+//! One bin: a small buffer of recent inserts in front of a bin tree.
+
+use std::collections::BTreeMap;
+
+use crate::entry::ChunkRef;
+
+/// The key a bin stores: the digest with its routed prefix zeroed.
+///
+/// Within one bin all entries share the same prefix, so zeroing it loses
+/// nothing — this is the representational form of the paper's prefix
+/// truncation (the analytic memory accounting lives in
+/// [`MemoryModel`](crate::MemoryModel)).
+pub type BinKey = [u8; 20];
+
+/// Announcement that a bin buffer filled and was flushed into the bin tree.
+///
+/// The pipeline reacts to this in two ways, both from the paper: the
+/// flushed entries are written to storage as one *sequential* write
+/// ("creates the appropriate sequential writes for the SSD"), and the
+/// GPU-resident copy of the bin is updated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushEvent {
+    /// Which bin flushed.
+    pub bin: usize,
+    /// The entries that moved from the buffer into the tree.
+    pub entries: Vec<(BinKey, ChunkRef)>,
+}
+
+impl FlushEvent {
+    /// Bytes of index data this flush writes to storage sequentially
+    /// (paper entry size: 20-byte digest + 12-byte metadata, minus the
+    /// truncated prefix).
+    pub fn flushed_bytes(&self, prefix_bytes: usize) -> u64 {
+        self.entries.len() as u64 * (20 - prefix_bytes + ChunkRef::BYTES) as u64
+    }
+}
+
+/// A single bin: append buffer + ordered tree.
+#[derive(Debug, Clone, Default)]
+pub struct Bin {
+    /// Most-recent inserts, searched newest-first (temporal locality).
+    buffer: Vec<(BinKey, ChunkRef)>,
+    /// The main store for this bin.
+    tree: BTreeMap<BinKey, ChunkRef>,
+}
+
+impl Bin {
+    /// Creates an empty bin.
+    pub fn new() -> Self {
+        Bin::default()
+    }
+
+    /// Entries in the buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Entries in the tree.
+    pub fn tree_len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total entries in this bin.
+    pub fn len(&self) -> usize {
+        self.buffer.len() + self.tree.len()
+    }
+
+    /// True when the bin holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up in the buffer (newest first), then the tree.
+    /// Returns where it was found for hit-path statistics.
+    pub fn lookup(&self, key: &BinKey) -> Option<(ChunkRef, BinHit)> {
+        for (k, v) in self.buffer.iter().rev() {
+            if k == key {
+                return Some((*v, BinHit::Buffer));
+            }
+        }
+        self.tree.get(key).map(|v| (*v, BinHit::Tree))
+    }
+
+    /// Looks `key` up in the buffer only — used when a GPU probe has
+    /// already settled the flushed (tree) portion of this bin.
+    pub fn lookup_buffer(&self, key: &BinKey) -> Option<ChunkRef> {
+        self.buffer
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Appends `key` to the buffer. When the buffer reaches `capacity`, it
+    /// is flushed into the tree and the flush is returned.
+    pub fn insert(&mut self, key: BinKey, r: ChunkRef, capacity: usize, bin_id: usize) -> Option<FlushEvent> {
+        self.buffer.push((key, r));
+        if self.buffer.len() >= capacity {
+            let entries: Vec<(BinKey, ChunkRef)> = std::mem::take(&mut self.buffer);
+            for (k, v) in &entries {
+                self.tree.insert(*k, *v);
+            }
+            Some(FlushEvent {
+                bin: bin_id,
+                entries,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Inserts directly into the bin tree, bypassing the buffer — the
+    /// snapshot-restore path (restored entries are "already flushed").
+    /// Returns true when the key was new to the tree.
+    pub fn restore_entry(&mut self, key: BinKey, r: ChunkRef) -> bool {
+        self.tree.insert(key, r).is_none()
+    }
+
+    /// Removes the entry at pseudo-random position `nonce` (random
+    /// replacement). Prefers evicting from the tree; falls back to the
+    /// buffer. Returns the evicted key, or `None` when the bin is empty.
+    pub fn evict_random(&mut self, nonce: u64) -> Option<BinKey> {
+        if !self.tree.is_empty() {
+            let idx = (nonce % self.tree.len() as u64) as usize;
+            let key = *self.tree.keys().nth(idx).expect("index in range");
+            self.tree.remove(&key);
+            Some(key)
+        } else if !self.buffer.is_empty() {
+            let idx = (nonce % self.buffer.len() as u64) as usize;
+            Some(self.buffer.swap_remove(idx).0)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over every entry (tree then buffer), for GPU bin rebuilds.
+    pub fn iter(&self) -> impl Iterator<Item = (&BinKey, &ChunkRef)> {
+        self.tree
+            .iter()
+            .chain(self.buffer.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates over the tree (flushed) entries only — the portion the
+    /// GPU-resident linear bin mirrors; buffer entries reach the device
+    /// with the next flush.
+    pub fn iter_tree(&self) -> impl Iterator<Item = (&BinKey, &ChunkRef)> {
+        self.tree.iter()
+    }
+}
+
+/// Which structure inside the bin satisfied a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinHit {
+    /// Found in the recent-insert buffer.
+    Buffer,
+    /// Found in the bin tree.
+    Tree,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> BinKey {
+        let mut k = [0u8; 20];
+        k[19] = n;
+        k
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_buffer() {
+        let mut bin = Bin::new();
+        assert!(bin.insert(key(1), ChunkRef::new(1, 10), 8, 0).is_none());
+        let (r, hit) = bin.lookup(&key(1)).unwrap();
+        assert_eq!(r, ChunkRef::new(1, 10));
+        assert_eq!(hit, BinHit::Buffer);
+    }
+
+    #[test]
+    fn buffer_flushes_at_capacity_into_tree() {
+        let mut bin = Bin::new();
+        let mut flush = None;
+        for i in 0..4 {
+            flush = bin.insert(key(i), ChunkRef::new(i as u64, 10), 4, 7);
+        }
+        let flush = flush.expect("fourth insert must flush");
+        assert_eq!(flush.bin, 7);
+        assert_eq!(flush.entries.len(), 4);
+        assert_eq!(bin.buffer_len(), 0);
+        assert_eq!(bin.tree_len(), 4);
+        // Entries remain findable, now via the tree.
+        let (_, hit) = bin.lookup(&key(2)).unwrap();
+        assert_eq!(hit, BinHit::Tree);
+    }
+
+    #[test]
+    fn newest_buffer_entry_wins_duplicates() {
+        let mut bin = Bin::new();
+        bin.insert(key(5), ChunkRef::new(1, 10), 8, 0);
+        bin.insert(key(5), ChunkRef::new(2, 10), 8, 0);
+        let (r, _) = bin.lookup(&key(5)).unwrap();
+        assert_eq!(r.addr(), 2);
+    }
+
+    #[test]
+    fn flushed_bytes_match_paper_entry_size() {
+        let flush = FlushEvent {
+            bin: 0,
+            entries: vec![(key(1), ChunkRef::new(0, 0)); 10],
+        };
+        // 2-byte prefix: (20-2+12) = 30 bytes per entry.
+        assert_eq!(flush.flushed_bytes(2), 300);
+        // No truncation: the paper's full 32-byte entries.
+        assert_eq!(flush.flushed_bytes(0), 320);
+    }
+
+    #[test]
+    fn evict_random_prefers_tree() {
+        let mut bin = Bin::new();
+        for i in 0..4 {
+            bin.insert(key(i), ChunkRef::new(i as u64, 1), 4, 0);
+        }
+        bin.insert(key(9), ChunkRef::new(9, 1), 4, 0);
+        assert_eq!(bin.tree_len(), 4);
+        assert_eq!(bin.buffer_len(), 1);
+        let evicted = bin.evict_random(2).unwrap();
+        assert_ne!(evicted, key(9), "buffer entry evicted before tree");
+        assert_eq!(bin.tree_len(), 3);
+    }
+
+    #[test]
+    fn evict_from_buffer_when_tree_empty() {
+        let mut bin = Bin::new();
+        bin.insert(key(3), ChunkRef::new(3, 1), 8, 0);
+        assert_eq!(bin.evict_random(0), Some(key(3)));
+        assert!(bin.is_empty());
+        assert_eq!(bin.evict_random(0), None);
+    }
+
+    #[test]
+    fn iter_covers_tree_and_buffer() {
+        let mut bin = Bin::new();
+        for i in 0..5 {
+            bin.insert(key(i), ChunkRef::new(i as u64, 1), 4, 0);
+        }
+        let keys: Vec<u8> = bin.iter().map(|(k, _)| k[19]).collect();
+        assert_eq!(keys.len(), 5);
+        for i in 0..5u8 {
+            assert!(keys.contains(&i));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! A Bloom-filter front for the dedup index.
+//!
+//! An extension from the dedup literature (ChunkStash, Data Domain's
+//! summary vector): a compact bit array answers "definitely new" for most
+//! unique chunks, so their bin probes can be skipped entirely. False
+//! positives only cost a redundant probe; false negatives never happen,
+//! so dedup correctness is unaffected. Enable via
+//! [`BinIndexConfig::bloom_bits_per_entry`](crate::BinIndexConfig).
+
+use dr_hashes::ChunkDigest;
+
+/// A fixed-size Bloom filter keyed by chunk digests.
+///
+/// Uses double hashing over two independent 64-bit values extracted from
+/// the digest — SHA-1 output bits are uniform, so no re-hashing is needed.
+///
+/// ```
+/// use dr_binindex::BloomFilter;
+/// use dr_hashes::sha1_digest;
+///
+/// let mut bloom = BloomFilter::new(1000, 10);
+/// let d = sha1_digest(b"present");
+/// assert!(!bloom.maybe_contains(&d));
+/// bloom.insert(&d);
+/// assert!(bloom.maybe_contains(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    bit_count: u64,
+    hashes: u32,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected_entries` at `bits_per_entry` (10
+    /// bits/entry with the optimal hash count ≈ 1% false positives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(expected_entries: u64, bits_per_entry: u64) -> Self {
+        assert!(expected_entries > 0, "expected entries must be positive");
+        assert!(bits_per_entry > 0, "bits per entry must be positive");
+        let bit_count = (expected_entries * bits_per_entry).next_power_of_two();
+        // Optimal k = ln(2) * bits_per_entry, clamped to a sane range.
+        let hashes = ((bits_per_entry as f64 * 0.693).round() as u32).clamp(1, 16);
+        BloomFilter {
+            bits: vec![0u64; (bit_count / 64).max(1) as usize],
+            bit_count,
+            hashes,
+            insertions: 0,
+        }
+    }
+
+    /// Number of hash probes per operation.
+    pub fn hash_count(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Entries inserted so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Memory held by the bit array, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+
+    fn index_pair(digest: &ChunkDigest) -> (u64, u64) {
+        let b = digest.as_bytes();
+        let h1 = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+        let h2 = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")) | 1;
+        (h1, h2)
+    }
+
+    /// Inserts a digest.
+    pub fn insert(&mut self, digest: &ChunkDigest) {
+        let (h1, h2) = Self::index_pair(digest);
+        for i in 0..self.hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (self.bit_count - 1);
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// True when the digest *might* be present; false means certainly not.
+    pub fn maybe_contains(&self, digest: &ChunkDigest) -> bool {
+        let (h1, h2) = Self::index_pair(digest);
+        for i in 0..self.hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (self.bit_count - 1);
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Measured false-positive rate against `probes` absent digests.
+    pub fn measure_fpr(&self, probes: impl Iterator<Item = ChunkDigest>) -> f64 {
+        let mut total = 0u64;
+        let mut positive = 0u64;
+        for d in probes {
+            total += 1;
+            if self.maybe_contains(&d) {
+                positive += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            positive as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_hashes::sha1_digest;
+
+    fn digest(i: u64) -> ChunkDigest {
+        sha1_digest(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = BloomFilter::new(10_000, 10);
+        for i in 0..10_000 {
+            bloom.insert(&digest(i));
+        }
+        for i in 0..10_000 {
+            assert!(bloom.maybe_contains(&digest(i)), "false negative at {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let mut bloom = BloomFilter::new(10_000, 10);
+        for i in 0..10_000 {
+            bloom.insert(&digest(i));
+        }
+        let fpr = bloom.measure_fpr((10_000..30_000).map(digest));
+        // 10 bits/entry targets ~1%; the power-of-two sizing gives slack.
+        assert!(fpr < 0.03, "false positive rate {fpr}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bloom = BloomFilter::new(100, 8);
+        for i in 0..1000 {
+            assert!(!bloom.maybe_contains(&digest(i)));
+        }
+    }
+
+    #[test]
+    fn sizing_and_accessors() {
+        let bloom = BloomFilter::new(1000, 10);
+        assert!(bloom.memory_bytes() >= 1000 * 10 / 8);
+        assert!(bloom.hash_count() >= 1);
+        assert_eq!(bloom.insertions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected entries")]
+    fn zero_entries_rejected() {
+        BloomFilter::new(0, 10);
+    }
+}

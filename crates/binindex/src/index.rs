@@ -1,0 +1,609 @@
+//! The CPU-side bin index: router + bins + capacity policy.
+
+use dr_des::SplitMix64;
+use dr_hashes::ChunkDigest;
+
+use crate::bin::{Bin, BinHit, BinKey, FlushEvent};
+use crate::entry::ChunkRef;
+use crate::router::BinRouter;
+
+/// Configuration of a [`BinIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinIndexConfig {
+    /// Bytes of digest prefix used for routing (and truncated from storage).
+    pub prefix_bytes: usize,
+    /// Bin-buffer capacity: inserts per bin before a flush.
+    pub bin_buffer_capacity: usize,
+    /// Maximum total entries held in memory (the in-memory-only policy);
+    /// `u64::MAX` disables eviction.
+    pub max_entries: u64,
+    /// Seed for the random replacement policy.
+    pub seed: u64,
+    /// Bloom-filter front: bits per expected entry (0 disables the
+    /// filter). 10 bits/entry ≈ 1% false positives.
+    pub bloom_bits_per_entry: u64,
+    /// Expected entry count used to size the Bloom filter.
+    pub bloom_expected_entries: u64,
+}
+
+impl Default for BinIndexConfig {
+    /// The paper's worked example: 2-byte prefix (65 536 bins), 64-entry
+    /// bin buffers, unbounded memory.
+    fn default() -> Self {
+        BinIndexConfig {
+            prefix_bytes: 2,
+            bin_buffer_capacity: 64,
+            max_entries: u64::MAX,
+            seed: 0x1234_5678,
+            bloom_bits_per_entry: 0,
+            bloom_expected_entries: 1 << 20,
+        }
+    }
+}
+
+/// Cumulative index statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups satisfied by a bin buffer.
+    pub buffer_hits: u64,
+    /// Lookups satisfied by a bin tree.
+    pub tree_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Misses answered by the Bloom filter without probing any bin.
+    pub bloom_fast_misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by the replacement policy.
+    pub evictions: u64,
+    /// Bin-buffer flushes.
+    pub flushes: u64,
+}
+
+impl IndexStats {
+    /// Fraction of lookups that hit, `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.buffer_hits + self.tree_hits) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The bin-based deduplication index (CPU side).
+///
+/// See the [crate docs](crate) for the design; see
+/// [`GpuBinIndex`](crate::GpuBinIndex) for the GPU-resident counterpart.
+#[derive(Debug)]
+pub struct BinIndex {
+    config: BinIndexConfig,
+    router: BinRouter,
+    bins: Vec<Bin>,
+    entries: u64,
+    rng: SplitMix64,
+    bloom: Option<crate::bloom::BloomFilter>,
+    stats: IndexStats,
+}
+
+impl BinIndex {
+    /// Builds an empty index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_bytes` is outside 1..=3 or the buffer capacity is
+    /// zero.
+    pub fn new(config: BinIndexConfig) -> Self {
+        assert!(
+            config.bin_buffer_capacity > 0,
+            "bin buffer capacity must be positive"
+        );
+        let router = BinRouter::new(config.prefix_bytes);
+        let bins = (0..router.bin_count()).map(|_| Bin::new()).collect();
+        let bloom = (config.bloom_bits_per_entry > 0).then(|| {
+            crate::bloom::BloomFilter::new(
+                config.bloom_expected_entries.max(1),
+                config.bloom_bits_per_entry,
+            )
+        });
+        BinIndex {
+            router,
+            bins,
+            entries: 0,
+            rng: SplitMix64::new(config.seed),
+            bloom,
+            config,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> BinIndexConfig {
+        self.config
+    }
+
+    /// The digest router.
+    pub fn router(&self) -> BinRouter {
+        self.router
+    }
+
+    /// Total entries currently in memory.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Read-only view of one bin (GPU rebuilds, tests).
+    pub fn bin(&self, id: usize) -> &Bin {
+        &self.bins[id]
+    }
+
+    /// The bin key for a digest: its bytes with the routed prefix zeroed.
+    pub fn key_of(&self, digest: &ChunkDigest) -> BinKey {
+        let mut key = *digest.as_bytes();
+        for b in key.iter_mut().take(self.config.prefix_bytes) {
+            *b = 0;
+        }
+        key
+    }
+
+    /// Looks up a digest. Checks the bin buffer first, then the bin tree —
+    /// the paper's CPU indexing path.
+    pub fn lookup(&mut self, digest: &ChunkDigest) -> Option<ChunkRef> {
+        self.stats.lookups += 1;
+        // Bloom front: a definite-absent answer skips the bin probes.
+        if let Some(bloom) = &self.bloom {
+            if !bloom.maybe_contains(digest) {
+                self.stats.misses += 1;
+                self.stats.bloom_fast_misses += 1;
+                return None;
+            }
+        }
+        let bin = self.router.route(digest);
+        let key = self.key_of(digest);
+        match self.bins[bin].lookup(&key) {
+            Some((r, BinHit::Buffer)) => {
+                self.stats.buffer_hits += 1;
+                Some(r)
+            }
+            Some((r, BinHit::Tree)) => {
+                self.stats.tree_hits += 1;
+                Some(r)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a digest → location mapping. Returns a [`FlushEvent`] when
+    /// this insert filled the bin's buffer.
+    pub fn insert(&mut self, digest: ChunkDigest, r: ChunkRef) -> Option<FlushEvent> {
+        if let Some(bloom) = &mut self.bloom {
+            bloom.insert(&digest);
+        }
+        let bin = self.router.route(&digest);
+        let key = self.key_of(&digest);
+        // In-memory-only policy: evict before exceeding the budget.
+        if self.entries >= self.config.max_entries {
+            let nonce = self.rng.next_u64();
+            // Evict from the inserting bin when possible, else from a
+            // random non-empty bin.
+            let victim_bin = if !self.bins[bin].is_empty() {
+                bin
+            } else {
+                let mut v = (nonce % self.bins.len() as u64) as usize;
+                while self.bins[v].is_empty() {
+                    v = (v + 1) % self.bins.len();
+                }
+                v
+            };
+            if self.bins[victim_bin].evict_random(nonce).is_some() {
+                self.entries -= 1;
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries += 1;
+        self.stats.inserts += 1;
+        let flush = self.bins[bin].insert(key, r, self.config.bin_buffer_capacity, bin);
+        if flush.is_some() {
+            self.stats.flushes += 1;
+        }
+        flush
+    }
+
+    /// Restores one entry directly into a bin tree (snapshot recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range for this router.
+    pub fn restore_entry(&mut self, bin: usize, key: crate::bin::BinKey, r: ChunkRef) {
+        if self.bins[bin].restore_entry(key, r) {
+            self.entries += 1;
+        }
+        if let Some(bloom) = &mut self.bloom {
+            // The routed prefix is implied by `bin`; reconstruct enough of
+            // the digest for the filter by writing it back into the key.
+            let mut bytes = key;
+            for (shift, b) in (0..self.config.prefix_bytes).rev().zip(bytes.iter_mut()) {
+                *b = (bin >> (8 * shift)) as u8;
+            }
+            bloom.insert(&ChunkDigest::new(bytes));
+        }
+    }
+
+    /// Batch insert across worker threads: entries are partitioned into
+    /// contiguous bin ranges so every thread owns disjoint bins — the
+    /// paper's lock-free parallelism, applied to the insert path. Returns
+    /// the flush events from all bins (order is unspecified across bins).
+    ///
+    /// Falls back to the serial path when an entry budget is configured
+    /// (global eviction cannot be partitioned) or `workers == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn insert_batch_parallel(
+        &mut self,
+        items: &[(ChunkDigest, ChunkRef)],
+        workers: usize,
+    ) -> Vec<FlushEvent> {
+        assert!(workers > 0, "worker count must be positive");
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.config.max_entries != u64::MAX || workers == 1 {
+            return items
+                .iter()
+                .filter_map(|(d, r)| self.insert(*d, *r))
+                .collect();
+        }
+        // The Bloom front is a single shared structure; feed it serially
+        // (it is a few ns per insert).
+        if let Some(bloom) = &mut self.bloom {
+            for (d, _) in items {
+                bloom.insert(d);
+            }
+        }
+
+        let shards = workers.min(self.bins.len());
+        let per_shard = self.bins.len().div_ceil(shards);
+        let capacity = self.config.bin_buffer_capacity;
+        let prefix = self.config.prefix_bytes;
+        let router = self.router;
+
+        // Partition items by contiguous bin range.
+        let mut parts: Vec<Vec<(usize, BinKey, ChunkRef)>> = vec![Vec::new(); shards];
+        for (d, r) in items {
+            let bin = router.route(d);
+            let mut key = *d.as_bytes();
+            for b in key.iter_mut().take(prefix) {
+                *b = 0;
+            }
+            parts[bin / per_shard].push((bin, key, *r));
+        }
+
+        let mut flushes = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for (shard, (bins, part)) in self
+                .bins
+                .chunks_mut(per_shard)
+                .zip(parts.into_iter())
+                .enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let base = shard * per_shard;
+                    let mut local_flushes = Vec::new();
+                    for (bin, key, r) in part {
+                        if let Some(f) = bins[bin - base].insert(key, r, capacity, bin) {
+                            local_flushes.push(f);
+                        }
+                    }
+                    local_flushes
+                }));
+            }
+            for handle in handles {
+                flushes.extend(handle.join().expect("insert worker panicked"));
+            }
+        });
+        self.entries += items.len() as u64;
+        self.stats.inserts += items.len() as u64;
+        self.stats.flushes += flushes.len() as u64;
+        flushes
+    }
+
+    /// Batch lookup across worker threads: digests are partitioned by bin
+    /// so every thread touches disjoint bins — the paper's lock-free
+    /// parallel indexing. Results are in input order.
+    pub fn lookup_batch_parallel(
+        &mut self,
+        digests: &[ChunkDigest],
+        workers: usize,
+    ) -> Vec<Option<ChunkRef>> {
+        assert!(workers > 0, "worker count must be positive");
+        let mut results = vec![None; digests.len()];
+        if digests.is_empty() {
+            return results;
+        }
+        let shards = workers.min(digests.len());
+
+        // Partition query indices by bin shard (bin id modulo shard count):
+        // threads own disjoint bin sets, so no locking is needed.
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, d) in digests.iter().enumerate() {
+            partitions[self.router.route(d) % shards].push(i);
+        }
+
+        let bins = &self.bins;
+        let router = self.router;
+        let prefix = self.config.prefix_bytes;
+        let mut hits = vec![(0u64, 0u64); shards]; // (buffer, tree) per shard
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for part in &partitions {
+                let handle = scope.spawn(move || {
+                    let mut local: Vec<(usize, Option<ChunkRef>, Option<BinHit>)> =
+                        Vec::with_capacity(part.len());
+                    for &i in part {
+                        let d = &digests[i];
+                        let bin = router.route(d);
+                        let mut key = *d.as_bytes();
+                        for b in key.iter_mut().take(prefix) {
+                            *b = 0;
+                        }
+                        match bins[bin].lookup(&key) {
+                            Some((r, hit)) => local.push((i, Some(r), Some(hit))),
+                            None => local.push((i, None, None)),
+                        }
+                    }
+                    local
+                });
+                handles.push(handle);
+            }
+            for (shard, handle) in handles.into_iter().enumerate() {
+                for (i, r, hit) in handle.join().expect("lookup worker panicked") {
+                    results[i] = r;
+                    match hit {
+                        Some(BinHit::Buffer) => hits[shard].0 += 1,
+                        Some(BinHit::Tree) => hits[shard].1 += 1,
+                        None => {}
+                    }
+                }
+            }
+        });
+
+        self.stats.lookups += digests.len() as u64;
+        for (b, t) in hits {
+            self.stats.buffer_hits += b;
+            self.stats.tree_hits += t;
+        }
+        self.stats.misses += results.iter().filter(|r| r.is_none()).count() as u64;
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_hashes::sha1_digest;
+
+    fn digest(i: u64) -> ChunkDigest {
+        sha1_digest(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn insert_lookup_round_trip() {
+        let mut idx = BinIndex::new(BinIndexConfig::default());
+        for i in 0..100 {
+            idx.insert(digest(i), ChunkRef::new(i, 4096));
+        }
+        for i in 0..100 {
+            assert_eq!(idx.lookup(&digest(i)), Some(ChunkRef::new(i, 4096)));
+        }
+        assert_eq!(idx.lookup(&digest(999)), None);
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn stats_classify_hits() {
+        let mut idx = BinIndex::new(BinIndexConfig {
+            bin_buffer_capacity: 2,
+            prefix_bytes: 1,
+            ..BinIndexConfig::default()
+        });
+        // Find two digests landing in the same bin.
+        let d0 = digest(0);
+        let mut i = 1;
+        let d_same = loop {
+            let d = digest(i);
+            if idx.router().route(&d) == idx.router().route(&d0) {
+                break d;
+            }
+            i += 1;
+        };
+        idx.insert(d0, ChunkRef::new(0, 1)); // buffer has 1 entry
+        assert!(idx.lookup(&d0).is_some()); // buffer hit
+        idx.insert(d_same, ChunkRef::new(1, 1)); // buffer reaches 2 -> flush
+        assert!(idx.lookup(&d0).is_some()); // tree hit
+        let s = idx.stats();
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.tree_hits, 1);
+        assert_eq!(s.flushes, 1);
+        assert!((s.hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_fires_at_buffer_capacity() {
+        let mut idx = BinIndex::new(BinIndexConfig {
+            prefix_bytes: 1,
+            bin_buffer_capacity: 4,
+            ..BinIndexConfig::default()
+        });
+        let mut flushes = 0;
+        for i in 0..2000 {
+            if idx.insert(digest(i), ChunkRef::new(i, 1)).is_some() {
+                flushes += 1;
+            }
+        }
+        assert!(flushes > 0);
+        assert_eq!(idx.stats().flushes, flushes);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_and_misses_are_tolerated() {
+        let mut idx = BinIndex::new(BinIndexConfig {
+            max_entries: 64,
+            ..BinIndexConfig::default()
+        });
+        for i in 0..1000 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        assert_eq!(idx.len(), 64);
+        assert_eq!(idx.stats().evictions, 1000 - 64);
+        // Most old digests are gone (missed duplicates), recent survive
+        // probabilistically; the index must simply not crash or grow.
+        let found = (0..1000).filter(|&i| idx.lookup(&digest(i)).is_some()).count();
+        assert_eq!(found, 64);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let mut idx = BinIndex::new(BinIndexConfig::default());
+        for i in 0..500 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        let queries: Vec<ChunkDigest> = (0..1000).map(digest).collect();
+        let expect: Vec<Option<ChunkRef>> = queries
+            .iter()
+            .map(|d| {
+                let bin = idx.router().route(d);
+                let key = idx.key_of(d);
+                idx.bin(bin).lookup(&key).map(|(r, _)| r)
+            })
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(
+                idx.lookup_batch_parallel(&queries, workers),
+                expect,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_batch_updates_stats() {
+        let mut idx = BinIndex::new(BinIndexConfig::default());
+        for i in 0..100 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        let queries: Vec<ChunkDigest> = (0..200).map(digest).collect();
+        let before = idx.stats();
+        idx.lookup_batch_parallel(&queries, 4);
+        let after = idx.stats();
+        assert_eq!(after.lookups - before.lookups, 200);
+        assert_eq!(
+            (after.buffer_hits + after.tree_hits) - (before.buffer_hits + before.tree_hits),
+            100
+        );
+        assert_eq!(after.misses - before.misses, 100);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let mut idx = BinIndex::new(BinIndexConfig::default());
+        assert!(idx.lookup_batch_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_insert_matches_serial() {
+        let items: Vec<(ChunkDigest, ChunkRef)> = (0..2000u64)
+            .map(|i| (digest(i), ChunkRef::new(i * 4096, 4096)))
+            .collect();
+        let mut serial = BinIndex::new(BinIndexConfig {
+            bin_buffer_capacity: 4,
+            ..BinIndexConfig::default()
+        });
+        let mut serial_flushes: Vec<_> = items
+            .iter()
+            .filter_map(|(d, r)| serial.insert(*d, *r))
+            .collect();
+        for workers in [2usize, 4, 8] {
+            let mut parallel = BinIndex::new(BinIndexConfig {
+                bin_buffer_capacity: 4,
+                ..BinIndexConfig::default()
+            });
+            let mut flushes = parallel.insert_batch_parallel(&items, workers);
+            assert_eq!(parallel.len(), serial.len(), "workers {workers}");
+            // Same flush multiset (order across bins is unspecified).
+            flushes.sort_by_key(|f| f.bin);
+            serial_flushes.sort_by_key(|f| f.bin);
+            assert_eq!(flushes, serial_flushes, "workers {workers}");
+            // And every entry is findable afterwards.
+            for (d, r) in items.iter().step_by(97) {
+                assert_eq!(parallel.lookup(d), Some(*r));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_insert_with_budget_falls_back_to_serial() {
+        let items: Vec<(ChunkDigest, ChunkRef)> = (0..200u64)
+            .map(|i| (digest(i), ChunkRef::new(i, 1)))
+            .collect();
+        let mut idx = BinIndex::new(BinIndexConfig {
+            max_entries: 64,
+            ..BinIndexConfig::default()
+        });
+        idx.insert_batch_parallel(&items, 4);
+        assert_eq!(idx.len(), 64, "budget must still hold");
+    }
+
+    #[test]
+    fn bloom_front_answers_misses_without_probes() {
+        let mut idx = BinIndex::new(BinIndexConfig {
+            bloom_bits_per_entry: 10,
+            bloom_expected_entries: 1000,
+            ..BinIndexConfig::default()
+        });
+        for i in 0..500 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        // Every present digest is still found (no false negatives).
+        for i in 0..500 {
+            assert!(idx.lookup(&digest(i)).is_some(), "false negative at {i}");
+        }
+        // Absent digests mostly short-circuit through the filter.
+        for i in 1000..2000 {
+            assert!(idx.lookup(&digest(i)).is_none());
+        }
+        let s = idx.stats();
+        assert!(
+            s.bloom_fast_misses > 900,
+            "bloom only fast-missed {} of 1000",
+            s.bloom_fast_misses
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer capacity")]
+    fn zero_buffer_capacity_rejected() {
+        BinIndex::new(BinIndexConfig {
+            bin_buffer_capacity: 0,
+            ..BinIndexConfig::default()
+        });
+    }
+}

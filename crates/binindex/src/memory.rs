@@ -1,0 +1,110 @@
+//! Analytic index-memory model — the paper's sizing arithmetic.
+//!
+//! The paper justifies the in-memory-only index with this calculation:
+//! a 4 TB store with 8 KB chunks and 32-byte entries (20-byte SHA-1 +
+//! 12 bytes of metadata) needs 16 GB of index memory, and a 2-byte prefix
+//! truncation saves 1 GB of it. [`MemoryModel`] reproduces those numbers
+//! and generalizes them for capacity-planning sweeps.
+
+/// Index memory requirements for a given storage configuration.
+///
+/// ```
+/// use dr_binindex::MemoryModel;
+///
+/// // The paper's worked example.
+/// let m = MemoryModel::new(4 << 40, 8 * 1024, 0);
+/// assert_eq!(m.index_bytes(), 16 << 30); // 16 GB
+/// let truncated = MemoryModel::new(4 << 40, 8 * 1024, 2);
+/// assert_eq!(m.index_bytes() - truncated.index_bytes(), 1 << 30); // 1 GB saved
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    storage_bytes: u64,
+    chunk_bytes: u64,
+    prefix_bytes: u64,
+}
+
+impl MemoryModel {
+    /// Digest bytes per entry before truncation (SHA-1).
+    pub const DIGEST_BYTES: u64 = 20;
+    /// Metadata bytes per entry (the paper's 32-byte entry minus SHA-1).
+    pub const METADATA_BYTES: u64 = 12;
+
+    /// Models a `storage_bytes` store chunked at `chunk_bytes`, storing
+    /// entries with an `n = prefix_bytes` truncated prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero or `prefix_bytes >= 20`.
+    pub fn new(storage_bytes: u64, chunk_bytes: u64, prefix_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        assert!(prefix_bytes < Self::DIGEST_BYTES, "cannot truncate whole digest");
+        MemoryModel {
+            storage_bytes,
+            chunk_bytes,
+            prefix_bytes,
+        }
+    }
+
+    /// Number of index entries at full storage capacity.
+    pub fn entries(&self) -> u64 {
+        self.storage_bytes / self.chunk_bytes
+    }
+
+    /// Bytes per entry after prefix truncation.
+    pub fn entry_bytes(&self) -> u64 {
+        Self::DIGEST_BYTES - self.prefix_bytes + Self::METADATA_BYTES
+    }
+
+    /// Total index memory.
+    pub fn index_bytes(&self) -> u64 {
+        self.entries() * self.entry_bytes()
+    }
+
+    /// Memory saved relative to an untruncated index.
+    pub fn truncation_savings(&self) -> u64 {
+        self.entries() * self.prefix_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // 4 TB, 8 KB chunks, 32-byte entries => 16 GB of index.
+        let m = MemoryModel::new(4 << 40, 8 << 10, 0);
+        assert_eq!(m.entries(), 512 << 20); // 512 Mi chunks
+        assert_eq!(m.entry_bytes(), 32);
+        assert_eq!(m.index_bytes(), 16 << 30);
+    }
+
+    #[test]
+    fn paper_truncation_savings() {
+        // "If the storage system uses a 2-byte prefix value, we can save
+        // 1 GB of memory in this way."
+        let m = MemoryModel::new(4 << 40, 8 << 10, 2);
+        assert_eq!(m.truncation_savings(), 1 << 30);
+        assert_eq!(m.entry_bytes(), 30);
+    }
+
+    #[test]
+    fn scaling_with_chunk_size() {
+        let small = MemoryModel::new(1 << 40, 4 << 10, 0);
+        let large = MemoryModel::new(1 << 40, 8 << 10, 0);
+        assert_eq!(small.index_bytes(), large.index_bytes() * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        MemoryModel::new(1, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncate")]
+    fn full_truncation_rejected() {
+        MemoryModel::new(1, 1, 20);
+    }
+}

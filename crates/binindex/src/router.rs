@@ -1,0 +1,96 @@
+//! Digest → bin routing by hash prefix.
+
+use dr_hashes::ChunkDigest;
+
+/// Routes digests to bins by their first `prefix_bytes` bytes, DHT-style.
+///
+/// The routed prefix is *implied* by the bin id, which is what makes the
+/// paper's prefix truncation lossless: a bin never needs to store the bytes
+/// that chose it.
+///
+/// ```
+/// use dr_binindex::BinRouter;
+/// use dr_hashes::sha1_digest;
+///
+/// let router = BinRouter::new(2);
+/// assert_eq!(router.bin_count(), 65_536);
+/// let d = sha1_digest(b"x");
+/// assert!(router.route(&d) < router.bin_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinRouter {
+    prefix_bytes: usize,
+}
+
+impl BinRouter {
+    /// Creates a router over `256^prefix_bytes` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prefix_bytes` is 1, 2 or 3 (2 is the paper's
+    /// worked example; 3 already means 16 M bins).
+    pub fn new(prefix_bytes: usize) -> Self {
+        assert!(
+            (1..=3).contains(&prefix_bytes),
+            "prefix must be 1..=3 bytes, got {prefix_bytes}"
+        );
+        BinRouter { prefix_bytes }
+    }
+
+    /// Number of bytes of digest prefix consumed by routing (and therefore
+    /// omitted from stored entries).
+    pub fn prefix_bytes(&self) -> usize {
+        self.prefix_bytes
+    }
+
+    /// Total number of bins.
+    pub fn bin_count(&self) -> usize {
+        1usize << (8 * self.prefix_bytes)
+    }
+
+    /// The bin holding `digest`.
+    pub fn route(&self, digest: &ChunkDigest) -> usize {
+        digest.prefix_u64(self.prefix_bytes) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_hashes::sha1_digest;
+
+    #[test]
+    fn bin_counts() {
+        assert_eq!(BinRouter::new(1).bin_count(), 256);
+        assert_eq!(BinRouter::new(2).bin_count(), 65_536);
+        assert_eq!(BinRouter::new(3).bin_count(), 16_777_216);
+    }
+
+    #[test]
+    fn route_is_the_prefix() {
+        let mut bytes = [0u8; 20];
+        bytes[0] = 0xAB;
+        bytes[1] = 0xCD;
+        let d = ChunkDigest::new(bytes);
+        assert_eq!(BinRouter::new(1).route(&d), 0xAB);
+        assert_eq!(BinRouter::new(2).route(&d), 0xABCD);
+    }
+
+    #[test]
+    fn routing_is_reasonably_uniform() {
+        let router = BinRouter::new(1);
+        let mut counts = vec![0u32; router.bin_count()];
+        for i in 0..25_600u32 {
+            let d = sha1_digest(&i.to_le_bytes());
+            counts[router.route(&d)] += 1;
+        }
+        // Mean 100 per bin; SHA-1 prefixes should stay within a wide band.
+        assert!(counts.iter().all(|&c| c > 40 && c < 200), "skewed: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix must be")]
+    fn oversized_prefix_rejected() {
+        BinRouter::new(4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: the bin index behaves like a map, in every
+//! configuration, and snapshots are faithful.
+
+use dr_binindex::{restore, snapshot, BinIndex, BinIndexConfig, ChunkRef};
+use dr_hashes::sha1_digest;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn digest_of(i: u64) -> dr_hashes::ChunkDigest {
+    sha1_digest(&i.to_le_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With unbounded memory the index answers exactly like a HashMap
+    /// (newest insert wins), regardless of prefix and buffer settings.
+    #[test]
+    fn behaves_like_a_map(
+        ops in proptest::collection::vec((0u64..200, any::<u32>()), 1..300),
+        prefix in 1usize..=2,
+        capacity in 1usize..32,
+    ) {
+        let mut index = BinIndex::new(BinIndexConfig {
+            prefix_bytes: prefix,
+            bin_buffer_capacity: capacity,
+            ..BinIndexConfig::default()
+        });
+        let mut model: HashMap<u64, ChunkRef> = HashMap::new();
+        for (key, len) in ops {
+            let r = ChunkRef::new(key * 4096, len);
+            index.insert(digest_of(key), r);
+            model.insert(key, r);
+        }
+        for (key, want) in &model {
+            prop_assert_eq!(index.lookup(&digest_of(*key)), Some(*want));
+        }
+        // Absent keys miss.
+        for key in 200u64..220 {
+            prop_assert_eq!(index.lookup(&digest_of(key)), None);
+        }
+    }
+
+    /// Parallel batch lookup matches serial lookup for any batch.
+    #[test]
+    fn parallel_lookup_matches_serial(
+        present in proptest::collection::vec(0u64..100, 0..100),
+        queries in proptest::collection::vec(0u64..150, 0..200),
+        workers in 1usize..6,
+    ) {
+        let mut index = BinIndex::new(BinIndexConfig::default());
+        for k in &present {
+            index.insert(digest_of(*k), ChunkRef::new(*k, 1));
+        }
+        let digests: Vec<_> = queries.iter().map(|q| digest_of(*q)).collect();
+        let expect: Vec<Option<ChunkRef>> =
+            digests.iter().map(|d| index.lookup(d)).collect();
+        prop_assert_eq!(index.lookup_batch_parallel(&digests, workers), expect);
+    }
+
+    /// Snapshot/restore preserves every entry under any configuration.
+    #[test]
+    fn snapshot_round_trips(
+        keys in proptest::collection::hash_set(0u64..500, 0..200),
+        prefix in 1usize..=3,
+        capacity in 1usize..16,
+    ) {
+        let mut index = BinIndex::new(BinIndexConfig {
+            prefix_bytes: prefix,
+            bin_buffer_capacity: capacity,
+            ..BinIndexConfig::default()
+        });
+        for k in &keys {
+            index.insert(digest_of(*k), ChunkRef::new(*k, 7));
+        }
+        let mut restored = restore(&snapshot(&index)).expect("restore");
+        prop_assert_eq!(restored.len(), index.len());
+        for k in &keys {
+            prop_assert_eq!(restored.lookup(&digest_of(*k)), Some(ChunkRef::new(*k, 7)));
+        }
+    }
+
+    /// A memory budget is never exceeded, whatever the insert pattern.
+    #[test]
+    fn capacity_bound_holds(
+        keys in proptest::collection::vec(0u64..10_000, 1..400),
+        budget in 1u64..64,
+    ) {
+        let mut index = BinIndex::new(BinIndexConfig {
+            max_entries: budget,
+            ..BinIndexConfig::default()
+        });
+        for k in keys {
+            index.insert(digest_of(k), ChunkRef::new(k, 1));
+            prop_assert!(index.len() <= budget);
+        }
+    }
+}

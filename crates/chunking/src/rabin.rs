@@ -1,0 +1,311 @@
+//! Content-defined chunking with a Rabin-style rolling fingerprint.
+//!
+//! An extension beyond the paper's fixed-size chunking: cut points are
+//! chosen where a rolling hash of the trailing window matches a mask, so an
+//! insertion early in a stream does not shift every later chunk boundary
+//! (the classic LBFS construction). Min/max bounds keep chunk sizes inside
+//! the index's planning assumptions.
+
+use crate::{Chunk, Chunker};
+
+/// Size of the rolling window in bytes.
+const WINDOW: usize = 48;
+
+/// Parameters for [`RabinChunker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RabinConfig {
+    /// Minimum chunk size; no cut point is considered before this.
+    pub min_size: usize,
+    /// Target average chunk size; must be a power of two.
+    pub avg_size: usize,
+    /// Maximum chunk size; a cut is forced here.
+    pub max_size: usize,
+}
+
+impl Default for RabinConfig {
+    /// 2 KB / 8 KB / 32 KB, a standard backup-dedup configuration.
+    fn default() -> Self {
+        RabinConfig {
+            min_size: 2 * 1024,
+            avg_size: 8 * 1024,
+            max_size: 32 * 1024,
+        }
+    }
+}
+
+impl RabinConfig {
+    fn validate(&self) {
+        assert!(self.min_size > 0, "min_size must be positive");
+        assert!(
+            self.avg_size.is_power_of_two(),
+            "avg_size must be a power of two, got {}",
+            self.avg_size
+        );
+        assert!(
+            self.min_size <= self.avg_size && self.avg_size <= self.max_size,
+            "need min <= avg <= max, got {} / {} / {}",
+            self.min_size,
+            self.avg_size,
+            self.max_size
+        );
+        assert!(
+            self.min_size >= WINDOW,
+            "min_size must cover the {WINDOW}-byte rolling window"
+        );
+    }
+}
+
+/// Content-defined chunker.
+///
+/// ```
+/// use dr_chunking::{Chunker, RabinChunker, RabinConfig};
+///
+/// let chunker = RabinChunker::new(RabinConfig::default());
+/// let data: Vec<u8> = (0..100_000u32)
+///     .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+///     .collect();
+/// let total: usize = chunker.chunk(&data).map(|c| c.data.len()).sum();
+/// assert_eq!(total, data.len()); // lossless framing
+/// ```
+#[derive(Debug, Clone)]
+pub struct RabinChunker {
+    config: RabinConfig,
+    /// Byte-indexed table of random 64-bit "gear" values; the rolling hash
+    /// is `h = (h << 1) + gear[b]`, the gear construction from FastCDC.
+    gear: Box<[u64; 256]>,
+    mask: u64,
+}
+
+impl RabinChunker {
+    /// Creates a chunker from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`RabinConfig`]).
+    pub fn new(config: RabinConfig) -> Self {
+        config.validate();
+        // Deterministic gear table derived from SplitMix64 so chunking is
+        // reproducible across runs and platforms.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut gear = Box::new([0u64; 256]);
+        for g in gear.iter_mut() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *g = z ^ (z >> 31);
+        }
+        // A cut fires when the low log2(avg - min adjustment) bits are zero.
+        // Expected gap between cut points is `avg_size - min_size`, giving an
+        // average chunk size close to `avg_size` after the min skip.
+        let gap = (config.avg_size - config.min_size).max(1).next_power_of_two();
+        let mask = (gap as u64) - 1;
+        RabinChunker { config, gear, mask }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> RabinConfig {
+        self.config
+    }
+
+    /// Finds the next cut point in `data`, i.e. the length of the chunk that
+    /// starts at `data[0]`.
+    fn next_cut(&self, data: &[u8]) -> usize {
+        let n = data.len();
+        if n <= self.config.min_size {
+            return n;
+        }
+        let end = n.min(self.config.max_size);
+        let mut h: u64 = 0;
+        // Warm the window over the bytes just before the earliest legal cut.
+        let warm_start = self.config.min_size - WINDOW;
+        for &b in &data[warm_start..self.config.min_size] {
+            h = (h << 1).wrapping_add(self.gear[b as usize]);
+        }
+        for (i, &b) in data[self.config.min_size..end].iter().enumerate() {
+            h = (h << 1).wrapping_add(self.gear[b as usize]);
+            if h & self.mask == 0 {
+                return self.config.min_size + i + 1;
+            }
+        }
+        end
+    }
+}
+
+impl Chunker for RabinChunker {
+    type Iter<'a> = RabinChunks<'a>;
+
+    fn chunk<'a>(&'a self, data: &'a [u8]) -> RabinChunks<'a> {
+        RabinChunks {
+            chunker: self,
+            data,
+            offset: 0,
+        }
+    }
+
+    fn target_chunk_size(&self) -> usize {
+        self.config.avg_size
+    }
+}
+
+/// Iterator over the chunks of a [`RabinChunker`].
+#[derive(Debug, Clone)]
+pub struct RabinChunks<'a> {
+    chunker: &'a RabinChunker,
+    data: &'a [u8],
+    offset: u64,
+}
+
+impl<'a> Iterator for RabinChunks<'a> {
+    type Item = Chunk<'a>;
+
+    fn next(&mut self) -> Option<Chunk<'a>> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let cut = self.chunker.next_cut(self.data);
+        let (head, tail) = self.data.split_at(cut);
+        let chunk = Chunk {
+            offset: self.offset,
+            data: head,
+        };
+        self.data = tail;
+        self.offset += cut as u64;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_reassembly() {
+        let data = random_data(200_000, 42);
+        let chunker = RabinChunker::new(RabinConfig::default());
+        let mut rebuilt = Vec::new();
+        for c in chunker.chunk(&data) {
+            assert_eq!(c.offset as usize, rebuilt.len());
+            rebuilt.extend_from_slice(c.data);
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let data = random_data(500_000, 7);
+        let cfg = RabinConfig::default();
+        let chunker = RabinChunker::new(cfg);
+        let chunks: Vec<_> = chunker.chunk(&data).collect();
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= cfg.max_size, "chunk {i} too large: {}", c.len());
+            // Every chunk except the stream tail honours the minimum.
+            if i + 1 < chunks.len() {
+                assert!(c.len() >= cfg.min_size, "chunk {i} too small: {}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_near_target() {
+        let data = random_data(4_000_000, 99);
+        let cfg = RabinConfig::default();
+        let chunker = RabinChunker::new(cfg);
+        let chunks: Vec<_> = chunker.chunk(&data).collect();
+        let avg = data.len() as f64 / chunks.len() as f64;
+        // Loose band: content-defined averages land within 2x of target.
+        assert!(
+            avg > cfg.avg_size as f64 / 2.0 && avg < cfg.avg_size as f64 * 2.0,
+            "average chunk size {avg} too far from target {}",
+            cfg.avg_size
+        );
+    }
+
+    #[test]
+    fn boundaries_survive_prefix_insertion() {
+        // The defining CDC property: inserting bytes at the front realigns
+        // within a few chunks; most cut points (by content) are preserved.
+        let data = random_data(300_000, 5);
+        let mut shifted = random_data(1_337, 6);
+        shifted.extend_from_slice(&data);
+
+        let chunker = RabinChunker::new(RabinConfig::default());
+        let digests_of = |bytes: &[u8]| -> Vec<u64> {
+            chunker
+                .chunk(bytes)
+                .map(|c| dr_hashes_stub::fingerprint(c.data))
+                .collect()
+        };
+        let a = digests_of(&data);
+        let b = digests_of(&shifted);
+        let a_set: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let shared = b.iter().filter(|d| a_set.contains(d)).count();
+        assert!(
+            shared * 2 > a.len(),
+            "only {shared} of {} chunks survived a prefix insertion",
+            a.len()
+        );
+    }
+
+    /// Minimal local fingerprint so this test does not depend on dr-hashes.
+    mod dr_hashes_stub {
+        pub fn fingerprint(data: &[u8]) -> u64 {
+            let mut h = 0xcbf29ce484222325u64;
+            for &b in data {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001B3);
+            }
+            h
+        }
+    }
+
+    #[test]
+    fn tiny_input_single_chunk() {
+        let chunker = RabinChunker::new(RabinConfig::default());
+        let data = vec![9u8; 100];
+        let chunks: Vec<_> = chunker.chunk(&data).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len(), 100);
+    }
+
+    #[test]
+    fn uniform_data_hits_max_size() {
+        // All-zero data never matches the mask (gear of 0 is a constant),
+        // so cuts are forced at max_size.
+        let cfg = RabinConfig::default();
+        let chunker = RabinChunker::new(cfg);
+        let data = vec![0u8; cfg.max_size * 3];
+        let lens: Vec<usize> = chunker.chunk(&data).map(|c| c.len()).collect();
+        assert!(lens.iter().all(|&l| l == cfg.max_size), "lens: {lens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_avg_panics() {
+        RabinChunker::new(RabinConfig {
+            min_size: 1024,
+            avg_size: 3000,
+            max_size: 8192,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= avg <= max")]
+    fn inverted_bounds_panic() {
+        RabinChunker::new(RabinConfig {
+            min_size: 16 * 1024,
+            avg_size: 8 * 1024,
+            max_size: 32 * 1024,
+        });
+    }
+}

@@ -1,0 +1,219 @@
+//! A QuickLZ-class fast LZ codec.
+//!
+//! The paper's CPU baseline is *parallel QuickLZ*: a single-pass,
+//! byte-oriented LZ with a direct-mapped hash table over 3-byte sequences
+//! and greedy match extension — trading ratio for speed. QuickLZ itself is
+//! closed-source; [`FastLz`] is a from-scratch codec of the same
+//! algorithmic class (see `DESIGN.md` §2).
+
+use dr_hashes::mix64;
+
+use crate::error::CodecError;
+use crate::frame;
+use crate::token::{Token, MAX_OFFSET, MIN_MATCH};
+use crate::Codec;
+
+/// Number of slots in the direct-mapped match table (power of two).
+const TABLE_SIZE: usize = 1 << 12;
+
+/// The fast single-pass codec.
+///
+/// ```
+/// use dr_compress::{Codec, FastLz};
+/// let codec = FastLz::new();
+/// let packed = codec.compress(&[0u8; 4096]);
+/// assert!(packed.len() < 128);
+/// assert_eq!(codec.decompress(&packed).unwrap(), vec![0u8; 4096]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastLz;
+
+impl FastLz {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        FastLz
+    }
+
+    fn hash(window: &[u8]) -> usize {
+        let key = u32::from_le_bytes([window[0], window[1], window[2], 0]) as u64;
+        (mix64(key | 0x0100_0000) as usize) & (TABLE_SIZE - 1)
+    }
+
+    /// Tokenizes `input` with a greedy single-pass matcher. Public so the
+    /// GPU sub-chunk compressor can reuse the exact matcher per region.
+    pub fn tokenize(input: &[u8]) -> Vec<Token> {
+        tokenize_region(input, 0, input.len(), input.len())
+    }
+}
+
+/// Greedy-tokenizes `input[start..end]`, allowing matches that reach back
+/// at most `window` bytes (and never before `input[0]`). Offsets are
+/// relative distances, so the produced tokens decode correctly whenever at
+/// least `start` bytes of history precede them — the property the GPU
+/// post-processor relies on.
+pub(crate) fn tokenize_region(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    window: usize,
+) -> Vec<Token> {
+    debug_assert!(start <= end && end <= input.len());
+    let mut tokens = Vec::new();
+    let mut table = [usize::MAX; TABLE_SIZE];
+    // Seed the table with positions from the visible history window so the
+    // first bytes of the region can match backwards into it.
+    let hist_start = start.saturating_sub(window);
+    if end >= MIN_MATCH {
+        for pos in hist_start..start.min(end - MIN_MATCH + 1) {
+            table[FastLz::hash(&input[pos..])] = pos;
+        }
+    }
+
+    let mut literal_start = start;
+    let mut pos = start;
+    while pos + MIN_MATCH <= end {
+        let slot = FastLz::hash(&input[pos..]);
+        let candidate = table[slot];
+        table[slot] = pos;
+
+        let mut matched = 0usize;
+        if candidate != usize::MAX && candidate < pos {
+            let distance = pos - candidate;
+            if distance <= MAX_OFFSET && distance <= window && candidate >= hist_start {
+                // Extend the match greedily, bounded by the region end.
+                let limit = end - pos;
+                while matched < limit && input[candidate + matched] == input[pos + matched] {
+                    matched += 1;
+                }
+            }
+        }
+
+        if matched >= MIN_MATCH {
+            if literal_start < pos {
+                tokens.push(Token::Literals(input[literal_start..pos].to_vec()));
+            }
+            tokens.push(Token::Match {
+                offset: pos - candidate,
+                len: matched,
+            });
+            // Insert a few positions inside the match so later data can
+            // reference it (bounded to keep the pass single-speed).
+            let insert_end = (pos + matched).min(end.saturating_sub(MIN_MATCH - 1));
+            for p in (pos + 1..insert_end).take(8) {
+                table[FastLz::hash(&input[p..])] = p;
+            }
+            pos += matched;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    if literal_start < end {
+        tokens.push(Token::Literals(input[literal_start..end].to_vec()));
+    }
+    tokens
+}
+
+impl Codec for FastLz {
+    fn name(&self) -> &str {
+        "fastlz"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        frame::seal(input, &Self::tokenize(input))
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        frame::open(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let codec = FastLz::new();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data, "round trip failed");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn run_of_zeros_compresses_hard() {
+        // 4 KB of zeros: one literal + ~32 max-length match tokens.
+        let data = vec![0u8; 4096];
+        let packed = FastLz::new().compress(&data);
+        assert!(packed.len() < 128, "packed {} bytes", packed.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn repeated_phrase_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let packed = FastLz::new().compress(&data);
+        assert!(packed.len() < data.len() / 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn random_data_expands_only_by_header() {
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let packed = FastLz::new().compress(&data);
+        assert!(packed.len() <= data.len() + 5);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn text_like_data_round_trips() {
+        let data: Vec<u8> = include_str!("fastlz.rs").as_bytes().to_vec();
+        let packed = FastLz::new().compress(&data);
+        assert!(packed.len() < data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn region_tokenizer_respects_window() {
+        // A match candidate further back than `window` must be ignored.
+        let mut data = b"UNIQUEPREFIX".to_vec();
+        data.extend_from_slice(&[b'x'; 300]);
+        data.extend_from_slice(b"UNIQUEPREFIX");
+        let tokens = tokenize_region(&data, 0, data.len(), 64);
+        for t in &tokens {
+            if let Token::Match { offset, .. } = t {
+                assert!(*offset <= 64, "match crossed the window: offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_tokens_decode_with_history_present() {
+        // Tokenize only the second half; decoding after pre-seeding the
+        // first half must reproduce the second half.
+        let data = b"abcdefghij".repeat(50);
+        let mid = data.len() / 2;
+        let tokens = tokenize_region(&data, mid, data.len(), mid);
+        let mut out = data[..mid].to_vec();
+        crate::token::decode_stream(&crate::token::encode_tokens(&tokens), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,300 @@
+//! The self-framing compressed-block container.
+//!
+//! Every codec wraps its token stream in a [`Frame`] so a destaged chunk is
+//! self-describing: the destage path (and the paper's "refinement" step)
+//! can always fall back to storing the chunk raw when compression does not
+//! pay — LZ on incompressible data would otherwise *expand* it.
+//!
+//! # Layout
+//!
+//! ```text
+//! byte 0      method: 0 = stored raw, 1 = LZ token stream
+//! bytes 1..5  original length, little-endian u32
+//! bytes 5..   payload (raw bytes or encoded tokens)
+//! ```
+
+use crate::error::CodecError;
+use crate::token::{decode_stream, encode_tokens, Token};
+
+const METHOD_RAW: u8 = 0;
+const METHOD_LZ: u8 = 1;
+const METHOD_LZH: u8 = 2;
+const HEADER_LEN: usize = 5;
+
+/// A parsed view of a compressed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// The block stores the original bytes verbatim.
+    Raw,
+    /// The block stores an LZ token stream.
+    Lz,
+    /// The block stores a Huffman-coded LZ token stream.
+    LzHuffman,
+}
+
+/// Wraps `tokens` for `original` into a frame, falling back to stored-raw
+/// when the encoded tokens are not strictly smaller than the input.
+pub fn seal(original: &[u8], tokens: &[Token]) -> Vec<u8> {
+    debug_assert!(original.len() <= u32::MAX as usize);
+    let encoded = encode_tokens(tokens);
+    let mut out = Vec::with_capacity(HEADER_LEN + encoded.len().min(original.len()));
+    if encoded.len() < original.len() {
+        out.push(METHOD_LZ);
+        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(&encoded);
+    } else {
+        out.push(METHOD_RAW);
+        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(original);
+    }
+    out
+}
+
+/// Like [`seal`], but additionally tries a Huffman entropy pass over the
+/// encoded tokens and keeps whichever of {raw, LZ, LZ+Huffman} is
+/// smallest.
+pub fn seal_entropy(original: &[u8], tokens: &[Token]) -> Vec<u8> {
+    debug_assert!(original.len() <= u32::MAX as usize);
+    let encoded = encode_tokens(tokens);
+    let entropy = crate::huffman::huffman_encode(&encoded);
+    let (method, payload): (u8, &[u8]) =
+        if entropy.len() < encoded.len() && entropy.len() < original.len() {
+            (METHOD_LZH, &entropy)
+        } else if encoded.len() < original.len() {
+            (METHOD_LZ, &encoded)
+        } else {
+            (METHOD_RAW, original)
+        };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(method);
+    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Wraps `original` as a stored-raw frame unconditionally.
+pub fn seal_raw(original: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + original.len());
+    out.push(METHOD_RAW);
+    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out.extend_from_slice(original);
+    out
+}
+
+/// Identifies the frame method without decoding.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] / [`CodecError::BadHeader`].
+pub fn inspect(block: &[u8]) -> Result<(Frame, usize), CodecError> {
+    if block.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let original_len = u32::from_le_bytes(block[1..5].try_into().expect("4 bytes")) as usize;
+    match block[0] {
+        METHOD_RAW => Ok((Frame::Raw, original_len)),
+        METHOD_LZ => Ok((Frame::Lz, original_len)),
+        METHOD_LZH => Ok((Frame::LzHuffman, original_len)),
+        _ => Err(CodecError::BadHeader),
+    }
+}
+
+/// Unwraps a frame back to the original bytes.
+///
+/// # Errors
+///
+/// Any [`CodecError`]: truncation, corruption, or a length mismatch between
+/// the header and the decoded payload.
+pub fn open(block: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let (method, original_len) = inspect(block)?;
+    let payload = &block[HEADER_LEN..];
+    match method {
+        Frame::Raw => {
+            if payload.len() != original_len {
+                return Err(CodecError::LengthMismatch {
+                    expected: original_len,
+                    got: payload.len(),
+                });
+            }
+            Ok(payload.to_vec())
+        }
+        Frame::Lz => {
+            let mut out = Vec::with_capacity(original_len);
+            decode_stream(payload, &mut out)?;
+            if out.len() != original_len {
+                return Err(CodecError::LengthMismatch {
+                    expected: original_len,
+                    got: out.len(),
+                });
+            }
+            Ok(out)
+        }
+        Frame::LzHuffman => {
+            let tokens = crate::huffman::huffman_decode(payload)?;
+            let mut out = Vec::with_capacity(original_len);
+            decode_stream(&tokens, &mut out)?;
+            if out.len() != original_len {
+                return Err(CodecError::LengthMismatch {
+                    expected: original_len,
+                    got: out.len(),
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `original / compressed` size ratio of a sealed block; > 1 means the
+/// block shrank. Matches the paper's "compression ratio 2.0" convention.
+pub fn compression_ratio(original_len: usize, block: &[u8]) -> f64 {
+    original_len as f64 / block.len() as f64
+}
+
+/// Wraps a sealed frame with a CRC-32C integrity envelope (4-byte
+/// little-endian checksum over the frame), for destage paths that must
+/// detect device corruption.
+pub fn protect(frame: &[u8]) -> Vec<u8> {
+    let crc = dr_hashes::crc32c(frame);
+    let mut out = Vec::with_capacity(frame.len() + 4);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Verifies and strips a [`protect`] envelope, returning the inner frame.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when shorter than the envelope;
+/// [`CodecError::BadChecksum`] when the stored CRC does not match the
+/// frame bytes (device corruption).
+pub fn verify_and_strip(block: &[u8]) -> Result<&[u8], CodecError> {
+    if block.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let stored = u32::from_le_bytes(block[..4].try_into().expect("4 bytes"));
+    let frame = &block[4..];
+    let actual = dr_hashes::crc32c(frame);
+    if stored != actual {
+        return Err(CodecError::BadChecksum { stored, actual });
+    }
+    Ok(frame)
+}
+
+/// [`protect`] envelope overhead in bytes.
+pub const PROTECT_OVERHEAD: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressible_input_uses_lz() {
+        let original = b"abcabcabcabcabcabcabcabcabc";
+        let tokens = vec![
+            Token::Literals(b"abc".to_vec()),
+            Token::Match {
+                offset: 3,
+                len: original.len() - 3,
+            },
+        ];
+        let block = seal(original, &tokens);
+        assert_eq!(inspect(&block).unwrap().0, Frame::Lz);
+        assert_eq!(open(&block).unwrap(), original);
+        assert!(compression_ratio(original.len(), &block) > 1.0);
+    }
+
+    #[test]
+    fn incompressible_input_falls_back_to_raw() {
+        let original: Vec<u8> = (0..=255u8).collect();
+        // Worst-case tokens: everything literal (encoded >= original).
+        let tokens = vec![Token::Literals(original.clone())];
+        let block = seal(&original, &tokens);
+        assert_eq!(inspect(&block).unwrap().0, Frame::Raw);
+        assert_eq!(open(&block).unwrap(), original);
+        // Bounded expansion: header only.
+        assert_eq!(block.len(), original.len() + 5);
+    }
+
+    #[test]
+    fn seal_raw_is_always_raw() {
+        let block = seal_raw(b"abcabcabc");
+        assert_eq!(inspect(&block).unwrap().0, Frame::Raw);
+        assert_eq!(open(&block).unwrap(), b"abcabcabc");
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let block = seal(&[], &[]);
+        assert_eq!(open(&block).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(inspect(&[1, 2]), Err(CodecError::Truncated));
+        assert_eq!(open(&[1, 2]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let block = [9u8, 0, 0, 0, 0];
+        assert_eq!(inspect(&block), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn length_mismatch_detected_for_raw() {
+        let mut block = seal_raw(b"abcdef");
+        block.pop();
+        assert!(matches!(
+            open(&block),
+            Err(CodecError::LengthMismatch { expected: 6, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn protect_round_trips() {
+        let frame = seal_raw(b"some frame");
+        let protected = protect(&frame);
+        assert_eq!(protected.len(), frame.len() + PROTECT_OVERHEAD);
+        assert_eq!(verify_and_strip(&protected).unwrap(), frame.as_slice());
+    }
+
+    #[test]
+    fn protect_detects_every_single_bit_flip() {
+        let frame = seal_raw(b"integrity matters");
+        let protected = protect(&frame);
+        for byte in 0..protected.len() {
+            let mut corrupt = protected.clone();
+            corrupt[byte] ^= 0x40;
+            assert!(
+                matches!(verify_and_strip(&corrupt), Err(CodecError::BadChecksum { .. })),
+                "flip at byte {byte} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn protect_rejects_truncation() {
+        assert!(matches!(
+            verify_and_strip(&[1, 2, 3]),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected_for_lz() {
+        let original = b"abcabcabcabcabcabcabc";
+        let tokens = vec![
+            Token::Literals(b"abc".to_vec()),
+            Token::Match {
+                offset: 3,
+                len: original.len() - 3,
+            },
+        ];
+        let mut block = seal(original, &tokens);
+        // Lie about the original length.
+        block[1] = 5;
+        block[2] = 0;
+        assert!(matches!(open(&block), Err(CodecError::LengthMismatch { .. })));
+    }
+}

@@ -1,0 +1,303 @@
+//! Canonical Huffman entropy coding over bytes.
+//!
+//! An optional second stage after LZ tokenization (the classic
+//! LZSS+Huffman pairing the paper's related work builds on): the token
+//! stream's bytes are entropy-coded with a canonical, length-limited
+//! Huffman code. Used by [`LzHuf`](crate::LzHuf) and available on its own
+//! for the ablation benches.
+//!
+//! # Wire format
+//!
+//! ```text
+//! bytes 0..128   code lengths for symbols 0..=255, packed two per byte
+//!                (low nibble first); length 0 = symbol absent, max 15
+//! bytes 128..132 number of encoded symbols, little-endian u32
+//! bytes 132..    the bitstream, LSB-first within each byte
+//! ```
+
+use crate::error::CodecError;
+
+/// Maximum code length (fits a nibble; plenty for 256 symbols).
+const MAX_BITS: usize = 15;
+const HEADER_LEN: usize = 132;
+
+/// Computes length-limited Huffman code lengths for `freq` using the
+/// package-merge algorithm. Returns `[0u8; 256]` lengths (0 = unused).
+fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    let symbols: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+    let mut lengths = [0u8; 256];
+    match symbols.len() {
+        0 => return lengths,
+        1 => {
+            // A single-symbol alphabet still needs one bit.
+            lengths[symbols[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Package-merge: items are (weight, set-of-symbols). At each of
+    // MAX_BITS levels, pair up the cheapest items and carry the packages
+    // up; each time a leaf appears in a chosen package its length grows.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        leaves: Vec<usize>,
+    }
+    let leaves: Vec<Item> = symbols
+        .iter()
+        .map(|&s| Item {
+            weight: freq[s],
+            leaves: vec![s],
+        })
+        .collect();
+
+    let mut prev: Vec<Item> = Vec::new();
+    for _level in 0..MAX_BITS {
+        // Merge leaves with packages from the previous level, sorted.
+        let mut merged: Vec<Item> = leaves.iter().cloned().chain(prev.into_iter()).collect();
+        merged.sort_by_key(|i| i.weight);
+        // Package pairs.
+        prev = merged
+            .chunks(2)
+            .filter(|pair| pair.len() == 2)
+            .map(|pair| {
+                let mut leaves = pair[0].leaves.clone();
+                leaves.extend_from_slice(&pair[1].leaves);
+                Item {
+                    weight: pair[0].weight + pair[1].weight,
+                    leaves,
+                }
+            })
+            .collect();
+    }
+    // The first (n-1) packages of the final level define the code: each
+    // occurrence of a symbol adds one to its code length.
+    for item in prev.iter().take(symbols.len() - 1) {
+        for &s in &item.leaves {
+            lengths[s] += 1;
+        }
+    }
+    lengths
+}
+
+/// Builds canonical codes (first code per length, ascending symbol order)
+/// from lengths. Returns `(code, len)` per symbol.
+fn canonical_codes(lengths: &[u8; 256]) -> [(u16, u8); 256] {
+    let mut count = [0u16; MAX_BITS + 1];
+    for &l in lengths.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u16; MAX_BITS + 1];
+    let mut code = 0u16;
+    for bits in 1..=MAX_BITS {
+        code = (code + count[bits - 1]) << 1;
+        next[bits] = code;
+    }
+    let mut out = [(0u16, 0u8); 256];
+    for s in 0..256 {
+        let l = lengths[s] as usize;
+        if l > 0 {
+            out[s] = (next[l], l as u8);
+            next[l] += 1;
+        }
+    }
+    out
+}
+
+/// Huffman-encodes `data`. The output is self-contained (header + stream).
+pub fn huffman_encode(data: &[u8]) -> Vec<u8> {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freq);
+    let codes = canonical_codes(&lengths);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + data.len() / 2);
+    for pair in lengths.chunks(2) {
+        out.push(pair[0] | (pair[1] << 4));
+    }
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+    // LSB-first bit writer.
+    let mut acc = 0u32;
+    let mut nbits = 0u32;
+    for &b in data {
+        let (code, len) = codes[b as usize];
+        // Canonical codes are MSB-first; reverse into LSB-first order.
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= (((code >> i) & 1) as u32) << (len - 1 - i);
+        }
+        acc |= rev << nbits;
+        nbits += len as u32;
+        while nbits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+    out
+}
+
+/// Decodes a [`huffman_encode`] block.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input, [`CodecError::BadHeader`] on
+/// an inconsistent code table or bitstream.
+pub fn huffman_decode(block: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if block.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let mut lengths = [0u8; 256];
+    for (i, &b) in block[..128].iter().enumerate() {
+        lengths[i * 2] = b & 0x0F;
+        lengths[i * 2 + 1] = b >> 4;
+    }
+    let n = u32::from_le_bytes(block[128..132].try_into().expect("4 bytes")) as usize;
+    let stream = &block[HEADER_LEN..];
+
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Build a canonical decoding table: per length, (first_code, first_index)
+    // plus symbols sorted by (length, symbol).
+    let mut count = [0u32; MAX_BITS + 1];
+    for &l in lengths.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    if (1..=MAX_BITS).map(|b| count[b]).sum::<u32>() == 0 {
+        return Err(CodecError::BadHeader);
+    }
+    let mut symbols: Vec<u8> = (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s as usize], s));
+    let mut first_code = [0u32; MAX_BITS + 2];
+    let mut first_index = [0u32; MAX_BITS + 2];
+    let mut code = 0u32;
+    let mut index = 0u32;
+    for bits in 1..=MAX_BITS {
+        code = (code + count[bits - 1]) << 1;
+        first_code[bits] = code;
+        first_index[bits] = index;
+        index += count[bits];
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let mut bitpos = 0usize;
+    let total_bits = stream.len() * 8;
+    for _ in 0..n {
+        let mut code = 0u32;
+        let mut bits = 0usize;
+        loop {
+            if bitpos >= total_bits {
+                return Err(CodecError::Truncated);
+            }
+            let bit = (stream[bitpos / 8] >> (bitpos % 8)) & 1;
+            bitpos += 1;
+            code = (code << 1) | bit as u32;
+            bits += 1;
+            if bits > MAX_BITS {
+                return Err(CodecError::BadHeader);
+            }
+            if count[bits] > 0 {
+                let offset = code.wrapping_sub(first_code[bits]);
+                if offset < count[bits] {
+                    let sym = symbols[(first_index[bits] + offset) as usize];
+                    out.push(sym);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let enc = huffman_encode(data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data, "huffman round trip");
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(b"");
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        round_trip(&[7u8; 1000]);
+        // Header + ~1000 bits.
+        let enc = huffman_encode(&[7u8; 1000]);
+        assert!(enc.len() < 300, "encoded {} bytes", enc.len());
+    }
+
+    #[test]
+    fn two_symbols() {
+        let data: Vec<u8> = (0..500).map(|i| if i % 3 == 0 { b'a' } else { b'b' }).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn skewed_text_compresses() {
+        let data = b"aaaaaaaaaaaaaaaaaaaabbbbbbbbbbcccccd".repeat(50);
+        let enc = huffman_encode(&data);
+        assert!(enc.len() < data.len() / 2, "encoded {} of {}", enc.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn uniform_bytes_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn random_bytes_round_trip() {
+        let mut state = 0xDEADBEEFu64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let enc = huffman_encode(b"hello hello hello");
+        assert_eq!(huffman_decode(&enc[..10]), Err(CodecError::Truncated));
+        let mut short = enc.clone();
+        short.truncate(enc.len() - 1);
+        assert!(huffman_decode(&short).is_err());
+    }
+
+    #[test]
+    fn code_lengths_are_length_limited_and_kraft_valid() {
+        // A pathologically skewed distribution must stay within MAX_BITS
+        // and satisfy the Kraft inequality with equality (complete code).
+        let mut freq = [0u64; 256];
+        for (i, f) in freq.iter_mut().enumerate().take(40) {
+            *f = 1u64 << (i.min(50));
+        }
+        let lengths = code_lengths(&freq);
+        let mut kraft = 0f64;
+        for &l in lengths.iter() {
+            assert!(l as usize <= MAX_BITS);
+            if l > 0 {
+                kraft += (0.5f64).powi(l as i32);
+            }
+        }
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
+    }
+}

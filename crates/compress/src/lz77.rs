@@ -1,0 +1,238 @@
+//! A textbook windowed LZ77 codec with hash-chain match search.
+//!
+//! The higher-ratio/lower-speed point in the design space: where
+//! [`FastLz`](crate::FastLz) checks a single candidate per position, `Lz77`
+//! walks a bounded hash chain and keeps the *longest* match — the classic
+//! history-buffer / look-ahead-buffer formulation the paper describes in
+//! its background section.
+
+use dr_hashes::mix64;
+
+use crate::error::CodecError;
+use crate::frame;
+use crate::token::{Token, MAX_OFFSET, MIN_MATCH};
+use crate::Codec;
+
+const TABLE_SIZE: usize = 1 << 13;
+
+/// Windowed LZ77 with configurable history and search depth.
+///
+/// ```
+/// use dr_compress::{Codec, Lz77};
+/// let codec = Lz77::new();
+/// let data = b"repetition repetition repetition".repeat(8);
+/// let packed = codec.compress(&data);
+/// assert!(packed.len() < data.len() / 2);
+/// assert_eq!(codec.decompress(&packed).unwrap(), data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lz77 {
+    /// History-buffer size: how far back matches may reach.
+    window: usize,
+    /// Maximum hash-chain candidates examined per position.
+    max_chain: usize,
+}
+
+impl Default for Lz77 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lz77 {
+    /// A 32 KB window with a 32-candidate chain — a zlib-like default.
+    pub fn new() -> Self {
+        Lz77 {
+            window: 32 * 1024,
+            max_chain: 32,
+        }
+    }
+
+    /// Custom window and chain depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or exceeds the token format's
+    /// [`MAX_OFFSET`], or if `max_chain` is zero.
+    pub fn with_params(window: usize, max_chain: usize) -> Self {
+        assert!(
+            (1..=MAX_OFFSET).contains(&window),
+            "window must be in 1..={MAX_OFFSET}"
+        );
+        assert!(max_chain > 0, "chain depth must be positive");
+        Lz77 { window, max_chain }
+    }
+
+    /// The configured history-buffer size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn hash(window: &[u8]) -> usize {
+        let key = u32::from_le_bytes([window[0], window[1], window[2], 0]) as u64;
+        (mix64(key | 0x0200_0000) as usize) & (TABLE_SIZE - 1)
+    }
+
+    /// Tokenizes `input` searching each position's hash chain for the
+    /// longest match in the window.
+    pub fn tokenize(&self, input: &[u8]) -> Vec<Token> {
+        let n = input.len();
+        let mut tokens = Vec::new();
+        // head[h] = most recent position with hash h; prev[p] = previous
+        // position on p's chain. Both bounded by the window during search.
+        let mut head = vec![usize::MAX; TABLE_SIZE];
+        let mut prev = vec![usize::MAX; n];
+
+        let mut literal_start = 0usize;
+        let mut pos = 0usize;
+        while pos + MIN_MATCH <= n {
+            let slot = Self::hash(&input[pos..]);
+            // Find the longest match on the chain.
+            let mut best_len = 0usize;
+            let mut best_pos = usize::MAX;
+            let mut candidate = head[slot];
+            let mut budget = self.max_chain;
+            let limit = n - pos;
+            while candidate != usize::MAX && budget > 0 {
+                let distance = pos - candidate;
+                if distance > self.window {
+                    break; // chains are position-ordered; the rest is older
+                }
+                let mut l = 0usize;
+                while l < limit && input[candidate + l] == input[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_pos = candidate;
+                }
+                candidate = prev[candidate];
+                budget -= 1;
+            }
+
+            // Chain bookkeeping for this position.
+            prev[pos] = head[slot];
+            head[slot] = pos;
+
+            if best_len >= MIN_MATCH {
+                if literal_start < pos {
+                    tokens.push(Token::Literals(input[literal_start..pos].to_vec()));
+                }
+                tokens.push(Token::Match {
+                    offset: pos - best_pos,
+                    len: best_len,
+                });
+                // Index the interior of the match.
+                let insert_end = (pos + best_len).min(n - MIN_MATCH + 1);
+                for p in pos + 1..insert_end {
+                    let s = Self::hash(&input[p..]);
+                    prev[p] = head[s];
+                    head[s] = p;
+                }
+                pos += best_len;
+                literal_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        if literal_start < n {
+            tokens.push(Token::Literals(input[literal_start..n].to_vec()));
+        }
+        tokens
+    }
+}
+
+impl Codec for Lz77 {
+    fn name(&self) -> &str {
+        "lz77"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        frame::seal(input, &self.tokenize(input))
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        frame::open(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FastLz;
+
+    fn round_trip(data: &[u8]) {
+        let codec = Lz77::new();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"x");
+        round_trip(b"xy");
+        round_trip(b"xyz");
+    }
+
+    #[test]
+    fn repeated_text_round_trips() {
+        round_trip(&b"lorem ipsum dolor sit amet ".repeat(200));
+    }
+
+    #[test]
+    fn binary_patterns_round_trip() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 17) as u8 * 3).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn ratio_at_least_as_good_as_fastlz_on_text() {
+        let data = include_str!("lz77.rs").as_bytes().repeat(2);
+        let deep = Lz77::new().compress(&data);
+        let fast = FastLz::new().compress(&data);
+        assert!(
+            deep.len() <= fast.len(),
+            "lz77 {} bytes vs fastlz {} bytes",
+            deep.len(),
+            fast.len()
+        );
+    }
+
+    #[test]
+    fn window_limits_match_distance() {
+        // Matches must not reach past a small window.
+        let mut data = b"NEEDLE-PATTERN".to_vec();
+        data.extend(std::iter::repeat(b'.').take(1000));
+        data.extend_from_slice(b"NEEDLE-PATTERN");
+        let codec = Lz77::with_params(128, 16);
+        for t in codec.tokenize(&data) {
+            if let Token::Match { offset, .. } = t {
+                assert!(offset <= 128, "offset {offset} exceeded window");
+            }
+        }
+        // Still round-trips.
+        let packed = codec.compress(&data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn deeper_chains_do_not_hurt_ratio() {
+        let data = include_str!("token.rs").as_bytes().to_vec();
+        let shallow = Lz77::with_params(32 * 1024, 1).compress(&data).len();
+        let deep = Lz77::with_params(32 * 1024, 64).compress(&data).len();
+        assert!(deep <= shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn oversized_window_rejected() {
+        Lz77::with_params(1 << 20, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain depth")]
+    fn zero_chain_rejected() {
+        Lz77::with_params(1024, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! CPU-parallel per-chunk compression.
+//!
+//! The paper's CPU compression path: chunks have no inter-chunk data
+//! dependency, so each worker thread runs the whole single-pass codec on
+//! its own chunks. Output order matches input order.
+
+use crate::Codec;
+
+/// Compresses every chunk with `codec` using up to `workers` threads,
+/// returning sealed frames in input order.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// ```
+/// use dr_compress::{compress_chunks_parallel, Codec, FastLz};
+/// let chunks: Vec<Vec<u8>> = vec![vec![0u8; 4096]; 8];
+/// let views: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+/// let frames = compress_chunks_parallel(&FastLz::new(), &views, 4);
+/// assert_eq!(frames.len(), 8);
+/// assert_eq!(FastLz::new().decompress(&frames[0]).unwrap(), chunks[0]);
+/// ```
+pub fn compress_chunks_parallel<C: Codec + Sync>(
+    codec: &C,
+    chunks: &[&[u8]],
+    workers: usize,
+) -> Vec<Vec<u8>> {
+    assert!(workers > 0, "worker count must be positive");
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.min(chunks.len());
+    if workers == 1 {
+        return chunks.iter().map(|c| codec.compress(c)).collect();
+    }
+
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+    let stride = chunks.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut out_rest: &mut [Vec<u8>] = &mut out;
+        let mut in_rest: &[&[u8]] = chunks;
+        for _ in 0..workers {
+            let take = stride.min(in_rest.len());
+            if take == 0 {
+                break;
+            }
+            let (out_part, out_tail) = out_rest.split_at_mut(take);
+            let (in_part, in_tail) = in_rest.split_at(take);
+            out_rest = out_tail;
+            in_rest = in_tail;
+            scope.spawn(move || {
+                for (slot, chunk) in out_part.iter_mut().zip(in_part) {
+                    *slot = codec.compress(chunk);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FastLz, Lz77};
+
+    fn chunks() -> Vec<Vec<u8>> {
+        (0..33)
+            .map(|i| format!("chunk {i} body ").into_bytes().repeat(64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_for_every_worker_count() {
+        let data = chunks();
+        let views: Vec<&[u8]> = data.iter().map(|c| c.as_slice()).collect();
+        let codec = FastLz::new();
+        let serial: Vec<Vec<u8>> = views.iter().map(|c| codec.compress(c)).collect();
+        for workers in [1, 2, 4, 33, 100] {
+            assert_eq!(
+                compress_chunks_parallel(&codec, &views, workers),
+                serial,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_with_lz77_too() {
+        let data = chunks();
+        let views: Vec<&[u8]> = data.iter().map(|c| c.as_slice()).collect();
+        let codec = Lz77::new();
+        let frames = compress_chunks_parallel(&codec, &views, 4);
+        for (frame, chunk) in frames.iter().zip(&data) {
+            assert_eq!(&codec.decompress(frame).unwrap(), chunk);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compress_chunks_parallel(&FastLz::new(), &[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_workers_panics() {
+        compress_chunks_parallel(&FastLz::new(), &[], 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: every codec is lossless on arbitrary inputs.
+
+use dr_compress::{Codec, FastLz, GpuCompressor, GpuCompressorConfig, Lz77};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fastlz_round_trips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let codec = FastLz::new();
+        let packed = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_round_trips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let codec = Lz77::new();
+        let packed = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn gpu_subchunk_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        threads in 1usize..16,
+        history in 1usize..1024,
+    ) {
+        let comp = GpuCompressor::new(GpuCompressorConfig { threads_per_chunk: threads, history });
+        let block = comp.compress_functional(&data);
+        prop_assert_eq!(comp.decompress(&block).unwrap(), data);
+    }
+
+    #[test]
+    fn fastlz_round_trips_low_entropy(
+        data in proptest::collection::vec(0u8..4, 0..8192)
+    ) {
+        // Low-entropy inputs exercise long matches and overlapping copies.
+        let codec = FastLz::new();
+        let packed = codec.compress(&data);
+        prop_assert!(data.is_empty() || packed.len() <= data.len() + 5);
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn expansion_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Stored-raw fallback bounds worst-case expansion to the header.
+        for packed in [
+            FastLz::new().compress(&data),
+            Lz77::new().compress(&data),
+            GpuCompressor::new(GpuCompressorConfig::default()).compress_functional(&data),
+        ] {
+            prop_assert!(packed.len() <= data.len() + 5);
+        }
+    }
+
+    #[test]
+    fn codecs_decode_each_others_frames(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // All paths share one frame format: FastLz frames decode with Lz77's
+        // decoder and vice versa.
+        let a = FastLz::new().compress(&data);
+        let b = Lz77::new().compress(&data);
+        prop_assert_eq!(Lz77::new().decompress(&a).unwrap(), data.clone());
+        prop_assert_eq!(FastLz::new().decompress(&b).unwrap(), data);
+    }
+}

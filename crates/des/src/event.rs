@@ -1,0 +1,222 @@
+//! A deterministic event queue.
+//!
+//! [`EventQueue`] orders events by their firing time and breaks ties by
+//! insertion order (FIFO), which keeps simulations reproducible regardless of
+//! the payload type. Device models that need richer process semantics build
+//! them on top of this queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event extracted from an [`EventQueue`]: the time it fires and its
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// User payload.
+    pub payload: E,
+}
+
+/// Internal heap entry; ordered so the `BinaryHeap` (a max-heap) pops the
+/// *earliest* time first, with the smallest sequence number breaking ties.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest time (then lowest seq) is the "greatest" entry.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with FIFO tie-breaking.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// `now()` to that event's timestamp, and scheduling an event in the past is
+/// a logic error that panics.
+///
+/// # Examples
+///
+/// ```
+/// use dr_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "late");
+/// q.schedule(SimTime::from_nanos(10), "early");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.now(), SimTime::from_nanos(10));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current simulated time.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event at {time}, clock is already at {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some(ScheduledEvent {
+            time: entry.time,
+            payload: entry.payload,
+        })
+    }
+
+    /// The timestamp of the earliest pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drains every pending event in firing order, advancing the clock.
+    pub fn drain_ordered(&mut self) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "a");
+        let a = q.pop().unwrap();
+        assert_eq!(a.payload, "a");
+        // Scheduling at the current instant is allowed.
+        q.schedule(SimTime::from_nanos(10), "b");
+        q.schedule(SimTime::from_nanos(11), "c");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+}

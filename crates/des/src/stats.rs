@@ -1,0 +1,363 @@
+//! Simulation statistics: counters, histograms and throughput meters.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simple monotonically increasing counter.
+///
+/// ```
+/// use dr_des::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in ns, sizes in
+/// bytes, ...). Buckets grow geometrically, so the histogram covers the full
+/// `u64` range in 65 buckets with bounded relative error; exact min, max,
+/// count and sum are tracked on the side.
+///
+/// ```
+/// use dr_des::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] { h.record(v); }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        // Bucket 0 holds the value 0; bucket k holds [2^(k-1), 2^k).
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a simulated duration (in nanoseconds).
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the q-th sample (within a factor of 2 of the true value).
+    /// Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(min), Some(mean), Some(max)) => write!(
+                f,
+                "n={} min={} mean={:.1} p50~{} p99~{} max={}",
+                self.count,
+                min,
+                mean,
+                self.quantile(0.50).unwrap(),
+                self.quantile(0.99).unwrap(),
+                max
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+/// Accumulates operation counts and byte volumes over simulated time and
+/// reports IOPS / bandwidth, the primary metrics of the paper's evaluation.
+///
+/// ```
+/// use dr_des::{ThroughputMeter, SimTime, SimDuration};
+/// let mut m = ThroughputMeter::new();
+/// m.record_ops(80_000, 80_000 * 4096);
+/// m.finish(SimTime::ZERO + SimDuration::from_secs(1));
+/// assert!((m.iops() - 80_000.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    ops: u64,
+    bytes: u64,
+    end: SimTime,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `ops` completed operations moving `bytes` bytes in total.
+    pub fn record_ops(&mut self, ops: u64, bytes: u64) {
+        self.ops += ops;
+        self.bytes += bytes;
+    }
+
+    /// Sets the completion instant used as the denominator.
+    pub fn finish(&mut self, end: SimTime) {
+        self.end = self.end.max(end);
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The completion instant.
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+
+    /// Operations per simulated second; 0.0 before `finish`.
+    pub fn iops(&self) -> f64 {
+        let secs = self.end.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Megabytes (10^6) per simulated second; 0.0 before `finish`.
+    pub fn mb_per_sec(&self) -> f64 {
+        let secs = self.end.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.to_string(), "6");
+    }
+
+    #[test]
+    fn histogram_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+        assert!((h.mean().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn histogram_quantile_within_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // True median is 500; the log2 bucket guarantees within [500, 1023].
+        assert!((500..=1023).contains(&p50), "p50 was {p50}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert_eq!(p100, 1000);
+    }
+
+    #[test]
+    fn histogram_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn histogram_records_durations() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(5));
+        assert_eq!(h.sum(), 5_000);
+    }
+
+    #[test]
+    fn throughput_meter_rates() {
+        let mut m = ThroughputMeter::new();
+        m.record_ops(1_000, 4_096_000);
+        m.finish(SimTime::ZERO + SimDuration::from_millis(100));
+        assert!((m.iops() - 10_000.0).abs() < 1e-6);
+        assert!((m.mb_per_sec() - 40.96).abs() < 1e-6);
+        assert_eq!(m.ops(), 1_000);
+        assert_eq!(m.bytes(), 4_096_000);
+    }
+
+    #[test]
+    fn throughput_meter_zero_time_is_zero_rate() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.iops(), 0.0);
+        assert_eq!(m.mb_per_sec(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.quantile(1.5);
+    }
+}

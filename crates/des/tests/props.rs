@@ -1,0 +1,88 @@
+//! Property tests: DES kernel invariants.
+
+use dr_des::{EventQueue, Histogram, Resource, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Events always pop in non-decreasing time order, FIFO within ties.
+    #[test]
+    fn event_queue_orders(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (seq, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), seq);
+        }
+        let drained = q.drain_ordered();
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+            if pair[0].time == pair[1].time {
+                prop_assert!(pair[0].payload < pair[1].payload, "FIFO violated");
+            }
+        }
+        prop_assert_eq!(drained.len(), times.len());
+    }
+
+    /// A capacity-c resource never runs more than c jobs concurrently,
+    /// never idles while work is waiting (work conservation for equal
+    /// arrivals), and serves every job.
+    #[test]
+    fn resource_respects_capacity(
+        durations in proptest::collection::vec(1u64..10_000, 1..100),
+        capacity in 1usize..8,
+    ) {
+        let mut r = Resource::new("r", capacity);
+        let grants: Vec<_> = durations
+            .iter()
+            .map(|d| r.acquire(SimTime::ZERO, SimDuration::from_nanos(*d)))
+            .collect();
+        // Concurrency check: count overlaps at every grant start.
+        for g in &grants {
+            let overlapping = grants
+                .iter()
+                .filter(|o| o.start <= g.start && g.start < o.end)
+                .count();
+            prop_assert!(overlapping <= capacity, "{overlapping} > {capacity}");
+        }
+        // Work conservation with all-zero arrivals: makespan * capacity >=
+        // total work, and makespan <= total work (single slot bound).
+        let total: u64 = durations.iter().sum();
+        let makespan = r.makespan().as_nanos();
+        prop_assert!(makespan * capacity as u64 >= total);
+        prop_assert!(makespan <= total);
+        prop_assert_eq!(r.jobs_served(), durations.len() as u64);
+    }
+
+    /// Histogram quantiles stay within [min, max] and are monotone in q.
+    #[test]
+    fn histogram_quantiles_are_sane(samples in proptest::collection::vec(any::<u32>(), 1..500)) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s as u64);
+        }
+        let min = h.min().unwrap();
+        let max = h.max().unwrap();
+        let mut last = 0u64;
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= min && v <= max, "q{q}: {v} outside [{min},{max}]");
+            prop_assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Time arithmetic: (t + d) - d == t and durations sum exactly.
+    #[test]
+    fn time_arithmetic(base in 0u64..1 << 40, deltas in proptest::collection::vec(0u64..1 << 20, 0..50)) {
+        let t = SimTime::from_nanos(base);
+        let mut acc = t;
+        let mut total = SimDuration::ZERO;
+        for d in &deltas {
+            acc += SimDuration::from_nanos(*d);
+            total += SimDuration::from_nanos(*d);
+        }
+        prop_assert_eq!(acc.duration_since(t), total);
+        prop_assert_eq!(acc - total, t);
+    }
+}

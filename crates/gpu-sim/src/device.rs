@@ -1,0 +1,379 @@
+//! The GPU device: memory, copy engine, compute queue and statistics.
+
+use dr_des::{Grant, Resource, SimDuration, SimTime};
+
+use crate::error::GpuError;
+use crate::memory::{BufferId, DeviceMemory};
+use crate::spec::GpuSpec;
+use crate::timing::{kernel_timing, pcie_transfer_time, KernelTiming, WorkItemCost};
+
+/// Per-launch identification and tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Kernel name, for statistics and reports.
+    pub name: String,
+    /// Resource footprint for occupancy derating; `None` assumes a light
+    /// kernel running at full rate.
+    pub resources: Option<crate::occupancy::KernelResources>,
+}
+
+impl LaunchConfig {
+    /// A launch configuration with just a kernel name.
+    pub fn named(name: impl Into<String>) -> Self {
+        LaunchConfig {
+            name: name.into(),
+            resources: None,
+        }
+    }
+
+    /// Attaches a resource footprint for occupancy modeling.
+    #[must_use]
+    pub fn with_resources(mut self, resources: crate::occupancy::KernelResources) -> Self {
+        self.resources = Some(resources);
+        self
+    }
+}
+
+/// The outcome of a kernel launch: when it ran and its timing breakdown.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Kernel name echoed from the [`LaunchConfig`].
+    pub name: String,
+    /// Queue grant: when the kernel started and finished on the device.
+    pub grant: Grant,
+    /// The detailed timing model output.
+    pub timing: KernelTiming,
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GpuStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Host→device bytes transferred.
+    pub h2d_bytes: u64,
+    /// Device→host bytes transferred.
+    pub d2h_bytes: u64,
+    /// Total device busy time (kernels only).
+    pub kernel_busy: SimDuration,
+    /// Total copy-engine busy time.
+    pub copy_busy: SimDuration,
+}
+
+/// The simulated GPU.
+///
+/// Functionally a byte store plus a timing model: callers stage data into
+/// device buffers (paying PCIe time), run their kernel code on the host
+/// against those buffers, and pass the per-work-item cost report to
+/// [`GpuDevice::launch`] to find out when the kernel would have finished.
+///
+/// # Example
+///
+/// ```
+/// use dr_gpu_sim::{GpuDevice, GpuSpec, LaunchConfig, WorkItemCost};
+/// use dr_des::SimTime;
+///
+/// let mut gpu = GpuDevice::new(GpuSpec::weak_igpu());
+/// let buf = gpu.alloc(1024)?;
+/// gpu.write_buffer(SimTime::ZERO, buf, 0, b"payload")?;
+/// assert_eq!(&gpu.buffer(buf)?[..7], b"payload");
+/// # Ok::<(), dr_gpu_sim::GpuError>(())
+/// ```
+#[derive(Debug)]
+pub struct GpuDevice {
+    spec: GpuSpec,
+    mem: DeviceMemory,
+    /// Kernels serialize on a single in-order compute queue.
+    compute_queue: Resource,
+    /// DMA copy engine (one per direction would overlap; model one shared).
+    copy_engine: Resource,
+    stats: GpuStats,
+}
+
+impl GpuDevice {
+    /// Creates a device from a hardware description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`GpuSpec::validate`].
+    pub fn new(spec: GpuSpec) -> Self {
+        spec.validate();
+        let mem = DeviceMemory::new(spec.global_mem_bytes);
+        GpuDevice {
+            compute_queue: Resource::new(format!("{}-compute", spec.name), 1),
+            copy_engine: Resource::new(format!("{}-dma", spec.name), 1),
+            mem,
+            spec,
+            stats: GpuStats::default(),
+        }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn mem_used(&self) -> u64 {
+        self.mem.used()
+    }
+
+    /// Allocates a zero-filled device buffer of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::OutOfMemory`] when capacity is exhausted.
+    pub fn alloc(&mut self, len: u64) -> Result<BufferId, GpuError> {
+        self.mem.alloc(len)
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] when `id` is not live.
+    pub fn free(&mut self, id: BufferId) -> Result<(), GpuError> {
+        self.mem.free(id)
+    }
+
+    /// Copies `data` into buffer `id` at `offset`, charging PCIe time from
+    /// `now` on the copy engine. Returns when the transfer ran.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`].
+    pub fn write_buffer(
+        &mut self,
+        now: SimTime,
+        id: BufferId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Grant, GpuError> {
+        let time = pcie_transfer_time(&self.spec, data.len() as u64);
+        let buf = self.mem.get_mut(id)?;
+        let end = offset + data.len() as u64;
+        if end > buf.len() as u64 {
+            return Err(GpuError::OutOfBounds {
+                buffer: id,
+                end,
+                len: buf.len() as u64,
+            });
+        }
+        buf[offset as usize..end as usize].copy_from_slice(data);
+        let grant = self.copy_engine.acquire(now, time);
+        self.stats.h2d_bytes += data.len() as u64;
+        self.stats.copy_busy += time;
+        Ok(grant)
+    }
+
+    /// Copies `len` bytes out of buffer `id` starting at `offset`, charging
+    /// PCIe time from `now`. Returns the bytes and when the transfer ran.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`].
+    pub fn read_buffer(
+        &mut self,
+        now: SimTime,
+        id: BufferId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, Grant), GpuError> {
+        let buf = self.mem.get(id)?;
+        let end = offset + len;
+        if end > buf.len() as u64 {
+            return Err(GpuError::OutOfBounds {
+                buffer: id,
+                end,
+                len: buf.len() as u64,
+            });
+        }
+        let out = buf[offset as usize..end as usize].to_vec();
+        let time = pcie_transfer_time(&self.spec, len);
+        let grant = self.copy_engine.acquire(now, time);
+        self.stats.d2h_bytes += len;
+        self.stats.copy_busy += time;
+        Ok((out, grant))
+    }
+
+    /// Direct host-side view of a buffer, used by kernel implementations
+    /// (which "run on the device", so no PCIe cost applies).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] when `id` is not live.
+    pub fn buffer(&self, id: BufferId) -> Result<&[u8], GpuError> {
+        self.mem.get(id)
+    }
+
+    /// Mutable host-side view of a buffer for kernel implementations.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidBuffer`] when `id` is not live.
+    pub fn buffer_mut(&mut self, id: BufferId) -> Result<&mut [u8], GpuError> {
+        self.mem.get_mut(id)
+    }
+
+    /// Enqueues a kernel whose work items cost `items`, from `now`, and
+    /// returns when it ran. The caller performs the functional work itself
+    /// against [`GpuDevice::buffer_mut`]; this charges the simulated time.
+    pub fn launch(
+        &mut self,
+        now: SimTime,
+        config: LaunchConfig,
+        items: &[WorkItemCost],
+    ) -> LaunchReport {
+        let timing = match &config.resources {
+            Some(res) => {
+                let rate = crate::occupancy::occupancy_factor(
+                    &self.spec,
+                    &crate::occupancy::CuBudget::default(),
+                    res,
+                );
+                crate::timing::kernel_timing_with_occupancy(&self.spec, items, rate)
+            }
+            None => kernel_timing(&self.spec, items),
+        };
+        let grant = self.compute_queue.acquire(now, timing.duration());
+        self.stats.kernels += 1;
+        self.stats.kernel_busy += timing.duration();
+        LaunchReport {
+            name: config.name,
+            grant,
+            timing,
+        }
+    }
+
+    /// The earliest instant the compute queue can accept a new kernel;
+    /// the scheduler uses this to decide whether the GPU is busy.
+    pub fn compute_free_at(&self) -> SimTime {
+        self.compute_queue.earliest_free()
+    }
+
+    /// Resets queues and statistics (device memory contents are kept).
+    pub fn reset_timeline(&mut self) {
+        self.compute_queue.reset();
+        self.copy_engine.reset();
+        self.stats = GpuStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> GpuDevice {
+        GpuDevice::new(GpuSpec::radeon_hd_7970())
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut gpu = device();
+        let buf = gpu.alloc(64).unwrap();
+        gpu.write_buffer(SimTime::ZERO, buf, 8, b"hello").unwrap();
+        let (data, _) = gpu.read_buffer(SimTime::ZERO, buf, 8, 5).unwrap();
+        assert_eq!(data, b"hello");
+        assert_eq!(gpu.stats().h2d_bytes, 5);
+        assert_eq!(gpu.stats().d2h_bytes, 5);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let mut gpu = device();
+        let buf = gpu.alloc(4).unwrap();
+        let err = gpu
+            .write_buffer(SimTime::ZERO, buf, 2, b"toolong")
+            .unwrap_err();
+        assert!(matches!(err, GpuError::OutOfBounds { .. }));
+        // The buffer is untouched.
+        assert_eq!(gpu.buffer(buf).unwrap(), &[0u8; 4]);
+    }
+
+    #[test]
+    fn transfers_serialize_on_the_copy_engine() {
+        let mut gpu = device();
+        let buf = gpu.alloc(1 << 20).unwrap();
+        let data = vec![1u8; 1 << 20];
+        let g1 = gpu.write_buffer(SimTime::ZERO, buf, 0, &data).unwrap();
+        let g2 = gpu.write_buffer(SimTime::ZERO, buf, 0, &data).unwrap();
+        assert_eq!(g2.start, g1.end);
+    }
+
+    #[test]
+    fn kernels_serialize_on_the_compute_queue() {
+        let mut gpu = device();
+        let items = vec![WorkItemCost::compute(1000); 64];
+        let r1 = gpu.launch(SimTime::ZERO, LaunchConfig::named("k1"), &items);
+        let r2 = gpu.launch(SimTime::ZERO, LaunchConfig::named("k2"), &items);
+        assert_eq!(r2.grant.start, r1.grant.end);
+        assert_eq!(gpu.stats().kernels, 2);
+        assert_eq!(gpu.compute_free_at(), r2.grant.end);
+    }
+
+    #[test]
+    fn launch_includes_fixed_latency() {
+        let mut gpu = device();
+        let r = gpu.launch(SimTime::ZERO, LaunchConfig::named("tiny"), &[]);
+        assert_eq!(
+            r.grant.end.duration_since(r.grant.start),
+            gpu.spec().launch_latency
+        );
+    }
+
+    #[test]
+    fn occupancy_limited_kernel_takes_longer() {
+        use crate::occupancy::KernelResources;
+        let mut gpu = device();
+        let items = vec![WorkItemCost::compute(100_000); 64 * 64];
+        let light = gpu.launch(SimTime::ZERO, LaunchConfig::named("light"), &items);
+        let heavy = gpu.launch(
+            SimTime::ZERO,
+            LaunchConfig::named("heavy").with_resources(KernelResources {
+                registers_per_item: 128, // only 2 resident waves
+                local_mem_per_group: 0,
+                items_per_group: 64,
+            }),
+            &items,
+        );
+        assert_eq!(
+            heavy.timing.compute_time.as_nanos(),
+            light.timing.compute_time.as_nanos() * 2
+        );
+    }
+
+    #[test]
+    fn oom_reports_available_bytes() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.global_mem_bytes = 100;
+        let mut gpu = GpuDevice::new(spec);
+        gpu.alloc(80).unwrap();
+        match gpu.alloc(40) {
+            Err(GpuError::OutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 40);
+                assert_eq!(available, 20);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_timeline_keeps_memory() {
+        let mut gpu = device();
+        let buf = gpu.alloc(8).unwrap();
+        gpu.write_buffer(SimTime::ZERO, buf, 0, &[9; 8]).unwrap();
+        gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &[]);
+        gpu.reset_timeline();
+        assert_eq!(gpu.stats().kernels, 0);
+        assert_eq!(gpu.compute_free_at(), SimTime::ZERO);
+        assert_eq!(gpu.buffer(buf).unwrap(), &[9u8; 8]);
+    }
+}

@@ -1,0 +1,74 @@
+//! GPU device errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::memory::BufferId;
+
+/// Errors returned by [`GpuDevice`](crate::GpuDevice) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Allocation would exceed device memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes currently free on the device.
+        available: u64,
+    },
+    /// The buffer id is not live (never allocated, or already freed).
+    InvalidBuffer(BufferId),
+    /// An access ran past the end of a buffer.
+    OutOfBounds {
+        /// The offending buffer.
+        buffer: BufferId,
+        /// Requested end offset of the access.
+        end: u64,
+        /// Actual length of the buffer.
+        len: u64,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} free"
+            ),
+            GpuError::InvalidBuffer(id) => write!(f, "invalid device buffer {id:?}"),
+            GpuError::OutOfBounds { buffer, end, len } => write!(
+                f,
+                "access past end of buffer {buffer:?}: end {end} > len {len}"
+            ),
+        }
+    }
+}
+
+impl Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "device out of memory: requested 10 bytes, 5 free"
+        );
+        assert!(GpuError::InvalidBuffer(BufferId(3)).to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+    }
+}

@@ -1,0 +1,130 @@
+//! Device (global) memory: allocation tracking plus functional contents.
+//!
+//! The model keeps each buffer's bytes on the host so kernels (which execute
+//! functionally) can read and write them, while capacity accounting enforces
+//! the device's real memory limit — the reason the paper keeps only *hash
+//! values* resident on the GPU and leaves chunk metadata in system memory.
+
+use std::collections::HashMap;
+
+use crate::error::GpuError;
+
+/// Opaque handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub(crate) u64);
+
+#[derive(Debug)]
+pub(crate) struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    buffers: HashMap<BufferId, Vec<u8>>,
+}
+
+impl DeviceMemory {
+    pub(crate) fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            used: 0,
+            next_id: 0,
+            buffers: HashMap::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub(crate) fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub(crate) fn alloc(&mut self, len: u64) -> Result<BufferId, GpuError> {
+        let available = self.capacity - self.used;
+        if len > available {
+            return Err(GpuError::OutOfMemory {
+                requested: len,
+                available,
+            });
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.buffers.insert(id, vec![0u8; len as usize]);
+        self.used += len;
+        Ok(id)
+    }
+
+    pub(crate) fn free(&mut self, id: BufferId) -> Result<(), GpuError> {
+        match self.buffers.remove(&id) {
+            Some(buf) => {
+                self.used -= buf.len() as u64;
+                Ok(())
+            }
+            None => Err(GpuError::InvalidBuffer(id)),
+        }
+    }
+
+    pub(crate) fn get(&self, id: BufferId) -> Result<&[u8], GpuError> {
+        self.buffers
+            .get(&id)
+            .map(Vec::as_slice)
+            .ok_or(GpuError::InvalidBuffer(id))
+    }
+
+    pub(crate) fn get_mut(&mut self, id: BufferId) -> Result<&mut [u8], GpuError> {
+        self.buffers
+            .get_mut(&id)
+            .map(Vec::as_mut_slice)
+            .ok_or(GpuError::InvalidBuffer(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle_reclaims_space() {
+        let mut mem = DeviceMemory::new(100);
+        let a = mem.alloc(60).unwrap();
+        assert_eq!(mem.used(), 60);
+        assert!(matches!(
+            mem.alloc(50),
+            Err(GpuError::OutOfMemory {
+                requested: 50,
+                available: 40
+            })
+        ));
+        mem.free(a).unwrap();
+        assert_eq!(mem.used(), 0);
+        assert!(mem.alloc(100).is_ok());
+    }
+
+    #[test]
+    fn buffers_are_zero_initialized_and_writable() {
+        let mut mem = DeviceMemory::new(1024);
+        let id = mem.alloc(16).unwrap();
+        assert_eq!(mem.get(id).unwrap(), &[0u8; 16]);
+        mem.get_mut(id).unwrap()[0] = 0xAB;
+        assert_eq!(mem.get(id).unwrap()[0], 0xAB);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut mem = DeviceMemory::new(1024);
+        let id = mem.alloc(8).unwrap();
+        mem.free(id).unwrap();
+        assert_eq!(mem.free(id), Err(GpuError::InvalidBuffer(id)));
+        assert!(mem.get(id).is_err());
+    }
+
+    #[test]
+    fn distinct_ids_for_distinct_allocations() {
+        let mut mem = DeviceMemory::new(1024);
+        let a = mem.alloc(8).unwrap();
+        let b = mem.alloc(8).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mem.capacity(), 1024);
+    }
+}

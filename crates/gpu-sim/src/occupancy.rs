@@ -1,0 +1,166 @@
+//! Wavefront occupancy: how kernel resource usage limits latency hiding.
+//!
+//! GPUs hide memory and pipeline latency by keeping many wavefronts
+//! resident per compute unit and switching between them. A kernel that
+//! uses many registers or much local memory limits how many wavefronts
+//! fit, and an under-occupied CU stalls — GCN needs roughly four resident
+//! wavefronts per SIMD to stay busy. [`KernelResources`] describes a
+//! kernel's footprint; [`occupancy_factor`] turns it into a compute-rate
+//! derating used by the timing model.
+
+use crate::spec::GpuSpec;
+
+/// Per-compute-unit resource budgets of a GCN-class device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CuBudget {
+    /// Vector registers per SIMD lane pool.
+    pub vgprs: u32,
+    /// Maximum wavefronts resident per CU regardless of resources.
+    pub max_waves: u32,
+    /// Resident wavefronts needed for full latency hiding.
+    pub waves_for_full_rate: u32,
+}
+
+impl Default for CuBudget {
+    /// GCN 1.0 (Tahiti) budgets.
+    fn default() -> Self {
+        CuBudget {
+            vgprs: 256,
+            max_waves: 40,
+            waves_for_full_rate: 4,
+        }
+    }
+}
+
+/// A kernel's per-work-item / per-group resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Vector registers used per work item.
+    pub registers_per_item: u32,
+    /// Local (shared) memory per work group, bytes.
+    pub local_mem_per_group: u32,
+    /// Work items per work group.
+    pub items_per_group: u32,
+}
+
+impl KernelResources {
+    /// A light kernel: few registers, no local memory.
+    pub fn light() -> Self {
+        KernelResources {
+            registers_per_item: 16,
+            local_mem_per_group: 0,
+            items_per_group: 64,
+        }
+    }
+
+    /// Resident wavefronts per CU under `budget` on `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any footprint field is zero where that is meaningless.
+    pub fn resident_waves(&self, spec: &GpuSpec, budget: &CuBudget) -> u32 {
+        assert!(self.items_per_group > 0, "work groups cannot be empty");
+        assert!(self.registers_per_item > 0, "kernels use at least one register");
+        // Register limit: each wavefront needs simd_width × regs.
+        let by_regs = budget.vgprs / self.registers_per_item;
+        // Local-memory limit: groups per CU × waves per group.
+        let waves_per_group = self.items_per_group.div_ceil(spec.simd_width);
+        let by_lds = if self.local_mem_per_group == 0 {
+            budget.max_waves
+        } else {
+            let groups = spec.local_mem_per_cu / self.local_mem_per_group;
+            groups.saturating_mul(waves_per_group)
+        };
+        by_regs.min(by_lds).min(budget.max_waves).max(0)
+    }
+}
+
+/// Compute-rate factor in `(0, 1]`: 1.0 when enough wavefronts are
+/// resident to hide latency, proportionally less when the kernel's
+/// footprint starves the CU, and a floor of one wave's worth when nothing
+/// fits concurrently.
+pub fn occupancy_factor(spec: &GpuSpec, budget: &CuBudget, res: &KernelResources) -> f64 {
+    let waves = res.resident_waves(spec, budget);
+    if waves == 0 {
+        // The kernel cannot launch at all at this footprint; callers
+        // validate earlier, but stay defensive.
+        return 1.0 / budget.waves_for_full_rate as f64;
+    }
+    (waves as f64 / budget.waves_for_full_rate as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::radeon_hd_7970()
+    }
+
+    #[test]
+    fn light_kernels_run_at_full_rate() {
+        let f = occupancy_factor(&spec(), &CuBudget::default(), &KernelResources::light());
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn register_hungry_kernels_are_derated() {
+        let res = KernelResources {
+            registers_per_item: 128, // 2 waves fit
+            local_mem_per_group: 0,
+            items_per_group: 64,
+        };
+        let f = occupancy_factor(&spec(), &CuBudget::default(), &res);
+        assert!((f - 0.5).abs() < 1e-9, "factor {f}");
+    }
+
+    #[test]
+    fn lds_hungry_kernels_are_derated() {
+        let res = KernelResources {
+            registers_per_item: 16,
+            local_mem_per_group: 32 * 1024, // 2 groups of 64 KB LDS
+            items_per_group: 64,
+        };
+        let waves = res.resident_waves(&spec(), &CuBudget::default());
+        assert_eq!(waves, 2);
+        let f = occupancy_factor(&spec(), &CuBudget::default(), &res);
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_waves_caps_everything() {
+        let res = KernelResources {
+            registers_per_item: 1,
+            local_mem_per_group: 0,
+            items_per_group: 64,
+        };
+        assert_eq!(
+            res.resident_waves(&spec(), &CuBudget::default()),
+            CuBudget::default().max_waves
+        );
+    }
+
+    #[test]
+    fn oversized_lds_gives_zero_waves_but_nonzero_factor() {
+        let res = KernelResources {
+            registers_per_item: 16,
+            local_mem_per_group: 1 << 20, // larger than the CU's LDS
+            items_per_group: 64,
+        };
+        assert_eq!(res.resident_waves(&spec(), &CuBudget::default()), 0);
+        let f = occupancy_factor(&spec(), &CuBudget::default(), &res);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work groups")]
+    fn empty_group_rejected() {
+        KernelResources {
+            registers_per_item: 1,
+            local_mem_per_group: 0,
+            items_per_group: 0,
+        }
+        .resident_waves(&spec(), &CuBudget::default());
+    }
+}

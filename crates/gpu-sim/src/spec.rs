@@ -1,0 +1,188 @@
+//! GPU hardware specifications and calibrated presets.
+
+use dr_des::SimDuration;
+
+/// PCIe link parameters for host↔device transfers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSpec {
+    /// Fixed per-transfer setup latency (DMA descriptor, doorbell, ...).
+    pub latency: SimDuration,
+    /// Effective unidirectional bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl PcieSpec {
+    /// PCIe 3.0 x16 with typical effective (not theoretical) bandwidth.
+    pub fn gen3_x16() -> Self {
+        PcieSpec {
+            latency: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: 12.0e9,
+        }
+    }
+
+    /// PCIe 2.0 x16, for the weak-platform calibration sweeps.
+    pub fn gen2_x16() -> Self {
+        PcieSpec {
+            latency: SimDuration::from_micros(15),
+            bandwidth_bytes_per_sec: 6.0e9,
+        }
+    }
+}
+
+/// A GPU hardware description.
+///
+/// All presets are calibrated from public spec sheets; the defaults model
+/// the paper's Radeon HD 7970 testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of compute units (CUs / SMs).
+    pub compute_units: u32,
+    /// SIMD lanes executing in lockstep (wavefront / warp width).
+    pub simd_width: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Device (global) memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Local (shared) memory per compute unit in bytes.
+    pub local_mem_per_cu: u32,
+    /// Global-memory bandwidth in bytes per second.
+    pub mem_bandwidth_bytes_per_sec: f64,
+    /// Fixed overhead of every kernel launch (driver + queue + dispatch).
+    /// The paper: "the execution time is fixed because of the inevitable
+    /// time at which the GPU kernel starts".
+    pub launch_latency: SimDuration,
+    /// Bandwidth de-rating for uncoalesced global accesses: an uncoalesced
+    /// byte costs this many coalesced-byte equivalents (≥ 1.0).
+    pub uncoalesced_penalty: f64,
+    /// Fraction of the lockstep slack (max−min lane cycles) charged on
+    /// divergent wavefronts, in `[0, 1]`.
+    pub divergence_penalty: f64,
+    /// Host↔device link.
+    pub pcie: PcieSpec,
+}
+
+impl GpuSpec {
+    /// The paper's testbed GPU: AMD Radeon HD 7970 (Tahiti XT, GCN 1.0) —
+    /// 32 CUs, 64-lane wavefronts, 925 MHz, 3 GB GDDR5 at 264 GB/s.
+    pub fn radeon_hd_7970() -> Self {
+        GpuSpec {
+            name: "Radeon HD 7970".to_owned(),
+            compute_units: 32,
+            simd_width: 64,
+            clock_hz: 925.0e6,
+            global_mem_bytes: 3 * 1024 * 1024 * 1024,
+            local_mem_per_cu: 64 * 1024,
+            mem_bandwidth_bytes_per_sec: 264.0e9,
+            launch_latency: SimDuration::from_micros(45),
+            uncoalesced_penalty: 8.0,
+            divergence_penalty: 1.0,
+            pcie: PcieSpec::gen3_x16(),
+        }
+    }
+
+    /// A weak integrated GPU, used by the calibration experiment (E5) to
+    /// show the dummy-I/O probe switching the pipeline to CPU-only.
+    pub fn weak_igpu() -> Self {
+        GpuSpec {
+            name: "Weak iGPU".to_owned(),
+            compute_units: 4,
+            simd_width: 32,
+            clock_hz: 600.0e6,
+            global_mem_bytes: 512 * 1024 * 1024,
+            local_mem_per_cu: 32 * 1024,
+            mem_bandwidth_bytes_per_sec: 25.0e9,
+            launch_latency: SimDuration::from_micros(80),
+            uncoalesced_penalty: 8.0,
+            divergence_penalty: 1.0,
+            pcie: PcieSpec::gen2_x16(),
+        }
+    }
+
+    /// A modern discrete GPU, for the "different platform" sensitivity
+    /// sweeps (stronger compute, same launch-latency floor).
+    pub fn strong_dgpu() -> Self {
+        GpuSpec {
+            name: "Strong dGPU".to_owned(),
+            compute_units: 80,
+            simd_width: 32,
+            clock_hz: 1.8e9,
+            global_mem_bytes: 16 * 1024 * 1024 * 1024,
+            local_mem_per_cu: 128 * 1024,
+            mem_bandwidth_bytes_per_sec: 760.0e9,
+            launch_latency: SimDuration::from_micros(30),
+            uncoalesced_penalty: 6.0,
+            divergence_penalty: 1.0,
+            pcie: PcieSpec::gen3_x16(),
+        }
+    }
+
+    /// Seconds taken by one core cycle.
+    pub fn cycle_time_secs(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Sanity-checks the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-physical (zero CUs, zero clock, ...).
+    pub fn validate(&self) {
+        assert!(self.compute_units > 0, "need at least one compute unit");
+        assert!(self.simd_width > 0, "need at least one SIMD lane");
+        assert!(self.clock_hz > 0.0, "clock must be positive");
+        assert!(
+            self.mem_bandwidth_bytes_per_sec > 0.0,
+            "memory bandwidth must be positive"
+        );
+        assert!(
+            self.uncoalesced_penalty >= 1.0,
+            "uncoalesced penalty must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.divergence_penalty),
+            "divergence penalty must be in [0,1]"
+        );
+        assert!(
+            self.pcie.bandwidth_bytes_per_sec > 0.0,
+            "PCIe bandwidth must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        GpuSpec::radeon_hd_7970().validate();
+        GpuSpec::weak_igpu().validate();
+        GpuSpec::strong_dgpu().validate();
+    }
+
+    #[test]
+    fn hd7970_headline_numbers() {
+        let spec = GpuSpec::radeon_hd_7970();
+        assert_eq!(spec.compute_units, 32);
+        assert_eq!(spec.simd_width, 64);
+        assert!((spec.cycle_time_secs() - 1.0 / 925.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute unit")]
+    fn zero_cus_rejected() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.compute_units = 0;
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "uncoalesced")]
+    fn sub_unity_uncoalesced_penalty_rejected() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.uncoalesced_penalty = 0.5;
+        spec.validate();
+    }
+}

@@ -1,0 +1,146 @@
+//! CRC-32C (Castagnoli), table-driven.
+//!
+//! Storage systems checksum what they destage; CRC-32C is the industry
+//! polynomial (iSCSI, ext4, Btrfs). Used by the destage path's integrity
+//! option and available standalone.
+
+/// The Castagnoli polynomial, reflected.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lookup table for byte-at-a-time processing, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// One-shot CRC-32C of `data`.
+///
+/// ```
+/// use dr_hashes::crc32c;
+/// // RFC 3720 test vector: 32 bytes of zeros.
+/// assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+/// ```
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = Crc32c::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+/// Incremental CRC-32C.
+///
+/// ```
+/// use dr_hashes::{crc32c, Crc32c};
+/// let mut c = Crc32c::new();
+/// c.update(b"123");
+/// c.update(b"456789");
+/// assert_eq!(c.finalize(), crc32c(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Creates a fresh checksum.
+    pub fn new() -> Self {
+        Crc32c { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 3720 appendix B.4 test vectors.
+    #[test]
+    fn zeros_32() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn ones_32() {
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn ascending_32() {
+        let data: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&data), 0x46DD_794E);
+    }
+
+    #[test]
+    fn descending_32() {
+        let data: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&data), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn check_string() {
+        // The classic "123456789" check value for CRC-32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let whole = crc32c(&data);
+        for split in [1usize, 7, 256, 999] {
+            let mut c = Crc32c::new();
+            for piece in data.chunks(split) {
+                c.update(piece);
+            }
+            assert_eq!(c.finalize(), whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let original = crc32c(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), original, "missed flip at {byte}.{bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(b""), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The 20-byte chunk fingerprint used throughout the dedup index.
+
+use std::fmt;
+
+/// A 160-bit chunk fingerprint (SHA-1 sized, as in the paper).
+///
+/// The bin-based index routes a digest to a bin using its leading bytes
+/// ([`ChunkDigest::prefix_u64`]) and may store only the *suffix* of the
+/// digest ([`ChunkDigest::suffix`]) because the bin id already encodes the
+/// prefix — the paper's memory-saving "prefix truncation" (a 2-byte prefix
+/// saves 1 GB on a 4 TB / 8 KB-chunk configuration).
+///
+/// ```
+/// use dr_hashes::ChunkDigest;
+/// let d = ChunkDigest::new([0xAB; 20]);
+/// assert_eq!(d.prefix_u64(1), 0xAB);
+/// assert_eq!(d.suffix(2).len(), 18);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkDigest([u8; 20]);
+
+impl ChunkDigest {
+    /// Number of bytes in a digest.
+    pub const LEN: usize = 20;
+
+    /// Wraps raw digest bytes.
+    pub const fn new(bytes: [u8; 20]) -> Self {
+        ChunkDigest(bytes)
+    }
+
+    /// The all-zero digest (used as a sentinel for empty index slots).
+    pub const fn zero() -> Self {
+        ChunkDigest([0; 20])
+    }
+
+    /// The raw digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// The first `n` bytes interpreted as a big-endian integer; this is the
+    /// bin-routing key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 8.
+    pub fn prefix_u64(&self, n: usize) -> u64 {
+        assert!((1..=8).contains(&n), "prefix length must be in 1..=8");
+        self.0[..n].iter().fold(0u64, |acc, &b| (acc << 8) | b as u64)
+    }
+
+    /// The digest bytes after dropping an `n`-byte prefix — what the index
+    /// actually stores under prefix truncation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 20`.
+    pub fn suffix(&self, n: usize) -> &[u8] {
+        assert!(n < Self::LEN, "cannot truncate the whole digest");
+        &self.0[n..]
+    }
+
+    /// A 64-bit slot-placement key taken from the *tail* of the digest so it
+    /// stays uniform even after prefix truncation.
+    pub fn slot_key(&self) -> u64 {
+        u64::from_be_bytes(self.0[12..20].try_into().expect("8 bytes"))
+    }
+
+    /// Lowercase hex rendering of the full digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            use fmt::Write;
+            write!(s, "{b:02x}").expect("writing to String cannot fail");
+        }
+        s
+    }
+
+    /// Parses a 40-character hex string.
+    ///
+    /// Returns `None` when the input is not exactly 40 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 40 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(ChunkDigest(out))
+    }
+}
+
+impl From<[u8; 20]> for ChunkDigest {
+    fn from(bytes: [u8; 20]) -> Self {
+        ChunkDigest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for ChunkDigest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for ChunkDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkDigest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ChunkDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = ChunkDigest::new([
+            0x2a, 0xae, 0x6c, 0x35, 0xc9, 0x4f, 0xcf, 0xb4, 0x15, 0xdb, 0xe9, 0x5f, 0x40, 0x8b,
+            0x9c, 0xe9, 0x1e, 0xe8, 0x46, 0xed,
+        ]);
+        let hex = d.to_hex();
+        assert_eq!(hex, "2aae6c35c94fcfb415dbe95f408b9ce91ee846ed");
+        assert_eq!(ChunkDigest::from_hex(&hex), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(ChunkDigest::from_hex("xyz"), None);
+        assert_eq!(ChunkDigest::from_hex(&"g".repeat(40)), None);
+        assert_eq!(ChunkDigest::from_hex(&"0".repeat(39)), None);
+    }
+
+    #[test]
+    fn prefix_is_big_endian() {
+        let mut bytes = [0u8; 20];
+        bytes[0] = 0x12;
+        bytes[1] = 0x34;
+        bytes[2] = 0x56;
+        let d = ChunkDigest::new(bytes);
+        assert_eq!(d.prefix_u64(1), 0x12);
+        assert_eq!(d.prefix_u64(2), 0x1234);
+        assert_eq!(d.prefix_u64(3), 0x123456);
+    }
+
+    #[test]
+    fn suffix_drops_prefix_bytes() {
+        let mut bytes = [0u8; 20];
+        bytes[2] = 0xFF;
+        let d = ChunkDigest::new(bytes);
+        assert_eq!(d.suffix(2).len(), 18);
+        assert_eq!(d.suffix(2)[0], 0xFF);
+    }
+
+    #[test]
+    fn slot_key_uses_tail_bytes() {
+        let mut a = [0u8; 20];
+        let mut b = [0u8; 20];
+        a[0] = 1; // differ only in the prefix
+        b[0] = 2;
+        assert_eq!(
+            ChunkDigest::new(a).slot_key(),
+            ChunkDigest::new(b).slot_key()
+        );
+        let mut c = [0u8; 20];
+        c[19] = 1; // differ in the tail
+        assert_ne!(
+            ChunkDigest::new(a).slot_key(),
+            ChunkDigest::new(c).slot_key()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn prefix_len_zero_panics() {
+        ChunkDigest::zero().prefix_u64(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn suffix_full_truncation_panics() {
+        ChunkDigest::zero().suffix(20);
+    }
+
+    #[test]
+    fn zero_digest_displays() {
+        assert_eq!(ChunkDigest::zero().to_string(), "0".repeat(40));
+    }
+}

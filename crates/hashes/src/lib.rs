@@ -1,0 +1,40 @@
+//! Cryptographic and fast hashing for the `inline-dr` deduplication path.
+//!
+//! The paper fingerprints every chunk with **SHA-1** (20-byte digests, 32-byte
+//! index entries including metadata) and routes digests to *bins* by a hash
+//! prefix. This crate implements, from scratch:
+//!
+//! * [`Sha1`] — FIPS 180-1 SHA-1 with an incremental API, verified against
+//!   the standard test vectors,
+//! * [`Sha256`] — FIPS 180-2 SHA-256 (used by the collision-hardened
+//!   configuration, an extension over the paper),
+//! * [`fast`] — fast non-cryptographic 64-bit hashes for compression match
+//!   tables and bin routing,
+//! * [`parallel`] — order-preserving multi-buffer hashing across CPU worker
+//!   threads (the paper's "hashing has no inter-chunk dependency" stage),
+//! * [`ChunkDigest`] — the 20-byte chunk fingerprint with prefix extraction
+//!   used by the bin router and by prefix truncation.
+//!
+//! # Example
+//!
+//! ```
+//! use dr_hashes::{sha1_digest, ChunkDigest};
+//!
+//! let d: ChunkDigest = sha1_digest(b"hello world");
+//! assert_eq!(d.to_hex(), "2aae6c35c94fcfb415dbe95f408b9ce91ee846ed");
+//! assert_eq!(d.prefix_u64(2), 0x2aae); // 2-byte bin-routing prefix
+//! ```
+
+pub mod crc32c;
+pub mod digest;
+pub mod fast;
+pub mod parallel;
+pub mod sha1;
+pub mod sha256;
+
+pub use digest::ChunkDigest;
+pub use crc32c::{crc32c, Crc32c};
+pub use fast::{fnv1a64, mix64, FastHasher};
+pub use parallel::{hash_chunks_parallel, ParallelHasher};
+pub use sha1::{sha1_digest, Sha1};
+pub use sha256::{sha256_digest, Sha256};

@@ -1,0 +1,144 @@
+//! Order-preserving parallel hashing of chunk batches.
+//!
+//! The paper observes that hashing has *no inter-chunk dependency*, so the
+//! chunking stage's output can be fingerprinted by any number of CPU worker
+//! threads. [`ParallelHasher`] fans a batch of chunks out over `n` scoped
+//! threads (static block partitioning — chunks are near-uniform cost) and
+//! returns digests in input order.
+
+use crate::digest::ChunkDigest;
+use crate::sha1::sha1_digest;
+
+/// Hashes every chunk in `chunks` with SHA-1 using up to `workers` threads,
+/// returning digests in input order.
+///
+/// A convenience wrapper around [`ParallelHasher`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// ```
+/// use dr_hashes::{hash_chunks_parallel, sha1_digest};
+/// let chunks: Vec<&[u8]> = vec![b"aa", b"bb"];
+/// let ds = hash_chunks_parallel(&chunks, 2);
+/// assert_eq!(ds[0], sha1_digest(b"aa"));
+/// assert_eq!(ds[1], sha1_digest(b"bb"));
+/// ```
+pub fn hash_chunks_parallel<T: AsRef<[u8]> + Sync>(chunks: &[T], workers: usize) -> Vec<ChunkDigest> {
+    ParallelHasher::new(workers).hash_batch(chunks)
+}
+
+/// A reusable parallel hashing front-end.
+///
+/// ```
+/// use dr_hashes::ParallelHasher;
+/// let hasher = ParallelHasher::new(4);
+/// let digests = hasher.hash_batch(&[b"x".as_slice(), b"y".as_slice()]);
+/// assert_eq!(digests.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelHasher {
+    workers: usize,
+}
+
+impl ParallelHasher {
+    /// Creates a hasher that uses up to `workers` threads per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        ParallelHasher { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Hashes `chunks` and returns digests in input order.
+    pub fn hash_batch<T: AsRef<[u8]> + Sync>(&self, chunks: &[T]) -> Vec<ChunkDigest> {
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(chunks.len());
+        if workers == 1 {
+            return chunks.iter().map(|c| sha1_digest(c.as_ref())).collect();
+        }
+
+        let mut out = vec![ChunkDigest::zero(); chunks.len()];
+        let stride = chunks.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            // Pair each output slice with its input slice so every worker
+            // owns a disjoint region.
+            let mut out_rest: &mut [ChunkDigest] = &mut out;
+            let mut in_rest: &[T] = chunks;
+            for _ in 0..workers {
+                let take = stride.min(in_rest.len());
+                if take == 0 {
+                    break;
+                }
+                let (out_part, out_tail) = out_rest.split_at_mut(take);
+                let (in_part, in_tail) = in_rest.split_at(take);
+                out_rest = out_tail;
+                in_rest = in_tail;
+                scope.spawn(move || {
+                    for (slot, chunk) in out_part.iter_mut().zip(in_part) {
+                        *slot = sha1_digest(chunk.as_ref());
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_chunks(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("chunk payload number {i}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_hashing() {
+        let chunks = make_chunks(97);
+        let serial: Vec<ChunkDigest> = chunks.iter().map(|c| sha1_digest(c)).collect();
+        for workers in [1, 2, 3, 8, 97, 200] {
+            let parallel = hash_chunks_parallel(&chunks, workers);
+            assert_eq!(parallel, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let hasher = ParallelHasher::new(4);
+        assert!(hasher.hash_batch::<Vec<u8>>(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_chunk() {
+        let got = hash_chunks_parallel(&[b"only".as_slice()], 8);
+        assert_eq!(got, vec![sha1_digest(b"only")]);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let chunks = make_chunks(16);
+        let digests = hash_chunks_parallel(&chunks, 4);
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(digests[i], sha1_digest(chunk), "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_workers_panics() {
+        ParallelHasher::new(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! SHA-1 is cryptographically broken for adversarial collision resistance,
+//! but it is exactly what the paper (and most deduplication systems of its
+//! era) uses as the chunk fingerprint: 20 bytes, with accidental-collision
+//! probability far below device error rates. [`Sha256`](crate::Sha256) is
+//! provided for collision-hardened configurations.
+
+use crate::digest::ChunkDigest;
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Incremental SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use dr_hashes::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize().to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut input = data;
+        // Fill a partially full block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            } else {
+                // The input ran out before filling the block; the stash
+                // below must not clobber the partial buffer.
+                debug_assert!(input.is_empty());
+                return;
+            }
+        }
+        // Whole blocks straight from the input.
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            self.compress(block.try_into().expect("64-byte chunk"));
+        }
+        // Stash the tail.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Completes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> ChunkDigest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // The length bytes must not be counted in `len`, but `update` already
+        // captured `bit_len` above, so feeding them through `update` is fine.
+        let len_bytes = bit_len.to_be_bytes();
+        self.update(&len_bytes);
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        ChunkDigest::new(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+///
+/// ```
+/// use dr_hashes::sha1_digest;
+/// assert_eq!(
+///     sha1_digest(b"").to_hex(),
+///     "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+/// );
+/// ```
+pub fn sha1_digest(data: &[u8]) -> ChunkDigest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            sha1_digest(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha1_digest(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha1_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha1_digest(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let one_shot = sha1_digest(&data);
+        // Feed in awkward split sizes, crossing block boundaries.
+        for split in [1usize, 7, 63, 64, 65, 127, 4096] {
+            let mut h = Sha1::new();
+            for piece in data.chunks(split) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), one_shot, "split size {split}");
+        }
+    }
+
+    #[test]
+    fn message_lengths_around_padding_boundary() {
+        // Lengths 55, 56, 57, 63, 64, 65 exercise every padding branch.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121] {
+            let data = vec![0x5Au8; len];
+            let d1 = sha1_digest(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "length {len}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1_digest(b"chunk-a"), sha1_digest(b"chunk-b"));
+    }
+}

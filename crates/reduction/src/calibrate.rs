@@ -1,0 +1,143 @@
+//! Dummy-I/O calibration: pick the best integration mode for the platform.
+//!
+//! The paper (Section 4(3)): *"because hardware specifications may be
+//! different on different platforms, we cannot guarantee that this
+//! integration is always right. Therefore, before assigning processors to
+//! each data reduction operation, the performance of these integration
+//! methods is compared using dummy I/O to determine the best fit for
+//! throughput."*
+//!
+//! [`calibrate`] runs a short synthetic stream through all four
+//! [`IntegrationMode`]s on the given hardware profiles and returns the
+//! winner plus the full score card.
+
+use crate::pipeline::{IntegrationMode, Pipeline, PipelineConfig};
+use crate::report::Report;
+
+/// The outcome of a calibration probe.
+#[derive(Debug, Clone)]
+pub struct CalibrationOutcome {
+    /// The mode with the highest dummy-I/O throughput.
+    pub best: IntegrationMode,
+    /// Throughput of every probed mode, in Figure-2 order.
+    pub scores: Vec<(IntegrationMode, f64)>,
+}
+
+impl std::fmt::Display for CalibrationOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "calibration winner: {}", self.best)?;
+        for (mode, iops) in &self.scores {
+            writeln!(f, "  {mode:<16} {iops:>10.0} IOPS")?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the dummy-I/O probe stream: dedup-able (ratio ≈ 2) and
+/// compressible (ratio ≈ 2) blocks, like the paper's vdbench defaults.
+pub fn dummy_stream(blocks: usize, block_bytes: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(blocks * block_bytes);
+    let uniques = (blocks / 2).max(1);
+    for i in 0..blocks {
+        let id = (i * 2654435761) % uniques; // deterministic shuffle
+        let mut block = vec![0u8; block_bytes];
+        let mut state = id as u64 * 2 + 1;
+        // Half random, half repeating: compression ratio ≈ 2.
+        for b in block[..block_bytes / 2].iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 33) as u8;
+        }
+        let tag = (id as u32).to_le_bytes();
+        block[block_bytes / 2..block_bytes / 2 + 4].copy_from_slice(&tag);
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+/// Probes every integration mode with a dummy stream built from
+/// `base`'s chunk size and returns the best.
+///
+/// `probe_chunks` controls the probe length; a few hundred chunks is
+/// enough to rank the modes and completes in milliseconds of host time.
+pub fn calibrate(base: &PipelineConfig, probe_chunks: usize) -> CalibrationOutcome {
+    let stream = dummy_stream(probe_chunks.max(8), base.chunk_bytes);
+    let mut scores = Vec::with_capacity(IntegrationMode::ALL.len());
+    for mode in IntegrationMode::ALL {
+        let mut config = base.clone();
+        config.mode = mode;
+        config.verify = false;
+        let mut pipeline = Pipeline::new(config);
+        let report: Report = pipeline.run(&stream);
+        scores.push((mode, report.iops()));
+    }
+    // Strictly-greater comparison: ties resolve to the earliest mode in
+    // Figure-2 order, i.e. the one using fewer resources.
+    let mut best = scores[0];
+    for candidate in &scores[1..] {
+        if candidate.1 > best.1 {
+            best = *candidate;
+        }
+    }
+    CalibrationOutcome {
+        best: best.0,
+        scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_gpu_sim::GpuSpec;
+
+    #[test]
+    fn dummy_stream_is_deterministic_and_sized() {
+        let a = dummy_stream(64, 4096);
+        let b = dummy_stream(64, 4096);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64 * 4096);
+    }
+
+    #[test]
+    fn calibration_scores_all_four_modes() {
+        let outcome = calibrate(&PipelineConfig::default(), 64);
+        assert_eq!(outcome.scores.len(), 4);
+        assert!(outcome.scores.iter().all(|(_, iops)| *iops > 0.0));
+        let best_score = outcome
+            .scores
+            .iter()
+            .find(|(m, _)| *m == outcome.best)
+            .unwrap()
+            .1;
+        assert!(outcome.scores.iter().all(|(_, s)| *s <= best_score));
+    }
+
+    #[test]
+    fn strong_gpu_platform_prefers_gpu_compression() {
+        let outcome = calibrate(&PipelineConfig::default(), 128);
+        assert!(
+            outcome.best.gpu_compression(),
+            "expected a GPU-compression winner, got {}",
+            outcome.best
+        );
+    }
+
+    #[test]
+    fn calibration_display_lists_modes() {
+        let outcome = calibrate(&PipelineConfig::default(), 32);
+        let s = outcome.to_string();
+        assert!(s.contains("cpu-only"));
+        assert!(s.contains("winner"));
+    }
+
+    #[test]
+    fn weak_gpu_changes_the_ranking() {
+        // On a weak iGPU the GPU advantage shrinks; the probe must still
+        // produce a full ranking (and never crash).
+        let config = PipelineConfig {
+            gpu_spec: GpuSpec::weak_igpu(),
+            ..PipelineConfig::default()
+        };
+        let outcome = calibrate(&config, 64);
+        assert_eq!(outcome.scores.len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! The simulated-time CPU cost model.
+//!
+//! All throughput experiments run on one simulated clock (`DESIGN.md` §7),
+//! so CPU stage work needs calibrated per-operation costs. The constants
+//! below model the paper's testbed (an Ivy Bridge i7, 4C/8T) and are chosen
+//! so that the headline results land where the paper reports them:
+//!
+//! * SHA-1 hashing ≈ 220 MB/s per worker,
+//! * a bin-tree probe costs a handful of cache-missing comparisons,
+//! * the CPU codec compresses a 4 KB chunk in ≈ 130–165 µs (48–65 K IOPS
+//!   over 8 workers — the paper's "about 50 K IOPS" for parallel QuickLZ),
+//! * GPU-path post-processing ("refinement") is mostly fixed cost plus a
+//!   per-byte merge of the raw token streams.
+//!
+//! `EXPERIMENTS.md` records the calibration and the paper-vs-measured
+//! deltas for every experiment.
+
+use dr_des::SimDuration;
+
+/// Per-operation CPU costs, all in nanoseconds (durations built on use).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Simultaneous worker threads (the testbed i7-3770K runs 8).
+    pub workers: usize,
+    /// Chunking cost per byte (streaming pass).
+    pub chunk_ns_per_byte: f64,
+    /// SHA-1 cost per byte.
+    pub hash_ns_per_byte: f64,
+    /// Probe of a bin buffer (linear scan of recent entries).
+    pub buffer_probe_ns: u64,
+    /// Probe of a bin tree (pointer-chasing comparisons).
+    pub tree_probe_ns: u64,
+    /// Insert of one entry into the bin buffer (and amortized flush work).
+    pub insert_ns: u64,
+    /// Fixed per-chunk pipeline overhead (dispatch, metadata, accounting).
+    pub chunk_overhead_ns: u64,
+    /// CPU codec cost per input byte at compression ratio 1.0.
+    pub compress_ns_per_byte: f64,
+    /// Fraction of compression cost that remains at infinite ratio; the
+    /// effective per-byte cost is `compress_ns_per_byte * (floor + (1 -
+    /// floor) / ratio)` — fast codecs skip ahead on long matches.
+    pub compress_ratio_floor: f64,
+    /// Fixed cost of post-processing one GPU-compressed chunk (merge
+    /// bookkeeping, frame sealing, queueing).
+    pub post_process_fixed_ns: u64,
+    /// Per-byte cost of merging raw GPU token streams.
+    pub post_process_ns_per_byte: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            workers: 8,
+            chunk_ns_per_byte: 0.15,
+            hash_ns_per_byte: 4.5,
+            buffer_probe_ns: 1_500,
+            tree_probe_ns: 5_000,
+            insert_ns: 2_000,
+            chunk_overhead_ns: 6_000,
+            compress_ns_per_byte: 40.0,
+            compress_ratio_floor: 0.6,
+            post_process_fixed_ns: 40_000,
+            post_process_ns_per_byte: 8.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Sanity-checks the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-physical values.
+    pub fn validate(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.hash_ns_per_byte > 0.0, "hash cost must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.compress_ratio_floor),
+            "ratio floor must be in [0,1]"
+        );
+    }
+
+    /// Cost of chunking `bytes` of stream data.
+    pub fn chunk_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.chunk_ns_per_byte).round() as u64)
+    }
+
+    /// Cost of SHA-1 over one chunk of `bytes`.
+    pub fn hash_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.hash_ns_per_byte).round() as u64)
+    }
+
+    /// Cost of a bin-buffer probe.
+    pub fn buffer_probe_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.buffer_probe_ns)
+    }
+
+    /// Cost of a bin-tree probe.
+    pub fn tree_probe_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.tree_probe_ns)
+    }
+
+    /// Cost of an index insert.
+    pub fn insert_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.insert_ns)
+    }
+
+    /// Fixed per-chunk overhead.
+    pub fn overhead_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.chunk_overhead_ns)
+    }
+
+    /// Cost of CPU-compressing a chunk of `bytes` that achieved
+    /// `ratio` (original / compressed).
+    pub fn compress_cost(&self, bytes: usize, ratio: f64) -> SimDuration {
+        let ratio = ratio.max(1.0);
+        let scale = self.compress_ratio_floor + (1.0 - self.compress_ratio_floor) / ratio;
+        SimDuration::from_nanos((bytes as f64 * self.compress_ns_per_byte * scale).round() as u64)
+    }
+
+    /// Cost of post-processing one GPU-compressed chunk whose raw token
+    /// streams total `raw_token_bytes`.
+    pub fn post_process_cost(&self, raw_token_bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            self.post_process_fixed_ns
+                + (raw_token_bytes as f64 * self.post_process_ns_per_byte).round() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CpuModel::default().validate();
+    }
+
+    #[test]
+    fn calibration_compression_iops_band() {
+        // 8 workers compressing 4 KB chunks at ratio 1.0 must land near the
+        // paper's "about 50 K IOPS" for the CPU codec.
+        let m = CpuModel::default();
+        let per_chunk = m.compress_cost(4096, 1.0).as_secs_f64();
+        let iops = m.workers as f64 / per_chunk;
+        assert!((45_000.0..55_000.0).contains(&iops), "CPU codec IOPS {iops}");
+    }
+
+    #[test]
+    fn calibration_gpu_path_beats_cpu_by_paper_margin() {
+        // GPU path at low compression ratio: raw token streams ≈ input.
+        // The raw stage-cost gap sits above the paper's +88.3% because the
+        // end-to-end pipeline adds per-chunk overheads and GPU batch
+        // latency that pull the measured gain down to ≈ +90% (E3).
+        let m = CpuModel::default();
+        let cpu = m.compress_cost(4096, 1.0).as_secs_f64();
+        let gpu = m.post_process_cost(4128).as_secs_f64();
+        let gain = cpu / gpu - 1.0;
+        assert!((0.9..1.5).contains(&gain), "gain was {gain:+.2}");
+    }
+
+    #[test]
+    fn compression_cost_falls_with_ratio() {
+        let m = CpuModel::default();
+        let r1 = m.compress_cost(4096, 1.0);
+        let r2 = m.compress_cost(4096, 2.0);
+        let r4 = m.compress_cost(4096, 4.0);
+        assert!(r1 > r2 && r2 > r4);
+        // Floor: even infinite ratio costs at least 60%.
+        let rinf = m.compress_cost(4096, 1e9);
+        assert!(rinf.as_nanos() as f64 >= 0.59 * r1.as_nanos() as f64);
+    }
+
+    #[test]
+    fn dedup_stage_cost_supports_3x_ssd() {
+        // hash + avg probe + overhead per 4 KB chunk across 8 workers must
+        // exceed ~3x the SSD's ~85 K IOPS ceiling.
+        let m = CpuModel::default();
+        let per_chunk = m.hash_cost(4096)
+            + m.buffer_probe_cost()
+            + m.tree_probe_cost() / 2 // half the probes stop at the buffer
+            + m.overhead_cost()
+            + m.insert_cost() / 2;
+        let iops = m.workers as f64 / per_chunk.as_secs_f64();
+        assert!(iops > 230_000.0, "dedup-stage IOPS {iops}");
+    }
+
+    #[test]
+    fn sub_unity_ratio_clamped() {
+        let m = CpuModel::default();
+        assert_eq!(m.compress_cost(4096, 0.1), m.compress_cost(4096, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        CpuModel {
+            workers: 0,
+            ..CpuModel::default()
+        }
+        .validate();
+    }
+}

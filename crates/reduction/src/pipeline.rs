@@ -1,0 +1,855 @@
+//! The integrated pipeline and its CPU/GPU scheduler.
+
+use dr_binindex::{
+    BinHit, BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig, GpuProbe,
+};
+use dr_chunking::{Chunker, FixedChunker};
+use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
+use dr_des::{Resource, SimTime};
+use dr_gpu_sim::{GpuDevice, GpuSpec};
+use dr_hashes::sha1_digest;
+use dr_ssd_sim::{SsdDevice, SsdSpec};
+
+use crate::cpu_model::CpuModel;
+use crate::destage::Destager;
+use crate::report::Report;
+
+/// Which data reduction operations the GPU is assigned to — the paper's
+/// four integration options (Section 4(3), Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrationMode {
+    /// Neither operation uses the GPU ("useful when the performance of the
+    /// GPU is poor").
+    CpuOnly,
+    /// The GPU accelerates indexing only.
+    GpuForDedup,
+    /// The GPU accelerates compression only — the paper's best fixed
+    /// choice: "data compression, which has a high performance gain when
+    /// using a GPU, monopolizes the GPU".
+    #[default]
+    GpuForCompression,
+    /// Both operations share the GPU.
+    GpuForBoth,
+}
+
+impl IntegrationMode {
+    /// All four options, in the paper's Figure-2 order.
+    pub const ALL: [IntegrationMode; 4] = [
+        IntegrationMode::CpuOnly,
+        IntegrationMode::GpuForDedup,
+        IntegrationMode::GpuForCompression,
+        IntegrationMode::GpuForBoth,
+    ];
+
+    /// True when the GPU handles indexing.
+    pub fn gpu_dedup(&self) -> bool {
+        matches!(self, IntegrationMode::GpuForDedup | IntegrationMode::GpuForBoth)
+    }
+
+    /// True when the GPU handles compression.
+    pub fn gpu_compression(&self) -> bool {
+        matches!(
+            self,
+            IntegrationMode::GpuForCompression | IntegrationMode::GpuForBoth
+        )
+    }
+}
+
+impl std::fmt::Display for IntegrationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IntegrationMode::CpuOnly => "cpu-only",
+            IntegrationMode::GpuForDedup => "gpu-dedup",
+            IntegrationMode::GpuForCompression => "gpu-compression",
+            IntegrationMode::GpuForBoth => "gpu-both",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// GPU assignment.
+    pub mode: IntegrationMode,
+    /// Chunk size (the paper compresses 4 KB chunks).
+    pub chunk_bytes: usize,
+    /// Chunks per scheduling batch (GPU kernels amortize launches over a
+    /// batch; the CPU path ignores this).
+    pub batch_chunks: usize,
+    /// CPU cost model.
+    pub cpu: CpuModel,
+    /// CPU-side index configuration.
+    pub index: BinIndexConfig,
+    /// GPU-resident index configuration.
+    pub gpu_index: GpuBinIndexConfig,
+    /// GPU compression kernel configuration.
+    pub gpu_compressor: GpuCompressorConfig,
+    /// GPU hardware profile.
+    pub gpu_spec: GpuSpec,
+    /// SSD hardware profile.
+    pub ssd_spec: SsdSpec,
+    /// Run deduplication (disable for compression-only experiments).
+    pub dedup_enabled: bool,
+    /// Run compression (disable for dedup-only experiments).
+    pub compress_enabled: bool,
+    /// Decompress every destaged frame and compare against the original
+    /// (functional self-check; costs host time, not simulated time).
+    pub verify: bool,
+    /// Wrap every destaged frame in a CRC-32C integrity envelope and
+    /// verify it on reads, so device corruption is detected instead of
+    /// silently decompressed.
+    pub integrity: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            mode: IntegrationMode::default(),
+            chunk_bytes: 4096,
+            batch_chunks: 128,
+            cpu: CpuModel::default(),
+            index: BinIndexConfig::default(),
+            gpu_index: GpuBinIndexConfig::default(),
+            gpu_compressor: GpuCompressorConfig::default(),
+            gpu_spec: GpuSpec::radeon_hd_7970(),
+            ssd_spec: SsdSpec::samsung_830_256g(),
+            dedup_enabled: true,
+            compress_enabled: true,
+            verify: false,
+            integrity: false,
+        }
+    }
+}
+
+/// How deduplication resolved one chunk (internal).
+enum DedupOutcome {
+    /// No duplicate found anywhere: the chunk is unique.
+    Unique,
+    /// Duplicate of an already-stored chunk (location kept for debugging
+    /// and future read-path wiring).
+    Duplicate(#[allow(dead_code)] ChunkRef),
+    /// Duplicate of an earlier chunk in the *same* batch, which has not
+    /// been destaged yet (index lookups by digest resolve it once the
+    /// first instance lands).
+    IntraBatchDuplicate,
+}
+
+/// One chunk moving through the pipeline (internal).
+struct InFlight {
+    data: Vec<u8>,
+    digest: dr_hashes::ChunkDigest,
+    /// When the chunk's last completed stage finished.
+    ready_at: SimTime,
+    /// Dedup resolution.
+    outcome: DedupOutcome,
+}
+
+/// The integrated inline data reduction pipeline.
+///
+/// See the [crate docs](crate) for the workflow and an example.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    cpu: Resource,
+    index: BinIndex,
+    gpu: GpuDevice,
+    gpu_index: Option<GpuBinIndex>,
+    gpu_comp: GpuCompressor,
+    codec: FastLz,
+    ssd: SsdDevice,
+    destage: Destager,
+    report: Report,
+    /// The stream recipe: one stored-chunk reference per ingested chunk,
+    /// in write order. Duplicates point at the shared stored copy — this
+    /// is the logical-block map a real array keeps.
+    recipe: Vec<ChunkRef>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is inconsistent (zero chunk size,
+    /// invalid cost model, or a GPU index that does not fit in device
+    /// memory).
+    pub fn new(config: PipelineConfig) -> Self {
+        assert!(config.chunk_bytes > 0, "chunk size must be positive");
+        assert!(config.batch_chunks > 0, "batch size must be positive");
+        config.cpu.validate();
+        let mut gpu = GpuDevice::new(config.gpu_spec.clone());
+        let gpu_index = if config.mode.gpu_dedup() && config.dedup_enabled {
+            let mut cfg = config.gpu_index;
+            cfg.prefix_bytes = config.index.prefix_bytes;
+            Some(GpuBinIndex::new(&mut gpu, cfg).expect("GPU index must fit in device memory"))
+        } else {
+            None
+        };
+        let ssd = SsdDevice::new(config.ssd_spec.clone());
+        let destage = Destager::new(&ssd);
+        let report = Report::new(config.mode);
+        Pipeline {
+            cpu: Resource::new("cpu-workers", config.cpu.workers),
+            index: BinIndex::new(config.index),
+            gpu_comp: GpuCompressor::new(config.gpu_compressor),
+            codec: FastLz::new(),
+            gpu,
+            gpu_index,
+            ssd,
+            destage,
+            report,
+            recipe: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The accumulated report (also returned by [`Pipeline::run`]).
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Immutable access to the CPU-side index (tests, examples).
+    pub fn index(&self) -> &BinIndex {
+        &self.index
+    }
+
+    /// NAND-side statistics of the backing SSD (write amplification,
+    /// erases, migrations) — the endurance numbers.
+    pub fn ssd_ftl_stats(&self) -> dr_ssd_sim::FtlStats {
+        self.ssd.ftl_stats()
+    }
+
+    /// Reads a stored chunk back from the SSD and unseals it — the read
+    /// path, used by verification and the examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the device read or the frame decode
+    /// fails.
+    pub fn read_chunk(&mut self, r: ChunkRef) -> Result<Vec<u8>, String> {
+        let now = self.report.reduction_end;
+        let block = self
+            .destage
+            .read_chunk(now, &mut self.ssd, r)
+            .map_err(|e| e.to_string())?;
+        let frame_bytes = if self.config.integrity {
+            frame::verify_and_strip(&block).map_err(|e| e.to_string())?
+        } else {
+            &block[..]
+        };
+        frame::open(frame_bytes).map_err(|e| e.to_string())
+    }
+
+    /// Number of chunks ingested so far (the recipe length).
+    pub fn ingested_chunks(&self) -> usize {
+        self.recipe.len()
+    }
+
+    /// Reads back the `index`-th ingested chunk through the logical map —
+    /// duplicates resolve to their shared stored copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when `index` is out of range or the device
+    /// read / frame decode fails.
+    pub fn read_block(&mut self, index: usize) -> Result<Vec<u8>, String> {
+        let r = *self
+            .recipe
+            .get(index)
+            .ok_or_else(|| format!("block {index} was never ingested"))?;
+        self.read_chunk(r)
+    }
+
+    /// Runs a byte stream through the pipeline (chunked at
+    /// [`PipelineConfig::chunk_bytes`]) and returns the final report.
+    pub fn run(&mut self, stream: &[u8]) -> Report {
+        let chunker = FixedChunker::new(self.config.chunk_bytes);
+        let blocks: Vec<Vec<u8>> = chunker.chunk(stream).map(|c| c.data.to_vec()).collect();
+        self.run_blocks(blocks)
+    }
+
+    /// Runs pre-chunked blocks through the pipeline and returns the final
+    /// report. May be called repeatedly; state (index, SSD contents, the
+    /// simulated clock) persists across calls.
+    pub fn run_blocks<I>(&mut self, blocks: I) -> Report
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(self.config.batch_chunks);
+        for block in blocks {
+            batch.push(block);
+            if batch.len() == self.config.batch_chunks {
+                self.process_batch(std::mem::take(&mut batch));
+            }
+        }
+        if !batch.is_empty() {
+            self.process_batch(batch);
+        }
+        self.finish()
+    }
+
+    /// Flushes the destage log and closes out the report.
+    fn finish(&mut self) -> Report {
+        let now = self.report.reduction_end;
+        if let Ok(Some(g)) = self.destage.flush(now, &mut self.ssd) {
+            self.report.ssd_end = self.report.ssd_end.max(g.end);
+        }
+        self.report.index_stats = self.index.stats();
+        self.report.ssd_writes = self.ssd.stats().writes;
+        self.report.ssd_bytes_written = self.ssd.stats().bytes_written;
+        self.report.write_amplification = self.ssd.ftl_stats().write_amplification();
+        self.report.gpu_kernels = self.gpu.stats().kernels;
+        self.report.gpu_busy = self.gpu.stats().kernel_busy;
+        self.report.cpu_busy = self.cpu.total_busy_time();
+        self.report.clone()
+    }
+
+    /// Processes one batch of chunks through chunk→hash→index→compress→
+    /// destage, advancing the simulated clock.
+    fn process_batch(&mut self, blocks: Vec<Vec<u8>>) {
+        let cpu_model = self.config.cpu;
+        let arrival = SimTime::ZERO; // closed loop: input is never the bottleneck
+
+        // ---- Stage 1+2: chunking + hashing (CPU, per chunk, no deps).
+        // Fingerprinting only exists on behalf of dedup; the paper's
+        // compression-only experiment does not hash.
+        let dedup_enabled = self.config.dedup_enabled;
+        let mut chunks: Vec<InFlight> = blocks
+            .into_iter()
+            .map(|data| {
+                let mut cost = cpu_model.chunk_cost(data.len()) + cpu_model.overhead_cost();
+                if dedup_enabled {
+                    cost += cpu_model.hash_cost(data.len());
+                }
+                let g = self.cpu.acquire(arrival, cost);
+                let digest = sha1_digest(&data);
+                InFlight {
+                    digest,
+                    ready_at: g.end,
+                    data,
+                    outcome: DedupOutcome::Unique,
+                }
+            })
+            .collect();
+        self.report.chunks += chunks.len() as u64;
+        self.report.bytes_in += chunks.iter().map(|c| c.data.len() as u64).sum::<u64>();
+
+        // ---- Stage 3: deduplication. ----
+        if self.config.dedup_enabled {
+            self.dedup_batch(&mut chunks);
+            // Intra-batch duplicates: an earlier chunk of this batch may
+            // cover a later one. In the paper's per-chunk pipeline the
+            // index is updated before the next probe; batching must not
+            // lose those hits, so resolve them against a pending set.
+            let cpu_model = self.config.cpu;
+            let mut pending: std::collections::HashSet<dr_hashes::ChunkDigest> =
+                std::collections::HashSet::new();
+            for chunk in chunks.iter_mut() {
+                if !matches!(chunk.outcome, DedupOutcome::Unique) {
+                    continue;
+                }
+                if pending.contains(&chunk.digest) {
+                    // Found in the bin buffer, where the first instance's
+                    // insert will have just landed.
+                    let g = self
+                        .cpu
+                        .acquire(chunk.ready_at, cpu_model.buffer_probe_cost());
+                    chunk.ready_at = g.end;
+                    chunk.outcome = DedupOutcome::IntraBatchDuplicate;
+                    self.report.dedup_hits += 1;
+                    self.report.buffer_hits += 1;
+                    self.report.bytes_deduped += chunk.data.len() as u64;
+                } else {
+                    pending.insert(chunk.digest);
+                }
+            }
+        }
+
+        // Logical map slots for this batch, filled as chunks resolve.
+        let mut refs: Vec<Option<ChunkRef>> = chunks
+            .iter()
+            .map(|c| match c.outcome {
+                DedupOutcome::Duplicate(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+
+        // ---- Stage 4+5: compression + destage of unique chunks. ----
+        let unique: Vec<usize> = (0..chunks.len())
+            .filter(|&i| matches!(chunks[i].outcome, DedupOutcome::Unique))
+            .collect();
+        let frames: Vec<(usize, Vec<u8>, SimTime)> = if !self.config.compress_enabled {
+            unique
+                .iter()
+                .map(|&i| {
+                    let f = frame::seal_raw(&chunks[i].data);
+                    (i, f, chunks[i].ready_at)
+                })
+                .collect()
+        } else if self.config.mode.gpu_compression() {
+            self.gpu_compress(&chunks, &unique)
+        } else {
+            self.cpu_compress(&chunks, &unique)
+        };
+
+        for (i, frame_bytes, ready) in frames {
+            if self.config.verify {
+                let back = frame::open(&frame_bytes).expect("self-check: frame must decode");
+                assert_eq!(back, chunks[i].data, "self-check: chunk round-trip failed");
+            }
+            let frame_bytes = if self.config.integrity {
+                frame::protect(&frame_bytes)
+            } else {
+                frame_bytes
+            };
+            self.report.stored_bytes += frame_bytes.len() as u64;
+            let (chunk_ref, grants) = self
+                .destage
+                .append(ready, &mut self.ssd, &frame_bytes)
+                .expect("destage failed: device full (size the SSD to the workload)");
+            refs[i] = Some(chunk_ref);
+            for g in grants {
+                self.report.ssd_end = self.report.ssd_end.max(g.end);
+            }
+            // Index insert (CPU) + flush handling.
+            if self.config.dedup_enabled {
+                let g = self.cpu.acquire(ready, cpu_model.insert_cost());
+                chunks[i].ready_at = g.end;
+                if let Some(flush) = self.index.insert(chunks[i].digest, chunk_ref) {
+                    self.report.bin_flushes += 1;
+                    // Sequential index write to the SSD.
+                    let bytes = flush.flushed_bytes(self.config.index.prefix_bytes);
+                    if let Ok(gs) = self.destage.append_index(g.end, &mut self.ssd, bytes) {
+                        for fg in gs {
+                            self.report.ssd_end = self.report.ssd_end.max(fg.end);
+                        }
+                    }
+                    // Mirror the flush into the GPU-resident bin.
+                    if let Some(gpu_index) = &mut self.gpu_index {
+                        let t = if gpu_index.is_resident(flush.bin) {
+                            gpu_index
+                                .apply_flush(g.end, &mut self.gpu, &flush)
+                                .expect("GPU bin update failed")
+                        } else {
+                            // Mirror the *tree* portion only; buffer
+                            // entries reach the device with their flush.
+                            let entries: Vec<_> = self
+                                .index
+                                .bin(flush.bin)
+                                .iter_tree()
+                                .map(|(k, v)| (*k, *v))
+                                .collect();
+                            gpu_index
+                                .install_bin(g.end, &mut self.gpu, flush.bin, &entries)
+                                .expect("GPU bin install failed")
+                        };
+                        self.report.gpu_index_sync_end = self.report.gpu_index_sync_end.max(t);
+                    }
+                }
+            } else {
+                chunks[i].ready_at = ready;
+            }
+            self.report.unique_chunks += 1;
+        }
+
+        // Intra-batch duplicates point at the stored copy of their first
+        // instance (destaged above).
+        let mut by_digest: std::collections::HashMap<dr_hashes::ChunkDigest, ChunkRef> =
+            std::collections::HashMap::new();
+        for (chunk, r) in chunks.iter().zip(&refs) {
+            if let (DedupOutcome::Unique, Some(r)) = (&chunk.outcome, r) {
+                by_digest.insert(chunk.digest, *r);
+            }
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            if matches!(chunk.outcome, DedupOutcome::IntraBatchDuplicate) {
+                refs[i] = by_digest.get(&chunk.digest).copied();
+            }
+        }
+        self.recipe.extend(
+            refs.into_iter()
+                .map(|r| r.expect("every chunk resolves to a stored location")),
+        );
+
+        // Reduction completes when the last chunk finishes its last stage.
+        for c in &chunks {
+            self.report.reduction_end = self.report.reduction_end.max(c.ready_at);
+        }
+    }
+
+    /// Dedup stage: optional GPU probe pass, then the CPU bin-buffer /
+    /// bin-tree path for unresolved chunks (the paper's Fig. 1).
+    fn dedup_batch(&mut self, chunks: &mut [InFlight]) {
+        let cpu_model = self.config.cpu;
+
+        /// What the CPU still has to probe for one chunk.
+        #[derive(Clone, Copy, PartialEq)]
+        enum CpuProbe {
+            /// Bin buffer, then bin tree (no GPU answer).
+            Full,
+            /// Bin buffer only — a GPU authoritative miss settled the
+            /// flushed (tree) portion of the bin.
+            BufferOnly,
+            /// Nothing — the GPU found the duplicate.
+            None,
+        }
+
+        // GPU indexing first, when assigned (batch barrier at hash end).
+        let mut plan = vec![CpuProbe::Full; chunks.len()];
+        if let Some(gpu_index) = &mut self.gpu_index {
+            let batch_ready = chunks
+                .iter()
+                .map(|c| c.ready_at)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let digests: Vec<_> = chunks.iter().map(|c| c.digest).collect();
+            let (probes, report) = gpu_index
+                .lookup_batch(batch_ready, &mut self.gpu, &digests)
+                .expect("GPU lookup failed");
+            self.report.gpu_index_queries += report.queries as u64;
+            self.report.gpu_index_hits += report.hits as u64;
+            for ((chunk, probe), p) in chunks.iter_mut().zip(probes).zip(plan.iter_mut()) {
+                match probe {
+                    GpuProbe::Hit(r) => {
+                        chunk.outcome = DedupOutcome::Duplicate(r);
+                        chunk.ready_at = report.done;
+                        *p = CpuProbe::None;
+                    }
+                    GpuProbe::AuthoritativeMiss => {
+                        // Tree portion settled; recent (unflushed) inserts
+                        // can still live in the CPU bin buffer — Fig. 1's
+                        // "bin buffer is checked first" still applies.
+                        chunk.ready_at = report.done;
+                        *p = CpuProbe::BufferOnly;
+                    }
+                    GpuProbe::NeedsCpu => {}
+                }
+            }
+        }
+
+        // CPU path: bin buffer first, then (when unsettled) the bin tree.
+        for (i, chunk) in chunks.iter_mut().enumerate() {
+            let found = match plan[i] {
+                CpuProbe::None => {
+                    // GPU-resolved duplicate: count it in the report.
+                    self.report.dedup_hits += 1;
+                    self.report.bytes_deduped += chunk.data.len() as u64;
+                    continue;
+                }
+                CpuProbe::BufferOnly => {
+                    let bin = self.index.router().route(&chunk.digest);
+                    let key = self.index.key_of(&chunk.digest);
+                    let found = self.index.bin(bin).lookup_buffer(&key);
+                    let g = self
+                        .cpu
+                        .acquire(chunk.ready_at, cpu_model.buffer_probe_cost());
+                    chunk.ready_at = g.end;
+                    if found.is_some() {
+                        self.report.buffer_hits += 1;
+                    }
+                    found
+                }
+                CpuProbe::Full => {
+                    let bin = self.index.router().route(&chunk.digest);
+                    let key = self.index.key_of(&chunk.digest);
+                    let found = self.index.bin(bin).lookup(&key);
+                    let cost = match found {
+                        Some((_, BinHit::Buffer)) => cpu_model.buffer_probe_cost(),
+                        // Tree probes always pay the buffer scan first.
+                        Some((_, BinHit::Tree)) | None => {
+                            cpu_model.buffer_probe_cost() + cpu_model.tree_probe_cost()
+                        }
+                    };
+                    let g = self.cpu.acquire(chunk.ready_at, cost);
+                    chunk.ready_at = g.end;
+                    match found {
+                        Some((r, BinHit::Buffer)) => {
+                            self.report.buffer_hits += 1;
+                            Some(r)
+                        }
+                        Some((r, BinHit::Tree)) => {
+                            self.report.tree_hits += 1;
+                            Some(r)
+                        }
+                        None => None,
+                    }
+                }
+            };
+            if let Some(r) = found {
+                chunk.outcome = DedupOutcome::Duplicate(r);
+                self.report.dedup_hits += 1;
+                self.report.bytes_deduped += chunk.data.len() as u64;
+            }
+        }
+    }
+
+    /// CPU compression: each unique chunk is one codec call on one worker.
+    fn cpu_compress(
+        &mut self,
+        chunks: &[InFlight],
+        unique: &[usize],
+    ) -> Vec<(usize, Vec<u8>, SimTime)> {
+        let cpu_model = self.config.cpu;
+        unique
+            .iter()
+            .map(|&i| {
+                let data = &chunks[i].data;
+                let frame_bytes = self.codec.compress(data);
+                let ratio = data.len() as f64 / frame_bytes.len() as f64;
+                let g = self
+                    .cpu
+                    .acquire(chunks[i].ready_at, cpu_model.compress_cost(data.len(), ratio));
+                (i, frame_bytes, g.end)
+            })
+            .collect()
+    }
+
+    /// GPU compression: one batched kernel, then CPU post-processing
+    /// ("refinement") per chunk.
+    fn gpu_compress(
+        &mut self,
+        chunks: &[InFlight],
+        unique: &[usize],
+    ) -> Vec<(usize, Vec<u8>, SimTime)> {
+        if unique.is_empty() {
+            return Vec::new();
+        }
+        let cpu_model = self.config.cpu;
+        let batch_ready = unique
+            .iter()
+            .map(|&i| chunks[i].ready_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let views: Vec<&[u8]> = unique.iter().map(|&i| chunks[i].data.as_slice()).collect();
+        let (frames, report) = self
+            .gpu_comp
+            .compress_batch(batch_ready, &mut self.gpu, &views)
+            .expect("GPU compression failed");
+        self.report.gpu_comp_batches += 1;
+        let per_chunk_raw = (report.raw_token_bytes as usize / unique.len()).max(1);
+        unique
+            .iter()
+            .zip(frames)
+            .map(|(&i, frame_bytes)| {
+                let start = report.gpu_done.max(chunks[i].ready_at);
+                let g = self
+                    .cpu
+                    .acquire(start, cpu_model.post_process_cost(per_chunk_raw));
+                (i, frame_bytes, g.end)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, dedup-able, compressible stream: 128 blocks drawn from 32
+    /// distinct compressible patterns.
+    fn stream() -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..128u32 {
+            let tag = (i % 32) as u8;
+            let mut block = vec![tag; 4096];
+            // Make half of each block incompressible-ish but deterministic.
+            let mut state = (i % 32) as u64 + 1;
+            for b in block[..2048].iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 33) as u8;
+            }
+            out.extend_from_slice(&block);
+        }
+        out
+    }
+
+    fn small_config(mode: IntegrationMode) -> PipelineConfig {
+        PipelineConfig {
+            mode,
+            verify: true,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn cpu_only_reduces_and_round_trips() {
+        let mut p = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let report = p.run(&stream());
+        assert_eq!(report.chunks, 128);
+        assert_eq!(report.dedup_hits, 96); // 32 unique of 128
+        assert_eq!(report.unique_chunks, 32);
+        assert!(report.reduction_ratio() > 4.0, "ratio {}", report.reduction_ratio());
+        assert!(report.iops() > 0.0);
+    }
+
+    #[test]
+    fn every_mode_produces_identical_functional_results() {
+        let data = stream();
+        let mut baseline = None;
+        for mode in IntegrationMode::ALL {
+            let mut p = Pipeline::new(small_config(mode));
+            let report = p.run(&data);
+            let key = (report.chunks, report.unique_chunks, report.dedup_hits);
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(*b, key, "mode {mode} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_compression_mode_beats_cpu_only_throughput() {
+        let data = stream();
+        let mut cpu = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let cpu_iops = cpu.run(&data).iops();
+        let mut gpu = Pipeline::new(small_config(IntegrationMode::GpuForCompression));
+        let gpu_iops = gpu.run(&data).iops();
+        assert!(
+            gpu_iops > cpu_iops * 1.2,
+            "gpu {gpu_iops} vs cpu {cpu_iops}"
+        );
+    }
+
+    #[test]
+    fn dedup_only_mode_skips_compression() {
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.compress_enabled = false;
+        let mut p = Pipeline::new(cfg);
+        let report = p.run(&stream());
+        // Raw frames: stored bytes ≈ unique bytes + headers.
+        assert!(report.stored_bytes >= 32 * 4096);
+        assert!(report.compression_ratio() < 1.1);
+        assert!(report.dedup_ratio() > 3.9);
+    }
+
+    #[test]
+    fn compression_only_mode_skips_dedup() {
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.dedup_enabled = false;
+        let mut p = Pipeline::new(cfg);
+        let report = p.run(&stream());
+        assert_eq!(report.dedup_hits, 0);
+        assert_eq!(report.unique_chunks, 128);
+        assert!(report.compression_ratio() > 1.2);
+    }
+
+    #[test]
+    fn read_path_returns_original_chunks() {
+        let mut p = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let data = stream();
+        p.run(&data);
+        // Look a known chunk up through the index and read it back.
+        let digest = sha1_digest(&data[..4096]);
+        let r = {
+            let bin = p.index().router().route(&digest);
+            let key = p.index().key_of(&digest);
+            p.index().bin(bin).lookup(&key).expect("chunk indexed").0
+        };
+        let back = p.read_chunk(r).expect("read path failed");
+        assert_eq!(back, &data[..4096]);
+    }
+
+    #[test]
+    fn recipe_reconstructs_the_whole_stream() {
+        let data = stream();
+        for mode in IntegrationMode::ALL {
+            let mut p = Pipeline::new(small_config(mode));
+            p.run(&data);
+            assert_eq!(p.ingested_chunks(), 128);
+            for (i, original) in data.chunks(4096).enumerate() {
+                let back = p.read_block(i).expect("read_block");
+                assert_eq!(back, original, "block {i} in mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn integrity_mode_round_trips_and_costs_four_bytes_per_chunk() {
+        let data = stream();
+        let mut plain = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let rp = plain.run(&data);
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.integrity = true;
+        let mut checked = Pipeline::new(cfg);
+        let rc = checked.run(&data);
+        assert_eq!(rc.stored_bytes, rp.stored_bytes + 4 * rp.unique_chunks);
+        for i in (0..128).step_by(17) {
+            assert_eq!(
+                checked.read_block(i).expect("checked read"),
+                &data[i * 4096..(i + 1) * 4096]
+            );
+        }
+    }
+
+    #[test]
+    fn integrity_mode_detects_injected_device_corruption() {
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.integrity = true;
+        cfg.verify = false;
+        cfg.ssd_spec.read_fault_rate = 1.0; // every read corrupts one bit
+        let mut p = Pipeline::new(cfg);
+        let data = stream();
+        p.run(&data);
+        // Every page read flips one bit somewhere in the page; over many
+        // blocks some flips land inside frames and must be caught.
+        let mut detected = 0;
+        for i in 0..128 {
+            if let Err(e) = p.read_block(i) {
+                assert!(e.contains("checksum"), "unexpected error: {e}");
+                detected += 1;
+            }
+        }
+        assert!(detected > 0, "no corruption was ever detected");
+    }
+
+    #[test]
+    fn read_block_out_of_range_errors() {
+        let mut p = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        p.run(&stream());
+        assert!(p.read_block(10_000).is_err());
+    }
+
+    #[test]
+    fn incremental_runs_accumulate() {
+        let mut p = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let data = stream();
+        let r1 = p.run(&data);
+        let r2 = p.run(&data); // everything is now a duplicate
+        assert_eq!(r2.chunks, 256);
+        assert_eq!(r2.unique_chunks, r1.unique_chunks);
+        assert_eq!(r2.dedup_hits, r1.dedup_hits + 128);
+    }
+
+    #[test]
+    fn gpu_dedup_mode_uses_the_gpu_index() {
+        let mut cfg = small_config(IntegrationMode::GpuForDedup);
+        cfg.compress_enabled = false;
+        // Flush-on-insert and few bins: every insert lands on the GPU.
+        cfg.index.bin_buffer_capacity = 1;
+        cfg.index.prefix_bytes = 1;
+        let mut p = Pipeline::new(cfg);
+        let data = stream();
+        p.run(&data);
+        let report = p.run(&data);
+        assert!(report.gpu_index_queries > 0);
+        assert!(
+            report.gpu_index_hits > 0,
+            "GPU index never hit: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_rejected() {
+        Pipeline::new(PipelineConfig {
+            chunk_bytes: 0,
+            ..PipelineConfig::default()
+        });
+    }
+}

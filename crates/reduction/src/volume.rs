@@ -1,0 +1,294 @@
+//! Logical volumes over the shared reduction pipeline.
+//!
+//! A primary storage array exposes block volumes; deduplication works
+//! *across* them (the VDI win: every desktop's OS image deduplicates
+//! against every other's). [`VolumeManager`] keeps one [`Pipeline`] as the
+//! shared reduction domain and a per-volume logical block map on top of
+//! the pipeline's chunk recipe.
+//!
+//! Overwrites remap the logical block to the new stored chunk; the old
+//! chunk stays in the destage log (space reclamation of the append-only
+//! log is out of scope, as it is for the paper).
+
+use std::collections::HashMap;
+
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::report::Report;
+
+/// Errors from volume operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolumeError {
+    /// No volume with that name exists.
+    UnknownVolume(String),
+    /// A volume with that name already exists.
+    AlreadyExists(String),
+    /// The block index is outside the volume.
+    OutOfRange {
+        /// Offending block index.
+        block: u64,
+        /// Volume size in blocks.
+        size: u64,
+    },
+    /// The block was never written.
+    Unwritten {
+        /// Offending block index.
+        block: u64,
+    },
+    /// A write payload was not a whole number of chunks.
+    Misaligned {
+        /// Payload length in bytes.
+        len: usize,
+        /// Required chunk size.
+        chunk_bytes: usize,
+    },
+    /// The underlying read path failed (device or decode error).
+    ReadFailed(String),
+}
+
+impl std::fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeError::UnknownVolume(name) => write!(f, "unknown volume '{name}'"),
+            VolumeError::AlreadyExists(name) => write!(f, "volume '{name}' already exists"),
+            VolumeError::OutOfRange { block, size } => {
+                write!(f, "block {block} outside volume of {size} blocks")
+            }
+            VolumeError::Unwritten { block } => write!(f, "block {block} was never written"),
+            VolumeError::Misaligned { len, chunk_bytes } => {
+                write!(f, "payload of {len} bytes is not a multiple of {chunk_bytes}")
+            }
+            VolumeError::ReadFailed(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+#[derive(Debug)]
+struct VolumeState {
+    /// Logical block → index into the pipeline's chunk recipe.
+    blocks: Vec<Option<usize>>,
+}
+
+/// A set of logical volumes sharing one deduplication domain.
+///
+/// # Example
+///
+/// ```
+/// use dr_reduction::{VolumeManager, PipelineConfig};
+///
+/// let mut array = VolumeManager::new(PipelineConfig::default());
+/// array.create_volume("vm-1", 16).unwrap();
+/// let block = vec![7u8; 4096];
+/// array.write("vm-1", 0, &block).unwrap();
+/// assert_eq!(array.read("vm-1", 0).unwrap(), block);
+/// ```
+#[derive(Debug)]
+pub struct VolumeManager {
+    pipeline: Pipeline,
+    volumes: HashMap<String, VolumeState>,
+}
+
+impl VolumeManager {
+    /// Creates an empty array with a fresh pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        VolumeManager {
+            pipeline: Pipeline::new(config),
+            volumes: HashMap::new(),
+        }
+    }
+
+    /// The shared pipeline (stats, report, device access).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The cumulative reduction report across all volumes.
+    pub fn report(&self) -> &Report {
+        self.pipeline.report()
+    }
+
+    /// Names of existing volumes, unordered.
+    pub fn volume_names(&self) -> Vec<&str> {
+        self.volumes.keys().map(String::as_str).collect()
+    }
+
+    /// Creates a volume of `blocks` chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::AlreadyExists`].
+    pub fn create_volume(&mut self, name: &str, blocks: u64) -> Result<(), VolumeError> {
+        if self.volumes.contains_key(name) {
+            return Err(VolumeError::AlreadyExists(name.to_owned()));
+        }
+        self.volumes.insert(
+            name.to_owned(),
+            VolumeState {
+                blocks: vec![None; blocks as usize],
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes `data` (a whole number of chunks) at `start_block`.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::UnknownVolume`] / [`VolumeError::Misaligned`] /
+    /// [`VolumeError::OutOfRange`].
+    pub fn write(&mut self, name: &str, start_block: u64, data: &[u8]) -> Result<(), VolumeError> {
+        let chunk_bytes = self.pipeline.config().chunk_bytes;
+        if data.is_empty() || data.len() % chunk_bytes != 0 {
+            return Err(VolumeError::Misaligned {
+                len: data.len(),
+                chunk_bytes,
+            });
+        }
+        let n = (data.len() / chunk_bytes) as u64;
+        {
+            let volume = self
+                .volumes
+                .get(name)
+                .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+            let size = volume.blocks.len() as u64;
+            if start_block + n > size {
+                return Err(VolumeError::OutOfRange {
+                    block: start_block + n - 1,
+                    size,
+                });
+            }
+        }
+        let first_recipe = self.pipeline.ingested_chunks();
+        self.pipeline
+            .run_blocks(data.chunks(chunk_bytes).map(|c| c.to_vec()));
+        let volume = self.volumes.get_mut(name).expect("checked above");
+        for i in 0..n as usize {
+            volume.blocks[start_block as usize + i] = Some(first_recipe + i);
+        }
+        Ok(())
+    }
+
+    /// Reads one block back through the shared dedup domain.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::UnknownVolume`] / [`VolumeError::OutOfRange`] /
+    /// [`VolumeError::Unwritten`] / [`VolumeError::ReadFailed`].
+    pub fn read(&mut self, name: &str, block: u64) -> Result<Vec<u8>, VolumeError> {
+        let recipe_idx = {
+            let volume = self
+                .volumes
+                .get(name)
+                .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+            let size = volume.blocks.len() as u64;
+            if block >= size {
+                return Err(VolumeError::OutOfRange { block, size });
+            }
+            volume.blocks[block as usize].ok_or(VolumeError::Unwritten { block })?
+        };
+        self.pipeline
+            .read_block(recipe_idx)
+            .map_err(VolumeError::ReadFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::IntegrationMode;
+
+    fn manager() -> VolumeManager {
+        VolumeManager::new(PipelineConfig {
+            mode: IntegrationMode::CpuOnly,
+            ..PipelineConfig::default()
+        })
+    }
+
+    fn block(tag: u8) -> Vec<u8> {
+        let mut b = vec![tag; 4096];
+        b[0] = tag.wrapping_add(1);
+        b
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = manager();
+        m.create_volume("v", 8).unwrap();
+        let data = block(3);
+        m.write("v", 2, &data).unwrap();
+        assert_eq!(m.read("v", 2).unwrap(), data);
+    }
+
+    #[test]
+    fn cross_volume_dedup() {
+        let mut m = manager();
+        m.create_volume("a", 4).unwrap();
+        m.create_volume("b", 4).unwrap();
+        let shared = block(9);
+        m.write("a", 0, &shared).unwrap();
+        m.write("b", 0, &shared).unwrap();
+        let r = m.report();
+        assert_eq!(r.unique_chunks, 1, "shared block stored once");
+        assert_eq!(r.dedup_hits, 1);
+        assert_eq!(m.read("b", 0).unwrap(), shared);
+    }
+
+    #[test]
+    fn overwrite_remaps() {
+        let mut m = manager();
+        m.create_volume("v", 2).unwrap();
+        m.write("v", 0, &block(1)).unwrap();
+        m.write("v", 0, &block(2)).unwrap();
+        assert_eq!(m.read("v", 0).unwrap(), block(2));
+    }
+
+    #[test]
+    fn multi_chunk_write_spans_blocks() {
+        let mut m = manager();
+        m.create_volume("v", 4).unwrap();
+        let mut data = block(1);
+        data.extend_from_slice(&block(2));
+        m.write("v", 1, &data).unwrap();
+        assert_eq!(m.read("v", 1).unwrap(), block(1));
+        assert_eq!(m.read("v", 2).unwrap(), block(2));
+        assert!(matches!(m.read("v", 0), Err(VolumeError::Unwritten { .. })));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let mut m = manager();
+        m.create_volume("v", 2).unwrap();
+        assert!(matches!(
+            m.create_volume("v", 2),
+            Err(VolumeError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            m.write("nope", 0, &block(0)),
+            Err(VolumeError::UnknownVolume(_))
+        ));
+        assert!(matches!(
+            m.write("v", 0, &[1, 2, 3]),
+            Err(VolumeError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.write("v", 1, &[block(0), block(1)].concat()),
+            Err(VolumeError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read("v", 9),
+            Err(VolumeError::OutOfRange { .. })
+        ));
+        assert!(matches!(m.read("nope", 0), Err(VolumeError::UnknownVolume(_))));
+    }
+
+    #[test]
+    fn volume_names_listed() {
+        let mut m = manager();
+        m.create_volume("x", 1).unwrap();
+        m.create_volume("y", 1).unwrap();
+        let mut names = m.volume_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

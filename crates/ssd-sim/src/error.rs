@@ -1,0 +1,68 @@
+//! SSD device errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`SsdDevice`](crate::SsdDevice) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// The logical page number is outside the device's logical capacity.
+    InvalidLpn {
+        /// The offending logical page number.
+        lpn: u64,
+        /// Number of logical pages on the device.
+        capacity: u64,
+    },
+    /// A read hit a logical page that was never written (or was trimmed).
+    Unwritten {
+        /// The offending logical page number.
+        lpn: u64,
+    },
+    /// A write payload did not match the device page size.
+    BadPageSize {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// The device page size.
+        expected: u32,
+    },
+    /// The device ran out of free blocks even after garbage collection
+    /// (logical capacity exceeded — the host wrote more live data than the
+    /// device advertises).
+    CapacityExhausted,
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::InvalidLpn { lpn, capacity } => {
+                write!(f, "logical page {lpn} out of range (capacity {capacity} pages)")
+            }
+            SsdError::Unwritten { lpn } => write!(f, "logical page {lpn} has never been written"),
+            SsdError::BadPageSize { got, expected } => {
+                write!(f, "payload of {got} bytes does not match page size {expected}")
+            }
+            SsdError::CapacityExhausted => write!(f, "no free blocks left after garbage collection"),
+        }
+    }
+}
+
+impl Error for SsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SsdError::InvalidLpn { lpn: 9, capacity: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        assert!(SsdError::CapacityExhausted.to_string().contains("free blocks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SsdError>();
+    }
+}

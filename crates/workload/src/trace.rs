@@ -1,0 +1,261 @@
+//! LBA-addressed write traces, for driving the SSD model directly.
+//!
+//! The stream generator ([`crate::StreamGenerator`]) produces *content*;
+//! garbage-collection and write-amplification experiments additionally
+//! need *addresses* — which logical pages get overwritten, how hot the
+//! working set is. [`TraceGenerator`] produces `(lpn, content-seed)`
+//! operations under several access patterns.
+
+use dr_des::SplitMix64;
+
+use crate::synth::synthesize_block;
+use crate::zipf::ZipfSampler;
+
+/// How write addresses are chosen over the working set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Round-robin over the working set (log-style).
+    Sequential,
+    /// Uniformly random pages.
+    UniformRandom,
+    /// Zipf(θ)-skewed: a hot head of the working set absorbs most writes.
+    Zipf {
+        /// Skew parameter; ~0.99 is the classic YCSB default.
+        theta: f64,
+    },
+}
+
+/// One trace operation: write `data` at logical page `lpn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Target logical page.
+    pub lpn: u64,
+    /// Page payload.
+    pub data: Vec<u8>,
+}
+
+/// Trace parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Total write operations to generate.
+    pub ops: u64,
+    /// Size of the addressed working set, in pages.
+    pub working_set_pages: u64,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+    /// Address selection.
+    pub pattern: AccessPattern,
+    /// Compression ratio of generated page contents.
+    pub compression_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ops: 10_000,
+            working_set_pages: 2_048,
+            page_bytes: 4096,
+            pattern: AccessPattern::Zipf { theta: 0.99 },
+            compression_ratio: 2.0,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// Deterministic trace generator.
+///
+/// ```
+/// use dr_workload::{AccessPattern, TraceConfig, TraceGenerator};
+/// let gen = TraceGenerator::new(TraceConfig {
+///     ops: 100,
+///     pattern: AccessPattern::Sequential,
+///     ..TraceConfig::default()
+/// });
+/// let ops: Vec<_> = gen.ops().collect();
+/// assert_eq!(ops.len(), 100);
+/// assert_eq!(ops[0].lpn, 0);
+/// assert_eq!(ops[1].lpn, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty working set, zero page size, or invalid skew.
+    pub fn new(config: TraceConfig) -> Self {
+        assert!(config.working_set_pages > 0, "working set must be non-empty");
+        assert!(config.page_bytes > 0, "page size must be positive");
+        if let AccessPattern::Zipf { theta } = config.pattern {
+            assert!(theta.is_finite() && theta >= 0.0, "invalid zipf theta");
+        }
+        TraceGenerator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Iterates over the trace's write operations.
+    pub fn ops(&self) -> TraceOps {
+        let zipf = match self.config.pattern {
+            AccessPattern::Zipf { theta } => Some(ZipfSampler::new(
+                self.config.working_set_pages as usize,
+                theta,
+                self.config.seed ^ 0x5A5A,
+            )),
+            _ => None,
+        };
+        TraceOps {
+            config: self.config,
+            rng: SplitMix64::new(self.config.seed),
+            zipf,
+            emitted: 0,
+            // A single global version counter distinguishes overwrite
+            // contents (a per-page version would cost O(working set)).
+            version: 0,
+        }
+    }
+}
+
+/// Iterator over trace operations.
+#[derive(Debug, Clone)]
+pub struct TraceOps {
+    config: TraceConfig,
+    rng: SplitMix64,
+    zipf: Option<ZipfSampler>,
+    emitted: u64,
+    version: u64,
+}
+
+impl Iterator for TraceOps {
+    type Item = WriteOp;
+
+    fn next(&mut self) -> Option<WriteOp> {
+        if self.emitted >= self.config.ops {
+            return None;
+        }
+        let lpn = match self.config.pattern {
+            AccessPattern::Sequential => self.emitted % self.config.working_set_pages,
+            AccessPattern::UniformRandom => self.rng.next_below(self.config.working_set_pages),
+            AccessPattern::Zipf { .. } => {
+                // Scatter ranks over the set so the hot pages are not all
+                // physically adjacent.
+                let rank = self.zipf.as_mut().expect("zipf sampler").sample() as u64;
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.config.working_set_pages
+            }
+        };
+        self.emitted += 1;
+        self.version += 1;
+        let data = synthesize_block(
+            lpn ^ (self.version << 24),
+            self.config.page_bytes,
+            self.config.compression_ratio,
+        );
+        Some(WriteOp { lpn, data })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.config.ops - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceOps {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sequential_cycles_the_working_set() {
+        let gen = TraceGenerator::new(TraceConfig {
+            ops: 10,
+            working_set_pages: 4,
+            pattern: AccessPattern::Sequential,
+            ..TraceConfig::default()
+        });
+        let lpns: Vec<u64> = gen.ops().map(|op| op.lpn).collect();
+        assert_eq!(lpns, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let gen = TraceGenerator::new(TraceConfig {
+            ops: 5_000,
+            working_set_pages: 128,
+            pattern: AccessPattern::UniformRandom,
+            ..TraceConfig::default()
+        });
+        assert!(gen.ops().all(|op| op.lpn < 128));
+    }
+
+    #[test]
+    fn zipf_concentrates_writes() {
+        let gen = TraceGenerator::new(TraceConfig {
+            ops: 20_000,
+            working_set_pages: 1_000,
+            pattern: AccessPattern::Zipf { theta: 1.1 },
+            ..TraceConfig::default()
+        });
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for op in gen.ops() {
+            *counts.entry(op.lpn).or_insert(0) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freq.iter().take(10).sum();
+        assert!(
+            top10 > 20_000 / 3,
+            "top-10 pages absorbed only {top10} of 20000 writes"
+        );
+    }
+
+    #[test]
+    fn overwrites_have_fresh_content() {
+        let gen = TraceGenerator::new(TraceConfig {
+            ops: 8,
+            working_set_pages: 1, // every op overwrites the same page
+            pattern: AccessPattern::Sequential,
+            ..TraceConfig::default()
+        });
+        let ops: Vec<WriteOp> = gen.ops().collect();
+        for pair in ops.windows(2) {
+            assert_ne!(pair[0].data, pair[1].data, "overwrite repeated content");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TraceConfig::default();
+        let a: Vec<WriteOp> = TraceGenerator::new(cfg).ops().take(50).collect();
+        let b: Vec<WriteOp> = TraceGenerator::new(cfg).ops().take(50).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_size() {
+        let gen = TraceGenerator::new(TraceConfig {
+            ops: 17,
+            ..TraceConfig::default()
+        });
+        assert_eq!(gen.ops().len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn empty_working_set_rejected() {
+        TraceGenerator::new(TraceConfig {
+            working_set_pages: 0,
+            ..TraceConfig::default()
+        });
+    }
+}

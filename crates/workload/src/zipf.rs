@@ -1,0 +1,140 @@
+//! Zipfian sampling for hot/cold access skew.
+//!
+//! Primary-storage traces are highly skewed: a small set of hot blocks
+//! absorbs most writes. [`ZipfSampler`] draws from a Zipf(θ) distribution
+//! over `n` items using the precomputed-CDF method (exact, O(log n) per
+//! sample), which is plenty for the working-set sizes the experiments use.
+
+use dr_des::SplitMix64;
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 is the hottest).
+///
+/// ```
+/// use dr_workload::ZipfSampler;
+/// let mut z = ZipfSampler::new(1000, 0.99, 42);
+/// let r = z.sample();
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with skew `theta` (0 = uniform,
+    /// ~0.99 = classic YCSB skew, larger = hotter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler {
+            cdf,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the population is empty (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = ZipfSampler::new(100, 0.99, 1);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 100);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let mut z = ZipfSampler::new(10, 0.0, 2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_rank_zero() {
+        let mut z = ZipfSampler::new(1000, 1.2, 3);
+        let mut hot = 0u32;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if z.sample() < 10 {
+                hot += 1;
+            }
+        }
+        // With theta 1.2 the top-10 ranks carry well over half the mass.
+        assert!(hot > draws / 2, "only {hot} of {draws} hit the top 10");
+    }
+
+    #[test]
+    fn rank_frequencies_decrease() {
+        let mut z = ZipfSampler::new(50, 0.99, 4);
+        let mut counts = vec![0u32; 50];
+        for _ in 0..200_000 {
+            counts[z.sample()] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<usize> = {
+            let mut z = ZipfSampler::new(100, 0.9, 7);
+            (0..100).map(|_| z.sample()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut z = ZipfSampler::new(100, 0.9, 7);
+            (0..100).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn empty_population_rejected() {
+        ZipfSampler::new(0, 1.0, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Scenario: a backup stream with content-defined chunking.
+//!
+//! ```sh
+//! cargo run --release --example backup_stream
+//! ```
+//!
+//! Primary storage uses fixed 4 KB chunks (the paper's setting), but the
+//! same substrates compose into a backup-style deduplicator: Rabin
+//! content-defined chunking (boundaries survive insertions), SHA-1
+//! fingerprints in the bin index, and the high-ratio LZ+Huffman codec.
+//! This example "backs up" three generations of a mutating file set and
+//! shows CDC preserving dedup across an insertion that would defeat
+//! fixed-size chunking.
+
+use inline_dr::binindex::{BinIndex, BinIndexConfig, ChunkRef};
+use inline_dr::chunking::{Chunker, FixedChunker, RabinChunker, RabinConfig};
+use inline_dr::compress::{Codec, LzHuf};
+use inline_dr::hashes::sha1_digest;
+use inline_dr::workload::synthesize_block;
+
+/// A generation of the file set: `files` pseudo-files of `file_kb` KiB.
+/// Generation 1 inserts 100 bytes near the front of every file.
+fn generation(files: u64, file_kb: usize, insert: bool) -> Vec<Vec<u8>> {
+    (0..files)
+        .map(|f| {
+            let mut data = Vec::with_capacity(file_kb * 1024 + 128);
+            for blk in 0..file_kb {
+                data.extend_from_slice(&synthesize_block(
+                    (f << 20) | blk as u64,
+                    1024,
+                    3.0,
+                ));
+            }
+            if insert {
+                let patch = synthesize_block(f ^ 0xFACE, 100, 1.0);
+                data.splice(512..512, patch);
+            }
+            data
+        })
+        .collect()
+}
+
+/// Deduplicates one generation with `chunker`; returns (new bytes stored,
+/// total bytes seen).
+fn backup<C: Chunker>(
+    chunker: &C,
+    index: &mut BinIndex,
+    store: &mut u64,
+    files: &[Vec<u8>],
+) -> (u64, u64) {
+    let codec = LzHuf::new();
+    let mut new_bytes = 0u64;
+    let mut total = 0u64;
+    for file in files {
+        for chunk in chunker.chunk(file) {
+            total += chunk.data.len() as u64;
+            let digest = sha1_digest(chunk.data);
+            if index.lookup(&digest).is_none() {
+                let frame = codec.compress(chunk.data);
+                index.insert(digest, ChunkRef::new(*store, frame.len() as u32));
+                *store += frame.len() as u64;
+                new_bytes += frame.len() as u64;
+            }
+        }
+    }
+    (new_bytes, total)
+}
+
+fn run(label: &str, chunker: &impl Chunker) {
+    let mut index = BinIndex::new(BinIndexConfig::default());
+    let mut store = 0u64;
+    println!("{label}:");
+    // Gen 0: initial full backup. Gen 0 again: unchanged incremental.
+    // Gen 1: every file has a 100-byte insertion near the front.
+    let gens = [
+        ("full backup      ", generation(24, 64, false)),
+        ("unchanged rerun  ", generation(24, 64, false)),
+        ("after insertion  ", generation(24, 64, true)),
+    ];
+    for (name, files) in gens {
+        let (new_bytes, total) = backup(chunker, &mut index, &mut store, &files);
+        println!(
+            "  {name} {:>8.2} MB in -> {:>8.3} MB newly stored ({:.1}% new)",
+            total as f64 / 1e6,
+            new_bytes as f64 / 1e6,
+            new_bytes as f64 / total as f64 * 100.0,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    run(
+        "fixed 4 KB chunking (paper's primary-storage setting)",
+        &FixedChunker::new(4096),
+    );
+    run(
+        "Rabin content-defined chunking (backup extension)",
+        &RabinChunker::new(RabinConfig {
+            min_size: 1024,
+            avg_size: 4096,
+            max_size: 16 * 1024,
+        }),
+    );
+    println!(
+        "the insertion shifts every later byte: fixed chunking re-stores \
+         nearly everything, content-defined chunking only the touched chunks."
+    );
+}
