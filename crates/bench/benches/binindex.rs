@@ -6,7 +6,9 @@ use dr_hashes::{sha1_digest, ChunkDigest};
 use std::hint::black_box;
 
 fn digests(n: usize) -> Vec<ChunkDigest> {
-    (0..n as u64).map(|i| sha1_digest(&i.to_le_bytes())).collect()
+    (0..n as u64)
+        .map(|i| sha1_digest(&i.to_le_bytes()))
+        .collect()
 }
 
 fn populated_index(n: usize) -> BinIndex {

@@ -8,7 +8,9 @@ fn stream(len: usize) -> Vec<u8> {
     let mut state = 0x243F_6A88u64;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u8
         })
         .collect()

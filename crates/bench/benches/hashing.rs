@@ -49,5 +49,10 @@ fn bench_parallel_hash(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_digests, bench_sha1_sizes, bench_parallel_hash);
+criterion_group!(
+    benches,
+    bench_digests,
+    bench_sha1_sizes,
+    bench_parallel_hash
+);
 criterion_main!(benches);

@@ -12,10 +12,11 @@
 //! 6. **Operation order** — dedup-before-compression vs the reverse,
 //! 7. **SSD over-provisioning** — write amplification under overwrites.
 
-use dr_bench::render_table;
+use dr_bench::{render_table, write_metrics_json};
 use dr_binindex::{BinIndexConfig, MemoryModel, ReplacementPolicy};
 use dr_compress::{Codec, FastLz, GpuCompressor, GpuCompressorConfig};
 use dr_hashes::sha1_digest;
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_workload::{StreamConfig, StreamGenerator};
 use std::collections::HashSet;
@@ -49,11 +50,12 @@ fn prefix_truncation() {
     println!("paper: 16 GB at n=0; a 2-byte prefix saves 1 GB\n");
 }
 
-fn bin_buffer_capacity() {
+fn bin_buffer_capacity(snapshots: &mut Vec<Snapshot>) {
     println!("A2: bin-buffer capacity — hit locality vs flush traffic\n");
     let blocks = stream(8 << 20, 3.0, 2.0);
     let mut rows = Vec::new();
     for cap in [2usize, 8, 32, 128] {
+        let obs = ObsHandle::enabled(format!("a2/buffer-cap-{cap}"));
         let mut p = Pipeline::new(PipelineConfig {
             mode: IntegrationMode::CpuOnly,
             index: BinIndexConfig {
@@ -61,11 +63,13 @@ fn bin_buffer_capacity() {
                 bin_buffer_capacity: cap,
                 ..BinIndexConfig::default()
             },
+            obs: obs.clone(),
             ..PipelineConfig::default()
         });
         // Two passes: the re-write pass shows where duplicates resolve.
         p.run_blocks(blocks.clone());
         let r = p.run_blocks(blocks.clone());
+        snapshots.push(obs.snapshot().expect("enabled"));
         rows.push(vec![
             cap.to_string(),
             r.buffer_hits.to_string(),
@@ -156,7 +160,7 @@ fn in_memory_budget() {
     println!("paper: misses are tolerated (\"that is not a big deal\") to avoid disk-resident index I/O\n");
 }
 
-fn replacement_policy() {
+fn replacement_policy(snapshots: &mut Vec<Snapshot>) {
     println!("A5: GPU bin replacement policy vs GPU hit rate\n");
     let blocks = stream(8 << 20, 2.0, 2.0);
     let mut rows = Vec::new();
@@ -165,7 +169,9 @@ fn replacement_policy() {
         ReplacementPolicy::Fifo,
         ReplacementPolicy::Lru,
     ] {
+        let obs = ObsHandle::enabled(format!("a5/{policy:?}"));
         let mut p = Pipeline::new(PipelineConfig {
+            obs: obs.clone(),
             mode: IntegrationMode::GpuForDedup,
             index: BinIndexConfig {
                 prefix_bytes: 1, // 256 bins, so 64 GPU slots are scarce
@@ -182,6 +188,7 @@ fn replacement_policy() {
         // Two passes: populate, then measure re-write hits.
         p.run_blocks(blocks.clone());
         let r = p.run_blocks(blocks.clone());
+        snapshots.push(obs.snapshot().expect("enabled"));
         let rate = if r.gpu_index_queries == 0 {
             0.0
         } else {
@@ -276,7 +283,8 @@ fn ssd_overprovisioning() {
             ..TraceConfig::default()
         });
         for op in gen.ops() {
-            ssd.write_page(SimTime::ZERO, op.lpn, &op.data).expect("write");
+            ssd.write_page(SimTime::ZERO, op.lpn, &op.data)
+                .expect("write");
         }
         let stats = ssd.ftl_stats();
         rows.push(vec![
@@ -321,7 +329,11 @@ fn bloom_front() {
             s.bloom_fast_misses as f64 / s.misses as f64 * 100.0
         };
         rows.push(vec![
-            if bits == 0 { "off".into() } else { format!("{bits} b/entry") },
+            if bits == 0 {
+                "off".into()
+            } else {
+                format!("{bits} b/entry")
+            },
             s.misses.to_string(),
             s.bloom_fast_misses.to_string(),
             format!("{skipped:.1}%"),
@@ -329,10 +341,7 @@ fn bloom_front() {
     }
     println!(
         "{}",
-        render_table(
-            &["bloom", "misses", "fast misses", "probes skipped"],
-            &rows
-        )
+        render_table(&["bloom", "misses", "fast misses", "probes skipped"], &rows)
     );
     println!("(an extension after ChunkStash-style summary vectors; no false negatives by construction)\n");
 }
@@ -383,7 +392,11 @@ fn gpu_bin_layout() {
             entries.to_string(),
             format!("{linear:.1}"),
             format!("{tree:.1}"),
-            if linear <= tree { "linear".into() } else { "tree".into() },
+            if linear <= tree {
+                "linear".into()
+            } else {
+                "tree".into()
+            },
         ]);
     }
     println!(
@@ -401,13 +414,20 @@ fn gpu_bin_layout() {
 
 fn main() {
     println!("Ablation report for the design choices in DESIGN.md section 5\n");
+    let mut snapshots = Vec::new();
     prefix_truncation();
-    bin_buffer_capacity();
+    bin_buffer_capacity(&mut snapshots);
     gpu_kernel_shape();
     in_memory_budget();
-    replacement_policy();
+    replacement_policy(&mut snapshots);
     operation_order();
     ssd_overprovisioning();
     bloom_front();
     gpu_bin_layout();
+    // Per-run pipeline metrics for the sections that exercise the full
+    // pipeline (A2 buffer capacities, A5 replacement policies).
+    match write_metrics_json("ablation_report", &snapshots_to_json(&snapshots)) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

@@ -11,9 +11,7 @@
 //! each device plus the CPU-advantage ratio.
 
 use dr_bench::render_table;
-use dr_binindex::{
-    BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig,
-};
+use dr_binindex::{BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig};
 use dr_des::SimTime;
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::{sha1_digest, ChunkDigest};

@@ -11,15 +11,20 @@
 //! (as a warm primary storage system would be); the second pass is
 //! measured.
 
-use dr_bench::{kiops, pct_gain, render_table, scale};
+use dr_bench::{kiops, pct_gain, render_table, scale, write_metrics_json};
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 use dr_workload::{StreamConfig, StreamGenerator};
 
-fn run_mode(mode: IntegrationMode, stream_bytes: u64) -> (f64, f64) {
+fn run_mode(mode: IntegrationMode, stream_bytes: u64) -> (f64, f64, Snapshot) {
+    // Recording is free on the simulated clock, so the measured pass can
+    // stay instrumented without skewing the figure.
+    let obs = ObsHandle::enabled(format!("e2/{mode}"));
     let config = PipelineConfig {
         mode,
         compress_enabled: false,
+        obs: obs.clone(),
         index: dr_binindex::BinIndexConfig {
             // Few bins + small buffers: bins load up and flush often, so
             // the GPU mirror stays fresh (a full-scale system reaches the
@@ -48,7 +53,7 @@ fn run_mode(mode: IntegrationMode, stream_bytes: u64) -> (f64, f64) {
         .saturating_duration_since(warm.reduction_end)
         .as_secs_f64();
     let iops = pass_chunks as f64 / pass_secs;
-    (iops, report.dedup_ratio())
+    (iops, report.dedup_ratio(), obs.snapshot().expect("enabled"))
 }
 
 fn main() {
@@ -61,8 +66,8 @@ fn main() {
     });
     let ssd_iops = ssd.measure_write_iops(20_000, 7);
 
-    let (cpu_iops, _) = run_mode(IntegrationMode::CpuOnly, stream_bytes);
-    let (gpu_iops, _) = run_mode(IntegrationMode::GpuForDedup, stream_bytes);
+    let (cpu_iops, _, cpu_snap) = run_mode(IntegrationMode::CpuOnly, stream_bytes);
+    let (gpu_iops, _, gpu_snap) = run_mode(IntegrationMode::GpuForDedup, stream_bytes);
 
     println!("E2: dedup-only throughput (vdbench stream, dedup ratio 2.0, 4 KB chunks)\n");
     let rows = vec![
@@ -95,4 +100,11 @@ fn main() {
         pct_gain(gpu_iops, cpu_iops),
         gpu_iops / ssd_iops
     );
+    match write_metrics_json(
+        "e2_dedup_throughput",
+        &snapshots_to_json(&[cpu_snap, gpu_snap]),
+    ) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

@@ -74,6 +74,8 @@ fn main() {
         )
     );
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!("paper: GPU +88.3% over parallel QuickLZ; CPU ~50K < SSD ~80K < GPU ~100K at low ratio");
+    println!(
+        "paper: GPU +88.3% over parallel QuickLZ; CPU ~50K < SSD ~80K < GPU ~100K at low ratio"
+    );
     println!("measured: average GPU gain {avg:+.1}% across the sweep");
 }

@@ -11,13 +11,20 @@
 //! profile, and repeats it on a weak iGPU profile to show the ordering is
 //! platform dependent (the paper's motivation for dummy-I/O calibration).
 
-use dr_bench::{kiops, pct_gain, render_table, scale};
+use dr_bench::{kiops, pct_gain, render_table, scale, write_metrics_json};
 use dr_gpu_sim::GpuSpec;
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::SsdSpec;
 use dr_workload::{StreamConfig, StreamGenerator};
 
-fn run_mode(mode: IntegrationMode, gpu_spec: GpuSpec, stream_bytes: u64) -> f64 {
+fn run_mode(
+    mode: IntegrationMode,
+    gpu_spec: GpuSpec,
+    stream_bytes: u64,
+    label: &str,
+) -> (f64, Snapshot) {
+    let obs = ObsHandle::enabled(format!("{label}/{mode}"));
     let config = PipelineConfig {
         mode,
         gpu_spec,
@@ -27,6 +34,7 @@ fn run_mode(mode: IntegrationMode, gpu_spec: GpuSpec, stream_bytes: u64) -> f64 
             ..dr_binindex::BinIndexConfig::default()
         },
         ssd_spec: SsdSpec::samsung_830_sweep(),
+        obs: obs.clone(),
         ..PipelineConfig::default()
     };
     let generator = StreamGenerator::new(StreamConfig {
@@ -36,13 +44,23 @@ fn run_mode(mode: IntegrationMode, gpu_spec: GpuSpec, stream_bytes: u64) -> f64 
         ..StreamConfig::default()
     });
     let mut pipeline = Pipeline::new(config);
-    pipeline.run_blocks(generator.blocks()).iops()
+    let iops = pipeline.run_blocks(generator.blocks()).iops();
+    (iops, obs.snapshot().expect("enabled handle snapshots"))
 }
 
-fn figure(gpu_spec: GpuSpec, stream_bytes: u64) -> Vec<(IntegrationMode, f64)> {
+fn figure(
+    gpu_spec: GpuSpec,
+    stream_bytes: u64,
+    label: &str,
+    snapshots: &mut Vec<Snapshot>,
+) -> Vec<(IntegrationMode, f64)> {
     IntegrationMode::ALL
         .into_iter()
-        .map(|mode| (mode, run_mode(mode, gpu_spec.clone(), stream_bytes)))
+        .map(|mode| {
+            let (iops, snap) = run_mode(mode, gpu_spec.clone(), stream_bytes, label);
+            snapshots.push(snap);
+            (mode, iops)
+        })
         .collect()
 }
 
@@ -80,15 +98,33 @@ fn print_figure(title: &str, series: &[(IntegrationMode, f64)]) {
 
 fn main() {
     let stream_bytes = (24.0 * scale() * (1 << 20) as f64) as u64;
+    let mut snapshots = Vec::new();
 
     println!("E4 / Figure 2: integration-method throughput (dedup 2.0 x compression 2.0)\n");
     print_figure(
         "Radeon HD 7970 (the paper's testbed):",
-        &figure(GpuSpec::radeon_hd_7970(), stream_bytes),
+        &figure(
+            GpuSpec::radeon_hd_7970(),
+            stream_bytes,
+            "hd7970",
+            &mut snapshots,
+        ),
     );
     print_figure(
         "Weak iGPU (sensitivity — the ordering is platform dependent):",
-        &figure(GpuSpec::weak_igpu(), stream_bytes),
+        &figure(
+            GpuSpec::weak_igpu(),
+            stream_bytes,
+            "weak-igpu",
+            &mut snapshots,
+        ),
     );
     println!("paper: GPU-for-compression best, +89.7% over CPU-only (their testbed)");
+
+    // One snapshot per (gpu, mode) run: per-stage latency histograms
+    // (p50/p95/p99), router decision counters, device metrics.
+    match write_metrics_json("e4_fig2_integration", &snapshots_to_json(&snapshots)) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

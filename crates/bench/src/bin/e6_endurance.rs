@@ -8,8 +8,9 @@
 //! one stream through all three systems on identical SSD models and
 //! reports the page programs and endurance each consumed.
 
-use dr_bench::render_table;
-use dr_reduction::compare_endurance;
+use dr_bench::{render_table, write_metrics_json};
+use dr_obs::ObsHandle;
+use dr_reduction::compare_endurance_with_obs;
 use dr_ssd_sim::SsdSpec;
 use dr_workload::{StreamConfig, StreamGenerator};
 
@@ -28,7 +29,8 @@ fn main() {
         blocks_per_die: 1024,
         ..SsdSpec::samsung_830_256g()
     };
-    let cmp = compare_endurance(&blocks, &spec);
+    let obs = ObsHandle::enabled("e6/inline");
+    let cmp = compare_endurance_with_obs(&blocks, &spec, &obs);
 
     println!("E6: NAND wear for 16 MiB of writes (dedup 2.0 x compression 2.0)\n");
     let base = cmp.inline_nand_writes as f64;
@@ -59,4 +61,10 @@ fn main() {
         cmp.background_penalty(),
         cmp.background_nand_writes > cmp.none_nand_writes
     );
+    // The inline system's stage latencies + destage/SSD write counters.
+    let snap = obs.snapshot().expect("enabled handle snapshots");
+    match write_metrics_json("e6_endurance", &snap.to_json()) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

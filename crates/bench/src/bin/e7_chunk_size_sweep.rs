@@ -50,5 +50,7 @@ fn main() {
             &rows
         )
     );
-    println!("bigger chunks amortize per-chunk work and shrink the index; smaller chunks dedupe finer.");
+    println!(
+        "bigger chunks amortize per-chunk work and shrink the index; smaller chunks dedupe finer."
+    );
 }

@@ -70,6 +70,27 @@ pub fn kiops(iops: f64) -> String {
     format!("{:.1}K", iops / 1000.0)
 }
 
+/// Writes an experiment's metrics-snapshot JSON and returns the path it
+/// landed at.
+///
+/// The destination directory is `$DR_METRICS_OUT` when set, otherwise
+/// `target/metrics/` under the current directory; the file is named
+/// `<name>.json`. Pass the output of [`dr_obs::Snapshot::to_json`] or
+/// [`dr_obs::snapshots_to_json`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk).
+pub fn write_metrics_json(name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("DR_METRICS_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/metrics"));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Reads an experiment scale factor from `DR_SCALE` (default 1.0): CI runs
 /// use small streams; pass `DR_SCALE=4` for paper-sized runs.
 pub fn scale() -> f64 {
@@ -112,5 +133,19 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn ragged_rows_rejected() {
         render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn metrics_json_lands_in_the_requested_directory() {
+        let dir = std::env::temp_dir().join("dr-bench-metrics-test");
+        // Exercise the default-path logic indirectly by setting the env
+        // override for this test only (tests run in one process; use a
+        // unique name to avoid cross-test interference on the variable).
+        std::env::set_var("DR_METRICS_OUT", &dir);
+        let path = write_metrics_json("unit", "{\"ok\":true}").expect("write");
+        std::env::remove_var("DR_METRICS_OUT");
+        assert_eq!(path, dir.join("unit.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

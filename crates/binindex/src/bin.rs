@@ -93,7 +93,13 @@ impl Bin {
 
     /// Appends `key` to the buffer. When the buffer reaches `capacity`, it
     /// is flushed into the tree and the flush is returned.
-    pub fn insert(&mut self, key: BinKey, r: ChunkRef, capacity: usize, bin_id: usize) -> Option<FlushEvent> {
+    pub fn insert(
+        &mut self,
+        key: BinKey,
+        r: ChunkRef,
+        capacity: usize,
+        bin_id: usize,
+    ) -> Option<FlushEvent> {
         self.buffer.push((key, r));
         if self.buffer.len() >= capacity {
             let entries: Vec<(BinKey, ChunkRef)> = std::mem::take(&mut self.buffer);

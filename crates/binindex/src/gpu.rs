@@ -365,10 +365,7 @@ impl GpuBinIndex {
                     let table = &self.meta[slot];
                     // Functional search is layout-independent; the cost is
                     // not.
-                    let found = table
-                        .iter()
-                        .find(|(k, _)| *k == key)
-                        .map(|(_, r)| *r);
+                    let found = table.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
                     results.push(match found {
                         Some(r) => {
                             hits += 1;
@@ -381,8 +378,7 @@ impl GpuBinIndex {
                         // Linear scan: the whole table is always read
                         // (fixed-length loops avoid divergence), coalesced.
                         GpuBinLayout::Linear => WorkItemCost {
-                            cycles: CYCLES_NON_RESIDENT
-                                + table.len() as u64 * CYCLES_PER_COMPARE,
+                            cycles: CYCLES_NON_RESIDENT + table.len() as u64 * CYCLES_PER_COMPARE,
                             mem: MemAccess::coalesced(20 + table.len() as u64 * 20),
                         },
                         // Binary search: ~log2(n) divergent branches and
@@ -414,8 +410,12 @@ impl GpuBinIndex {
 
         // Return (index, hit) pairs: 8 bytes per query.
         let result_buf = gpu.alloc((digests.len() * 8).max(1) as u64)?;
-        let (_, d2h) =
-            gpu.read_buffer(kernel.grant.end, result_buf, 0, (digests.len() * 8).max(1) as u64)?;
+        let (_, d2h) = gpu.read_buffer(
+            kernel.grant.end,
+            result_buf,
+            0,
+            (digests.len() * 8).max(1) as u64,
+        )?;
         gpu.free(query_buf)?;
         gpu.free(result_buf)?;
 
@@ -464,8 +464,13 @@ mod tests {
         let mut device = gpu();
         let mut idx = GpuBinIndex::new(&mut device, config()).unwrap();
         let (d, key, bin) = keyed(1, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[(key, ChunkRef::new(5, 9))])
-            .unwrap();
+        idx.install_bin(
+            SimTime::ZERO,
+            &mut device,
+            bin,
+            &[(key, ChunkRef::new(5, 9))],
+        )
+        .unwrap();
         let (results, report) = idx.lookup_batch(SimTime::ZERO, &mut device, &[d]).unwrap();
         assert_eq!(results, vec![GpuProbe::Hit(ChunkRef::new(5, 9))]);
         assert_eq!(report.hits, 1);
@@ -488,7 +493,8 @@ mod tests {
         let mut device = gpu();
         let mut idx = GpuBinIndex::new(&mut device, config()).unwrap();
         let (d, key, bin) = keyed(3, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[]).unwrap();
+        idx.install_bin(SimTime::ZERO, &mut device, bin, &[])
+            .unwrap();
         idx.apply_flush(
             SimTime::ZERO,
             &mut device,
@@ -507,8 +513,13 @@ mod tests {
         let mut device = gpu();
         let mut idx = GpuBinIndex::new(&mut device, config()).unwrap();
         let (_, key, bin) = keyed(1, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[(key, ChunkRef::new(0, 0))])
-            .unwrap();
+        idx.install_bin(
+            SimTime::ZERO,
+            &mut device,
+            bin,
+            &[(key, ChunkRef::new(0, 0))],
+        )
+        .unwrap();
         // A different digest routed to the same bin misses authoritatively.
         let mut i = 2u64;
         let other = loop {
@@ -534,8 +545,13 @@ mod tests {
         };
         let mut idx = GpuBinIndex::new(&mut device, cfg).unwrap();
         let (_, k1, bin) = keyed(1, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[(k1, ChunkRef::new(1, 1))])
-            .unwrap();
+        idx.install_bin(
+            SimTime::ZERO,
+            &mut device,
+            bin,
+            &[(k1, ChunkRef::new(1, 1))],
+        )
+        .unwrap();
         // Flush a second entry into a 1-entry table: authority is lost.
         let mut k2 = k1;
         k2[19] ^= 0xFF;
@@ -595,8 +611,13 @@ mod tests {
             if installed.contains(&bin) {
                 continue;
             }
-            idx.install_bin(SimTime::ZERO, &mut device, bin, &[(key, ChunkRef::new(0, 0))])
-                .unwrap();
+            idx.install_bin(
+                SimTime::ZERO,
+                &mut device,
+                bin,
+                &[(key, ChunkRef::new(0, 0))],
+            )
+            .unwrap();
             installed.push(bin);
         }
         assert_eq!(idx.resident_bins(), 4);
@@ -613,8 +634,13 @@ mod tests {
         };
         let mut idx = GpuBinIndex::new(&mut device, cfg).unwrap();
         let (_, k1, bin) = keyed(1, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[(k1, ChunkRef::new(1, 1))])
-            .unwrap();
+        idx.install_bin(
+            SimTime::ZERO,
+            &mut device,
+            bin,
+            &[(k1, ChunkRef::new(1, 1))],
+        )
+        .unwrap();
         // Push 3 more entries through flushes: table capacity 2 forces
         // replacement; FIFO replaces the oldest.
         for n in 2..5u64 {
@@ -654,8 +680,13 @@ mod tests {
                 continue;
             }
             if bins.len() < 2 {
-                idx.install_bin(SimTime::ZERO, &mut device, bin, &[(key, ChunkRef::new(0, 0))])
-                    .unwrap();
+                idx.install_bin(
+                    SimTime::ZERO,
+                    &mut device,
+                    bin,
+                    &[(key, ChunkRef::new(0, 0))],
+                )
+                .unwrap();
             }
             bins.push(bin);
             digests.push(d);
@@ -676,8 +707,13 @@ mod tests {
         let mut device = gpu();
         let mut idx = GpuBinIndex::new(&mut device, config()).unwrap();
         let (d, key, bin) = keyed(11, 2);
-        idx.install_bin(SimTime::ZERO, &mut device, bin, &[(key, ChunkRef::new(0, 0))])
-            .unwrap();
+        idx.install_bin(
+            SimTime::ZERO,
+            &mut device,
+            bin,
+            &[(key, ChunkRef::new(0, 0))],
+        )
+        .unwrap();
         let (_, report) = idx.lookup_batch(SimTime::ZERO, &mut device, &[d]).unwrap();
         assert!(report.h2d_end <= report.kernel.grant.start);
         assert!(report.kernel.grant.end <= report.done);

@@ -2,6 +2,7 @@
 
 use dr_des::SplitMix64;
 use dr_hashes::ChunkDigest;
+use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::bin::{Bin, BinHit, BinKey, FlushEvent};
 use crate::entry::ChunkRef;
@@ -54,6 +55,9 @@ pub struct IndexStats {
     pub misses: u64,
     /// Misses answered by the Bloom filter without probing any bin.
     pub bloom_fast_misses: u64,
+    /// Bloom false positives: the filter said "maybe" but the bin probe
+    /// found nothing, so the filter cost a probe without saving one.
+    pub bloom_false_positives: u64,
     /// Entries inserted.
     pub inserts: u64,
     /// Entries evicted by the replacement policy.
@@ -73,6 +77,41 @@ impl IndexStats {
     }
 }
 
+/// Interned metric handles for the `index.*` namespace. Inert (all
+/// `None`) until [`BinIndex::set_obs`] wires a live registry in.
+#[derive(Debug, Clone, Default)]
+struct IndexObs {
+    probes: CounterHandle,
+    buffer_hits: CounterHandle,
+    tree_hits: CounterHandle,
+    misses: CounterHandle,
+    bloom_fast_misses: CounterHandle,
+    bloom_false_positives: CounterHandle,
+    inserts: CounterHandle,
+    evictions: CounterHandle,
+    flushes: CounterHandle,
+    flushed_entries: CounterHandle,
+    bin_occupancy: HistogramHandle,
+}
+
+impl IndexObs {
+    fn new(obs: &ObsHandle) -> Self {
+        IndexObs {
+            probes: obs.counter("index.probes"),
+            buffer_hits: obs.counter("index.buffer_hits"),
+            tree_hits: obs.counter("index.tree_hits"),
+            misses: obs.counter("index.misses"),
+            bloom_fast_misses: obs.counter("index.bloom_fast_misses"),
+            bloom_false_positives: obs.counter("index.bloom_false_positives"),
+            inserts: obs.counter("index.inserts"),
+            evictions: obs.counter("index.evictions"),
+            flushes: obs.counter("index.flushes"),
+            flushed_entries: obs.counter("index.flushed_entries"),
+            bin_occupancy: obs.histogram("index.bin_occupancy"),
+        }
+    }
+}
+
 /// The bin-based deduplication index (CPU side).
 ///
 /// See the [crate docs](crate) for the design; see
@@ -86,6 +125,7 @@ pub struct BinIndex {
     rng: SplitMix64,
     bloom: Option<crate::bloom::BloomFilter>,
     stats: IndexStats,
+    obs: IndexObs,
 }
 
 impl BinIndex {
@@ -116,6 +156,25 @@ impl BinIndex {
             bloom,
             config,
             stats: IndexStats::default(),
+            obs: IndexObs::default(),
+        }
+    }
+
+    /// Wires metrics into `obs` under the `index.*` namespace. Handles
+    /// are interned once here, so the probe/insert paths pay only an
+    /// atomic increment when enabled and a `None` branch when not.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = IndexObs::new(obs);
+    }
+
+    /// Records every bin's current entry count into the
+    /// `index.bin_occupancy` histogram (call at end of run — occupancy
+    /// is a distribution over bins, not over time).
+    pub fn record_bin_occupancy(&self) {
+        if self.obs.bin_occupancy.is_live() && self.obs.bin_occupancy.count() == 0 {
+            for bin in &self.bins {
+                self.obs.bin_occupancy.record(bin.len() as u64);
+            }
         }
     }
 
@@ -162,27 +221,40 @@ impl BinIndex {
     /// the paper's CPU indexing path.
     pub fn lookup(&mut self, digest: &ChunkDigest) -> Option<ChunkRef> {
         self.stats.lookups += 1;
+        self.obs.probes.incr();
         // Bloom front: a definite-absent answer skips the bin probes.
-        if let Some(bloom) = &self.bloom {
+        let bloom_said_maybe = if let Some(bloom) = &self.bloom {
             if !bloom.maybe_contains(digest) {
                 self.stats.misses += 1;
                 self.stats.bloom_fast_misses += 1;
+                self.obs.misses.incr();
+                self.obs.bloom_fast_misses.incr();
                 return None;
             }
-        }
+            true
+        } else {
+            false
+        };
         let bin = self.router.route(digest);
         let key = self.key_of(digest);
         match self.bins[bin].lookup(&key) {
             Some((r, BinHit::Buffer)) => {
                 self.stats.buffer_hits += 1;
+                self.obs.buffer_hits.incr();
                 Some(r)
             }
             Some((r, BinHit::Tree)) => {
                 self.stats.tree_hits += 1;
+                self.obs.tree_hits.incr();
                 Some(r)
             }
             None => {
                 self.stats.misses += 1;
+                self.obs.misses.incr();
+                if bloom_said_maybe {
+                    self.stats.bloom_false_positives += 1;
+                    self.obs.bloom_false_positives.incr();
+                }
                 None
             }
         }
@@ -213,13 +285,17 @@ impl BinIndex {
             if self.bins[victim_bin].evict_random(nonce).is_some() {
                 self.entries -= 1;
                 self.stats.evictions += 1;
+                self.obs.evictions.incr();
             }
         }
         self.entries += 1;
         self.stats.inserts += 1;
+        self.obs.inserts.incr();
         let flush = self.bins[bin].insert(key, r, self.config.bin_buffer_capacity, bin);
-        if flush.is_some() {
+        if let Some(f) = &flush {
             self.stats.flushes += 1;
+            self.obs.flushes.incr();
+            self.obs.flushed_entries.add(f.entries.len() as u64);
         }
         flush
     }
@@ -298,12 +374,7 @@ impl BinIndex {
         let mut flushes = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shards);
-            for (shard, (bins, part)) in self
-                .bins
-                .chunks_mut(per_shard)
-                .zip(parts.into_iter())
-                .enumerate()
-            {
+            for (shard, (bins, part)) in self.bins.chunks_mut(per_shard).zip(parts).enumerate() {
                 handles.push(scope.spawn(move || {
                     let base = shard * per_shard;
                     let mut local_flushes = Vec::new();
@@ -322,6 +393,11 @@ impl BinIndex {
         self.entries += items.len() as u64;
         self.stats.inserts += items.len() as u64;
         self.stats.flushes += flushes.len() as u64;
+        self.obs.inserts.add(items.len() as u64);
+        self.obs.flushes.add(flushes.len() as u64);
+        self.obs
+            .flushed_entries
+            .add(flushes.iter().map(|f| f.entries.len() as u64).sum());
         flushes
     }
 
@@ -387,11 +463,16 @@ impl BinIndex {
         });
 
         self.stats.lookups += digests.len() as u64;
+        self.obs.probes.add(digests.len() as u64);
         for (b, t) in hits {
             self.stats.buffer_hits += b;
             self.stats.tree_hits += t;
+            self.obs.buffer_hits.add(b);
+            self.obs.tree_hits.add(t);
         }
-        self.stats.misses += results.iter().filter(|r| r.is_none()).count() as u64;
+        let misses = results.iter().filter(|r| r.is_none()).count() as u64;
+        self.stats.misses += misses;
+        self.obs.misses.add(misses);
         results
     }
 }
@@ -476,7 +557,9 @@ mod tests {
         assert_eq!(idx.stats().evictions, 1000 - 64);
         // Most old digests are gone (missed duplicates), recent survive
         // probabilistically; the index must simply not crash or grow.
-        let found = (0..1000).filter(|&i| idx.lookup(&digest(i)).is_some()).count();
+        let found = (0..1000)
+            .filter(|&i| idx.lookup(&digest(i)).is_some())
+            .count();
         assert_eq!(found, 64);
     }
 
@@ -596,6 +679,69 @@ mod tests {
             "bloom only fast-missed {} of 1000",
             s.bloom_fast_misses
         );
+    }
+
+    #[test]
+    fn bloom_false_positives_are_counted() {
+        // A tiny filter saturates quickly, so absent digests that pass it
+        // must be counted as false positives, not fast misses.
+        let mut idx = BinIndex::new(BinIndexConfig {
+            bloom_bits_per_entry: 1,
+            bloom_expected_entries: 16,
+            ..BinIndexConfig::default()
+        });
+        for i in 0..500 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        for i in 1000..2000 {
+            assert!(idx.lookup(&digest(i)).is_none());
+        }
+        let s = idx.stats();
+        assert_eq!(s.bloom_fast_misses + s.bloom_false_positives, 1000);
+        assert!(s.bloom_false_positives > 0, "saturated filter must FP");
+    }
+
+    #[test]
+    fn obs_mirrors_stats() {
+        let obs = dr_obs::ObsHandle::enabled("t");
+        let mut idx = BinIndex::new(BinIndexConfig {
+            bin_buffer_capacity: 4,
+            prefix_bytes: 1,
+            ..BinIndexConfig::default()
+        });
+        idx.set_obs(&obs);
+        for i in 0..200 {
+            idx.insert(digest(i), ChunkRef::new(i, 1));
+        }
+        for i in 0..300 {
+            idx.lookup(&digest(i));
+        }
+        idx.record_bin_occupancy();
+        let s = idx.stats();
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("index.probes"), s.lookups);
+        assert_eq!(counter("index.inserts"), s.inserts);
+        assert_eq!(counter("index.flushes"), s.flushes);
+        assert_eq!(counter("index.misses"), s.misses);
+        assert_eq!(
+            counter("index.buffer_hits") + counter("index.tree_hits"),
+            s.buffer_hits + s.tree_hits
+        );
+        // Occupancy: one sample per bin, totalling every entry.
+        let (_, occ) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "index.bin_occupancy")
+            .expect("occupancy recorded");
+        assert_eq!(occ.count, idx.router().bin_count() as u64);
+        assert_eq!(occ.sum, idx.len());
     }
 
     #[test]

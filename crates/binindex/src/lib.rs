@@ -50,14 +50,14 @@ pub mod memory;
 pub mod router;
 pub mod snapshot;
 
-pub use bin::{Bin, BinKey, FlushEvent};
-pub use entry::ChunkRef;
 pub use bin::BinHit;
+pub use bin::{Bin, BinKey, FlushEvent};
 pub use bloom::BloomFilter;
+pub use entry::ChunkRef;
 pub use gpu::{
     GpuBinIndex, GpuBinIndexConfig, GpuBinLayout, GpuLookupReport, GpuProbe, ReplacementPolicy,
 };
 pub use index::{BinIndex, BinIndexConfig, IndexStats};
 pub use memory::MemoryModel;
-pub use router::BinRouter;
+pub use router::{BinRouter, RoutingObs};
 pub use snapshot::{restore, snapshot, SnapshotError};

@@ -38,7 +38,10 @@ impl MemoryModel {
     /// Panics if `chunk_bytes` is zero or `prefix_bytes >= 20`.
     pub fn new(storage_bytes: u64, chunk_bytes: u64, prefix_bytes: u64) -> Self {
         assert!(chunk_bytes > 0, "chunk size must be positive");
-        assert!(prefix_bytes < Self::DIGEST_BYTES, "cannot truncate whole digest");
+        assert!(
+            prefix_bytes < Self::DIGEST_BYTES,
+            "cannot truncate whole digest"
+        );
         MemoryModel {
             storage_bytes,
             chunk_bytes,

@@ -1,6 +1,8 @@
-//! Digest → bin routing by hash prefix.
+//! Digest → bin routing by hash prefix, and the CPU-vs-GPU routing
+//! decision counters the scheduler reports through.
 
 use dr_hashes::ChunkDigest;
+use dr_obs::{CounterHandle, ObsHandle};
 
 /// Routes digests to bins by their first `prefix_bytes` bytes, DHT-style.
 ///
@@ -54,6 +56,40 @@ impl BinRouter {
     }
 }
 
+/// Counters for the paper's central scheduling decision: which probes the
+/// pipeline kept on CPU cores and which it offloaded to the GPU, and how
+/// the offloaded ones resolved.
+///
+/// The decision itself is made by the integration layer (it owns the
+/// mode and the saturation signal); this struct is the `router.*` metric
+/// namespace it reports through, interned once and inert when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingObs {
+    /// Probes answered on the CPU path.
+    pub to_cpu: CounterHandle,
+    /// Probes offloaded to the GPU path.
+    pub to_gpu: CounterHandle,
+    /// GPU probes that hit (duplicate confirmed on-device).
+    pub gpu_hits: CounterHandle,
+    /// GPU probes that missed authoritatively (no CPU follow-up needed).
+    pub gpu_authoritative_misses: CounterHandle,
+    /// GPU probes that could not settle and fell back to a CPU probe.
+    pub gpu_needs_cpu: CounterHandle,
+}
+
+impl RoutingObs {
+    /// Interns the `router.*` counters from `obs`.
+    pub fn new(obs: &ObsHandle) -> Self {
+        RoutingObs {
+            to_cpu: obs.counter("router.to_cpu"),
+            to_gpu: obs.counter("router.to_gpu"),
+            gpu_hits: obs.counter("router.gpu_hits"),
+            gpu_authoritative_misses: obs.counter("router.gpu_authoritative_misses"),
+            gpu_needs_cpu: obs.counter("router.gpu_needs_cpu"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,12 +121,43 @@ mod tests {
             counts[router.route(&d)] += 1;
         }
         // Mean 100 per bin; SHA-1 prefixes should stay within a wide band.
-        assert!(counts.iter().all(|&c| c > 40 && c < 200), "skewed: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 40 && c < 200),
+            "skewed: {counts:?}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "prefix must be")]
     fn oversized_prefix_rejected() {
         BinRouter::new(4);
+    }
+
+    #[test]
+    fn routing_obs_counts_decisions() {
+        let obs = ObsHandle::enabled("t");
+        let routing = RoutingObs::new(&obs);
+        routing.to_cpu.add(3);
+        routing.to_gpu.add(2);
+        routing.gpu_hits.incr();
+        routing.gpu_needs_cpu.incr();
+        let snap = obs.snapshot().unwrap();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("router.to_cpu"), Some(3));
+        assert_eq!(get("router.to_gpu"), Some(2));
+        assert_eq!(get("router.gpu_hits"), Some(1));
+        assert_eq!(get("router.gpu_needs_cpu"), Some(1));
+    }
+
+    #[test]
+    fn routing_obs_default_is_inert() {
+        let routing = RoutingObs::default();
+        routing.to_cpu.incr();
+        assert_eq!(routing.to_cpu.get(), 0);
     }
 }

@@ -61,7 +61,8 @@ pub fn snapshot(index: &BinIndex) -> Vec<u8> {
     let config = index.config();
     let prefix = config.prefix_bytes;
     let suffix_len = 20 - prefix;
-    let mut out = Vec::with_capacity(HEADER_LEN + index.len() as usize * (prefix + suffix_len + 12));
+    let mut out =
+        Vec::with_capacity(HEADER_LEN + index.len() as usize * (prefix + suffix_len + 12));
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.push(prefix as u8);
@@ -103,8 +104,7 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
     if !(1..=3).contains(&prefix) {
         return Err(SnapshotError::BadField("prefix_bytes"));
     }
-    let buffer_capacity =
-        u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    let buffer_capacity = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
     if buffer_capacity == 0 {
         return Err(SnapshotError::BadField("bin_buffer_capacity"));
     }
@@ -204,7 +204,10 @@ mod tests {
             restore(&blob[..blob.len() - 3]),
             Err(SnapshotError::Truncated)
         ));
-        assert!(matches!(restore(&blob[..20]), Err(SnapshotError::Truncated)));
+        assert!(matches!(
+            restore(&blob[..20]),
+            Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]

@@ -1,26 +1,31 @@
-//! Property tests: the bin index behaves like a map, in every
+//! Randomized tests: the bin index behaves like a map, in every
 //! configuration, and snapshots are faithful.
 
 use dr_binindex::{restore, snapshot, BinIndex, BinIndexConfig, ChunkRef};
+use dr_des::testkit::{self, Cases};
 use dr_hashes::sha1_digest;
-use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 fn digest_of(i: u64) -> dr_hashes::ChunkDigest {
     sha1_digest(&i.to_le_bytes())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// With unbounded memory the index answers exactly like a HashMap
-    /// (newest insert wins), regardless of prefix and buffer settings.
-    #[test]
-    fn behaves_like_a_map(
-        ops in proptest::collection::vec((0u64..200, any::<u32>()), 1..300),
-        prefix in 1usize..=2,
-        capacity in 1usize..32,
-    ) {
+/// With unbounded memory the index answers exactly like a HashMap
+/// (newest insert wins), regardless of prefix and buffer settings.
+#[test]
+fn behaves_like_a_map() {
+    Cases::new("behaves_like_a_map", 0xB14_0001).run(64, |rng| {
+        let n = testkit::usize_in(rng, 1, 299);
+        let ops: Vec<(u64, u32)> = (0..n)
+            .map(|_| {
+                (
+                    testkit::u64_in(rng, 0, 199),
+                    testkit::u64_in(rng, 0, u32::MAX as u64) as u32,
+                )
+            })
+            .collect();
+        let prefix = testkit::usize_in(rng, 1, 2);
+        let capacity = testkit::usize_in(rng, 1, 31);
         let mut index = BinIndex::new(BinIndexConfig {
             prefix_bytes: prefix,
             bin_buffer_capacity: capacity,
@@ -33,38 +38,45 @@ proptest! {
             model.insert(key, r);
         }
         for (key, want) in &model {
-            prop_assert_eq!(index.lookup(&digest_of(*key)), Some(*want));
+            assert_eq!(index.lookup(&digest_of(*key)), Some(*want));
         }
         // Absent keys miss.
         for key in 200u64..220 {
-            prop_assert_eq!(index.lookup(&digest_of(key)), None);
+            assert_eq!(index.lookup(&digest_of(key)), None);
         }
-    }
+    });
+}
 
-    /// Parallel batch lookup matches serial lookup for any batch.
-    #[test]
-    fn parallel_lookup_matches_serial(
-        present in proptest::collection::vec(0u64..100, 0..100),
-        queries in proptest::collection::vec(0u64..150, 0..200),
-        workers in 1usize..6,
-    ) {
+/// Parallel batch lookup matches serial lookup for any batch.
+#[test]
+fn parallel_lookup_matches_serial() {
+    Cases::new("parallel_lookup_matches_serial", 0xB14_0002).run(64, |rng| {
+        let present: Vec<u64> = (0..testkit::usize_in(rng, 0, 99))
+            .map(|_| testkit::u64_in(rng, 0, 99))
+            .collect();
+        let queries: Vec<u64> = (0..testkit::usize_in(rng, 0, 199))
+            .map(|_| testkit::u64_in(rng, 0, 149))
+            .collect();
+        let workers = testkit::usize_in(rng, 1, 5);
         let mut index = BinIndex::new(BinIndexConfig::default());
         for k in &present {
             index.insert(digest_of(*k), ChunkRef::new(*k, 1));
         }
         let digests: Vec<_> = queries.iter().map(|q| digest_of(*q)).collect();
-        let expect: Vec<Option<ChunkRef>> =
-            digests.iter().map(|d| index.lookup(d)).collect();
-        prop_assert_eq!(index.lookup_batch_parallel(&digests, workers), expect);
-    }
+        let expect: Vec<Option<ChunkRef>> = digests.iter().map(|d| index.lookup(d)).collect();
+        assert_eq!(index.lookup_batch_parallel(&digests, workers), expect);
+    });
+}
 
-    /// Snapshot/restore preserves every entry under any configuration.
-    #[test]
-    fn snapshot_round_trips(
-        keys in proptest::collection::hash_set(0u64..500, 0..200),
-        prefix in 1usize..=3,
-        capacity in 1usize..16,
-    ) {
+/// Snapshot/restore preserves every entry under any configuration.
+#[test]
+fn snapshot_round_trips() {
+    Cases::new("snapshot_round_trips", 0xB14_0003).run(64, |rng| {
+        let keys: HashSet<u64> = (0..testkit::usize_in(rng, 0, 199))
+            .map(|_| testkit::u64_in(rng, 0, 499))
+            .collect();
+        let prefix = testkit::usize_in(rng, 1, 3);
+        let capacity = testkit::usize_in(rng, 1, 15);
         let mut index = BinIndex::new(BinIndexConfig {
             prefix_bytes: prefix,
             bin_buffer_capacity: capacity,
@@ -74,25 +86,27 @@ proptest! {
             index.insert(digest_of(*k), ChunkRef::new(*k, 7));
         }
         let mut restored = restore(&snapshot(&index)).expect("restore");
-        prop_assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.len(), index.len());
         for k in &keys {
-            prop_assert_eq!(restored.lookup(&digest_of(*k)), Some(ChunkRef::new(*k, 7)));
+            assert_eq!(restored.lookup(&digest_of(*k)), Some(ChunkRef::new(*k, 7)));
         }
-    }
+    });
+}
 
-    /// A memory budget is never exceeded, whatever the insert pattern.
-    #[test]
-    fn capacity_bound_holds(
-        keys in proptest::collection::vec(0u64..10_000, 1..400),
-        budget in 1u64..64,
-    ) {
+/// A memory budget is never exceeded, whatever the insert pattern.
+#[test]
+fn capacity_bound_holds() {
+    Cases::new("capacity_bound_holds", 0xB14_0004).run(64, |rng| {
+        let n = testkit::usize_in(rng, 1, 399);
+        let keys: Vec<u64> = (0..n).map(|_| testkit::u64_in(rng, 0, 9_999)).collect();
+        let budget = testkit::u64_in(rng, 1, 63);
         let mut index = BinIndex::new(BinIndexConfig {
             max_entries: budget,
             ..BinIndexConfig::default()
         });
         for k in keys {
             index.insert(digest_of(k), ChunkRef::new(k, 1));
-            prop_assert!(index.len() <= budget);
+            assert!(index.len() <= budget);
         }
-    }
+    });
 }

@@ -98,7 +98,9 @@ impl RabinChunker {
         // A cut fires when the low log2(avg - min adjustment) bits are zero.
         // Expected gap between cut points is `avg_size - min_size`, giving an
         // average chunk size close to `avg_size` after the min skip.
-        let gap = (config.avg_size - config.min_size).max(1).next_power_of_two();
+        let gap = (config.avg_size - config.min_size)
+            .max(1)
+            .next_power_of_two();
         let mask = (gap as u64) - 1;
         RabinChunker { config, gear, mask }
     }
@@ -183,7 +185,9 @@ mod tests {
         let mut state = seed;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect()

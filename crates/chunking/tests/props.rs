@@ -1,46 +1,45 @@
-//! Property tests: chunkers frame losslessly on arbitrary inputs.
+//! Randomized tests: chunkers frame losslessly on arbitrary inputs.
 
 use dr_chunking::{Chunker, FixedChunker, RabinChunker, RabinConfig};
-use proptest::prelude::*;
+use dr_des::testkit::{self, Cases};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Fixed chunking reassembles exactly, for any size and input.
-    #[test]
-    fn fixed_is_lossless(
-        data in proptest::collection::vec(any::<u8>(), 0..20_000),
-        size in 1usize..5_000,
-    ) {
+/// Fixed chunking reassembles exactly, for any size and input.
+#[test]
+fn fixed_is_lossless() {
+    Cases::new("fixed_is_lossless", 0xC4A_0001).run(64, |rng| {
+        let data = testkit::vec_u8(rng, 0, 20_000);
+        let size = testkit::usize_in(rng, 1, 4_999);
         let chunker = FixedChunker::new(size);
         let mut rebuilt = Vec::with_capacity(data.len());
         for c in chunker.chunk(&data) {
-            prop_assert_eq!(c.offset as usize, rebuilt.len());
-            prop_assert!(!c.data.is_empty());
-            prop_assert!(c.data.len() <= size);
+            assert_eq!(c.offset as usize, rebuilt.len());
+            assert!(!c.data.is_empty());
+            assert!(c.data.len() <= size);
             rebuilt.extend_from_slice(c.data);
         }
-        prop_assert_eq!(rebuilt, data);
-    }
+        assert_eq!(rebuilt, data);
+    });
+}
 
-    /// All fixed chunks except the tail have exactly the configured size.
-    #[test]
-    fn fixed_sizes_are_exact(
-        data in proptest::collection::vec(any::<u8>(), 1..10_000),
-        size in 1usize..2_000,
-    ) {
+/// All fixed chunks except the tail have exactly the configured size.
+#[test]
+fn fixed_sizes_are_exact() {
+    Cases::new("fixed_sizes_are_exact", 0xC4A_0002).run(64, |rng| {
+        let data = testkit::vec_u8(rng, 1, 10_000);
+        let size = testkit::usize_in(rng, 1, 1_999);
         let chunker = FixedChunker::new(size);
         let chunks: Vec<_> = chunker.chunk(&data).collect();
         for c in &chunks[..chunks.len() - 1] {
-            prop_assert_eq!(c.data.len(), size);
+            assert_eq!(c.data.len(), size);
         }
-    }
+    });
+}
 
-    /// Content-defined chunking reassembles exactly and honours bounds.
-    #[test]
-    fn rabin_is_lossless_and_bounded(
-        data in proptest::collection::vec(any::<u8>(), 0..60_000),
-    ) {
+/// Content-defined chunking reassembles exactly and honours bounds.
+#[test]
+fn rabin_is_lossless_and_bounded() {
+    Cases::new("rabin_is_lossless_and_bounded", 0xC4A_0003).run(64, |rng| {
+        let data = testkit::vec_u8(rng, 0, 60_000);
         let cfg = RabinConfig {
             min_size: 256,
             avg_size: 1024,
@@ -50,21 +49,24 @@ proptest! {
         let mut rebuilt = Vec::with_capacity(data.len());
         let chunks: Vec<_> = chunker.chunk(&data).collect();
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert!(c.data.len() <= cfg.max_size);
+            assert!(c.data.len() <= cfg.max_size);
             if i + 1 < chunks.len() {
-                prop_assert!(c.data.len() >= cfg.min_size);
+                assert!(c.data.len() >= cfg.min_size);
             }
             rebuilt.extend_from_slice(c.data);
         }
-        prop_assert_eq!(rebuilt, data);
-    }
+        assert_eq!(rebuilt, data);
+    });
+}
 
-    /// Chunking is deterministic: equal inputs give equal cut points.
-    #[test]
-    fn rabin_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+/// Chunking is deterministic: equal inputs give equal cut points.
+#[test]
+fn rabin_is_deterministic() {
+    Cases::new("rabin_is_deterministic", 0xC4A_0004).run(64, |rng| {
+        let data = testkit::vec_u8(rng, 0, 20_000);
         let chunker = RabinChunker::new(RabinConfig::default());
         let a: Vec<usize> = chunker.chunk(&data).map(|c| c.data.len()).collect();
         let b: Vec<usize> = chunker.chunk(&data).map(|c| c.data.len()).collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

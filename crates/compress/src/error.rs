@@ -46,7 +46,10 @@ impl fmt::Display for CodecError {
                 write!(f, "decoded {got} bytes but header declared {expected}")
             }
             CodecError::BadChecksum { stored, actual } => {
-                write!(f, "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                )
             }
         }
     }

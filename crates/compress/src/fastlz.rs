@@ -51,12 +51,7 @@ impl FastLz {
 /// relative distances, so the produced tokens decode correctly whenever at
 /// least `start` bytes of history precede them — the property the GPU
 /// post-processor relies on.
-pub(crate) fn tokenize_region(
-    input: &[u8],
-    start: usize,
-    end: usize,
-    window: usize,
-) -> Vec<Token> {
+pub(crate) fn tokenize_region(input: &[u8], start: usize, end: usize, window: usize) -> Vec<Token> {
     debug_assert!(start <= end && end <= input.len());
     let mut tokens = Vec::new();
     let mut table = [usize::MAX; TABLE_SIZE];
@@ -135,7 +130,11 @@ mod tests {
     fn round_trip(data: &[u8]) {
         let codec = FastLz::new();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "round trip failed");
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "round trip failed"
+        );
     }
 
     #[test]

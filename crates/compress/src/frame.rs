@@ -247,7 +247,10 @@ mod tests {
         block.pop();
         assert!(matches!(
             open(&block),
-            Err(CodecError::LengthMismatch { expected: 6, got: 5 })
+            Err(CodecError::LengthMismatch {
+                expected: 6,
+                got: 5
+            })
         ));
     }
 
@@ -267,7 +270,10 @@ mod tests {
             let mut corrupt = protected.clone();
             corrupt[byte] ^= 0x40;
             assert!(
-                matches!(verify_and_strip(&corrupt), Err(CodecError::BadChecksum { .. })),
+                matches!(
+                    verify_and_strip(&corrupt),
+                    Err(CodecError::BadChecksum { .. })
+                ),
                 "flip at byte {byte} not detected"
             );
         }
@@ -295,6 +301,9 @@ mod tests {
         // Lie about the original length.
         block[1] = 5;
         block[2] = 0;
-        assert!(matches!(open(&block), Err(CodecError::LengthMismatch { .. })));
+        assert!(matches!(
+            open(&block),
+            Err(CodecError::LengthMismatch { .. })
+        ));
     }
 }

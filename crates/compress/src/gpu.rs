@@ -20,6 +20,7 @@
 
 use dr_des::{Grant, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuError, LaunchConfig, LaunchReport, MemAccess, WorkItemCost};
+use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::error::CodecError;
 use crate::fastlz::tokenize_region;
@@ -51,7 +52,10 @@ impl Default for GpuCompressorConfig {
 
 impl GpuCompressorConfig {
     fn validate(&self) {
-        assert!(self.threads_per_chunk > 0, "need at least one thread per chunk");
+        assert!(
+            self.threads_per_chunk > 0,
+            "need at least one thread per chunk"
+        );
         assert!(self.history > 0, "history buffer must be non-empty");
     }
 }
@@ -90,9 +94,33 @@ pub struct GpuBatchReport {
 /// assert_eq!(dr_compress::frame::open(&frames[0]).unwrap(), chunk);
 /// assert!(report.gpu_done > SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GpuCompressor {
     config: GpuCompressorConfig,
+    obs: GpuCompressObs,
+}
+
+/// Interned `compress.*` metric handles for the GPU path; inert until
+/// [`GpuCompressor::set_obs`].
+#[derive(Debug, Clone, Default)]
+struct GpuCompressObs {
+    batches: CounterHandle,
+    batch_chunks: HistogramHandle,
+    in_bytes: CounterHandle,
+    out_bytes: CounterHandle,
+    raw_token_bytes: CounterHandle,
+}
+
+impl GpuCompressObs {
+    fn new(obs: &ObsHandle) -> Self {
+        GpuCompressObs {
+            batches: obs.counter("compress.gpu_batches"),
+            batch_chunks: obs.histogram("compress.gpu_batch_chunks"),
+            in_bytes: obs.counter("compress.gpu_in_bytes"),
+            out_bytes: obs.counter("compress.gpu_out_bytes"),
+            raw_token_bytes: obs.counter("compress.gpu_raw_token_bytes"),
+        }
+    }
 }
 
 impl GpuCompressor {
@@ -103,12 +131,22 @@ impl GpuCompressor {
     /// Panics if `config` is inconsistent.
     pub fn new(config: GpuCompressorConfig) -> Self {
         config.validate();
-        GpuCompressor { config }
+        GpuCompressor {
+            config,
+            obs: GpuCompressObs::default(),
+        }
     }
 
     /// The kernel parameters.
     pub fn config(&self) -> GpuCompressorConfig {
         self.config
+    }
+
+    /// Wires metrics into `obs` under the `compress.*` namespace: batch
+    /// count and occupancy (chunks per batch), input/output bytes, and
+    /// the raw token volume the CPU must post-process.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = GpuCompressObs::new(obs);
     }
 
     /// Compresses a batch of chunks on `gpu`, starting at `now`.
@@ -205,6 +243,13 @@ impl GpuCompressor {
             .collect();
 
         let gpu_done = d2h.end;
+        self.obs.batches.incr();
+        self.obs.batch_chunks.record(chunks.len() as u64);
+        self.obs.in_bytes.add(total_in as u64);
+        self.obs
+            .out_bytes
+            .add(frames.iter().map(|f| f.len() as u64).sum());
+        self.obs.raw_token_bytes.add(raw_token_bytes);
         Ok((
             frames,
             GpuBatchReport {
@@ -373,6 +418,40 @@ mod tests {
         let block = c.compress_functional(&chunk);
         // Frame adds 5 bytes of header over the raw encoding (LZ method).
         assert_eq!(block.len(), c.encoded_len(&chunk) + 5);
+    }
+
+    #[test]
+    fn obs_records_batches_and_bytes() {
+        let obs = ObsHandle::enabled("t");
+        let mut c = compressor();
+        c.set_obs(&obs);
+        let chunks: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 4096]).collect();
+        let views: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let (frames, report) = c.compress_batch(SimTime::ZERO, &mut gpu(), &views).unwrap();
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("compress.gpu_batches"), 1);
+        assert_eq!(counter("compress.gpu_in_bytes"), 3 * 4096);
+        assert_eq!(
+            counter("compress.gpu_out_bytes"),
+            frames.iter().map(|f| f.len() as u64).sum::<u64>()
+        );
+        assert_eq!(
+            counter("compress.gpu_raw_token_bytes"),
+            report.raw_token_bytes
+        );
+        let (_, occ) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "compress.gpu_batch_chunks")
+            .expect("batch occupancy recorded");
+        assert_eq!((occ.count, occ.max), (1, 3));
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
     let mut prev: Vec<Item> = Vec::new();
     for _level in 0..MAX_BITS {
         // Merge leaves with packages from the previous level, sorted.
-        let mut merged: Vec<Item> = leaves.iter().cloned().chain(prev.into_iter()).collect();
+        let mut merged: Vec<Item> = leaves.iter().cloned().chain(prev).collect();
         merged.sort_by_key(|i| i.weight);
         // Package pairs.
         prev = merged
@@ -243,7 +243,9 @@ mod tests {
 
     #[test]
     fn two_symbols() {
-        let data: Vec<u8> = (0..500).map(|i| if i % 3 == 0 { b'a' } else { b'b' }).collect();
+        let data: Vec<u8> = (0..500)
+            .map(|i| if i % 3 == 0 { b'a' } else { b'b' })
+            .collect();
         round_trip(&data);
     }
 
@@ -251,7 +253,12 @@ mod tests {
     fn skewed_text_compresses() {
         let data = b"aaaaaaaaaaaaaaaaaaaabbbbbbbbbbcccccd".repeat(50);
         let enc = huffman_encode(&data);
-        assert!(enc.len() < data.len() / 2, "encoded {} of {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 2,
+            "encoded {} of {}",
+            enc.len(),
+            data.len()
+        );
         round_trip(&data);
     }
 

@@ -203,7 +203,7 @@ mod tests {
     fn window_limits_match_distance() {
         // Matches must not reach past a small window.
         let mut data = b"NEEDLE-PATTERN".to_vec();
-        data.extend(std::iter::repeat(b'.').take(1000));
+        data.extend(std::iter::repeat_n(b'.', 1000));
         data.extend_from_slice(b"NEEDLE-PATTERN");
         let codec = Lz77::with_params(128, 16);
         for t in codec.tokenize(&data) {

@@ -1,66 +1,96 @@
-//! Property tests: every codec is lossless on arbitrary inputs.
+//! Randomized tests: every codec is lossless on arbitrary inputs.
 
 use dr_compress::{Codec, FastLz, GpuCompressor, GpuCompressorConfig, Lz77};
-use proptest::prelude::*;
+use dr_des::testkit::{self, Cases};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn fastlz_round_trips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+#[test]
+fn fastlz_round_trips() {
+    Cases::new("fastlz_round_trips", 0xC02_0001).run(128, |rng| {
+        let data = testkit::vec_u8(rng, 0, 8192);
         let codec = FastLz::new();
         let packed = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn lz77_round_trips(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+#[test]
+fn lz77_round_trips() {
+    Cases::new("lz77_round_trips", 0xC02_0002).run(128, |rng| {
+        let data = testkit::vec_u8(rng, 0, 8192);
         let codec = Lz77::new();
         let packed = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn gpu_subchunk_round_trips(
-        data in proptest::collection::vec(any::<u8>(), 0..8192),
-        threads in 1usize..16,
-        history in 1usize..1024,
-    ) {
-        let comp = GpuCompressor::new(GpuCompressorConfig { threads_per_chunk: threads, history });
+#[test]
+fn gpu_subchunk_round_trips() {
+    Cases::new("gpu_subchunk_round_trips", 0xC02_0003).run(128, |rng| {
+        let data = testkit::vec_u8(rng, 0, 8192);
+        let threads = testkit::usize_in(rng, 1, 15);
+        let history = testkit::usize_in(rng, 1, 1023);
+        let comp = GpuCompressor::new(GpuCompressorConfig {
+            threads_per_chunk: threads,
+            history,
+        });
         let block = comp.compress_functional(&data);
-        prop_assert_eq!(comp.decompress(&block).unwrap(), data);
-    }
+        assert_eq!(comp.decompress(&block).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn fastlz_round_trips_low_entropy(
-        data in proptest::collection::vec(0u8..4, 0..8192)
-    ) {
+#[test]
+fn fastlz_round_trips_low_entropy() {
+    Cases::new("fastlz_round_trips_low_entropy", 0xC02_0004).run(128, |rng| {
         // Low-entropy inputs exercise long matches and overlapping copies.
+        let len = testkit::usize_in(rng, 0, 8191);
+        let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() % 4) as u8).collect();
         let codec = FastLz::new();
         let packed = codec.compress(&data);
-        prop_assert!(data.is_empty() || packed.len() <= data.len() + 5);
-        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
-    }
+        assert!(data.is_empty() || packed.len() <= data.len() + 5);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn expansion_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn expansion_is_bounded() {
+    Cases::new("expansion_is_bounded", 0xC02_0005).run(128, |rng| {
         // Stored-raw fallback bounds worst-case expansion to the header.
+        let data = testkit::vec_u8(rng, 0, 4096);
         for packed in [
             FastLz::new().compress(&data),
             Lz77::new().compress(&data),
             GpuCompressor::new(GpuCompressorConfig::default()).compress_functional(&data),
         ] {
-            prop_assert!(packed.len() <= data.len() + 5);
+            assert!(packed.len() <= data.len() + 5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn codecs_decode_each_others_frames(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn codecs_decode_each_others_frames() {
+    Cases::new("codecs_decode_each_others_frames", 0xC02_0006).run(128, |rng| {
         // All paths share one frame format: FastLz frames decode with Lz77's
         // decoder and vice versa.
+        let data = testkit::vec_u8(rng, 0, 4096);
         let a = FastLz::new().compress(&data);
         let b = Lz77::new().compress(&data);
-        prop_assert_eq!(Lz77::new().decompress(&a).unwrap(), data.clone());
-        prop_assert_eq!(FastLz::new().decompress(&b).unwrap(), data);
-    }
+        assert_eq!(Lz77::new().decompress(&a).unwrap(), data.clone());
+        assert_eq!(FastLz::new().decompress(&b).unwrap(), data);
+    });
+}
+
+#[test]
+fn codecs_shrink_compressible_data() {
+    Cases::new("codecs_shrink_compressible_data", 0xC02_0007).run(64, |rng| {
+        // Run-heavy inputs must actually compress, not just round-trip.
+        let data = testkit::vec_u8_compressible(rng, 1024, 8192);
+        let packed = FastLz::new().compress(&data);
+        assert!(
+            packed.len() < data.len(),
+            "{} !< {}",
+            packed.len(),
+            data.len()
+        );
+        assert_eq!(FastLz::new().decompress(&packed).unwrap(), data);
+    });
 }

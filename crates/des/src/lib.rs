@@ -10,7 +10,9 @@
 //!   command queues, PCIe links and SSD channels,
 //! * [`stats`] — counters, histograms and throughput meters,
 //! * [`rng`] — a tiny deterministic RNG (SplitMix64 / xoshiro256**) so device
-//!   models do not need an external dependency for reproducible noise.
+//!   models do not need an external dependency for reproducible noise,
+//! * [`testkit`] — a seeded randomized-test harness the workspace's test
+//!   suites use in place of an external property-testing framework.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod testkit;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};

@@ -108,7 +108,10 @@ impl Resource {
 
     /// The earliest instant at which any slot is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.slots.peek().map(|Reverse(t)| *t).expect("capacity > 0")
+        self.slots
+            .peek()
+            .map(|Reverse(t)| *t)
+            .expect("capacity > 0")
     }
 
     /// True when a job arriving at `at` would have to queue (all slots busy

@@ -149,7 +149,11 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
                 return Some(upper.min(self.max).max(self.min));
             }
         }

@@ -1,36 +1,38 @@
-//! Property tests: DES kernel invariants.
+//! Randomized tests: DES kernel invariants.
 
+use dr_des::testkit::{self, Cases};
 use dr_des::{EventQueue, Histogram, Resource, SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Events always pop in non-decreasing time order, FIFO within ties.
-    #[test]
-    fn event_queue_orders(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+/// Events always pop in non-decreasing time order, FIFO within ties.
+#[test]
+fn event_queue_orders() {
+    Cases::new("event_queue_orders", 0xD35_0001).run(96, |rng| {
+        let n = testkit::usize_in(rng, 0, 199);
+        let times: Vec<u64> = (0..n).map(|_| testkit::u64_in(rng, 0, 999)).collect();
         let mut q = EventQueue::new();
         for (seq, t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(*t), seq);
         }
         let drained = q.drain_ordered();
         for pair in drained.windows(2) {
-            prop_assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].time <= pair[1].time);
             if pair[0].time == pair[1].time {
-                prop_assert!(pair[0].payload < pair[1].payload, "FIFO violated");
+                assert!(pair[0].payload < pair[1].payload, "FIFO violated");
             }
         }
-        prop_assert_eq!(drained.len(), times.len());
-    }
+        assert_eq!(drained.len(), times.len());
+    });
+}
 
-    /// A capacity-c resource never runs more than c jobs concurrently,
-    /// never idles while work is waiting (work conservation for equal
-    /// arrivals), and serves every job.
-    #[test]
-    fn resource_respects_capacity(
-        durations in proptest::collection::vec(1u64..10_000, 1..100),
-        capacity in 1usize..8,
-    ) {
+/// A capacity-c resource never runs more than c jobs concurrently,
+/// never idles while work is waiting (work conservation for equal
+/// arrivals), and serves every job.
+#[test]
+fn resource_respects_capacity() {
+    Cases::new("resource_respects_capacity", 0xD35_0002).run(96, |rng| {
+        let n = testkit::usize_in(rng, 1, 99);
+        let durations: Vec<u64> = (0..n).map(|_| testkit::u64_in(rng, 1, 9_999)).collect();
+        let capacity = testkit::usize_in(rng, 1, 7);
         let mut r = Resource::new("r", capacity);
         let grants: Vec<_> = durations
             .iter()
@@ -42,39 +44,52 @@ proptest! {
                 .iter()
                 .filter(|o| o.start <= g.start && g.start < o.end)
                 .count();
-            prop_assert!(overlapping <= capacity, "{overlapping} > {capacity}");
+            assert!(overlapping <= capacity, "{overlapping} > {capacity}");
         }
         // Work conservation with all-zero arrivals: makespan * capacity >=
         // total work, and makespan <= total work (single slot bound).
         let total: u64 = durations.iter().sum();
         let makespan = r.makespan().as_nanos();
-        prop_assert!(makespan * capacity as u64 >= total);
-        prop_assert!(makespan <= total);
-        prop_assert_eq!(r.jobs_served(), durations.len() as u64);
-    }
+        assert!(makespan * capacity as u64 >= total);
+        assert!(makespan <= total);
+        assert_eq!(r.jobs_served(), durations.len() as u64);
+    });
+}
 
-    /// Histogram quantiles stay within [min, max] and are monotone in q.
-    #[test]
-    fn histogram_quantiles_are_sane(samples in proptest::collection::vec(any::<u32>(), 1..500)) {
+/// Histogram quantiles stay within [min, max] and are monotone in q.
+#[test]
+fn histogram_quantiles_are_sane() {
+    Cases::new("histogram_quantiles_are_sane", 0xD35_0003).run(96, |rng| {
+        let n = testkit::usize_in(rng, 1, 499);
+        let samples: Vec<u64> = (0..n)
+            .map(|_| testkit::u64_in(rng, 0, u32::MAX as u64))
+            .collect();
         let mut h = Histogram::new();
         for s in &samples {
-            h.record(*s as u64);
+            h.record(*s);
         }
         let min = h.min().unwrap();
         let max = h.max().unwrap();
         let mut last = 0u64;
         for q in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
             let v = h.quantile(q).unwrap();
-            prop_assert!(v >= min && v <= max, "q{q}: {v} outside [{min},{max}]");
-            prop_assert!(v >= last, "quantiles must be monotone");
+            assert!(v >= min && v <= max, "q{q}: {v} outside [{min},{max}]");
+            assert!(v >= last, "quantiles must be monotone");
             last = v;
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-    }
+        assert_eq!(h.count(), samples.len() as u64);
+    });
+}
 
-    /// Time arithmetic: (t + d) - d == t and durations sum exactly.
-    #[test]
-    fn time_arithmetic(base in 0u64..1 << 40, deltas in proptest::collection::vec(0u64..1 << 20, 0..50)) {
+/// Time arithmetic: (t + d) - d == t and durations sum exactly.
+#[test]
+fn time_arithmetic() {
+    Cases::new("time_arithmetic", 0xD35_0004).run(96, |rng| {
+        let base = testkit::u64_in(rng, 0, (1 << 40) - 1);
+        let n = testkit::usize_in(rng, 0, 49);
+        let deltas: Vec<u64> = (0..n)
+            .map(|_| testkit::u64_in(rng, 0, (1 << 20) - 1))
+            .collect();
         let t = SimTime::from_nanos(base);
         let mut acc = t;
         let mut total = SimDuration::ZERO;
@@ -82,7 +97,7 @@ proptest! {
             acc += SimDuration::from_nanos(*d);
             total += SimDuration::from_nanos(*d);
         }
-        prop_assert_eq!(acc.duration_since(t), total);
-        prop_assert_eq!(acc - total, t);
-    }
+        assert_eq!(acc.duration_since(t), total);
+        assert_eq!(acc - total, t);
+    });
 }

@@ -1,6 +1,7 @@
 //! The GPU device: memory, copy engine, compute queue and statistics.
 
 use dr_des::{Grant, Resource, SimDuration, SimTime};
+use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::error::GpuError;
 use crate::memory::{BufferId, DeviceMemory};
@@ -60,6 +61,30 @@ pub struct GpuStats {
     pub copy_busy: SimDuration,
 }
 
+/// Interned `gpu.*` metric handles; inert until [`GpuDevice::set_obs`].
+#[derive(Debug, Clone, Default)]
+struct GpuObs {
+    kernel_launches: CounterHandle,
+    kernel_latency_ns: HistogramHandle,
+    kernel_items: HistogramHandle,
+    h2d_bytes: CounterHandle,
+    d2h_bytes: CounterHandle,
+    transfer_ns: HistogramHandle,
+}
+
+impl GpuObs {
+    fn new(obs: &ObsHandle) -> Self {
+        GpuObs {
+            kernel_launches: obs.counter("gpu.kernel_launches"),
+            kernel_latency_ns: obs.histogram("gpu.kernel_latency_ns"),
+            kernel_items: obs.histogram("gpu.kernel_items"),
+            h2d_bytes: obs.counter("gpu.h2d_bytes"),
+            d2h_bytes: obs.counter("gpu.d2h_bytes"),
+            transfer_ns: obs.histogram("gpu.transfer_ns"),
+        }
+    }
+}
+
 /// The simulated GPU.
 ///
 /// Functionally a byte store plus a timing model: callers stage data into
@@ -88,6 +113,7 @@ pub struct GpuDevice {
     /// DMA copy engine (one per direction would overlap; model one shared).
     copy_engine: Resource,
     stats: GpuStats,
+    obs: GpuObs,
 }
 
 impl GpuDevice {
@@ -105,7 +131,15 @@ impl GpuDevice {
             mem,
             spec,
             stats: GpuStats::default(),
+            obs: GpuObs::default(),
         }
+    }
+
+    /// Wires metrics into `obs` under the `gpu.*` namespace: kernel-launch
+    /// count and simulated latency, batch sizes (work items per launch)
+    /// and PCIe transfer bytes/time.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = GpuObs::new(obs);
     }
 
     /// The hardware description.
@@ -168,6 +202,8 @@ impl GpuDevice {
         let grant = self.copy_engine.acquire(now, time);
         self.stats.h2d_bytes += data.len() as u64;
         self.stats.copy_busy += time;
+        self.obs.h2d_bytes.add(data.len() as u64);
+        self.obs.transfer_ns.record(time.as_nanos());
         Ok(grant)
     }
 
@@ -198,6 +234,8 @@ impl GpuDevice {
         let grant = self.copy_engine.acquire(now, time);
         self.stats.d2h_bytes += len;
         self.stats.copy_busy += time;
+        self.obs.d2h_bytes.add(len);
+        self.obs.transfer_ns.record(time.as_nanos());
         Ok((out, grant))
     }
 
@@ -243,6 +281,11 @@ impl GpuDevice {
         let grant = self.compute_queue.acquire(now, timing.duration());
         self.stats.kernels += 1;
         self.stats.kernel_busy += timing.duration();
+        self.obs.kernel_launches.incr();
+        self.obs
+            .kernel_latency_ns
+            .record(timing.duration().as_nanos());
+        self.obs.kernel_items.record(items.len() as u64);
         LaunchReport {
             name: config.name,
             grant,
@@ -363,6 +406,43 @@ mod tests {
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn obs_records_launches_and_transfers() {
+        let obs = ObsHandle::enabled("t");
+        let mut gpu = device();
+        gpu.set_obs(&obs);
+        let buf = gpu.alloc(1024).unwrap();
+        gpu.write_buffer(SimTime::ZERO, buf, 0, &[7u8; 512])
+            .unwrap();
+        gpu.read_buffer(SimTime::ZERO, buf, 0, 256).unwrap();
+        let items = vec![WorkItemCost::compute(1000); 32];
+        let r = gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &items);
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("gpu.kernel_launches"), 1);
+        assert_eq!(counter("gpu.h2d_bytes"), 512);
+        assert_eq!(counter("gpu.d2h_bytes"), 256);
+        let (_, lat) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "gpu.kernel_latency_ns")
+            .expect("latency recorded");
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, r.timing.duration().as_nanos());
+        let (_, batch) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "gpu.kernel_items")
+            .expect("batch occupancy recorded");
+        assert_eq!(batch.max, 32);
     }
 
     #[test]

@@ -63,7 +63,9 @@ mod tests {
             e.to_string(),
             "device out of memory: requested 10 bytes, 5 free"
         );
-        assert!(GpuError::InvalidBuffer(BufferId(3)).to_string().contains("3"));
+        assert!(GpuError::InvalidBuffer(BufferId(3))
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

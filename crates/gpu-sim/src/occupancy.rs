@@ -60,18 +60,19 @@ impl KernelResources {
     /// Panics if any footprint field is zero where that is meaningless.
     pub fn resident_waves(&self, spec: &GpuSpec, budget: &CuBudget) -> u32 {
         assert!(self.items_per_group > 0, "work groups cannot be empty");
-        assert!(self.registers_per_item > 0, "kernels use at least one register");
+        assert!(
+            self.registers_per_item > 0,
+            "kernels use at least one register"
+        );
         // Register limit: each wavefront needs simd_width × regs.
         let by_regs = budget.vgprs / self.registers_per_item;
         // Local-memory limit: groups per CU × waves per group.
         let waves_per_group = self.items_per_group.div_ceil(spec.simd_width);
-        let by_lds = if self.local_mem_per_group == 0 {
-            budget.max_waves
-        } else {
-            let groups = spec.local_mem_per_cu / self.local_mem_per_group;
-            groups.saturating_mul(waves_per_group)
+        let by_lds = match spec.local_mem_per_cu.checked_div(self.local_mem_per_group) {
+            None => budget.max_waves,
+            Some(groups) => groups.saturating_mul(waves_per_group),
         };
-        by_regs.min(by_lds).min(budget.max_waves).max(0)
+        by_regs.min(by_lds).min(budget.max_waves)
     }
 }
 

@@ -46,7 +46,9 @@ impl ChunkDigest {
     /// Panics if `n` is zero or greater than 8.
     pub fn prefix_u64(&self, n: usize) -> u64 {
         assert!((1..=8).contains(&n), "prefix length must be in 1..=8");
-        self.0[..n].iter().fold(0u64, |acc, &b| (acc << 8) | b as u64)
+        self.0[..n]
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 8) | b as u64)
     }
 
     /// The digest bytes after dropping an `n`-byte prefix — what the index

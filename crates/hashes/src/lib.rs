@@ -32,8 +32,8 @@ pub mod parallel;
 pub mod sha1;
 pub mod sha256;
 
-pub use digest::ChunkDigest;
 pub use crc32c::{crc32c, Crc32c};
+pub use digest::ChunkDigest;
 pub use fast::{fnv1a64, mix64, FastHasher};
 pub use parallel::{hash_chunks_parallel, ParallelHasher};
 pub use sha1::{sha1_digest, Sha1};

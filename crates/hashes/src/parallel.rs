@@ -25,7 +25,10 @@ use crate::sha1::sha1_digest;
 /// assert_eq!(ds[0], sha1_digest(b"aa"));
 /// assert_eq!(ds[1], sha1_digest(b"bb"));
 /// ```
-pub fn hash_chunks_parallel<T: AsRef<[u8]> + Sync>(chunks: &[T], workers: usize) -> Vec<ChunkDigest> {
+pub fn hash_chunks_parallel<T: AsRef<[u8]> + Sync>(
+    chunks: &[T],
+    workers: usize,
+) -> Vec<ChunkDigest> {
     ParallelHasher::new(workers).hash_batch(chunks)
 }
 

@@ -1,0 +1,152 @@
+//! Atomic scalar metrics: counters and gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter, updatable from any thread.
+///
+/// Relaxed ordering is deliberate: metrics never synchronize program state,
+/// they only have to end up with the right totals.
+///
+/// ```
+/// use dr_obs::Counter;
+/// let c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level that can move both ways (queue depths, occupancy,
+/// resident entries). Signed so transient imbalance in concurrent
+/// `add`/`sub` pairs cannot wrap.
+///
+/// ```
+/// use dr_obs::Gauge;
+/// let g = Gauge::new();
+/// g.add(10);
+/// g.sub(3);
+/// assert_eq!(g.get(), 7);
+/// g.set(42);
+/// assert_eq!(g.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), -2);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn counter_is_atomic_across_threads() {
+        let c = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn gauge_is_atomic_across_threads() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        if i % 2 == 0 {
+                            g.add(2);
+                        } else {
+                            g.sub(1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 threads add 2, 4 threads sub 1: net +4 per round of 8.
+        assert_eq!(g.get(), 4 * 2 * 10_000 - 4 * 10_000);
+    }
+}

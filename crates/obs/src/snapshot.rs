@@ -1,0 +1,299 @@
+//! Point-in-time metric snapshots with text and JSON rendering.
+
+use std::fmt;
+
+use crate::hist::Histogram;
+
+/// The digest of one histogram at snapshot time.
+///
+/// All fields are zero when the histogram was empty (`count == 0`), so
+/// downstream tooling never has to special-case nulls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact minimum sample.
+    pub min: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket-resolution, ≤ 12.5 % relative error).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Digests a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        if h.count() == 0 {
+            return HistogramSummary::default();
+        }
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            mean: h.mean().unwrap_or(0.0),
+            p50: h.quantile(0.5).unwrap_or(0),
+            p95: h.quantile(0.95).unwrap_or(0),
+            p99: h.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`](crate::Registry): every metric's
+/// name and value, each kind sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The registry label (e.g. the run or mode name).
+    pub name: String,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram digests, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as one JSON object.
+    ///
+    /// The serializer is hand-rolled (this crate depends on `std` alone):
+    /// counters and gauges become `name: value` maps, histograms become a
+    /// map of summary objects. Metric names pass through [`json_escape`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"name\": \"");
+        json_escape(&self.name, &mut out);
+        out.push_str("\",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            json_escape(k, &mut out);
+            out.push_str(&format!("\": {v}"));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            json_escape(k, &mut out);
+            out.push_str(&format!("\": {v}"));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (k, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            json_escape(k, &mut out);
+            out.push_str(&format!(
+                "\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                json_f64(s.mean),
+                s.p50,
+                s.p95,
+                s.p99
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+/// Renders several snapshots (one per run/mode) as a JSON array.
+pub fn snapshots_to_json(snapshots: &[Snapshot]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in snapshots.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// An `f64` as a JSON number: finite values print plainly, non-finite
+/// values (which JSON cannot express) degrade to 0.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Keep a decimal point so the field parses as a float everywhere.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    /// Pretty text rendering: aligned `name value` lines per section, and
+    /// a `count/mean/p50/p95/p99/max` line per histogram.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== metrics: {} ===", self.name)?;
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "  {k:<width$}  {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "  {k:<width$}  {v}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (k, s) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {k:<width$}  n={} mean={:.1} p50={} p95={} p99={} max={}",
+                    s.count, s.mean, s.p50, s.p95, s.p99, s.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHandle;
+
+    fn sample_snapshot() -> Snapshot {
+        let obs = ObsHandle::enabled("test-run");
+        obs.counter("router.to_cpu").add(7);
+        obs.gauge("index.resident_bins").set(-3);
+        let h = obs.histogram("index.probe_sim_ns");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        obs.snapshot().unwrap()
+    }
+
+    #[test]
+    fn json_has_all_sections_and_fields() {
+        let json = sample_snapshot().to_json();
+        assert!(json.contains("\"name\": \"test-run\""));
+        assert!(json.contains("\"router.to_cpu\": 7"));
+        assert!(json.contains("\"index.resident_bins\": -3"));
+        assert!(json.contains("\"index.probe_sim_ns\""));
+        for field in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+            assert!(json.contains(&format!("\"{field}\": ")), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut out = String::new();
+        json_escape("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn json_floats_are_always_floats() {
+        assert_eq!(json_f64(20.0), "20.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert!(json_f64(1.25).starts_with("1.25"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let snap = Snapshot {
+            name: "empty".into(),
+            ..Snapshot::default()
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(HistogramSummary::of(&h), HistogramSummary::default());
+    }
+
+    #[test]
+    fn snapshots_array_wraps_each_object() {
+        let a = sample_snapshot();
+        let mut b = sample_snapshot();
+        b.name = "second".into();
+        let json = snapshots_to_json(&[a, b]);
+        assert!(json.starts_with("[\n{"));
+        assert!(json.ends_with("}\n]"));
+        assert!(json.contains("\"test-run\""));
+        assert!(json.contains("\"second\""));
+    }
+
+    #[test]
+    fn display_lists_every_metric() {
+        let text = sample_snapshot().to_string();
+        assert!(text.contains("=== metrics: test-run ==="));
+        assert!(text.contains("router.to_cpu"));
+        assert!(text.contains("index.resident_bins"));
+        assert!(text.contains("index.probe_sim_ns"));
+        assert!(text.contains("p95="));
+    }
+}

@@ -106,7 +106,10 @@ impl BackgroundReducer {
             let first = self.next_lpn;
             let mut padded = block.clone();
             padded.resize(pages_per_chunk * self.ssd.spec().page_bytes as usize, 0);
-            for (i, page) in padded.chunks(self.ssd.spec().page_bytes as usize).enumerate() {
+            for (i, page) in padded
+                .chunks(self.ssd.spec().page_bytes as usize)
+                .enumerate()
+            {
                 let g = self
                     .ssd
                     .write_page(self.clock, first + i as u64, page)
@@ -198,10 +201,21 @@ impl EnduranceComparison {
 
 /// Runs `blocks` through all three systems on identical SSD profiles.
 pub fn compare_endurance(blocks: &[Vec<u8>], ssd_spec: &SsdSpec) -> EnduranceComparison {
+    compare_endurance_with_obs(blocks, ssd_spec, &dr_obs::ObsHandle::disabled())
+}
+
+/// [`compare_endurance`] with the inline pipeline wired to `obs`, so the
+/// wear comparison also yields the inline system's destage/SSD metrics.
+pub fn compare_endurance_with_obs(
+    blocks: &[Vec<u8>],
+    ssd_spec: &SsdSpec,
+    obs: &dr_obs::ObsHandle,
+) -> EnduranceComparison {
     // Inline.
     let mut inline_pipeline = Pipeline::new(PipelineConfig {
         mode: IntegrationMode::CpuOnly,
         ssd_spec: ssd_spec.clone(),
+        obs: obs.clone(),
         ..PipelineConfig::default()
     });
     let inline_report = inline_pipeline.run_blocks(blocks.to_vec());
@@ -268,7 +282,11 @@ mod tests {
         let data = blocks(32); // 8 unique patterns
         bg.ingest(&data);
         let report = bg.reduce_when_idle();
-        assert!(report.reduction_ratio() > 4.0, "{}", report.reduction_ratio());
+        assert!(
+            report.reduction_ratio() > 4.0,
+            "{}",
+            report.reduction_ratio()
+        );
         assert!(report.reduction_end > report.ingest_end);
         // Raw copies trimmed: reading one back fails.
         assert!(bg.ssd.read_page(report.reduction_end, 0).is_err());

@@ -44,7 +44,9 @@ pub fn dummy_stream(blocks: usize, block_bytes: usize) -> Vec<u8> {
         let mut state = id as u64 * 2 + 1;
         // Half random, half repeating: compression ratio ≈ 2.
         for b in block[..block_bytes / 2].iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (state >> 33) as u8;
         }
         let tag = (id as u32).to_le_bytes();

@@ -144,7 +144,10 @@ mod tests {
         let m = CpuModel::default();
         let per_chunk = m.compress_cost(4096, 1.0).as_secs_f64();
         let iops = m.workers as f64 / per_chunk;
-        assert!((45_000.0..55_000.0).contains(&iops), "CPU codec IOPS {iops}");
+        assert!(
+            (45_000.0..55_000.0).contains(&iops),
+            "CPU codec IOPS {iops}"
+        );
     }
 
     #[test]

@@ -8,7 +8,34 @@
 
 use dr_binindex::ChunkRef;
 use dr_des::{Grant, SimTime};
+use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 use dr_ssd_sim::{SsdDevice, SsdError};
+
+/// Interned `destage.*` metrics; inert by default.
+#[derive(Debug, Clone, Default)]
+struct DestageObs {
+    appends: CounterHandle,
+    appended_bytes: CounterHandle,
+    data_pages: CounterHandle,
+    index_pages: CounterHandle,
+    partial_flushes: CounterHandle,
+    /// Simulated latency of each destaged data page: frame-ready to
+    /// write-grant end, so device queueing is included.
+    sim_ns: HistogramHandle,
+}
+
+impl DestageObs {
+    fn new(obs: &ObsHandle) -> Self {
+        DestageObs {
+            appends: obs.counter("destage.appends"),
+            appended_bytes: obs.counter("destage.appended_bytes"),
+            data_pages: obs.counter("destage.data_pages"),
+            index_pages: obs.counter("destage.index_pages"),
+            partial_flushes: obs.counter("destage.partial_flushes"),
+            sim_ns: obs.histogram("destage.sim_ns"),
+        }
+    }
+}
 
 /// The append-only destage log.
 ///
@@ -26,6 +53,7 @@ pub struct Destager {
     buf: Vec<u8>,
     /// Total frame bytes appended (pre-padding).
     appended_bytes: u64,
+    obs: DestageObs,
 }
 
 impl Destager {
@@ -38,7 +66,14 @@ impl Destager {
             next_index_lpn: ssd.logical_pages() - 1,
             buf: Vec::with_capacity(page_bytes),
             appended_bytes: 0,
+            obs: DestageObs::default(),
         }
+    }
+
+    /// Wires this destager to an observability registry; pass a disabled
+    /// handle (the default) to turn recording off.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = DestageObs::new(obs);
     }
 
     /// Total frame bytes appended so far (excludes page padding).
@@ -67,6 +102,8 @@ impl Destager {
         let addr = self.next_data_lpn * self.page_bytes as u64 + self.buf.len() as u64;
         self.buf.extend_from_slice(frame);
         self.appended_bytes += frame.len() as u64;
+        self.obs.appends.incr();
+        self.obs.appended_bytes.add(frame.len() as u64);
         let mut grants = Vec::new();
         while self.buf.len() >= self.page_bytes {
             let page: Vec<u8> = self.buf.drain(..self.page_bytes).collect();
@@ -75,6 +112,10 @@ impl Destager {
             }
             let g = ssd.write_page(now, self.next_data_lpn, &page)?;
             self.next_data_lpn += 1;
+            self.obs.data_pages.incr();
+            self.obs
+                .sim_ns
+                .record(g.end.saturating_duration_since(now).as_nanos());
             grants.push(g);
         }
         Ok((ChunkRef::new(addr, frame.len() as u32), grants))
@@ -97,6 +138,11 @@ impl Destager {
         }
         let g = ssd.write_page(now, self.next_data_lpn, &page)?;
         self.next_data_lpn += 1;
+        self.obs.partial_flushes.incr();
+        self.obs.data_pages.incr();
+        self.obs
+            .sim_ns
+            .record(g.end.saturating_duration_since(now).as_nanos());
         // Future appends continue on a fresh page; the flushed page keeps
         // its data addressable (reads use absolute byte addresses).
         Ok(Some(g))
@@ -123,6 +169,7 @@ impl Destager {
             }
             let g = ssd.write_page(now, self.next_index_lpn, &payload)?;
             self.next_index_lpn -= 1;
+            self.obs.index_pages.incr();
             grants.push(g);
         }
         Ok(grants)
@@ -148,7 +195,8 @@ impl Destager {
         }
         let first_page = start / self.page_bytes as u64;
         let last_page = (end - 1) / self.page_bytes as u64;
-        let mut bytes = Vec::with_capacity(((last_page - first_page + 1) as usize) * self.page_bytes);
+        let mut bytes =
+            Vec::with_capacity(((last_page - first_page + 1) as usize) * self.page_bytes);
         for lpn in first_page..=last_page {
             let (page, _) = ssd.read_page(now, lpn)?;
             bytes.extend_from_slice(&page);
@@ -189,7 +237,9 @@ mod tests {
     fn filling_a_page_writes_it() {
         let mut dev = ssd();
         let mut log = Destager::new(&dev);
-        let (_, grants) = log.append(SimTime::ZERO, &mut dev, &vec![7u8; 5000]).unwrap();
+        let (_, grants) = log
+            .append(SimTime::ZERO, &mut dev, &vec![7u8; 5000])
+            .unwrap();
         assert_eq!(grants.len(), 1); // one full page written, 904 buffered
         assert_eq!(log.data_pages_written(), 1);
     }
@@ -202,8 +252,14 @@ mod tests {
         let frame_b: Vec<u8> = (0..3000u32).map(|i| (i % 13) as u8).collect();
         let (ra, _) = log.append(SimTime::ZERO, &mut dev, &frame_a).unwrap();
         let (rb, _) = log.append(SimTime::ZERO, &mut dev, &frame_b).unwrap();
-        assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, ra).unwrap(), frame_a);
-        assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, rb).unwrap(), frame_b);
+        assert_eq!(
+            log.read_chunk(SimTime::ZERO, &mut dev, ra).unwrap(),
+            frame_a
+        );
+        assert_eq!(
+            log.read_chunk(SimTime::ZERO, &mut dev, rb).unwrap(),
+            frame_b
+        );
     }
 
     #[test]
@@ -232,7 +288,7 @@ mod tests {
         let mut log = Destager::new(&dev);
         let grants = log.append_index(SimTime::ZERO, &mut dev, 10_000).unwrap();
         assert_eq!(grants.len(), 3); // ceil(10000 / 4096)
-        // Data log is untouched.
+                                     // Data log is untouched.
         assert_eq!(log.data_pages_written(), 0);
         let _ = top;
     }
@@ -244,6 +300,38 @@ mod tests {
         log.append(SimTime::ZERO, &mut dev, &[0u8; 123]).unwrap();
         log.flush(SimTime::ZERO, &mut dev).unwrap();
         assert_eq!(log.appended_bytes(), 123);
+    }
+
+    #[test]
+    fn obs_records_pages_and_bytes() {
+        use dr_obs::ObsHandle;
+        let obs = ObsHandle::enabled("destage-test");
+        let mut dev = ssd();
+        let mut log = Destager::new(&dev);
+        log.set_obs(&obs);
+        log.append(SimTime::ZERO, &mut dev, &vec![7u8; 5000])
+            .unwrap();
+        log.flush(SimTime::ZERO, &mut dev).unwrap();
+        log.append_index(SimTime::ZERO, &mut dev, 10_000).unwrap();
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("destage.appends"), Some(1));
+        assert_eq!(counter("destage.appended_bytes"), Some(5000));
+        assert_eq!(counter("destage.data_pages"), Some(2)); // 1 full + 1 padded
+        assert_eq!(counter("destage.partial_flushes"), Some(1));
+        assert_eq!(counter("destage.index_pages"), Some(3));
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "destage.sim_ns")
+            .expect("destage.sim_ns present");
+        assert_eq!(hist.count, 2);
+        assert!(hist.min > 0, "page writes take simulated time");
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub mod pipeline;
 pub mod report;
 pub mod volume;
 
-pub use background::{compare_endurance, BackgroundReducer, BackgroundReport, EnduranceComparison};
+pub use background::{
+    compare_endurance, compare_endurance_with_obs, BackgroundReducer, BackgroundReport,
+    EnduranceComparison,
+};
 pub use calibrate::{calibrate, CalibrationOutcome};
 pub use cpu_model::CpuModel;
 pub use destage::Destager;

@@ -2,12 +2,14 @@
 
 use dr_binindex::{
     BinHit, BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig, GpuProbe,
+    RoutingObs,
 };
 use dr_chunking::{Chunker, FixedChunker};
 use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
 use dr_des::{Resource, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::sha1_digest;
+use dr_obs::{CounterHandle, GaugeHandle, ObsHandle, StageObs};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 
 use crate::cpu_model::CpuModel;
@@ -43,7 +45,10 @@ impl IntegrationMode {
 
     /// True when the GPU handles indexing.
     pub fn gpu_dedup(&self) -> bool {
-        matches!(self, IntegrationMode::GpuForDedup | IntegrationMode::GpuForBoth)
+        matches!(
+            self,
+            IntegrationMode::GpuForDedup | IntegrationMode::GpuForBoth
+        )
     }
 
     /// True when the GPU handles compression.
@@ -64,6 +69,26 @@ impl std::fmt::Display for IntegrationMode {
             IntegrationMode::GpuForBoth => "gpu-both",
         };
         f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for IntegrationMode {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names, so mode flags on
+    /// the bench binaries round-trip: `cpu-only`, `gpu-dedup`,
+    /// `gpu-compression`, `gpu-both`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu-only" => Ok(IntegrationMode::CpuOnly),
+            "gpu-dedup" => Ok(IntegrationMode::GpuForDedup),
+            "gpu-compression" => Ok(IntegrationMode::GpuForCompression),
+            "gpu-both" => Ok(IntegrationMode::GpuForBoth),
+            other => Err(format!(
+                "unknown integration mode {other:?} \
+                 (expected cpu-only, gpu-dedup, gpu-compression or gpu-both)"
+            )),
+        }
     }
 }
 
@@ -100,6 +125,12 @@ pub struct PipelineConfig {
     /// verify it on reads, so device corruption is detected instead of
     /// silently decompressed.
     pub integrity: bool,
+    /// Observability sink. The default handle is disabled, which makes
+    /// every instrumentation point a no-op; pass
+    /// [`ObsHandle::enabled`]/[`ObsHandle::with_registry`] to record
+    /// per-stage latency histograms and counters across every layer
+    /// (index, GPU, SSD, destage, compression).
+    pub obs: ObsHandle,
 }
 
 impl Default for PipelineConfig {
@@ -118,6 +149,49 @@ impl Default for PipelineConfig {
             compress_enabled: true,
             verify: false,
             integrity: false,
+            obs: ObsHandle::disabled(),
+        }
+    }
+}
+
+/// The pipeline's own interned stage metrics; inert when observability is
+/// disabled. Device- and index-level metrics live with their owners (the
+/// pipeline only distributes the handle to them).
+#[derive(Debug, Clone, Default)]
+struct PipelineObs {
+    batches: CounterHandle,
+    /// `chunking.wall_ns` / `chunking.sim_ns`.
+    chunking: StageObs,
+    /// `hashing.wall_ns` / `hashing.sim_ns`.
+    hashing: StageObs,
+    /// `index.probe_wall_ns` / `index.probe_sim_ns` — the dedup lookup
+    /// stage as the pipeline sees it (the index's own `index.*` counters
+    /// break the probes down by where they resolved).
+    index_probe: StageObs,
+    /// `compress.wall_ns` / `compress.sim_ns`.
+    compress: StageObs,
+    /// Cumulative compressor input/output levels (gauges, so a report can
+    /// also subtract to show a window).
+    compress_in_bytes: GaugeHandle,
+    compress_out_bytes: GaugeHandle,
+    /// The CPU-vs-GPU probe routing decision counters (`router.*`).
+    routing: RoutingObs,
+}
+
+impl PipelineObs {
+    fn new(obs: &ObsHandle) -> Self {
+        PipelineObs {
+            batches: obs.counter("pipeline.batches"),
+            chunking: obs.stage("chunking"),
+            hashing: obs.stage("hashing"),
+            index_probe: StageObs {
+                wall: obs.histogram("index.probe_wall_ns"),
+                sim: obs.histogram("index.probe_sim_ns"),
+            },
+            compress: obs.stage("compress"),
+            compress_in_bytes: obs.gauge("compress.in_bytes"),
+            compress_out_bytes: obs.gauge("compress.out_bytes"),
+            routing: RoutingObs::new(obs),
         }
     }
 }
@@ -159,6 +233,7 @@ pub struct Pipeline {
     codec: FastLz,
     ssd: SsdDevice,
     destage: Destager,
+    obs: PipelineObs,
     report: Report,
     /// The stream recipe: one stored-chunk reference per ingested chunk,
     /// in write order. Duplicates point at the shared stored copy — this
@@ -179,6 +254,7 @@ impl Pipeline {
         assert!(config.batch_chunks > 0, "batch size must be positive");
         config.cpu.validate();
         let mut gpu = GpuDevice::new(config.gpu_spec.clone());
+        gpu.set_obs(&config.obs);
         let gpu_index = if config.mode.gpu_dedup() && config.dedup_enabled {
             let mut cfg = config.gpu_index;
             cfg.prefix_bytes = config.index.prefix_bytes;
@@ -186,22 +262,35 @@ impl Pipeline {
         } else {
             None
         };
-        let ssd = SsdDevice::new(config.ssd_spec.clone());
-        let destage = Destager::new(&ssd);
+        let mut ssd = SsdDevice::new(config.ssd_spec.clone());
+        ssd.set_obs(&config.obs);
+        let mut destage = Destager::new(&ssd);
+        destage.set_obs(&config.obs);
+        let mut index = BinIndex::new(config.index);
+        index.set_obs(&config.obs);
+        let mut gpu_comp = GpuCompressor::new(config.gpu_compressor);
+        gpu_comp.set_obs(&config.obs);
         let report = Report::new(config.mode);
         Pipeline {
             cpu: Resource::new("cpu-workers", config.cpu.workers),
-            index: BinIndex::new(config.index),
-            gpu_comp: GpuCompressor::new(config.gpu_compressor),
+            index,
+            gpu_comp,
             codec: FastLz::new(),
             gpu,
             gpu_index,
             ssd,
             destage,
+            obs: PipelineObs::new(&config.obs),
             report,
             recipe: Vec::new(),
             config,
         }
+    }
+
+    /// The observability handle this pipeline records into (disabled
+    /// unless one was supplied in the configuration).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.config.obs
     }
 
     /// The configuration.
@@ -270,7 +359,9 @@ impl Pipeline {
     /// [`PipelineConfig::chunk_bytes`]) and returns the final report.
     pub fn run(&mut self, stream: &[u8]) -> Report {
         let chunker = FixedChunker::new(self.config.chunk_bytes);
+        let span = self.obs.chunking.span();
         let blocks: Vec<Vec<u8>> = chunker.chunk(stream).map(|c| c.data.to_vec()).collect();
+        span.finish();
         self.run_blocks(blocks)
     }
 
@@ -300,6 +391,8 @@ impl Pipeline {
         if let Ok(Some(g)) = self.destage.flush(now, &mut self.ssd) {
             self.report.ssd_end = self.report.ssd_end.max(g.end);
         }
+        // End-of-run gauge sweep: per-bin occupancy (recorded once).
+        self.index.record_bin_occupancy();
         self.report.index_stats = self.index.stats();
         self.report.ssd_writes = self.ssd.stats().writes;
         self.report.ssd_bytes_written = self.ssd.stats().bytes_written;
@@ -320,12 +413,18 @@ impl Pipeline {
         // Fingerprinting only exists on behalf of dedup; the paper's
         // compression-only experiment does not hash.
         let dedup_enabled = self.config.dedup_enabled;
+        self.obs.batches.incr();
+        let hash_span = self.obs.hashing.span();
         let mut chunks: Vec<InFlight> = blocks
             .into_iter()
             .map(|data| {
-                let mut cost = cpu_model.chunk_cost(data.len()) + cpu_model.overhead_cost();
+                let chunk_cost = cpu_model.chunk_cost(data.len()) + cpu_model.overhead_cost();
+                self.obs.chunking.record_sim_ns(chunk_cost.as_nanos());
+                let mut cost = chunk_cost;
                 if dedup_enabled {
-                    cost += cpu_model.hash_cost(data.len());
+                    let hash_cost = cpu_model.hash_cost(data.len());
+                    self.obs.hashing.record_sim_ns(hash_cost.as_nanos());
+                    cost += hash_cost;
                 }
                 let g = self.cpu.acquire(arrival, cost);
                 let digest = sha1_digest(&data);
@@ -337,12 +436,15 @@ impl Pipeline {
                 }
             })
             .collect();
+        hash_span.finish();
         self.report.chunks += chunks.len() as u64;
         self.report.bytes_in += chunks.iter().map(|c| c.data.len() as u64).sum::<u64>();
 
         // ---- Stage 3: deduplication. ----
         if self.config.dedup_enabled {
+            let probe_span = self.obs.index_probe.span();
             self.dedup_batch(&mut chunks);
+            probe_span.finish();
             // Intra-batch duplicates: an earlier chunk of this batch may
             // cover a later one. In the paper's per-chunk pipeline the
             // index is updated before the next probe; batching must not
@@ -357,6 +459,9 @@ impl Pipeline {
                 if pending.contains(&chunk.digest) {
                     // Found in the bin buffer, where the first instance's
                     // insert will have just landed.
+                    self.obs
+                        .index_probe
+                        .record_sim_ns(cpu_model.buffer_probe_cost().as_nanos());
                     let g = self
                         .cpu
                         .acquire(chunk.ready_at, cpu_model.buffer_probe_cost());
@@ -393,10 +498,22 @@ impl Pipeline {
                 })
                 .collect()
         } else if self.config.mode.gpu_compression() {
-            self.gpu_compress(&chunks, &unique)
+            let span = self.obs.compress.span();
+            let frames = self.gpu_compress(&chunks, &unique);
+            span.finish();
+            frames
         } else {
-            self.cpu_compress(&chunks, &unique)
+            let span = self.obs.compress.span();
+            let frames = self.cpu_compress(&chunks, &unique);
+            span.finish();
+            frames
         };
+        if self.config.compress_enabled && self.config.obs.is_enabled() {
+            let in_bytes: i64 = unique.iter().map(|&i| chunks[i].data.len() as i64).sum();
+            let out_bytes: i64 = frames.iter().map(|(_, f, _)| f.len() as i64).sum();
+            self.obs.compress_in_bytes.add(in_bytes);
+            self.obs.compress_out_bytes.add(out_bytes);
+        }
 
         for (i, frame_bytes, ready) in frames {
             if self.config.verify {
@@ -502,6 +619,11 @@ impl Pipeline {
 
         // GPU indexing first, when assigned (batch barrier at hash end).
         let mut plan = vec![CpuProbe::Full; chunks.len()];
+        if self.gpu_index.is_some() {
+            self.obs.routing.to_gpu.add(chunks.len() as u64);
+        } else {
+            self.obs.routing.to_cpu.add(chunks.len() as u64);
+        }
         if let Some(gpu_index) = &mut self.gpu_index {
             let batch_ready = chunks
                 .iter()
@@ -520,6 +642,7 @@ impl Pipeline {
                         chunk.outcome = DedupOutcome::Duplicate(r);
                         chunk.ready_at = report.done;
                         *p = CpuProbe::None;
+                        self.obs.routing.gpu_hits.incr();
                     }
                     GpuProbe::AuthoritativeMiss => {
                         // Tree portion settled; recent (unflushed) inserts
@@ -527,8 +650,12 @@ impl Pipeline {
                         // "bin buffer is checked first" still applies.
                         chunk.ready_at = report.done;
                         *p = CpuProbe::BufferOnly;
+                        self.obs.routing.gpu_authoritative_misses.incr();
                     }
-                    GpuProbe::NeedsCpu => {}
+                    GpuProbe::NeedsCpu => {
+                        self.obs.routing.gpu_needs_cpu.incr();
+                        self.obs.routing.to_cpu.incr();
+                    }
                 }
             }
         }
@@ -546,6 +673,9 @@ impl Pipeline {
                     let bin = self.index.router().route(&chunk.digest);
                     let key = self.index.key_of(&chunk.digest);
                     let found = self.index.bin(bin).lookup_buffer(&key);
+                    self.obs
+                        .index_probe
+                        .record_sim_ns(cpu_model.buffer_probe_cost().as_nanos());
                     let g = self
                         .cpu
                         .acquire(chunk.ready_at, cpu_model.buffer_probe_cost());
@@ -566,6 +696,7 @@ impl Pipeline {
                             cpu_model.buffer_probe_cost() + cpu_model.tree_probe_cost()
                         }
                     };
+                    self.obs.index_probe.record_sim_ns(cost.as_nanos());
                     let g = self.cpu.acquire(chunk.ready_at, cost);
                     chunk.ready_at = g.end;
                     match found {
@@ -602,9 +733,9 @@ impl Pipeline {
                 let data = &chunks[i].data;
                 let frame_bytes = self.codec.compress(data);
                 let ratio = data.len() as f64 / frame_bytes.len() as f64;
-                let g = self
-                    .cpu
-                    .acquire(chunks[i].ready_at, cpu_model.compress_cost(data.len(), ratio));
+                let cost = cpu_model.compress_cost(data.len(), ratio);
+                self.obs.compress.record_sim_ns(cost.as_nanos());
+                let g = self.cpu.acquire(chunks[i].ready_at, cost);
                 (i, frame_bytes, g.end)
             })
             .collect()
@@ -641,6 +772,11 @@ impl Pipeline {
                 let g = self
                     .cpu
                     .acquire(start, cpu_model.post_process_cost(per_chunk_raw));
+                // Per-chunk stage latency: kernel wait + CPU refinement
+                // (batch-ready to frame-sealed on the simulated clock).
+                self.obs
+                    .compress
+                    .record_sim_ns(g.end.saturating_duration_since(batch_ready).as_nanos());
                 (i, frame_bytes, g.end)
             })
             .collect()
@@ -684,7 +820,11 @@ mod tests {
         assert_eq!(report.chunks, 128);
         assert_eq!(report.dedup_hits, 96); // 32 unique of 128
         assert_eq!(report.unique_chunks, 32);
-        assert!(report.reduction_ratio() > 4.0, "ratio {}", report.reduction_ratio());
+        assert!(
+            report.reduction_ratio() > 4.0,
+            "ratio {}",
+            report.reduction_ratio()
+        );
         assert!(report.iops() > 0.0);
     }
 
@@ -838,10 +978,120 @@ mod tests {
         p.run(&data);
         let report = p.run(&data);
         assert!(report.gpu_index_queries > 0);
-        assert!(
-            report.gpu_index_hits > 0,
-            "GPU index never hit: {report:?}"
+        assert!(report.gpu_index_hits > 0, "GPU index never hit: {report:?}");
+    }
+
+    #[test]
+    fn integration_mode_from_str_round_trips() {
+        for mode in IntegrationMode::ALL {
+            let parsed: IntegrationMode = mode.to_string().parse().expect("Display name parses");
+            assert_eq!(parsed, mode);
+        }
+        assert_eq!(
+            "cpu-only".parse::<IntegrationMode>(),
+            Ok(IntegrationMode::CpuOnly)
         );
+        assert_eq!(
+            "gpu-dedup".parse::<IntegrationMode>(),
+            Ok(IntegrationMode::GpuForDedup)
+        );
+        assert_eq!(
+            "gpu-compression".parse::<IntegrationMode>(),
+            Ok(IntegrationMode::GpuForCompression)
+        );
+        assert_eq!(
+            "gpu-both".parse::<IntegrationMode>(),
+            Ok(IntegrationMode::GpuForBoth)
+        );
+        assert!("GPU-BOTH".parse::<IntegrationMode>().is_err());
+        assert!("".parse::<IntegrationMode>().is_err());
+    }
+
+    #[test]
+    fn observability_snapshot_covers_every_stage() {
+        let obs = ObsHandle::enabled("pipeline-obs-test");
+        let mut cfg = small_config(IntegrationMode::GpuForBoth);
+        cfg.obs = obs.clone();
+        let mut p = Pipeline::new(cfg);
+        p.run(&stream());
+        let snap = obs.snapshot().expect("enabled handle snapshots");
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+                .1
+        };
+        for name in [
+            "chunking.wall_ns",
+            "chunking.sim_ns",
+            "hashing.wall_ns",
+            "hashing.sim_ns",
+            "index.probe_wall_ns",
+            "index.probe_sim_ns",
+            "gpu.kernel_latency_ns",
+            "compress.wall_ns",
+            "compress.sim_ns",
+            "destage.sim_ns",
+            "ssd.write_sim_ns",
+        ] {
+            assert!(hist(name).count > 0, "{name} recorded no samples");
+        }
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(counter("router.to_gpu"), 128);
+        assert_eq!(counter("pipeline.batches"), 1);
+        assert!(counter("gpu.kernel_launches") > 0);
+        assert!(counter("destage.data_pages") > 0);
+        assert!(counter("index.inserts") > 0);
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(gauge("compress.in_bytes") > gauge("compress.out_bytes"));
+        assert!(gauge("compress.out_bytes") > 0);
+    }
+
+    #[test]
+    fn cpu_only_mode_routes_every_probe_to_the_cpu() {
+        let obs = ObsHandle::enabled("routing-test");
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.obs = obs.clone();
+        let mut p = Pipeline::new(cfg);
+        p.run(&stream());
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(counter("router.to_cpu"), 128);
+        assert_eq!(counter("router.to_gpu"), 0);
+    }
+
+    #[test]
+    fn enabling_observability_does_not_change_simulated_results() {
+        let data = stream();
+        let mut plain = Pipeline::new(small_config(IntegrationMode::GpuForCompression));
+        let rp = plain.run(&data);
+        let mut cfg = small_config(IntegrationMode::GpuForCompression);
+        cfg.obs = ObsHandle::enabled("neutrality-test");
+        let mut observed = Pipeline::new(cfg);
+        let ro = observed.run(&data);
+        // Instrumentation charges no simulated cost: identical timeline.
+        assert_eq!(rp.chunks, ro.chunks);
+        assert_eq!(rp.unique_chunks, ro.unique_chunks);
+        assert_eq!(rp.dedup_hits, ro.dedup_hits);
+        assert_eq!(rp.stored_bytes, ro.stored_bytes);
+        assert_eq!(rp.reduction_end, ro.reduction_end);
+        assert_eq!(rp.ssd_end, ro.ssd_end);
     }
 
     #[test]

@@ -166,7 +166,11 @@ impl std::fmt::Display for Report {
         write!(
             f,
             "  ssd: {} page writes, WA {:.2}; gpu: {} kernels busy {}; cpu busy {}",
-            self.ssd_writes, self.write_amplification, self.gpu_kernels, self.gpu_busy, self.cpu_busy,
+            self.ssd_writes,
+            self.write_amplification,
+            self.gpu_kernels,
+            self.gpu_busy,
+            self.cpu_busy,
         )
     }
 }

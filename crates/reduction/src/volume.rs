@@ -55,7 +55,10 @@ impl std::fmt::Display for VolumeError {
             }
             VolumeError::Unwritten { block } => write!(f, "block {block} was never written"),
             VolumeError::Misaligned { len, chunk_bytes } => {
-                write!(f, "payload of {len} bytes is not a multiple of {chunk_bytes}")
+                write!(
+                    f,
+                    "payload of {len} bytes is not a multiple of {chunk_bytes}"
+                )
             }
             VolumeError::ReadFailed(e) => write!(f, "read failed: {e}"),
         }
@@ -139,7 +142,7 @@ impl VolumeManager {
     /// [`VolumeError::OutOfRange`].
     pub fn write(&mut self, name: &str, start_block: u64, data: &[u8]) -> Result<(), VolumeError> {
         let chunk_bytes = self.pipeline.config().chunk_bytes;
-        if data.is_empty() || data.len() % chunk_bytes != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(chunk_bytes) {
             return Err(VolumeError::Misaligned {
                 len: data.len(),
                 chunk_bytes,
@@ -279,7 +282,10 @@ mod tests {
             m.read("v", 9),
             Err(VolumeError::OutOfRange { .. })
         ));
-        assert!(matches!(m.read("nope", 0), Err(VolumeError::UnknownVolume(_))));
+        assert!(matches!(
+            m.read("nope", 0),
+            Err(VolumeError::UnknownVolume(_))
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use dr_des::{Grant, Resource, SimDuration, SimTime};
+use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::error::SsdError;
 use crate::ftl::{Ftl, FtlStats, NandOp};
@@ -20,6 +21,30 @@ pub struct SsdStats {
     pub bytes_written: u64,
     /// Total bytes read by the host.
     pub bytes_read: u64,
+}
+
+/// Interned `ssd.*` metric handles; inert until [`SsdDevice::set_obs`].
+#[derive(Debug, Clone, Default)]
+struct SsdObs {
+    writes: CounterHandle,
+    reads: CounterHandle,
+    bytes_written: CounterHandle,
+    bytes_read: CounterHandle,
+    write_ns: HistogramHandle,
+    read_ns: HistogramHandle,
+}
+
+impl SsdObs {
+    fn new(obs: &ObsHandle) -> Self {
+        SsdObs {
+            writes: obs.counter("ssd.writes"),
+            reads: obs.counter("ssd.reads"),
+            bytes_written: obs.counter("ssd.bytes_written"),
+            bytes_read: obs.counter("ssd.bytes_read"),
+            write_ns: obs.histogram("ssd.write_sim_ns"),
+            read_ns: obs.histogram("ssd.read_sim_ns"),
+        }
+    }
 }
 
 /// The simulated SSD.
@@ -55,6 +80,7 @@ pub struct SsdDevice {
     /// Deterministic generator for read-fault injection.
     fault_rng: dr_des::SplitMix64,
     stats: SsdStats,
+    obs: SsdObs,
 }
 
 impl SsdDevice {
@@ -77,7 +103,15 @@ impl SsdDevice {
             controller,
             store,
             stats: SsdStats::default(),
+            obs: SsdObs::default(),
         }
+    }
+
+    /// Wires metrics into `obs` under the `ssd.*` namespace: page
+    /// read/write counts and bytes, plus per-command simulated service
+    /// time (queueing + controller + NAND).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = SsdObs::new(obs);
     }
 
     /// The device spec.
@@ -137,12 +171,7 @@ impl SsdDevice {
     /// [`SsdError::BadPageSize`] when `data` is not exactly one page;
     /// [`SsdError::InvalidLpn`] / [`SsdError::CapacityExhausted`] from the
     /// FTL.
-    pub fn write_page(
-        &mut self,
-        now: SimTime,
-        lpn: u64,
-        data: &[u8],
-    ) -> Result<Grant, SsdError> {
+    pub fn write_page(&mut self, now: SimTime, lpn: u64, data: &[u8]) -> Result<Grant, SsdError> {
         let page_bytes = self.ftl.spec().page_bytes;
         if data.len() != page_bytes as usize {
             return Err(SsdError::BadPageSize {
@@ -159,6 +188,11 @@ impl SsdDevice {
         }
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
+        self.obs.writes.incr();
+        self.obs.bytes_written.add(data.len() as u64);
+        self.obs
+            .write_ns
+            .record(end.saturating_duration_since(front.start).as_nanos());
         Ok(Grant {
             start: front.start,
             end,
@@ -191,6 +225,11 @@ impl SsdDevice {
         }
         self.stats.reads += 1;
         self.stats.bytes_read += data.len() as u64;
+        self.obs.reads.incr();
+        self.obs.bytes_read.add(data.len() as u64);
+        self.obs
+            .read_ns
+            .record(end.saturating_duration_since(front.start).as_nanos());
         Ok((
             data,
             Grant {
@@ -271,7 +310,11 @@ impl SsdDevice {
 
 /// Convenience: the duration a batch of page writes occupies the device.
 pub fn batch_span(grants: &[Grant]) -> SimDuration {
-    let start = grants.iter().map(|g| g.start).min().unwrap_or(SimTime::ZERO);
+    let start = grants
+        .iter()
+        .map(|g| g.start)
+        .min()
+        .unwrap_or(SimTime::ZERO);
     let end = grants.iter().map(|g| g.end).max().unwrap_or(SimTime::ZERO);
     end.saturating_duration_since(start)
 }
@@ -409,5 +452,35 @@ mod tests {
     #[test]
     fn batch_span_of_empty_is_zero() {
         assert_eq!(batch_span(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn obs_mirrors_host_stats() {
+        let obs = ObsHandle::enabled("t");
+        let mut ssd = small_device();
+        ssd.set_obs(&obs);
+        let page = vec![0u8; 4096];
+        ssd.write_page(SimTime::ZERO, 0, &page).unwrap();
+        ssd.write_page(SimTime::ZERO, 1, &page).unwrap();
+        ssd.read_page(SimTime::ZERO, 0).unwrap();
+        let snap = obs.snapshot().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("ssd.writes"), 2);
+        assert_eq!(counter("ssd.reads"), 1);
+        assert_eq!(counter("ssd.bytes_written"), 8192);
+        assert_eq!(counter("ssd.bytes_read"), 4096);
+        let (_, w) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "ssd.write_sim_ns")
+            .expect("write latency recorded");
+        assert_eq!(w.count, 2);
+        assert!(w.min > 0, "simulated write latency must be positive");
     }
 }

@@ -35,13 +35,21 @@ impl fmt::Display for SsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SsdError::InvalidLpn { lpn, capacity } => {
-                write!(f, "logical page {lpn} out of range (capacity {capacity} pages)")
+                write!(
+                    f,
+                    "logical page {lpn} out of range (capacity {capacity} pages)"
+                )
             }
             SsdError::Unwritten { lpn } => write!(f, "logical page {lpn} has never been written"),
             SsdError::BadPageSize { got, expected } => {
-                write!(f, "payload of {got} bytes does not match page size {expected}")
+                write!(
+                    f,
+                    "payload of {got} bytes does not match page size {expected}"
+                )
             }
-            SsdError::CapacityExhausted => write!(f, "no free blocks left after garbage collection"),
+            SsdError::CapacityExhausted => {
+                write!(f, "no free blocks left after garbage collection")
+            }
         }
     }
 }
@@ -54,10 +62,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SsdError::InvalidLpn { lpn: 9, capacity: 4 };
+        let e = SsdError::InvalidLpn {
+            lpn: 9,
+            capacity: 4,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
-        assert!(SsdError::CapacityExhausted.to_string().contains("free blocks"));
+        assert!(SsdError::CapacityExhausted
+            .to_string()
+            .contains("free blocks"));
     }
 
     #[test]

@@ -353,8 +353,7 @@ impl Ftl {
             ops.push(NandOp::Read { die: die_idx });
             // Migrations go to the active block; if it fills, take a free
             // block directly (GC must not recurse).
-            if self.dies[die_idx as usize].blocks
-                [self.dies[die_idx as usize].active as usize]
+            if self.dies[die_idx as usize].blocks[self.dies[die_idx as usize].active as usize]
                 .is_full(pages_per_block)
             {
                 let die = &mut self.dies[die_idx as usize];
@@ -460,10 +459,7 @@ mod tests {
     fn out_of_range_lpn_rejected() {
         let mut ftl = Ftl::new(tiny_spec());
         let cap = ftl.logical_pages();
-        assert!(matches!(
-            ftl.write(cap),
-            Err(SsdError::InvalidLpn { .. })
-        ));
+        assert!(matches!(ftl.write(cap), Err(SsdError::InvalidLpn { .. })));
         assert!(matches!(ftl.read(cap), Err(SsdError::InvalidLpn { .. })));
         assert!(matches!(ftl.trim(cap), Err(SsdError::InvalidLpn { .. })));
     }
@@ -511,7 +507,10 @@ mod tests {
             let ppa = ftl.lookup(lpn).unwrap().expect("mapping lost");
             // And the physical page must be marked valid and reverse-mapped.
             let blk = &ftl.dies[ppa.die as usize].blocks[ppa.block as usize];
-            assert!(blk.valid[ppa.page as usize], "lpn {lpn} points at invalid page");
+            assert!(
+                blk.valid[ppa.page as usize],
+                "lpn {lpn} points at invalid page"
+            );
             assert_eq!(blk.lpns[ppa.page as usize], lpn);
         }
     }

@@ -187,8 +187,7 @@ impl Iterator for BlockIter {
         } else if self.rng.next_f64() < self.config.locality {
             // Temporal locality: one of the last `locality_window` uniques.
             let window = self.config.locality_window.min(self.unique_seeds.len());
-            let idx = self.unique_seeds.len() - 1
-                - self.rng.next_below(window as u64) as usize;
+            let idx = self.unique_seeds.len() - 1 - self.rng.next_below(window as u64) as usize;
             self.unique_seeds[idx]
         } else {
             // Cold duplicate: uniform over all uniques.
@@ -298,7 +297,10 @@ mod tests {
         }
         // A window of 16 uniques at dedup 3.0 spans ~48 emitted blocks;
         // re-reference gaps must stay bounded (generously: 16 * 3 * 4).
-        assert!(max_gap <= 192, "gap {max_gap} too large for locality window");
+        assert!(
+            max_gap <= 192,
+            "gap {max_gap} too large for locality window"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl TraceGenerator {
     ///
     /// Panics on an empty working set, zero page size, or invalid skew.
     pub fn new(config: TraceConfig) -> Self {
-        assert!(config.working_set_pages > 0, "working set must be non-empty");
+        assert!(
+            config.working_set_pages > 0,
+            "working set must be non-empty"
+        );
         assert!(config.page_bytes > 0, "page size must be positive");
         if let AccessPattern::Zipf { theta } = config.pattern {
             assert!(theta.is_finite() && theta >= 0.0, "invalid zipf theta");

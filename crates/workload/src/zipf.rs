@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn rank_frequencies_decrease() {
         let mut z = ZipfSampler::new(50, 0.99, 4);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..200_000 {
             counts[z.sample()] += 1;
         }

@@ -1,44 +1,51 @@
-//! Property tests: workload generation invariants.
+//! Randomized tests: workload generation invariants.
 
+use dr_des::testkit::{self, Cases};
 use dr_workload::{
     synthesize_block, AccessPattern, StreamConfig, StreamGenerator, TraceConfig, TraceGenerator,
 };
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Block synthesis is a pure function of (seed, size, ratio).
-    #[test]
-    fn synthesis_is_pure(seed in any::<u64>(), size in 1usize..8192, ratio in 1.0f64..8.0) {
-        prop_assert_eq!(
+/// Block synthesis is a pure function of (seed, size, ratio).
+#[test]
+fn synthesis_is_pure() {
+    Cases::new("synthesis_is_pure", 0x301_0001).run(48, |rng| {
+        let seed = rng.next_u64();
+        let size = testkit::usize_in(rng, 1, 8191);
+        let ratio = testkit::f64_in(rng, 1.0, 8.0);
+        assert_eq!(
             synthesize_block(seed, size, ratio),
             synthesize_block(seed, size, ratio)
         );
-    }
+    });
+}
 
-    /// Distinct seeds produce distinct blocks (no accidental dedup).
-    #[test]
-    fn distinct_seeds_distinct_blocks(
-        seeds in proptest::collection::hash_set(any::<u64>(), 2..50),
-        ratio in 1.0f64..8.0,
-    ) {
+/// Distinct seeds produce distinct blocks (no accidental dedup).
+#[test]
+fn distinct_seeds_distinct_blocks() {
+    Cases::new("distinct_seeds_distinct_blocks", 0x301_0002).run(48, |rng| {
+        let mut seeds = HashSet::new();
+        let want = testkit::usize_in(rng, 2, 49);
+        while seeds.len() < want {
+            seeds.insert(rng.next_u64());
+        }
+        let ratio = testkit::f64_in(rng, 1.0, 8.0);
         let blocks: HashSet<Vec<u8>> = seeds
             .iter()
             .map(|s| synthesize_block(*s, 4096, ratio))
             .collect();
-        prop_assert_eq!(blocks.len(), seeds.len());
-    }
+        assert_eq!(blocks.len(), seeds.len());
+    });
+}
 
-    /// The stream generator always emits exactly `block_count` blocks of
-    /// the configured size, deterministically.
-    #[test]
-    fn stream_shape_is_exact(
-        total_kb in 4u64..512,
-        dedup in 1.0f64..6.0,
-        seed in any::<u64>(),
-    ) {
+/// The stream generator always emits exactly `block_count` blocks of
+/// the configured size, deterministically.
+#[test]
+fn stream_shape_is_exact() {
+    Cases::new("stream_shape_is_exact", 0x301_0003).run(48, |rng| {
+        let total_kb = testkit::u64_in(rng, 4, 511);
+        let dedup = testkit::f64_in(rng, 1.0, 6.0);
+        let seed = rng.next_u64();
         let cfg = StreamConfig {
             total_bytes: total_kb * 1024,
             block_bytes: 4096,
@@ -47,59 +54,63 @@ proptest! {
             ..StreamConfig::default()
         };
         if cfg.total_bytes < cfg.block_bytes as u64 {
-            return Ok(());
+            return;
         }
         let gen = StreamGenerator::new(cfg);
         let blocks: Vec<Vec<u8>> = gen.blocks().collect();
-        prop_assert_eq!(blocks.len() as u64, cfg.block_count());
-        prop_assert!(blocks.iter().all(|b| b.len() == 4096));
+        assert_eq!(blocks.len() as u64, cfg.block_count());
+        assert!(blocks.iter().all(|b| b.len() == 4096));
         let again: Vec<Vec<u8>> = gen.blocks().collect();
-        prop_assert_eq!(blocks, again);
-    }
+        assert_eq!(blocks, again);
+    });
+}
 
-    /// Unique-block count never exceeds what the dedup ratio implies by
-    /// much, and duplicates really are byte-identical copies.
-    #[test]
-    fn dedup_knob_bounds_uniques(seed in any::<u64>()) {
+/// Unique-block count never exceeds what the dedup ratio implies by
+/// much, and duplicates really are byte-identical copies.
+#[test]
+fn dedup_knob_bounds_uniques() {
+    Cases::new("dedup_knob_bounds_uniques", 0x301_0004).run(16, |rng| {
         let cfg = StreamConfig {
             total_bytes: 2 << 20,
             dedup_ratio: 4.0,
-            seed,
+            seed: rng.next_u64(),
             ..StreamConfig::default()
         };
         let gen = StreamGenerator::new(cfg);
         let total = cfg.block_count() as f64;
         let unique: HashSet<Vec<u8>> = gen.blocks().collect();
         let measured = total / unique.len() as f64;
-        prop_assert!(measured > 2.0, "dedup ratio {measured} far below target 4.0");
-    }
+        assert!(
+            measured > 2.0,
+            "dedup ratio {measured} far below target 4.0"
+        );
+    });
+}
 
-    /// Traces stay inside the working set for every pattern.
-    #[test]
-    fn trace_addresses_in_range(
-        ops in 1u64..2_000,
-        set in 1u64..500,
-        pattern in 0usize..3,
-        seed in any::<u64>(),
-    ) {
+/// Traces stay inside the working set for every pattern.
+#[test]
+fn trace_addresses_in_range() {
+    Cases::new("trace_addresses_in_range", 0x301_0005).run(48, |rng| {
+        let ops = testkit::u64_in(rng, 1, 1_999);
+        let set = testkit::u64_in(rng, 1, 499);
         let pattern = [
             AccessPattern::Sequential,
             AccessPattern::UniformRandom,
             AccessPattern::Zipf { theta: 0.9 },
-        ][pattern];
+        ][testkit::usize_in(rng, 0, 2)];
         let gen = TraceGenerator::new(TraceConfig {
             ops,
             working_set_pages: set,
             pattern,
-            seed,
+            seed: rng.next_u64(),
             ..TraceConfig::default()
         });
         let mut n = 0;
         for op in gen.ops() {
-            prop_assert!(op.lpn < set);
-            prop_assert_eq!(op.data.len(), 4096);
+            assert!(op.lpn < set);
+            assert_eq!(op.data.len(), 4096);
             n += 1;
         }
-        prop_assert_eq!(n, ops);
-    }
+        assert_eq!(n, ops);
+    });
 }

@@ -25,11 +25,7 @@ fn generation(files: u64, file_kb: usize, insert: bool) -> Vec<Vec<u8>> {
         .map(|f| {
             let mut data = Vec::with_capacity(file_kb * 1024 + 128);
             for blk in 0..file_kb {
-                data.extend_from_slice(&synthesize_block(
-                    (f << 20) | blk as u64,
-                    1024,
-                    3.0,
-                ));
+                data.extend_from_slice(&synthesize_block((f << 20) | blk as u64, 1024, 3.0));
             }
             if insert {
                 let patch = synthesize_block(f ^ 0xFACE, 100, 1.0);

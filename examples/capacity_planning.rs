@@ -56,7 +56,10 @@ fn main() {
         .len() as u64;
 
     println!("missed duplicates when the index memory is capped (8 MiB stream, dedup 2.0):\n");
-    println!("{:>12} | {:>12} | {:>10}", "entry budget", "extra stored", "miss rate");
+    println!(
+        "{:>12} | {:>12} | {:>10}",
+        "entry budget", "extra stored", "miss rate"
+    );
     println!("{}", "-".repeat(42));
     for budget in [u64::MAX, 2048, 1024, 512] {
         let mut pipeline = Pipeline::new(PipelineConfig {

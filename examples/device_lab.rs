@@ -21,7 +21,10 @@ use inline_dr::ssd_sim::{SsdDevice, SsdSpec};
 fn launch_latency_floor() {
     println!("1) kernel-launch latency floor (HD 7970, 200-cycle items):\n");
     let mut gpu = GpuDevice::new(GpuSpec::radeon_hd_7970());
-    println!("{:>10} | {:>12} | {:>14}", "items", "kernel time", "time per item");
+    println!(
+        "{:>10} | {:>12} | {:>14}",
+        "items", "kernel time", "time per item"
+    );
     println!("{}", "-".repeat(44));
     for items in [64usize, 1024, 16384, 262144] {
         let costs = vec![WorkItemCost::streaming(200, 64); items];
@@ -62,7 +65,9 @@ fn divergence_penalty() {
     let t = tree_report.timing.duration().as_secs_f64() * 1e6;
     println!("  linear-table scan: {l:>8.1}us");
     println!("  tree walk:         {t:>8.1}us   ({:.1}x slower)", t / l);
-    println!("\nthe paper: \"we organize one bin into a linear table structure rather than a tree\".\n");
+    println!(
+        "\nthe paper: \"we organize one bin into a linear table structure rather than a tree\".\n"
+    );
 }
 
 fn write_amplification() {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, full test suite.
+#
+# Everything here runs without network access — the workspace has no
+# third-party dependencies (see DESIGN.md §6). Run from anywhere inside
+# the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+# Clippy is optional on minimal toolchains; when present, warnings fail.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint pass"
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -1,9 +1,9 @@
 //! # inline-dr — parallel inline data reduction for primary storage
 //!
 //! A reproduction of *"Parallelizing Inline Data Reduction Operations for
-//! Primary Storage Systems"* (Ma & Park, PaCT 2017): an inline deduplication
-//! + compression pipeline that spreads work across a multi-core CPU and a
-//! GPU, targeted at SSD-based primary storage.
+//! Primary Storage Systems"* (Ma & Park, PaCT 2017): an inline
+//! deduplication + compression pipeline that spreads work across a
+//! multi-core CPU and a GPU, targeted at SSD-based primary storage.
 //!
 //! This umbrella crate re-exports the workspace crates:
 //!
@@ -15,7 +15,9 @@
 //! * [`gpu_sim`] — the simulated GPU device model,
 //! * [`ssd_sim`] — the simulated SSD device model,
 //! * [`workload`] — vdbench-style data stream generation,
-//! * [`des`] — the discrete-event simulation kernel.
+//! * [`des`] — the discrete-event simulation kernel,
+//! * [`obs`] — zero-dependency observability: counters, gauges, latency
+//!   histograms and JSON metric snapshots for every pipeline stage.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use dr_compress as compress;
 pub use dr_des as des;
 pub use dr_gpu_sim as gpu_sim;
 pub use dr_hashes as hashes;
+pub use dr_obs as obs;
 pub use dr_reduction as reduction;
 pub use dr_ssd_sim as ssd_sim;
 pub use dr_workload as workload;

@@ -1,13 +1,14 @@
 //! `inline-dr` — command-line driver for the reduction pipeline.
 //!
 //! ```text
-//! inline-dr run [--mb N] [--dedup R] [--comp R] [--mode M] [--verify]
+//! inline-dr run [--mb N] [--dedup R] [--comp R] [--mode M] [--verify] [--metrics]
 //! inline-dr calibrate [--gpu hd7970|igpu|dgpu]
 //! inline-dr endurance [--mb N]
 //! inline-dr info
 //! ```
 
 use inline_dr::gpu_sim::GpuSpec;
+use inline_dr::obs::ObsHandle;
 use inline_dr::reduction::{
     calibrate, compare_endurance, IntegrationMode, Pipeline, PipelineConfig,
 };
@@ -29,7 +30,7 @@ impl Args {
                 return Err(format!("unexpected argument '{arg}'"));
             };
             // Boolean flags take no value.
-            if key == "verify" {
+            if key == "verify" || key == "metrics" {
                 flags.push((key.to_owned(), "true".to_owned()));
                 continue;
             }
@@ -52,20 +53,19 @@ impl Args {
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: '{v}' is not a number")),
         }
     }
 }
 
 fn parse_mode(s: &str) -> Result<IntegrationMode, String> {
+    // Short aliases on top of the canonical `FromStr` names.
     match s {
-        "cpu-only" | "cpu" => Ok(IntegrationMode::CpuOnly),
-        "gpu-dedup" => Ok(IntegrationMode::GpuForDedup),
-        "gpu-compression" | "gpu-comp" => Ok(IntegrationMode::GpuForCompression),
-        "gpu-both" => Ok(IntegrationMode::GpuForBoth),
-        other => Err(format!(
-            "unknown mode '{other}' (cpu-only | gpu-dedup | gpu-compression | gpu-both)"
-        )),
+        "cpu" => Ok(IntegrationMode::CpuOnly),
+        "gpu-comp" => Ok(IntegrationMode::GpuForCompression),
+        other => other.parse(),
     }
 }
 
@@ -85,6 +85,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mode = parse_mode(args.get("mode").unwrap_or("gpu-compression"))?;
     let gpu_spec = parse_gpu(args.get("gpu").unwrap_or("hd7970"))?;
     let verify = args.get("verify").is_some();
+    let obs = if args.get("metrics").is_some() {
+        ObsHandle::enabled("cli/run")
+    } else {
+        ObsHandle::disabled()
+    };
 
     let generator = StreamGenerator::new(StreamConfig {
         total_bytes: (mb * (1 << 20) as f64) as u64,
@@ -97,10 +102,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         gpu_spec,
         verify,
         ssd_spec: SsdSpec::samsung_830_sweep(),
+        obs: obs.clone(),
         ..PipelineConfig::default()
     });
     let report = pipeline.run_blocks(generator.blocks());
     println!("{report}");
+    if let Some(snap) = obs.snapshot() {
+        print!("\n{snap}");
+    }
     Ok(())
 }
 
@@ -174,7 +183,7 @@ fn usage() -> &'static str {
      \n\
      commands:\n\
        run        run a synthetic stream through the pipeline\n\
-                  [--mb N] [--dedup R] [--comp R] [--mode M] [--gpu G] [--verify]\n\
+                  [--mb N] [--dedup R] [--comp R] [--mode M] [--gpu G] [--verify] [--metrics]\n\
        calibrate  probe all integration modes with dummy I/O  [--gpu G]\n\
        endurance  compare inline / background / no reduction  [--mb N]\n\
        info       print the calibrated device profiles\n\

@@ -43,8 +43,7 @@ fn measured_ratios_track_workload_knobs() {
     );
     // Overall ≈ product of the two.
     assert!(
-        (r.reduction_ratio() - r.dedup_ratio() * r.compression_ratio()).abs()
-            / r.reduction_ratio()
+        (r.reduction_ratio() - r.dedup_ratio() * r.compression_ratio()).abs() / r.reduction_ratio()
             < 0.05
     );
 }
@@ -100,7 +99,11 @@ fn highly_redundant_stream_reduces_hard() {
     });
     let r = p.run_blocks(blocks);
     assert!(r.dedup_ratio() > 5.0, "dedup {}", r.dedup_ratio());
-    assert!(r.reduction_ratio() > 12.0, "overall {}", r.reduction_ratio());
+    assert!(
+        r.reduction_ratio() > 12.0,
+        "overall {}",
+        r.reduction_ratio()
+    );
 }
 
 #[test]

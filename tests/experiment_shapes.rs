@@ -54,7 +54,13 @@ fn e3_shape_compression_ordering_cpu_ssd_gpu() {
     // Paper at low compression ratio: CPU (~50K) < SSD (~80K) < GPU (~100K).
     let ssd = ssd_baseline();
     let cpu = run(IntegrationMode::CpuOnly, false, true, 4 << 20, 1.0);
-    let gpu = run(IntegrationMode::GpuForCompression, false, true, 4 << 20, 1.0);
+    let gpu = run(
+        IntegrationMode::GpuForCompression,
+        false,
+        true,
+        4 << 20,
+        1.0,
+    );
     assert!(cpu < ssd, "cpu {cpu} should be below ssd {ssd}");
     assert!(gpu > ssd, "gpu {gpu} should beat ssd {ssd}");
     let gain = gpu / cpu - 1.0;
@@ -64,8 +70,20 @@ fn e3_shape_compression_ordering_cpu_ssd_gpu() {
 
 #[test]
 fn e3_shape_throughput_rises_with_compressibility() {
-    let lo = run(IntegrationMode::GpuForCompression, false, true, 4 << 20, 1.0);
-    let hi = run(IntegrationMode::GpuForCompression, false, true, 4 << 20, 4.0);
+    let lo = run(
+        IntegrationMode::GpuForCompression,
+        false,
+        true,
+        4 << 20,
+        1.0,
+    );
+    let hi = run(
+        IntegrationMode::GpuForCompression,
+        false,
+        true,
+        4 << 20,
+        4.0,
+    );
     assert!(hi > lo, "hi {hi} vs lo {lo}");
     let cl = run(IntegrationMode::CpuOnly, false, true, 4 << 20, 1.0);
     let ch = run(IntegrationMode::CpuOnly, false, true, 4 << 20, 4.0);

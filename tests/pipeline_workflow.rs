@@ -90,7 +90,10 @@ fn gpu_first_then_cpu_fallback() {
         "GPU bins never produced hits: {second:?}"
     );
     // CPU index remains the functional ground truth: every duplicate found.
-    assert_eq!(second.chunks - first.chunks, second.dedup_hits - first.dedup_hits);
+    assert_eq!(
+        second.chunks - first.chunks,
+        second.dedup_hits - first.dedup_hits
+    );
 }
 
 #[test]
@@ -102,7 +105,11 @@ fn unique_chunks_flow_through_compression_to_the_ssd() {
     });
     let r = p.run_blocks(blocks(4 << 20, 2.0));
     assert!(r.gpu_comp_batches > 0, "GPU compression never launched");
-    assert!(r.compression_ratio() > 1.5, "ratio {}", r.compression_ratio());
+    assert!(
+        r.compression_ratio() > 1.5,
+        "ratio {}",
+        r.compression_ratio()
+    );
     // Stored bytes (plus page padding) reached the device.
     assert!(r.ssd_bytes_written >= r.stored_bytes);
     // And the engine did not destage duplicate chunks.

@@ -49,7 +49,11 @@ fn dedup_domain_spans_volumes_and_survives_overwrites() {
     array.write("a", 0, &unique).unwrap(); // overwrite remaps volume a
 
     assert_eq!(array.read("a", 0).unwrap(), unique);
-    assert_eq!(array.read("b", 0).unwrap(), shared, "b still sees the old data");
+    assert_eq!(
+        array.read("b", 0).unwrap(),
+        shared,
+        "b still sees the old data"
+    );
     let r = array.report();
     assert_eq!(r.dedup_hits, 1);
     assert_eq!(r.unique_chunks, 2);
@@ -65,9 +69,7 @@ fn integrity_catches_corruption_behind_volumes() {
     config.ssd_spec.read_fault_rate = 1.0;
     let mut array = VolumeManager::new(config);
     array.create_volume("v", 64).unwrap();
-    let blocks: Vec<Vec<u8>> = (0..64u64)
-        .map(|i| synthesize_block(i, 4096, 1.0))
-        .collect();
+    let blocks: Vec<Vec<u8>> = (0..64u64).map(|i| synthesize_block(i, 4096, 1.0)).collect();
     array.write("v", 0, &blocks.concat()).unwrap();
     let mut detected = 0;
     for i in 0..64 {
