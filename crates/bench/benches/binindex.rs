@@ -51,7 +51,18 @@ fn bench_lookup(c: &mut Criterion) {
             black_box(hits)
         })
     });
-    for workers in [1usize, 2, 4] {
+    // Sweep 1..=host width so results stay meaningful on any machine.
+    let host = dr_pool::default_workers();
+    let mut widths = vec![1usize];
+    let mut w = 2;
+    while w < host {
+        widths.push(w);
+        w *= 2;
+    }
+    if host > 1 {
+        widths.push(host);
+    }
+    for workers in widths {
         group.bench_with_input(
             BenchmarkId::new("parallel-batch", workers),
             &workers,

@@ -39,7 +39,18 @@ fn bench_parallel_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel-hash-128x4k");
     let chunks: Vec<Vec<u8>> = (0..128).map(|i| data(4096 + i % 3)).collect();
     group.throughput(Throughput::Bytes(128 * 4096));
-    for workers in [1usize, 2, 4] {
+    // Sweep 1..=host width so results stay meaningful on any machine.
+    let host = dr_pool::default_workers();
+    let mut widths = vec![1usize];
+    let mut w = 2;
+    while w < host {
+        widths.push(w);
+        w *= 2;
+    }
+    if host > 1 {
+        widths.push(host);
+    }
+    for workers in widths {
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &workers,

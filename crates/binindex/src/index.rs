@@ -3,6 +3,7 @@
 use dr_des::SplitMix64;
 use dr_hashes::ChunkDigest;
 use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
+use dr_pool::WorkerPool;
 
 use crate::bin::{Bin, BinHit, BinKey, FlushEvent};
 use crate::entry::ChunkRef;
@@ -404,20 +405,35 @@ impl BinIndex {
     /// Batch lookup across worker threads: digests are partitioned by bin
     /// so every thread touches disjoint bins — the paper's lock-free
     /// parallel indexing. Results are in input order.
+    ///
+    /// Builds a transient pool per call; prefer [`BinIndex::lookup_batch_on`]
+    /// with a long-lived pool on hot paths.
     pub fn lookup_batch_parallel(
         &mut self,
         digests: &[ChunkDigest],
         workers: usize,
     ) -> Vec<Option<ChunkRef>> {
         assert!(workers > 0, "worker count must be positive");
+        // The caller participates in every batch, so `workers - 1` pool
+        // threads give `workers` concurrent probers.
+        self.lookup_batch_on(&WorkerPool::new(workers - 1), digests)
+    }
+
+    /// Batch lookup over an existing worker pool. Digests are partitioned
+    /// by bin shard (bin id modulo shard count) so every participant owns
+    /// a disjoint bin set and no locking is needed. Results are in input
+    /// order.
+    pub fn lookup_batch_on(
+        &mut self,
+        pool: &WorkerPool,
+        digests: &[ChunkDigest],
+    ) -> Vec<Option<ChunkRef>> {
         let mut results = vec![None; digests.len()];
         if digests.is_empty() {
             return results;
         }
-        let shards = workers.min(digests.len());
+        let shards = (pool.workers() + 1).min(digests.len());
 
-        // Partition query indices by bin shard (bin id modulo shard count):
-        // threads own disjoint bin sets, so no locking is needed.
         let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for (i, d) in digests.iter().enumerate() {
             partitions[self.router.route(d) % shards].push(i);
@@ -426,50 +442,45 @@ impl BinIndex {
         let bins = &self.bins;
         let router = self.router;
         let prefix = self.config.prefix_bytes;
-        let mut hits = vec![(0u64, 0u64); shards]; // (buffer, tree) per shard
+        /// One probed digest: input index, lookup result, hit kind.
+        type Probe = (usize, Option<ChunkRef>, Option<BinHit>);
+        let mut shard_out: Vec<Vec<Probe>> = vec![Vec::new(); shards];
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards);
-            for part in &partitions {
-                let handle = scope.spawn(move || {
-                    let mut local: Vec<(usize, Option<ChunkRef>, Option<BinHit>)> =
-                        Vec::with_capacity(part.len());
-                    for &i in part {
-                        let d = &digests[i];
-                        let bin = router.route(d);
-                        let mut key = *d.as_bytes();
-                        for b in key.iter_mut().take(prefix) {
-                            *b = 0;
-                        }
-                        match bins[bin].lookup(&key) {
-                            Some((r, hit)) => local.push((i, Some(r), Some(hit))),
-                            None => local.push((i, None, None)),
-                        }
-                    }
-                    local
-                });
-                handles.push(handle);
-            }
-            for (shard, handle) in handles.into_iter().enumerate() {
-                for (i, r, hit) in handle.join().expect("lookup worker panicked") {
-                    results[i] = r;
-                    match hit {
-                        Some(BinHit::Buffer) => hits[shard].0 += 1,
-                        Some(BinHit::Tree) => hits[shard].1 += 1,
-                        None => {}
-                    }
+        pool.for_each_mut(&mut shard_out, |shard, local| {
+            let part = &partitions[shard];
+            local.reserve(part.len());
+            for &i in part {
+                let d = &digests[i];
+                let bin = router.route(d);
+                let mut key = *d.as_bytes();
+                for b in key.iter_mut().take(prefix) {
+                    *b = 0;
+                }
+                match bins[bin].lookup(&key) {
+                    Some((r, hit)) => local.push((i, Some(r), Some(hit))),
+                    None => local.push((i, None, None)),
                 }
             }
         });
 
+        let mut hits = (0u64, 0u64); // (buffer, tree)
+        for local in shard_out {
+            for (i, r, hit) in local {
+                results[i] = r;
+                match hit {
+                    Some(BinHit::Buffer) => hits.0 += 1,
+                    Some(BinHit::Tree) => hits.1 += 1,
+                    None => {}
+                }
+            }
+        }
+
         self.stats.lookups += digests.len() as u64;
         self.obs.probes.add(digests.len() as u64);
-        for (b, t) in hits {
-            self.stats.buffer_hits += b;
-            self.stats.tree_hits += t;
-            self.obs.buffer_hits.add(b);
-            self.obs.tree_hits.add(t);
-        }
+        self.stats.buffer_hits += hits.0;
+        self.stats.tree_hits += hits.1;
+        self.obs.buffer_hits.add(hits.0);
+        self.obs.tree_hits.add(hits.1);
         let misses = results.iter().filter(|r| r.is_none()).count() as u64;
         self.stats.misses += misses;
         self.obs.misses.add(misses);

@@ -10,7 +10,7 @@ use dr_hashes::mix64;
 
 use crate::error::CodecError;
 use crate::frame;
-use crate::token::{Token, MAX_OFFSET, MIN_MATCH};
+use crate::token::{emit_literals, emit_match, Token, MAX_OFFSET, MIN_MATCH};
 use crate::Codec;
 
 /// Number of slots in the direct-mapped match table (power of two).
@@ -44,6 +44,53 @@ impl FastLz {
     pub fn tokenize(input: &[u8]) -> Vec<Token> {
         tokenize_region(input, 0, input.len(), input.len())
     }
+
+    /// Compresses `input` into `out` (cleared first), reusing its capacity.
+    ///
+    /// Single-pass: the matcher emits wire bytes directly into the frame as
+    /// it scans, so no token IR or intermediate buffer is allocated. The
+    /// produced frame is byte-identical to [`Codec::compress`].
+    pub fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        frame::seal_with(input, out, |original, payload| {
+            scan_region(
+                original,
+                0,
+                original.len(),
+                original.len(),
+                &mut WireSink(payload),
+            );
+        });
+    }
+}
+
+/// Receives matcher output: either a literal span or a back-reference.
+/// Lets one matcher implementation drive both the token-IR path (GPU
+/// post-processing needs tokens for merge surgery) and the single-pass
+/// wire path (CPU hot loop needs zero intermediate allocation).
+trait TokenSink {
+    fn literals(&mut self, bytes: &[u8]);
+    fn matched(&mut self, offset: usize, len: usize);
+}
+
+impl TokenSink for Vec<Token> {
+    fn literals(&mut self, bytes: &[u8]) {
+        self.push(Token::Literals(bytes.to_vec()));
+    }
+    fn matched(&mut self, offset: usize, len: usize) {
+        self.push(Token::Match { offset, len });
+    }
+}
+
+/// Emits the wire encoding straight into a byte buffer.
+struct WireSink<'a>(&'a mut Vec<u8>);
+
+impl TokenSink for WireSink<'_> {
+    fn literals(&mut self, bytes: &[u8]) {
+        emit_literals(self.0, bytes);
+    }
+    fn matched(&mut self, offset: usize, len: usize) {
+        emit_match(self.0, offset, len);
+    }
 }
 
 /// Greedy-tokenizes `input[start..end]`, allowing matches that reach back
@@ -52,8 +99,16 @@ impl FastLz {
 /// least `start` bytes of history precede them — the property the GPU
 /// post-processor relies on.
 pub(crate) fn tokenize_region(input: &[u8], start: usize, end: usize, window: usize) -> Vec<Token> {
-    debug_assert!(start <= end && end <= input.len());
     let mut tokens = Vec::new();
+    scan_region(input, start, end, window, &mut tokens);
+    tokens
+}
+
+/// The greedy single-pass matcher core behind [`tokenize_region`] and
+/// [`FastLz::compress_into`]; match decisions are identical regardless of
+/// the sink, so both paths produce the same token sequence.
+fn scan_region(input: &[u8], start: usize, end: usize, window: usize, sink: &mut dyn TokenSink) {
+    debug_assert!(start <= end && end <= input.len());
     let mut table = [usize::MAX; TABLE_SIZE];
     // Seed the table with positions from the visible history window so the
     // first bytes of the region can match backwards into it.
@@ -85,12 +140,9 @@ pub(crate) fn tokenize_region(input: &[u8], start: usize, end: usize, window: us
 
         if matched >= MIN_MATCH {
             if literal_start < pos {
-                tokens.push(Token::Literals(input[literal_start..pos].to_vec()));
+                sink.literals(&input[literal_start..pos]);
             }
-            tokens.push(Token::Match {
-                offset: pos - candidate,
-                len: matched,
-            });
+            sink.matched(pos - candidate, matched);
             // Insert a few positions inside the match so later data can
             // reference it (bounded to keep the pass single-speed).
             let insert_end = (pos + matched).min(end.saturating_sub(MIN_MATCH - 1));
@@ -104,9 +156,8 @@ pub(crate) fn tokenize_region(input: &[u8], start: usize, end: usize, window: us
         }
     }
     if literal_start < end {
-        tokens.push(Token::Literals(input[literal_start..end].to_vec()));
+        sink.literals(&input[literal_start..end]);
     }
-    tokens
 }
 
 impl Codec for FastLz {
@@ -115,7 +166,13 @@ impl Codec for FastLz {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
-        frame::seal(input, &Self::tokenize(input))
+        let mut out = Vec::new();
+        self.compress_into(input, &mut out);
+        out
+    }
+
+    fn compress_to(&self, input: &[u8], out: &mut Vec<u8>) {
+        self.compress_into(input, out);
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
@@ -188,6 +245,39 @@ mod tests {
     fn all_byte_values_round_trip() {
         let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
         round_trip(&data);
+    }
+
+    #[test]
+    fn compress_into_matches_token_ir_path_byte_for_byte() {
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            vec![0u8; 4096],
+            b"the quick brown fox jumps over the lazy dog. ".repeat(100),
+            (0..=255u8).cycle().take(10_000).collect(),
+            include_str!("fastlz.rs").as_bytes().to_vec(),
+        ];
+        let codec = FastLz::new();
+        let mut out = Vec::new();
+        for input in &inputs {
+            let via_tokens = frame::seal(input, &FastLz::tokenize(input));
+            codec.compress_into(input, &mut out);
+            assert_eq!(out, via_tokens, "input len {}", input.len());
+        }
+    }
+
+    #[test]
+    fn compress_into_reuses_buffer_capacity() {
+        let codec = FastLz::new();
+        let big = vec![0u8; 65536];
+        let mut out = Vec::new();
+        codec.compress_into(&big, &mut out);
+        let cap = out.capacity();
+        for _ in 0..10 {
+            codec.compress_into(&big, &mut out);
+            assert_eq!(out.capacity(), cap, "steady state must not reallocate");
+        }
+        assert_eq!(codec.decompress(&out).unwrap(), big);
     }
 
     #[test]

@@ -50,6 +50,27 @@ pub fn seal(original: &[u8], tokens: &[Token]) -> Vec<u8> {
     out
 }
 
+/// In-place sealing for single-pass codecs: clears `out`, writes an LZ
+/// header, runs `encode` to append the wire payload directly, then — with
+/// the same strict rule as [`seal`] — rewrites the buffer as a stored-raw
+/// frame when the payload is not strictly smaller than `original`.
+///
+/// Reuses whatever capacity `out` already has, so a recycled buffer makes
+/// compression allocation-free in the steady state.
+pub fn seal_with(original: &[u8], out: &mut Vec<u8>, encode: impl FnOnce(&[u8], &mut Vec<u8>)) {
+    debug_assert!(original.len() <= u32::MAX as usize);
+    out.clear();
+    out.push(METHOD_LZ);
+    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    encode(original, out);
+    if out.len() - HEADER_LEN >= original.len() {
+        out.clear();
+        out.push(METHOD_RAW);
+        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(original);
+    }
+}
+
 /// Like [`seal`], but additionally tries a Huffman entropy pass over the
 /// encoded tokens and keeps whichever of {raw, LZ, LZ+Huffman} is
 /// smallest.
@@ -75,10 +96,17 @@ pub fn seal_entropy(original: &[u8], tokens: &[Token]) -> Vec<u8> {
 /// Wraps `original` as a stored-raw frame unconditionally.
 pub fn seal_raw(original: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + original.len());
+    seal_raw_into(original, &mut out);
+    out
+}
+
+/// [`seal_raw`] into a recycled buffer (cleared first).
+pub fn seal_raw_into(original: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(original.len() <= u32::MAX as usize);
+    out.clear();
     out.push(METHOD_RAW);
     out.extend_from_slice(&(original.len() as u32).to_le_bytes());
     out.extend_from_slice(original);
-    out
 }
 
 /// Identifies the frame method without decoding.

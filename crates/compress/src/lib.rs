@@ -47,7 +47,7 @@ pub use gpu::{GpuCompressor, GpuCompressorConfig};
 pub use huffman::{huffman_decode, huffman_encode};
 pub use lz77::Lz77;
 pub use lzhuf::LzHuf;
-pub use parallel::compress_chunks_parallel;
+pub use parallel::{compress_chunks_parallel, compress_chunks_pooled};
 pub use token::Token;
 
 /// A lossless block codec.
@@ -61,6 +61,17 @@ pub trait Codec {
 
     /// Compresses `input` into a self-framing block.
     fn compress(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Compresses `input` into `out`, clearing it first and reusing its
+    /// capacity. The result is byte-identical to [`Codec::compress`].
+    ///
+    /// The default delegates to [`Codec::compress`]; single-pass codecs
+    /// override it to write directly into the recycled buffer so the hot
+    /// path allocates nothing in the steady state.
+    fn compress_to(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.compress(input));
+    }
 
     /// Decompresses a block produced by [`Codec::compress`].
     ///

@@ -2,12 +2,18 @@
 //!
 //! The paper's CPU compression path: chunks have no inter-chunk data
 //! dependency, so each worker thread runs the whole single-pass codec on
-//! its own chunks. Output order matches input order.
+//! its own chunks. Work is distributed over a persistent
+//! [`WorkerPool`] — created once, stolen from when per-chunk costs skew —
+//! and output order always matches input order.
 
 use crate::Codec;
+use dr_pool::WorkerPool;
 
 /// Compresses every chunk with `codec` using up to `workers` threads,
 /// returning sealed frames in input order.
+///
+/// Builds a transient pool per call; prefer [`compress_chunks_pooled`]
+/// with a long-lived pool on hot paths.
 ///
 /// # Panics
 ///
@@ -27,36 +33,27 @@ pub fn compress_chunks_parallel<C: Codec + Sync>(
     workers: usize,
 ) -> Vec<Vec<u8>> {
     assert!(workers > 0, "worker count must be positive");
-    if chunks.is_empty() {
-        return Vec::new();
-    }
-    let workers = workers.min(chunks.len());
-    if workers == 1 {
-        return chunks.iter().map(|c| codec.compress(c)).collect();
-    }
+    // The caller participates in every batch, so `workers - 1` pool
+    // threads give `workers` concurrent compressors.
+    compress_chunks_pooled(&WorkerPool::new(workers - 1), codec, chunks)
+}
 
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
-    let stride = chunks.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut out_rest: &mut [Vec<u8>] = &mut out;
-        let mut in_rest: &[&[u8]] = chunks;
-        for _ in 0..workers {
-            let take = stride.min(in_rest.len());
-            if take == 0 {
-                break;
-            }
-            let (out_part, out_tail) = out_rest.split_at_mut(take);
-            let (in_part, in_tail) = in_rest.split_at(take);
-            out_rest = out_tail;
-            in_rest = in_tail;
-            scope.spawn(move || {
-                for (slot, chunk) in out_part.iter_mut().zip(in_part) {
-                    *slot = codec.compress(chunk);
-                }
-            });
-        }
-    });
-    out
+/// Compresses every chunk over an existing pool, returning sealed frames
+/// in input order.
+///
+/// ```
+/// use dr_compress::{compress_chunks_pooled, Codec, FastLz};
+/// use dr_pool::WorkerPool;
+/// let pool = WorkerPool::new(2);
+/// let frames = compress_chunks_pooled(&pool, &FastLz::new(), &[&[7u8; 64][..]]);
+/// assert_eq!(FastLz::new().decompress(&frames[0]).unwrap(), vec![7u8; 64]);
+/// ```
+pub fn compress_chunks_pooled<C: Codec + Sync>(
+    pool: &WorkerPool,
+    codec: &C,
+    chunks: &[&[u8]],
+) -> Vec<Vec<u8>> {
+    pool.map_collect(chunks.len(), |i| codec.compress(chunks[i]))
 }
 
 #[cfg(test)]
@@ -93,6 +90,18 @@ mod tests {
         let frames = compress_chunks_parallel(&codec, &views, 4);
         for (frame, chunk) in frames.iter().zip(&data) {
             assert_eq!(&codec.decompress(frame).unwrap(), chunk);
+        }
+    }
+
+    #[test]
+    fn one_pool_across_many_batches() {
+        let pool = WorkerPool::new(3);
+        let codec = FastLz::new();
+        let data = chunks();
+        let views: Vec<&[u8]> = data.iter().map(|c| c.as_slice()).collect();
+        let serial: Vec<Vec<u8>> = views.iter().map(|c| codec.compress(c)).collect();
+        for _ in 0..10 {
+            assert_eq!(compress_chunks_pooled(&pool, &codec, &views), serial);
         }
     }
 

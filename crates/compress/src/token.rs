@@ -49,6 +49,45 @@ impl Token {
     }
 }
 
+/// Appends a literal run to a wire stream, splitting runs longer than
+/// [`MAX_LITERAL_RUN`]. Shared by [`encode_tokens`] and the single-pass
+/// codecs that emit wire bytes without materializing a token IR.
+pub fn emit_literals(out: &mut Vec<u8>, bytes: &[u8]) {
+    for run in bytes.chunks(MAX_LITERAL_RUN) {
+        if run.is_empty() {
+            continue;
+        }
+        out.push((run.len() - 1) as u8);
+        out.extend_from_slice(run);
+    }
+}
+
+/// Appends a match record to a wire stream, splitting over-long matches.
+///
+/// # Panics
+///
+/// Panics if `offset == 0`, `offset > MAX_OFFSET`, or `len < MIN_MATCH` —
+/// matchers never emit these.
+pub fn emit_match(out: &mut Vec<u8>, offset: usize, len: usize) {
+    assert!(
+        (1..=MAX_OFFSET).contains(&offset),
+        "match offset {offset} out of range"
+    );
+    assert!(len >= MIN_MATCH, "match length {len} below minimum");
+    let mut remaining = len;
+    while remaining > 0 {
+        // Never leave a sub-minimum tail: cap the piece so the
+        // remainder is either 0 or >= MIN_MATCH.
+        let mut piece = remaining.min(MAX_MATCH);
+        if remaining - piece != 0 && remaining - piece < MIN_MATCH {
+            piece = remaining - MIN_MATCH;
+        }
+        out.push(0x80 | (piece - MIN_MATCH) as u8);
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        remaining -= piece;
+    }
+}
+
 /// Serializes `tokens` to the wire encoding, splitting over-long runs and
 /// matches as needed.
 ///
@@ -60,34 +99,8 @@ pub fn encode_tokens(tokens: &[Token]) -> Vec<u8> {
     let mut out = Vec::new();
     for token in tokens {
         match token {
-            Token::Literals(bytes) => {
-                for run in bytes.chunks(MAX_LITERAL_RUN) {
-                    if run.is_empty() {
-                        continue;
-                    }
-                    out.push((run.len() - 1) as u8);
-                    out.extend_from_slice(run);
-                }
-            }
-            &Token::Match { offset, len } => {
-                assert!(
-                    (1..=MAX_OFFSET).contains(&offset),
-                    "match offset {offset} out of range"
-                );
-                assert!(len >= MIN_MATCH, "match length {len} below minimum");
-                let mut remaining = len;
-                while remaining > 0 {
-                    // Never leave a sub-minimum tail: cap the piece so the
-                    // remainder is either 0 or >= MIN_MATCH.
-                    let mut piece = remaining.min(MAX_MATCH);
-                    if remaining - piece != 0 && remaining - piece < MIN_MATCH {
-                        piece = remaining - MIN_MATCH;
-                    }
-                    out.push(0x80 | (piece - MIN_MATCH) as u8);
-                    out.extend_from_slice(&(offset as u16).to_le_bytes());
-                    remaining -= piece;
-                }
-            }
+            Token::Literals(bytes) => emit_literals(&mut out, bytes),
+            &Token::Match { offset, len } => emit_match(&mut out, offset, len),
         }
     }
     out

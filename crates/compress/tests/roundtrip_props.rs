@@ -74,7 +74,7 @@ fn codecs_decode_each_others_frames() {
         let data = testkit::vec_u8(rng, 0, 4096);
         let a = FastLz::new().compress(&data);
         let b = Lz77::new().compress(&data);
-        assert_eq!(Lz77::new().decompress(&a).unwrap(), data.clone());
+        assert_eq!(Lz77::new().decompress(&a).unwrap(), data);
         assert_eq!(FastLz::new().decompress(&b).unwrap(), data);
     });
 }

@@ -35,6 +35,6 @@ pub mod sha256;
 pub use crc32c::{crc32c, Crc32c};
 pub use digest::ChunkDigest;
 pub use fast::{fnv1a64, mix64, FastHasher};
-pub use parallel::{hash_chunks_parallel, ParallelHasher};
+pub use parallel::{hash_chunks_parallel, hash_chunks_pooled, ParallelHasher};
 pub use sha1::{sha1_digest, Sha1};
 pub use sha256::{sha256_digest, Sha256};

@@ -2,17 +2,21 @@
 //!
 //! The paper observes that hashing has *no inter-chunk dependency*, so the
 //! chunking stage's output can be fingerprinted by any number of CPU worker
-//! threads. [`ParallelHasher`] fans a batch of chunks out over `n` scoped
-//! threads (static block partitioning — chunks are near-uniform cost) and
-//! returns digests in input order.
+//! threads. [`ParallelHasher`] owns a persistent [`WorkerPool`] and fans
+//! each batch out over it — worker threads are created once, not per
+//! batch, and idle workers steal from busy ones instead of relying on
+//! static partitioning. Digests always come back in input order.
 
 use crate::digest::ChunkDigest;
 use crate::sha1::sha1_digest;
+use dr_pool::WorkerPool;
 
 /// Hashes every chunk in `chunks` with SHA-1 using up to `workers` threads,
 /// returning digests in input order.
 ///
-/// A convenience wrapper around [`ParallelHasher`].
+/// A convenience wrapper around [`ParallelHasher`]; it builds (and tears
+/// down) a pool per call, so prefer a long-lived [`ParallelHasher`] — or
+/// [`hash_chunks_pooled`] with a shared pool — on hot paths.
 ///
 /// # Panics
 ///
@@ -32,7 +36,24 @@ pub fn hash_chunks_parallel<T: AsRef<[u8]> + Sync>(
     ParallelHasher::new(workers).hash_batch(chunks)
 }
 
-/// A reusable parallel hashing front-end.
+/// Hashes every chunk over an existing pool, returning digests in input
+/// order.
+///
+/// ```
+/// use dr_hashes::{hash_chunks_pooled, sha1_digest};
+/// use dr_pool::WorkerPool;
+/// let pool = WorkerPool::new(2);
+/// let ds = hash_chunks_pooled(&pool, &[b"xy".as_slice()]);
+/// assert_eq!(ds[0], sha1_digest(b"xy"));
+/// ```
+pub fn hash_chunks_pooled<T: AsRef<[u8]> + Sync>(
+    pool: &WorkerPool,
+    chunks: &[T],
+) -> Vec<ChunkDigest> {
+    pool.map_collect(chunks.len(), |i| sha1_digest(chunks[i].as_ref()))
+}
+
+/// A reusable parallel hashing front-end over a persistent worker pool.
 ///
 /// ```
 /// use dr_hashes::ParallelHasher;
@@ -43,17 +64,31 @@ pub fn hash_chunks_parallel<T: AsRef<[u8]> + Sync>(
 #[derive(Debug, Clone)]
 pub struct ParallelHasher {
     workers: usize,
+    pool: WorkerPool,
 }
 
 impl ParallelHasher {
-    /// Creates a hasher that uses up to `workers` threads per batch.
+    /// Creates a hasher whose pool runs `workers` persistent threads.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "worker count must be positive");
-        ParallelHasher { workers }
+        ParallelHasher {
+            workers,
+            // One thread of `workers` is the caller participating in each
+            // batch, so the pool itself needs one fewer.
+            pool: WorkerPool::new(workers - 1),
+        }
+    }
+
+    /// Wraps an existing pool (shared with other stages).
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        ParallelHasher {
+            workers: pool.workers() + 1,
+            pool,
+        }
     }
 
     /// The configured worker count.
@@ -63,38 +98,7 @@ impl ParallelHasher {
 
     /// Hashes `chunks` and returns digests in input order.
     pub fn hash_batch<T: AsRef<[u8]> + Sync>(&self, chunks: &[T]) -> Vec<ChunkDigest> {
-        if chunks.is_empty() {
-            return Vec::new();
-        }
-        let workers = self.workers.min(chunks.len());
-        if workers == 1 {
-            return chunks.iter().map(|c| sha1_digest(c.as_ref())).collect();
-        }
-
-        let mut out = vec![ChunkDigest::zero(); chunks.len()];
-        let stride = chunks.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            // Pair each output slice with its input slice so every worker
-            // owns a disjoint region.
-            let mut out_rest: &mut [ChunkDigest] = &mut out;
-            let mut in_rest: &[T] = chunks;
-            for _ in 0..workers {
-                let take = stride.min(in_rest.len());
-                if take == 0 {
-                    break;
-                }
-                let (out_part, out_tail) = out_rest.split_at_mut(take);
-                let (in_part, in_tail) = in_rest.split_at(take);
-                out_rest = out_tail;
-                in_rest = in_tail;
-                scope.spawn(move || {
-                    for (slot, chunk) in out_part.iter_mut().zip(in_part) {
-                        *slot = sha1_digest(chunk.as_ref());
-                    }
-                });
-            }
-        });
-        out
+        hash_chunks_pooled(&self.pool, chunks)
     }
 }
 
@@ -137,6 +141,26 @@ mod tests {
         for (i, chunk) in chunks.iter().enumerate() {
             assert_eq!(digests[i], sha1_digest(chunk), "index {i}");
         }
+    }
+
+    #[test]
+    fn reusing_one_hasher_across_batches() {
+        let hasher = ParallelHasher::new(3);
+        for round in 0..50 {
+            let chunks = make_chunks(round % 9 + 1);
+            let serial: Vec<ChunkDigest> = chunks.iter().map(|c| sha1_digest(c)).collect();
+            assert_eq!(hasher.hash_batch(&chunks), serial, "round {round}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_hasher() {
+        let pool = WorkerPool::new(2);
+        let hasher = ParallelHasher::with_pool(pool);
+        assert_eq!(hasher.workers(), 3);
+        let chunks = make_chunks(7);
+        let serial: Vec<ChunkDigest> = chunks.iter().map(|c| sha1_digest(c)).collect();
+        assert_eq!(hasher.hash_batch(&chunks), serial);
     }
 
     #[test]

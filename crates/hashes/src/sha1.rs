@@ -117,25 +117,31 @@ impl Sha1 {
         }
 
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
+        // Four specialized 20-round loops instead of one 80-round loop with
+        // a per-round `match`: this is the hottest loop in the whole
+        // pipeline (every ingested byte passes through it), and selecting
+        // f/k per stage keeps the round body branch-free.
+        macro_rules! rounds {
+            ($range:expr, $k:expr, $f:expr) => {
+                for &wi in &w[$range] {
+                    let tmp = a
+                        .rotate_left(5)
+                        .wrapping_add($f)
+                        .wrapping_add(e)
+                        .wrapping_add($k)
+                        .wrapping_add(wi);
+                    e = d;
+                    d = c;
+                    c = b.rotate_left(30);
+                    b = a;
+                    a = tmp;
+                }
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
         }
+        rounds!(0..20, 0x5A82_7999u32, (b & c) | (!b & d));
+        rounds!(20..40, 0x6ED9_EBA1u32, b ^ c ^ d);
+        rounds!(40..60, 0x8F1B_BCDCu32, (b & c) | (b & d) | (c & d));
+        rounds!(60..80, 0xCA62_C1D6u32, b ^ c ^ d);
 
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

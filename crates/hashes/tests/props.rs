@@ -64,12 +64,11 @@ fn digest_hex_round_trips() {
 #[test]
 fn sha1_sensitive_to_appends() {
     Cases::new("sha1_sensitive_to_appends", 0x5A1_0005).run(96, |rng| {
-        let data = testkit::vec_u8(rng, 0, 512);
+        let mut data = testkit::vec_u8(rng, 0, 512);
         let extra = (rng.next_u64() & 0xFF) as u8;
         let base = sha1_digest(&data);
-        let mut longer = data.clone();
-        longer.push(extra);
-        assert_ne!(base, sha1_digest(&longer));
+        data.push(extra);
+        assert_ne!(base, sha1_digest(&data));
     });
 }
 

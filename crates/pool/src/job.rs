@@ -1,0 +1,98 @@
+//! Joinable results for jobs submitted with `WorkerPool::spawn`.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Result as ThreadResult;
+
+struct Slot<T> {
+    result: Mutex<Option<ThreadResult<T>>>,
+    cv: Condvar,
+}
+
+/// The producing end of a job slot, moved into the pool job.
+pub(crate) struct Completer<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> Completer<T> {
+    pub(crate) fn complete(self, result: ThreadResult<T>) {
+        *self.slot.result.lock().expect("job slot lock") = Some(result);
+        self.slot.cv.notify_all();
+    }
+}
+
+/// A handle to a job submitted with `WorkerPool::spawn`.
+///
+/// Dropping the handle without joining is allowed; the job still runs to
+/// completion and its result is discarded.
+#[must_use = "join the handle to observe the job's result (and any panic)"]
+pub struct JobHandle<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// A pending handle plus the completer the job resolves it with.
+    pub(crate) fn pending() -> (Self, Completer<T>) {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        (
+            JobHandle {
+                slot: Arc::clone(&slot),
+            },
+            Completer { slot },
+        )
+    }
+
+    /// A handle that is already resolved (inline pools run jobs eagerly).
+    pub(crate) fn ready(result: ThreadResult<T>) -> Self {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(Some(result)),
+            cv: Condvar::new(),
+        });
+        JobHandle { slot }
+    }
+
+    /// Blocks until the job finished and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic, if it panicked.
+    pub fn join(self) -> T {
+        let mut guard = self.slot.result.lock().expect("job slot lock");
+        loop {
+            if let Some(result) = guard.take() {
+                match result {
+                    Ok(v) => return v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            guard = self.slot.cv.wait(guard).expect("job slot lock");
+        }
+    }
+
+    /// True once the job finished (join will not block).
+    pub fn is_finished(&self) -> bool {
+        self.slot.result.lock().expect("job slot lock").is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_handles_resolve_immediately() {
+        let h = JobHandle::ready(Ok(42));
+        assert!(h.is_finished());
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn pending_handles_resolve_on_complete() {
+        let (h, c) = JobHandle::<&str>::pending();
+        assert!(!h.is_finished());
+        c.complete(Ok("done"));
+        assert_eq!(h.join(), "done");
+    }
+}

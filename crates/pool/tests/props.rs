@@ -1,0 +1,127 @@
+//! Randomized properties of the worker pool, via the dr-des testkit:
+//! ordering, exactly-once execution, panic safety, and the zero-worker
+//! (inline) degradation.
+
+use dr_des::testkit::{usize_in, Cases};
+use dr_pool::{JobHandle, WorkerPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn map_collect_matches_serial_for_random_shapes() {
+    Cases::new("pool-ordering", 0xB00C).run(48, |rng| {
+        let workers = usize_in(rng, 0, 6);
+        let n = usize_in(rng, 0, 300);
+        let pool = WorkerPool::new(workers);
+        let got = pool.map_collect(n, |i| i.wrapping_mul(2654435761));
+        let want: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(got, want, "workers={workers} n={n}");
+    });
+}
+
+#[test]
+fn every_index_runs_exactly_once() {
+    Cases::new("pool-exactly-once", 0x1CE).run(32, |rng| {
+        let workers = usize_in(rng, 0, 5);
+        let n = usize_in(rng, 1, 500);
+        let pool = WorkerPool::new(workers);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.map_batch(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} (n={n})");
+        }
+    });
+}
+
+#[test]
+fn skewed_item_costs_still_cover_every_index() {
+    // A few very expensive items at random positions: stealing must keep
+    // the cheap items flowing and nothing may be dropped.
+    Cases::new("pool-skew", 0x5EA1).run(12, |rng| {
+        let n = usize_in(rng, 64, 256);
+        let heavy = usize_in(rng, 0, n - 1);
+        let pool = WorkerPool::new(4);
+        let done: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.map_batch(n, |i| {
+            if i == heavy {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    });
+}
+
+#[test]
+fn panics_at_random_indices_propagate_and_pool_recovers() {
+    Cases::new("pool-panic", 0xDEAD).run(24, |rng| {
+        let workers = usize_in(rng, 0, 4);
+        let n = usize_in(rng, 1, 128);
+        let bad = usize_in(rng, 0, n - 1);
+        let pool = WorkerPool::new(workers);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_batch(n, |i| {
+                assert!(i != bad, "injected failure");
+            });
+        }));
+        assert!(result.is_err(), "workers={workers} n={n} bad={bad}");
+        // The same pool must process a clean batch afterwards.
+        let got = pool.map_collect(n, |i| i);
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn spawned_job_panic_reaches_join_only() {
+    let pool = WorkerPool::new(2);
+    let bad: JobHandle<()> = pool.spawn(|| panic!("job failure"));
+    let ok = pool.spawn(|| 5usize);
+    assert_eq!(ok.join(), 5);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.join()));
+    assert!(result.is_err());
+    // Workers survive the panicked job.
+    assert_eq!(pool.map_collect(16, |i| i).len(), 16);
+}
+
+#[test]
+fn zero_worker_pool_is_deterministic_and_complete() {
+    Cases::new("pool-inline", 0x0).run(16, |rng| {
+        let n = usize_in(rng, 0, 200);
+        let pool = WorkerPool::new(0);
+        let a = pool.map_collect(n, |i| i * 3);
+        let b = pool.map_collect(n, |i| i * 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), n);
+        let h = pool.spawn(move || n);
+        assert!(h.is_finished(), "inline jobs run eagerly");
+        assert_eq!(h.join(), n);
+    });
+}
+
+#[test]
+fn for_each_mut_writes_every_slot() {
+    Cases::new("pool-slots", 0xF00D).run(24, |rng| {
+        let workers = usize_in(rng, 0, 4);
+        let n = usize_in(rng, 0, 300);
+        let pool = WorkerPool::new(workers);
+        let mut slots = vec![0u64; n];
+        pool.for_each_mut(&mut slots, |i, s| *s = i as u64 + 1);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, i as u64 + 1);
+        }
+    });
+}
+
+#[test]
+fn many_small_batches_on_one_pool() {
+    // The pipeline's shape: one persistent pool, thousands of small
+    // batches. Thread count must stay O(workers), results ordered.
+    let pool = WorkerPool::new(3);
+    for round in 0..500 {
+        let n = (round % 7) + 1;
+        let got = pool.map_collect(n, |i| round * 100 + i);
+        let want: Vec<usize> = (0..n).map(|i| round * 100 + i).collect();
+        assert_eq!(got, want, "round {round}");
+    }
+}

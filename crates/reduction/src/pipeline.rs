@@ -8,9 +8,11 @@ use dr_chunking::{Chunker, FixedChunker};
 use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
 use dr_des::{Resource, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuSpec};
-use dr_hashes::sha1_digest;
+use dr_hashes::{hash_chunks_pooled, ChunkDigest};
 use dr_obs::{CounterHandle, GaugeHandle, ObsHandle, StageObs};
+use dr_pool::{JobHandle, WorkerPool};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
+use std::sync::Arc;
 
 use crate::cpu_model::CpuModel;
 use crate::destage::Destager;
@@ -102,6 +104,13 @@ pub struct PipelineConfig {
     /// Chunks per scheduling batch (GPU kernels amortize launches over a
     /// batch; the CPU path ignores this).
     pub batch_chunks: usize,
+    /// Host worker threads for the persistent execution pool that runs
+    /// hashing and CPU compression (includes the calling thread). Defaults
+    /// to the machine's available parallelism, clamped — see
+    /// [`dr_pool::default_workers`]. Distinct from [`CpuModel::workers`],
+    /// which models the *simulated* array's CPUs; this knob only affects
+    /// host wall-clock speed, never simulated results.
+    pub pool_workers: usize,
     /// CPU cost model.
     pub cpu: CpuModel,
     /// CPU-side index configuration.
@@ -139,6 +148,7 @@ impl Default for PipelineConfig {
             mode: IntegrationMode::default(),
             chunk_bytes: 4096,
             batch_chunks: 128,
+            pool_workers: dr_pool::default_workers(),
             cpu: CpuModel::default(),
             index: BinIndexConfig::default(),
             gpu_index: GpuBinIndexConfig::default(),
@@ -209,14 +219,90 @@ enum DedupOutcome {
     IntraBatchDuplicate,
 }
 
-/// One chunk moving through the pipeline (internal).
+/// One chunk moving through the pipeline (internal). Payload bytes are
+/// *not* carried here: they live in the batch's [`BatchPayload`] and are
+/// accessed by index, so a chunk never owns a copy of its data.
 struct InFlight {
-    data: Vec<u8>,
-    digest: dr_hashes::ChunkDigest,
+    digest: ChunkDigest,
     /// When the chunk's last completed stage finished.
     ready_at: SimTime,
     /// Dedup resolution.
     outcome: DedupOutcome,
+}
+
+/// Chunk payloads for one batch.
+///
+/// [`Pipeline::run`] copies the ingest stream into a shared buffer *once*
+/// and carries every chunk as a `(offset, len)` view into it — no
+/// per-chunk allocation anywhere on the ingest→hash→compress path.
+/// [`Pipeline::run_blocks`] callers hand over already-owned vectors, which
+/// are kept as-is.
+enum BatchPayload {
+    /// Caller-owned blocks (pre-chunked ingest).
+    Owned(Vec<Vec<u8>>),
+    /// Views into one shared stream buffer.
+    Shared {
+        buf: Arc<[u8]>,
+        /// `(offset, len)` of each chunk within `buf`.
+        spans: Vec<(usize, usize)>,
+    },
+}
+
+impl BatchPayload {
+    fn len(&self) -> usize {
+        match self {
+            BatchPayload::Owned(blocks) => blocks.len(),
+            BatchPayload::Shared { spans, .. } => spans.len(),
+        }
+    }
+
+    fn view(&self, i: usize) -> &[u8] {
+        match self {
+            BatchPayload::Owned(blocks) => &blocks[i],
+            BatchPayload::Shared { buf, spans } => {
+                let (offset, len) = spans[i];
+                &buf[offset..offset + len]
+            }
+        }
+    }
+}
+
+/// A batch whose fingerprints have been (or are being) computed on the
+/// worker pool, possibly overlapped with processing of the previous batch.
+type HashedBatch = (BatchPayload, Vec<ChunkDigest>);
+
+/// Recycled frame output buffers: compression writes into pooled vectors
+/// that return to the arena after destage, so the steady-state batch loop
+/// allocates nothing per chunk. Growth is bounded by the pool capacity
+/// (one buffer per chunk of a batch).
+#[derive(Debug, Default)]
+struct FrameArena {
+    free: Vec<Vec<u8>>,
+    cap: usize,
+}
+
+impl FrameArena {
+    fn new(cap: usize) -> Self {
+        FrameArena {
+            free: Vec::new(),
+            cap,
+        }
+    }
+
+    fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.cap {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    fn pooled(&self) -> usize {
+        self.free.len()
+    }
 }
 
 /// The integrated inline data reduction pipeline.
@@ -233,6 +319,12 @@ pub struct Pipeline {
     codec: FastLz,
     ssd: SsdDevice,
     destage: Destager,
+    /// Persistent host execution pool: created once, reused by every
+    /// batch for hashing and CPU compression, and for overlapping batch
+    /// N+1's fingerprinting with batch N's downstream stages.
+    pool: WorkerPool,
+    /// Recycled compression output buffers.
+    arena: FrameArena,
     obs: PipelineObs,
     report: Report,
     /// The stream recipe: one stored-chunk reference per ingested chunk,
@@ -252,7 +344,15 @@ impl Pipeline {
     pub fn new(config: PipelineConfig) -> Self {
         assert!(config.chunk_bytes > 0, "chunk size must be positive");
         assert!(config.batch_chunks > 0, "batch size must be positive");
+        assert!(
+            config.pool_workers > 0,
+            "pool worker count must be positive"
+        );
         config.cpu.validate();
+        // The calling thread participates in every batch, so the pool
+        // itself carries one thread fewer than the configured width.
+        let pool = WorkerPool::new(config.pool_workers - 1);
+        pool.set_obs(&config.obs);
         let mut gpu = GpuDevice::new(config.gpu_spec.clone());
         gpu.set_obs(&config.obs);
         let gpu_index = if config.mode.gpu_dedup() && config.dedup_enabled {
@@ -280,11 +380,25 @@ impl Pipeline {
             gpu_index,
             ssd,
             destage,
+            pool,
+            arena: FrameArena::new(config.batch_chunks),
             obs: PipelineObs::new(&config.obs),
             report,
             recipe: Vec::new(),
             config,
         }
+    }
+
+    /// The persistent host execution pool (shared with callers that want
+    /// to run their own work on the same threads).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Number of recycled frame buffers currently parked in the arena
+    /// (bounded by [`PipelineConfig::batch_chunks`]).
+    pub fn pooled_frame_buffers(&self) -> usize {
+        self.arena.pooled()
     }
 
     /// The observability handle this pipeline records into (disabled
@@ -357,12 +471,26 @@ impl Pipeline {
 
     /// Runs a byte stream through the pipeline (chunked at
     /// [`PipelineConfig::chunk_bytes`]) and returns the final report.
+    ///
+    /// The stream is copied into a shared buffer once; every chunk then
+    /// travels as a view into that buffer (no per-chunk allocation).
     pub fn run(&mut self, stream: &[u8]) -> Report {
         let chunker = FixedChunker::new(self.config.chunk_bytes);
         let span = self.obs.chunking.span();
-        let blocks: Vec<Vec<u8>> = chunker.chunk(stream).map(|c| c.data.to_vec()).collect();
+        let buf: Arc<[u8]> = Arc::from(stream);
+        let spans: Vec<(usize, usize)> = chunker
+            .chunk(stream)
+            .map(|c| (c.offset as usize, c.data.len()))
+            .collect();
         span.finish();
-        self.run_blocks(blocks)
+        let payloads: Vec<BatchPayload> = spans
+            .chunks(self.config.batch_chunks)
+            .map(|s| BatchPayload::Shared {
+                buf: Arc::clone(&buf),
+                spans: s.to_vec(),
+            })
+            .collect();
+        self.drive(payloads.into_iter())
     }
 
     /// Runs pre-chunked blocks through the pipeline and returns the final
@@ -372,17 +500,66 @@ impl Pipeline {
     where
         I: IntoIterator<Item = Vec<u8>>,
     {
-        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(self.config.batch_chunks);
-        for block in blocks {
-            batch.push(block);
-            if batch.len() == self.config.batch_chunks {
-                self.process_batch(std::mem::take(&mut batch));
+        let batch_chunks = self.config.batch_chunks;
+        let mut blocks = blocks.into_iter();
+        let batches = std::iter::from_fn(move || {
+            let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_chunks);
+            while batch.len() < batch_chunks {
+                match blocks.next() {
+                    Some(block) => batch.push(block),
+                    None => break,
+                }
+            }
+            (!batch.is_empty()).then_some(BatchPayload::Owned(batch))
+        });
+        self.drive(batches)
+    }
+
+    /// The double-buffered batch loop: while batch N runs its downstream
+    /// stages (dedup, compression, destage) on the calling thread, batch
+    /// N+1 is already being fingerprinted on the pool. Simulated-time
+    /// accounting stays serial and in input order inside
+    /// [`Pipeline::process_batch`], so the overlap changes wall-clock
+    /// behavior only — simulated results are bit-identical.
+    fn drive<I>(&mut self, batches: I) -> Report
+    where
+        I: Iterator<Item = BatchPayload>,
+    {
+        let mut pending: Option<JobHandle<HashedBatch>> = None;
+        for payload in batches {
+            let job = self.spawn_hash_job(payload);
+            if let Some(prev) = pending.replace(job) {
+                let (payload, digests) = prev.join();
+                self.process_batch(&payload, digests);
             }
         }
-        if !batch.is_empty() {
-            self.process_batch(batch);
+        if let Some(prev) = pending.take() {
+            let (payload, digests) = prev.join();
+            self.process_batch(&payload, digests);
         }
         self.finish()
+    }
+
+    /// Starts fingerprinting a batch on the pool. Fingerprints only exist
+    /// on behalf of deduplication — the paper's compression-only
+    /// experiment does not hash, so with dedup disabled the digests are
+    /// zero sentinels and no SHA-1 is computed at all.
+    fn spawn_hash_job(&self, payload: BatchPayload) -> JobHandle<HashedBatch> {
+        let pool = self.pool.clone();
+        let dedup_enabled = self.config.dedup_enabled;
+        let hashing = self.obs.hashing.clone();
+        self.pool.spawn(move || {
+            let digests = if dedup_enabled {
+                let span = hashing.span();
+                let views: Vec<&[u8]> = (0..payload.len()).map(|i| payload.view(i)).collect();
+                let digests = hash_chunks_pooled(&pool, &views);
+                span.finish();
+                digests
+            } else {
+                vec![ChunkDigest::zero(); payload.len()]
+            };
+            (payload, digests)
+        })
     }
 
     /// Flushes the destage log and closes out the report.
@@ -404,8 +581,11 @@ impl Pipeline {
     }
 
     /// Processes one batch of chunks through chunk→hash→index→compress→
-    /// destage, advancing the simulated clock.
-    fn process_batch(&mut self, blocks: Vec<Vec<u8>>) {
+    /// destage, advancing the simulated clock. Fingerprints arrive
+    /// precomputed (possibly overlapped with the previous batch); the
+    /// simulated chunk+hash costs are charged here, serially and in input
+    /// order, so the timeline is identical to a fully serial pipeline.
+    fn process_batch(&mut self, payload: &BatchPayload, digests: Vec<ChunkDigest>) {
         let cpu_model = self.config.cpu;
         let arrival = SimTime::ZERO; // closed loop: input is never the bottleneck
 
@@ -414,45 +594,45 @@ impl Pipeline {
         // compression-only experiment does not hash.
         let dedup_enabled = self.config.dedup_enabled;
         self.obs.batches.incr();
-        let hash_span = self.obs.hashing.span();
-        let mut chunks: Vec<InFlight> = blocks
+        let mut chunks: Vec<InFlight> = digests
             .into_iter()
-            .map(|data| {
-                let chunk_cost = cpu_model.chunk_cost(data.len()) + cpu_model.overhead_cost();
+            .enumerate()
+            .map(|(i, digest)| {
+                let len = payload.view(i).len();
+                let chunk_cost = cpu_model.chunk_cost(len) + cpu_model.overhead_cost();
                 self.obs.chunking.record_sim_ns(chunk_cost.as_nanos());
                 let mut cost = chunk_cost;
                 if dedup_enabled {
-                    let hash_cost = cpu_model.hash_cost(data.len());
+                    let hash_cost = cpu_model.hash_cost(len);
                     self.obs.hashing.record_sim_ns(hash_cost.as_nanos());
                     cost += hash_cost;
                 }
                 let g = self.cpu.acquire(arrival, cost);
-                let digest = sha1_digest(&data);
                 InFlight {
                     digest,
                     ready_at: g.end,
-                    data,
                     outcome: DedupOutcome::Unique,
                 }
             })
             .collect();
-        hash_span.finish();
         self.report.chunks += chunks.len() as u64;
-        self.report.bytes_in += chunks.iter().map(|c| c.data.len() as u64).sum::<u64>();
+        self.report.bytes_in += (0..payload.len())
+            .map(|i| payload.view(i).len() as u64)
+            .sum::<u64>();
 
         // ---- Stage 3: deduplication. ----
         if self.config.dedup_enabled {
             let probe_span = self.obs.index_probe.span();
-            self.dedup_batch(&mut chunks);
+            self.dedup_batch(payload, &mut chunks);
             probe_span.finish();
             // Intra-batch duplicates: an earlier chunk of this batch may
             // cover a later one. In the paper's per-chunk pipeline the
             // index is updated before the next probe; batching must not
             // lose those hits, so resolve them against a pending set.
             let cpu_model = self.config.cpu;
-            let mut pending: std::collections::HashSet<dr_hashes::ChunkDigest> =
+            let mut pending: std::collections::HashSet<ChunkDigest> =
                 std::collections::HashSet::new();
-            for chunk in chunks.iter_mut() {
+            for (i, chunk) in chunks.iter_mut().enumerate() {
                 if !matches!(chunk.outcome, DedupOutcome::Unique) {
                     continue;
                 }
@@ -469,7 +649,7 @@ impl Pipeline {
                     chunk.outcome = DedupOutcome::IntraBatchDuplicate;
                     self.report.dedup_hits += 1;
                     self.report.buffer_hits += 1;
-                    self.report.bytes_deduped += chunk.data.len() as u64;
+                    self.report.bytes_deduped += payload.view(i).len() as u64;
                 } else {
                     pending.insert(chunk.digest);
                 }
@@ -493,23 +673,24 @@ impl Pipeline {
             unique
                 .iter()
                 .map(|&i| {
-                    let f = frame::seal_raw(&chunks[i].data);
+                    let mut f = self.arena.take();
+                    frame::seal_raw_into(payload.view(i), &mut f);
                     (i, f, chunks[i].ready_at)
                 })
                 .collect()
         } else if self.config.mode.gpu_compression() {
             let span = self.obs.compress.span();
-            let frames = self.gpu_compress(&chunks, &unique);
+            let frames = self.gpu_compress(payload, &chunks, &unique);
             span.finish();
             frames
         } else {
             let span = self.obs.compress.span();
-            let frames = self.cpu_compress(&chunks, &unique);
+            let frames = self.cpu_compress(payload, &chunks, &unique);
             span.finish();
             frames
         };
         if self.config.compress_enabled && self.config.obs.is_enabled() {
-            let in_bytes: i64 = unique.iter().map(|&i| chunks[i].data.len() as i64).sum();
+            let in_bytes: i64 = unique.iter().map(|&i| payload.view(i).len() as i64).sum();
             let out_bytes: i64 = frames.iter().map(|(_, f, _)| f.len() as i64).sum();
             self.obs.compress_in_bytes.add(in_bytes);
             self.obs.compress_out_bytes.add(out_bytes);
@@ -518,17 +699,19 @@ impl Pipeline {
         for (i, frame_bytes, ready) in frames {
             if self.config.verify {
                 let back = frame::open(&frame_bytes).expect("self-check: frame must decode");
-                assert_eq!(back, chunks[i].data, "self-check: chunk round-trip failed");
+                assert_eq!(back, payload.view(i), "self-check: chunk round-trip failed");
             }
-            let frame_bytes = if self.config.integrity {
-                frame::protect(&frame_bytes)
+            let protected;
+            let stored: &[u8] = if self.config.integrity {
+                protected = frame::protect(&frame_bytes);
+                &protected
             } else {
-                frame_bytes
+                &frame_bytes
             };
-            self.report.stored_bytes += frame_bytes.len() as u64;
+            self.report.stored_bytes += stored.len() as u64;
             let (chunk_ref, grants) = self
                 .destage
-                .append(ready, &mut self.ssd, &frame_bytes)
+                .append(ready, &mut self.ssd, stored)
                 .expect("destage failed: device full (size the SSD to the workload)");
             refs[i] = Some(chunk_ref);
             for g in grants {
@@ -573,11 +756,14 @@ impl Pipeline {
                 chunks[i].ready_at = ready;
             }
             self.report.unique_chunks += 1;
+            // The frame has been copied out to the device: recycle its
+            // buffer for the next batch.
+            self.arena.put(frame_bytes);
         }
 
         // Intra-batch duplicates point at the stored copy of their first
         // instance (destaged above).
-        let mut by_digest: std::collections::HashMap<dr_hashes::ChunkDigest, ChunkRef> =
+        let mut by_digest: std::collections::HashMap<ChunkDigest, ChunkRef> =
             std::collections::HashMap::new();
         for (chunk, r) in chunks.iter().zip(&refs) {
             if let (DedupOutcome::Unique, Some(r)) = (&chunk.outcome, r) {
@@ -602,7 +788,7 @@ impl Pipeline {
 
     /// Dedup stage: optional GPU probe pass, then the CPU bin-buffer /
     /// bin-tree path for unresolved chunks (the paper's Fig. 1).
-    fn dedup_batch(&mut self, chunks: &mut [InFlight]) {
+    fn dedup_batch(&mut self, payload: &BatchPayload, chunks: &mut [InFlight]) {
         let cpu_model = self.config.cpu;
 
         /// What the CPU still has to probe for one chunk.
@@ -666,7 +852,7 @@ impl Pipeline {
                 CpuProbe::None => {
                     // GPU-resolved duplicate: count it in the report.
                     self.report.dedup_hits += 1;
-                    self.report.bytes_deduped += chunk.data.len() as u64;
+                    self.report.bytes_deduped += payload.view(i).len() as u64;
                     continue;
                 }
                 CpuProbe::BufferOnly => {
@@ -715,25 +901,33 @@ impl Pipeline {
             if let Some(r) = found {
                 chunk.outcome = DedupOutcome::Duplicate(r);
                 self.report.dedup_hits += 1;
-                self.report.bytes_deduped += chunk.data.len() as u64;
+                self.report.bytes_deduped += payload.view(i).len() as u64;
             }
         }
     }
 
-    /// CPU compression: each unique chunk is one codec call on one worker.
+    /// CPU compression: every unique chunk is one single-pass codec call,
+    /// fanned out over the persistent pool into recycled arena buffers.
+    /// The simulated cost accounting below stays serial and in input
+    /// order, so pool scheduling never affects simulated results.
     fn cpu_compress(
         &mut self,
+        payload: &BatchPayload,
         chunks: &[InFlight],
         unique: &[usize],
     ) -> Vec<(usize, Vec<u8>, SimTime)> {
         let cpu_model = self.config.cpu;
-        unique
-            .iter()
-            .map(|&i| {
-                let data = &chunks[i].data;
-                let frame_bytes = self.codec.compress(data);
-                let ratio = data.len() as f64 / frame_bytes.len() as f64;
-                let cost = cpu_model.compress_cost(data.len(), ratio);
+        let codec = self.codec;
+        let mut outs: Vec<(usize, Vec<u8>)> =
+            unique.iter().map(|&i| (i, self.arena.take())).collect();
+        self.pool.for_each_mut(&mut outs, |_, (i, buf)| {
+            codec.compress_to(payload.view(*i), buf);
+        });
+        outs.into_iter()
+            .map(|(i, frame_bytes)| {
+                let len = payload.view(i).len();
+                let ratio = len as f64 / frame_bytes.len() as f64;
+                let cost = cpu_model.compress_cost(len, ratio);
                 self.obs.compress.record_sim_ns(cost.as_nanos());
                 let g = self.cpu.acquire(chunks[i].ready_at, cost);
                 (i, frame_bytes, g.end)
@@ -745,6 +939,7 @@ impl Pipeline {
     /// ("refinement") per chunk.
     fn gpu_compress(
         &mut self,
+        payload: &BatchPayload,
         chunks: &[InFlight],
         unique: &[usize],
     ) -> Vec<(usize, Vec<u8>, SimTime)> {
@@ -757,7 +952,7 @@ impl Pipeline {
             .map(|&i| chunks[i].ready_at)
             .max()
             .unwrap_or(SimTime::ZERO);
-        let views: Vec<&[u8]> = unique.iter().map(|&i| chunks[i].data.as_slice()).collect();
+        let views: Vec<&[u8]> = unique.iter().map(|&i| payload.view(i)).collect();
         let (frames, report) = self
             .gpu_comp
             .compress_batch(batch_ready, &mut self.gpu, &views)
@@ -786,6 +981,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dr_hashes::sha1_digest;
 
     /// A small, dedup-able, compressible stream: 128 blocks drawn from 32
     /// distinct compressible patterns.
@@ -1092,6 +1288,99 @@ mod tests {
         assert_eq!(rp.stored_bytes, ro.stored_bytes);
         assert_eq!(rp.reduction_end, ro.reduction_end);
         assert_eq!(rp.ssd_end, ro.ssd_end);
+    }
+
+    #[test]
+    fn many_small_batches_preserve_order_and_bound_the_arena() {
+        // The stress shape for the arena and the double-buffered loop:
+        // dozens of tiny batches through one pipeline. Every block must
+        // come back in order and the buffer pool must stay bounded.
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.batch_chunks = 4;
+        let mut p = Pipeline::new(cfg);
+        let data = stream(); // 128 blocks -> 32 batches of 4
+        p.run(&data);
+        assert_eq!(p.ingested_chunks(), 128);
+        for (i, original) in data.chunks(4096).enumerate() {
+            assert_eq!(p.read_block(i).expect("read_block"), original, "block {i}");
+        }
+        assert!(
+            p.pooled_frame_buffers() <= 4,
+            "arena grew past the batch size: {}",
+            p.pooled_frame_buffers()
+        );
+    }
+
+    #[test]
+    fn shared_views_and_owned_blocks_are_simulated_identically() {
+        // `run` carries zero-copy views into one shared buffer;
+        // `run_blocks` carries caller-owned vectors. Both must produce the
+        // exact same simulated timeline and stored bytes.
+        let data = stream();
+        let mut shared = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let rs = shared.run(&data);
+        let mut owned = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        let ro = owned.run_blocks(data.chunks(4096).map(|c| c.to_vec()));
+        assert_eq!(rs.chunks, ro.chunks);
+        assert_eq!(rs.unique_chunks, ro.unique_chunks);
+        assert_eq!(rs.dedup_hits, ro.dedup_hits);
+        assert_eq!(rs.stored_bytes, ro.stored_bytes);
+        assert_eq!(rs.reduction_end, ro.reduction_end);
+        assert_eq!(rs.ssd_end, ro.ssd_end);
+    }
+
+    #[test]
+    fn pool_width_does_not_change_simulated_results() {
+        // Host pool width is a wall-clock knob only; the simulated array
+        // (CpuModel::workers) is what the timeline models.
+        let data = stream();
+        let mut baseline = None;
+        for pool_workers in [1usize, 2, 4] {
+            let mut cfg = small_config(IntegrationMode::CpuOnly);
+            cfg.pool_workers = pool_workers;
+            let mut p = Pipeline::new(cfg);
+            let r = p.run(&data);
+            let key = (
+                r.chunks,
+                r.unique_chunks,
+                r.stored_bytes,
+                r.reduction_end,
+                r.ssd_end,
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(*b, key, "pool_workers={pool_workers} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_metrics_are_recorded_when_enabled() {
+        let obs = ObsHandle::enabled("pool-obs-test");
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.pool_workers = 3;
+        cfg.obs = obs.clone();
+        let mut p = Pipeline::new(cfg);
+        p.run(&stream());
+        let snap = obs.snapshot().expect("enabled handle snapshots");
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(counter("pool.jobs") > 0, "no prefetch jobs recorded");
+        assert!(counter("pool.batches") > 0, "no pool batches recorded");
+        assert!(counter("pool.tasks") > 0, "no pool tasks recorded");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker count")]
+    fn zero_pool_workers_rejected() {
+        Pipeline::new(PipelineConfig {
+            pool_workers: 0,
+            ..PipelineConfig::default()
+        });
     }
 
     #[test]

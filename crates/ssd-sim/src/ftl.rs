@@ -41,31 +41,61 @@ pub enum NandOp {
     },
 }
 
-#[derive(Debug, Clone)]
+/// Reverse-map sentinel: the page was programmed but its data is stale.
+const LPN_NONE: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Default)]
 struct Block {
     /// Next unwritten page index (pages program sequentially in a block).
     write_ptr: u32,
-    /// Which pages currently hold live data.
-    valid: Vec<bool>,
-    /// Reverse map: which LPN each page holds (u64::MAX = none).
+    /// Reverse map, one entry per *programmed* page: the LPN the page
+    /// holds, or [`LPN_NONE`] once invalidated. Grows with `write_ptr`
+    /// (pages past it are unwritten), so a freshly built or freshly erased
+    /// block owns no page array at all — a multi-terabyte device would
+    /// otherwise pay hundreds of thousands of upfront allocations before
+    /// the first host write.
     lpns: Vec<u64>,
     valid_count: u32,
     erase_count: u32,
 }
 
 impl Block {
-    fn new(pages: u32) -> Self {
-        Block {
-            write_ptr: 0,
-            valid: vec![false; pages as usize],
-            lpns: vec![u64::MAX; pages as usize],
-            valid_count: 0,
-            erase_count: 0,
+    fn is_full(&self, pages_per_block: u32) -> bool {
+        self.write_ptr >= pages_per_block
+    }
+
+    #[cfg(test)]
+    fn is_valid(&self, page: u32) -> bool {
+        self.lpns.get(page as usize).is_some_and(|&l| l != LPN_NONE)
+    }
+
+    /// Drops the mapping for `page` if it is still live.
+    fn invalidate(&mut self, page: u32) {
+        if let Some(slot) = self.lpns.get_mut(page as usize) {
+            if *slot != LPN_NONE {
+                *slot = LPN_NONE;
+                self.valid_count -= 1;
+            }
         }
     }
 
-    fn is_full(&self, pages_per_block: u32) -> bool {
-        self.write_ptr >= pages_per_block
+    /// Claims the next sequential page for `lpn`, returning its index.
+    fn program(&mut self, lpn: u64) -> u32 {
+        let page = self.write_ptr;
+        debug_assert_eq!(self.lpns.len(), page as usize);
+        self.write_ptr += 1;
+        self.lpns.push(lpn);
+        self.valid_count += 1;
+        page
+    }
+
+    /// Resets the block to erased, keeping the page array's capacity so a
+    /// recycled block programs without reallocating.
+    fn erase(&mut self) {
+        self.write_ptr = 0;
+        self.lpns.clear();
+        self.valid_count = 0;
+        self.erase_count += 1;
     }
 }
 
@@ -104,12 +134,34 @@ impl FtlStats {
     }
 }
 
+/// An unmapped entry in the packed logical map.
+const MAP_NONE: u64 = 0;
+
+/// Packs a [`Ppa`] into a non-zero u64 (die:23 | block:20 | page:20, +1).
+fn pack_ppa(ppa: Ppa) -> u64 {
+    debug_assert!(ppa.die < 1 << 23 && ppa.block < 1 << 20 && ppa.page < 1 << 20);
+    (((ppa.die as u64) << 40) | ((ppa.block as u64) << 20) | ppa.page as u64) + 1
+}
+
+/// Inverse of [`pack_ppa`]; [`MAP_NONE`] means unmapped.
+fn unpack_ppa(packed: u64) -> Option<Ppa> {
+    let v = packed.checked_sub(1)?;
+    Some(Ppa {
+        die: (v >> 40) as u32,
+        block: ((v >> 20) & 0xF_FFFF) as u32,
+        page: (v & 0xF_FFFF) as u32,
+    })
+}
+
 /// The page-mapped FTL.
 #[derive(Debug)]
 pub struct Ftl {
     spec: SsdSpec,
-    /// Logical page → physical page.
-    map: Vec<Option<Ppa>>,
+    /// Logical page → packed physical page ([`pack_ppa`]); zero means
+    /// unmapped. Packing as plain zeroed u64s lets construction take the
+    /// allocator's zeroed path, so the map of a large device is backed by
+    /// untouched zero pages until the host actually writes.
+    map: Vec<u64>,
     dies: Vec<Die>,
     /// Round-robin cursor for spreading host writes across dies.
     next_die: u32,
@@ -121,21 +173,16 @@ impl Ftl {
     pub fn new(spec: SsdSpec) -> Self {
         spec.validate();
         let dies = (0..spec.total_dies())
-            .map(|_| {
-                let blocks = (0..spec.blocks_per_die)
-                    .map(|_| Block::new(spec.pages_per_block))
-                    .collect();
-                Die {
-                    blocks,
-                    active: 0,
-                    // Block 0 is active; the rest are free.
-                    free: (1..spec.blocks_per_die).rev().collect(),
-                }
+            .map(|_| Die {
+                blocks: vec![Block::default(); spec.blocks_per_die as usize],
+                active: 0,
+                // Block 0 is active; the rest are free.
+                free: (1..spec.blocks_per_die).rev().collect(),
             })
             .collect();
         let logical = spec.logical_pages() as usize;
         Ftl {
-            map: vec![None; logical],
+            map: vec![MAP_NONE; logical],
             dies,
             next_die: 0,
             spec,
@@ -198,7 +245,7 @@ impl Ftl {
     pub fn lookup(&self, lpn: u64) -> Result<Option<Ppa>, SsdError> {
         self.map
             .get(lpn as usize)
-            .copied()
+            .map(|&packed| unpack_ppa(packed))
             .ok_or(SsdError::InvalidLpn {
                 lpn,
                 capacity: self.map.len() as u64,
@@ -221,18 +268,13 @@ impl Ftl {
         }
         let mut ops = Vec::with_capacity(1);
         // Invalidate the previous location.
-        if let Some(old) = self.map[lpn as usize] {
-            let blk = &mut self.dies[old.die as usize].blocks[old.block as usize];
-            if blk.valid[old.page as usize] {
-                blk.valid[old.page as usize] = false;
-                blk.valid_count -= 1;
-                blk.lpns[old.page as usize] = u64::MAX;
-            }
+        if let Some(old) = unpack_ppa(self.map[lpn as usize]) {
+            self.dies[old.die as usize].blocks[old.block as usize].invalidate(old.page);
         }
         let die = self.next_die;
         self.next_die = (self.next_die + 1) % self.spec.total_dies();
         let ppa = self.program_page(die, lpn, &mut ops)?;
-        self.map[lpn as usize] = Some(ppa);
+        self.map[lpn as usize] = pack_ppa(ppa);
         self.stats.host_writes += 1;
         ops.push(NandOp::Program { die });
         self.stats.nand_writes += 1;
@@ -262,13 +304,8 @@ impl Ftl {
                 capacity: self.map.len() as u64,
             });
         }
-        if let Some(old) = self.map[lpn as usize].take() {
-            let blk = &mut self.dies[old.die as usize].blocks[old.block as usize];
-            if blk.valid[old.page as usize] {
-                blk.valid[old.page as usize] = false;
-                blk.valid_count -= 1;
-                blk.lpns[old.page as usize] = u64::MAX;
-            }
+        if let Some(old) = unpack_ppa(std::mem::replace(&mut self.map[lpn as usize], MAP_NONE)) {
+            self.dies[old.die as usize].blocks[old.block as usize].invalidate(old.page);
         }
         Ok(())
     }
@@ -302,12 +339,7 @@ impl Ftl {
         }
         let die = &mut self.dies[die_idx as usize];
         let block_idx = die.active;
-        let blk = &mut die.blocks[block_idx as usize];
-        let page = blk.write_ptr;
-        blk.write_ptr += 1;
-        blk.valid[page as usize] = true;
-        blk.valid_count += 1;
-        blk.lpns[page as usize] = lpn;
+        let page = die.blocks[block_idx as usize].program(lpn);
         Ok(Ppa {
             die: die_idx,
             block: block_idx,
@@ -340,16 +372,13 @@ impl Ftl {
         };
 
         // Migrate live pages out of the victim.
-        let live: Vec<(u32, u64)> = {
-            let blk = &self.dies[die_idx as usize].blocks[victim as usize];
-            blk.valid
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| **v)
-                .map(|(p, _)| (p as u32, blk.lpns[p]))
-                .collect()
-        };
-        for &(_page, lpn) in &live {
+        let live: Vec<u64> = self.dies[die_idx as usize].blocks[victim as usize]
+            .lpns
+            .iter()
+            .copied()
+            .filter(|&lpn| lpn != LPN_NONE)
+            .collect();
+        for &lpn in &live {
             ops.push(NandOp::Read { die: die_idx });
             // Migrations go to the active block; if it fills, take a free
             // block directly (GC must not recurse).
@@ -362,13 +391,8 @@ impl Ftl {
             }
             let die = &mut self.dies[die_idx as usize];
             let block_idx = die.active;
-            let blk = &mut die.blocks[block_idx as usize];
-            let page = blk.write_ptr;
-            blk.write_ptr += 1;
-            blk.valid[page as usize] = true;
-            blk.valid_count += 1;
-            blk.lpns[page as usize] = lpn;
-            self.map[lpn as usize] = Some(Ppa {
+            let page = die.blocks[block_idx as usize].program(lpn);
+            self.map[lpn as usize] = pack_ppa(Ppa {
                 die: die_idx,
                 block: block_idx,
                 page,
@@ -380,12 +404,7 @@ impl Ftl {
 
         // Erase the victim and return it to the free pool.
         let die = &mut self.dies[die_idx as usize];
-        let blk = &mut die.blocks[victim as usize];
-        let pages = pages_per_block;
-        *blk = Block {
-            erase_count: blk.erase_count + 1,
-            ..Block::new(pages)
-        };
+        die.blocks[victim as usize].erase();
         die.free.push(victim);
         ops.push(NandOp::Erase { die: die_idx });
         self.stats.erases += 1;
@@ -507,10 +526,7 @@ mod tests {
             let ppa = ftl.lookup(lpn).unwrap().expect("mapping lost");
             // And the physical page must be marked valid and reverse-mapped.
             let blk = &ftl.dies[ppa.die as usize].blocks[ppa.block as usize];
-            assert!(
-                blk.valid[ppa.page as usize],
-                "lpn {lpn} points at invalid page"
-            );
+            assert!(blk.is_valid(ppa.page), "lpn {lpn} points at invalid page");
             assert_eq!(blk.lpns[ppa.page as usize], lpn);
         }
     }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark harness: builds the release binaries, runs the
+# end-to-end experiments that exercise the execution engine (E2 dedup
+# throughput, E3 compression throughput, E4 integration), and emits a
+# machine-readable BENCH_<date>.json at the repository root.
+#
+# Usage:
+#   scripts/bench.sh            # full-scale run
+#   DR_SCALE=0.1 scripts/bench.sh   # scaled-down smoke run (e.g. CI)
+#
+# The JSON records per-experiment wall-clock seconds plus environment
+# details, so successive runs (before/after a change) can be diffed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p dr-bench"
+cargo build --release -q -p dr-bench
+
+BENCHES=(e2_dedup_throughput e3_compress_throughput e4_fig2_integration)
+DATE="$(date +%Y%m%d)"
+OUT="BENCH_${DATE}.json"
+SCALE="${DR_SCALE:-1.0}"
+
+declare -A SECS
+for bench in "${BENCHES[@]}"; do
+    bin="target/release/${bench}"
+    echo "==> ${bench}"
+    start=$(date +%s.%N)
+    "${bin}" > "target/${bench}.out" 2>&1
+    end=$(date +%s.%N)
+    SECS[$bench]=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+    echo "    ${SECS[$bench]}s"
+done
+
+{
+    echo "{"
+    echo "  \"date\": \"${DATE}\","
+    echo "  \"scale\": ${SCALE},"
+    echo "  \"git\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"host_parallelism\": $(nproc 2>/dev/null || echo 1),"
+    echo "  \"wall_seconds\": {"
+    sep=""
+    for bench in "${BENCHES[@]}"; do
+        printf '%s    "%s": %s' "$sep" "$bench" "${SECS[$bench]}"
+        sep=$',\n'
+    done
+    printf '\n  }\n'
+    echo "}"
+} > "${OUT}"
+
+echo "wrote ${OUT}"

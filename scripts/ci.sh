@@ -15,6 +15,17 @@ cargo fmt --all --check
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy (deny warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    # Allocation audit for the ingest->hash->compress hot path: these
+    # crates must not clone or re-own buffers the execution engine works
+    # hard to keep zero-copy.
+    echo "==> cargo clippy (hot-path allocation audit)"
+    for crate in dr-pool dr-hashes dr-compress dr-binindex dr-reduction; do
+        cargo clippy -p "$crate" --all-targets -- \
+            -D warnings \
+            -D clippy::unnecessary_to_owned \
+            -D clippy::redundant_clone
+    done
 else
     echo "==> cargo clippy unavailable; skipping lint pass"
 fi
