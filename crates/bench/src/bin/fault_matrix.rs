@@ -1,0 +1,175 @@
+//! Fault-matrix gate: every (integration mode × fault scenario) run must
+//! reconstruct byte-identical logical volume contents to the fault-free
+//! run of the same mode.
+//!
+//! This is the CI face of the degradation policy (DESIGN.md §10): faults
+//! are allowed to cost reduction ratio and simulated time, never data.
+//! Everything is seeded and offline, so a digest mismatch is always
+//! reproducible with the printed scenario name.
+//!
+//! Exits non-zero when any scenario diverges — or injects no faults at
+//! all, since a fault-free "fault run" would prove nothing.
+
+use dr_gpu_sim::GpuFaultSpec;
+use dr_hashes::sha1_digest;
+use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
+use dr_ssd_sim::SsdFaultSpec;
+use dr_workload::{StreamConfig, StreamGenerator};
+use std::process::ExitCode;
+
+/// The e2/e4 workload shape at gate-friendly scale: dedup 2.0 ×
+/// compression 2.0.
+fn stream() -> Vec<u8> {
+    StreamGenerator::new(StreamConfig {
+        total_bytes: 8 << 20,
+        dedup_ratio: 2.0,
+        compression_ratio: 2.0,
+        ..StreamConfig::default()
+    })
+    .blocks()
+    .flatten()
+    .collect()
+}
+
+struct Scenario {
+    name: &'static str,
+    ssd: SsdFaultSpec,
+    gpu: GpuFaultSpec,
+    /// GPU-fault scenarios are skipped for modes that never launch a
+    /// kernel for the faulted stage.
+    needs_gpu: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "ssd-write-errors",
+            ssd: SsdFaultSpec {
+                write_error_rate: 0.1,
+                seed: 7,
+                ..SsdFaultSpec::default()
+            },
+            gpu: GpuFaultSpec::default(),
+            needs_gpu: false,
+        },
+        Scenario {
+            name: "ssd-write-and-busy",
+            ssd: SsdFaultSpec {
+                write_error_rate: 0.05,
+                busy_rate: 0.1,
+                seed: 7,
+                ..SsdFaultSpec::default()
+            },
+            gpu: GpuFaultSpec::default(),
+            needs_gpu: false,
+        },
+        Scenario {
+            name: "gpu-launch-failures",
+            ssd: SsdFaultSpec::default(),
+            gpu: GpuFaultSpec {
+                launch_failure_rate: 0.5,
+                seed: 11,
+                ..GpuFaultSpec::default()
+            },
+            needs_gpu: true,
+        },
+        Scenario {
+            name: "gpu-probe-timeouts",
+            ssd: SsdFaultSpec::default(),
+            gpu: GpuFaultSpec {
+                probe_timeout_rate: 0.4,
+                seed: 11,
+                ..GpuFaultSpec::default()
+            },
+            needs_gpu: true,
+        },
+        Scenario {
+            name: "gpu-device-lost",
+            ssd: SsdFaultSpec::default(),
+            gpu: GpuFaultSpec {
+                device_lost_after: 2,
+                ..GpuFaultSpec::default()
+            },
+            needs_gpu: true,
+        },
+        Scenario {
+            name: "everything-at-once",
+            ssd: SsdFaultSpec {
+                write_error_rate: 0.05,
+                busy_rate: 0.05,
+                seed: 7,
+                ..SsdFaultSpec::default()
+            },
+            gpu: GpuFaultSpec {
+                launch_failure_rate: 0.3,
+                probe_timeout_rate: 0.2,
+                seed: 11,
+                ..GpuFaultSpec::default()
+            },
+            needs_gpu: false, // SSD faults fire in every mode
+        },
+    ]
+}
+
+/// SHA-1 over the per-block digests of the reconstructed logical volume:
+/// one compact fingerprint of every byte the pipeline stored.
+fn volume_digest(p: &mut Pipeline) -> dr_hashes::ChunkDigest {
+    let mut acc = Vec::new();
+    for i in 0..p.ingested_chunks() {
+        let block = p.read_block(i).expect("logical read");
+        acc.extend_from_slice(sha1_digest(&block).as_bytes());
+    }
+    sha1_digest(&acc)
+}
+
+fn run(mode: IntegrationMode, ssd: SsdFaultSpec, gpu: GpuFaultSpec) -> (Pipeline, u64) {
+    let mut cfg = PipelineConfig {
+        mode,
+        batch_chunks: 32, // more kernel launches => more fault draws
+        ..PipelineConfig::default()
+    };
+    cfg.ssd_spec.faults = ssd;
+    cfg.gpu_spec.faults = gpu;
+    let mut p = Pipeline::new(cfg);
+    let report = p.run(&stream());
+    let injected = report.faults_injected;
+    (p, injected)
+}
+
+fn main() -> ExitCode {
+    println!("Fault matrix: logical-volume digest, faulted vs fault-free\n");
+    let mut failures = 0u32;
+    for mode in IntegrationMode::ALL {
+        let (mut clean, _) = run(mode, SsdFaultSpec::default(), GpuFaultSpec::default());
+        let want = volume_digest(&mut clean);
+        for s in scenarios() {
+            if s.needs_gpu && mode == IntegrationMode::CpuOnly {
+                continue;
+            }
+            let (mut p, injected) = run(mode, s.ssd, s.gpu);
+            let got = volume_digest(&mut p);
+            let verdict = if injected == 0 {
+                failures += 1;
+                "NO FAULTS INJECTED"
+            } else if got != want {
+                failures += 1;
+                "DIGEST MISMATCH"
+            } else {
+                "ok"
+            };
+            let mode_name = mode.to_string();
+            println!(
+                "  {mode_name:<16} {:<22} injected={injected:<6} retries={:<5} degraded={:<3} {verdict}",
+                s.name,
+                p.report().fault_retries,
+                p.report().degraded_transitions,
+            );
+        }
+    }
+    if failures > 0 {
+        println!("\nfault matrix FAILED: {failures} scenario(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("\nfault matrix passed: contents identical under every fault schedule");
+    ExitCode::SUCCESS
+}

@@ -330,7 +330,10 @@ impl GpuBinIndex {
     ///
     /// # Errors
     ///
-    /// Propagates device transfer errors.
+    /// Propagates device transfer errors and injected launch faults
+    /// ([`GpuError::LaunchFailed`], [`GpuError::ProbeTimeout`],
+    /// [`GpuError::DeviceLost`]); staged buffers are freed first, so the
+    /// caller may retry or fall back to the CPU index.
     pub fn lookup_batch(
         &mut self,
         now: SimTime,
@@ -406,7 +409,16 @@ impl GpuBinIndex {
                 }
             }
         }
-        let kernel = gpu.launch(h2d.end, LaunchConfig::named("bin-lookup"), &items);
+        let kernel = match gpu.launch(h2d.end, LaunchConfig::named("bin-lookup"), &items) {
+            Ok(report) => report,
+            Err(e) => {
+                // Release the staged queries so the CPU-fallback retry does
+                // not leak device memory (ignore a failing free on a lost
+                // device).
+                let _ = gpu.free(query_buf);
+                return Err(e);
+            }
+        };
 
         // Return (index, hit) pairs: 8 bytes per query.
         let result_buf = gpu.alloc((digests.len() * 8).max(1) as u64)?;

@@ -8,11 +8,11 @@
 //! landing directly in the bin trees (a restore is logically "everything
 //! already flushed").
 //!
-//! # Format
+//! # Format (version 2)
 //!
 //! ```text
 //! bytes 0..4    magic "DRIX"
-//! byte  4       version (1)
+//! byte  4       version (2)
 //! byte  5       prefix_bytes
 //! bytes 6..10   bin_buffer_capacity, LE u32
 //! bytes 10..18  max_entries, LE u64
@@ -20,20 +20,30 @@
 //! bytes 26..34  entry count, LE u64
 //! entries       bin id (prefix_bytes bytes, BE) + digest suffix
 //!               (20 − prefix_bytes bytes) + addr (LE u64) + len (LE u32)
+//! trailer       CRC-32C of every preceding byte, LE u32
 //! ```
+//!
+//! Version-1 blobs (identical, minus the trailer) are still accepted by
+//! [`restore`]; they simply skip the integrity check.
 
 use std::error::Error;
 use std::fmt;
+
+use dr_hashes::crc32c;
 
 use crate::bin::BinKey;
 use crate::entry::ChunkRef;
 use crate::index::{BinIndex, BinIndexConfig};
 
 const MAGIC: &[u8; 4] = b"DRIX";
-const VERSION: u8 = 1;
+/// First format revision: no integrity trailer.
+const VERSION_V1: u8 = 1;
+/// Current revision: CRC-32C trailer over header + entries.
+const VERSION: u8 = 2;
 const HEADER_LEN: usize = 34;
+const TRAILER_LEN: usize = 4;
 
-/// Errors when restoring a snapshot.
+/// Errors when building or restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     /// The blob is shorter than its own accounting claims.
@@ -42,6 +52,8 @@ pub enum SnapshotError {
     BadHeader,
     /// A field held an impossible value (e.g. prefix length 9).
     BadField(&'static str),
+    /// The entry region does not match its CRC-32C trailer.
+    Corrupt,
 }
 
 impl fmt::Display for SnapshotError {
@@ -50,6 +62,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot is truncated"),
             SnapshotError::BadHeader => write!(f, "unrecognized snapshot header"),
             SnapshotError::BadField(name) => write!(f, "snapshot field {name} is invalid"),
+            SnapshotError::Corrupt => write!(f, "snapshot failed its integrity check"),
         }
     }
 }
@@ -57,16 +70,24 @@ impl fmt::Display for SnapshotError {
 impl Error for SnapshotError {}
 
 /// Serializes the index (all bins, buffers included) to bytes.
-pub fn snapshot(index: &BinIndex) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`SnapshotError::BadField`] when a configuration value does not fit its
+/// serialized width (`bin_buffer_capacity` wider than 32 bits).
+pub fn snapshot(index: &BinIndex) -> Result<Vec<u8>, SnapshotError> {
     let config = index.config();
     let prefix = config.prefix_bytes;
     let suffix_len = 20 - prefix;
-    let mut out =
-        Vec::with_capacity(HEADER_LEN + index.len() as usize * (prefix + suffix_len + 12));
+    let buffer_capacity = u32::try_from(config.bin_buffer_capacity)
+        .map_err(|_| SnapshotError::BadField("bin_buffer_capacity"))?;
+    let mut out = Vec::with_capacity(
+        HEADER_LEN + index.len() as usize * (prefix + suffix_len + 12) + TRAILER_LEN,
+    );
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.push(prefix as u8);
-    out.extend_from_slice(&(config.bin_buffer_capacity as u32).to_le_bytes());
+    out.extend_from_slice(&buffer_capacity.to_le_bytes());
     out.extend_from_slice(&config.max_entries.to_le_bytes());
     out.extend_from_slice(&config.seed.to_le_bytes());
     out.extend_from_slice(&index.len().to_le_bytes());
@@ -85,10 +106,16 @@ pub fn snapshot(index: &BinIndex) -> Vec<u8> {
             out.extend_from_slice(&r.stored_len().to_le_bytes());
         }
     }
-    out
+    out.extend_from_slice(&crc32c(&out).to_le_bytes());
+    Ok(out)
 }
 
-/// Rebuilds an index from a [`snapshot`] blob.
+/// Rebuilds an index from a [`snapshot`] blob (version 1 or 2).
+///
+/// The declared entry count is validated against the actual blob length —
+/// with overflow-checked arithmetic — *before* any allocation is sized
+/// from it, and version-2 blobs must pass their CRC-32C integrity check
+/// before a single entry is trusted.
 ///
 /// # Errors
 ///
@@ -97,9 +124,29 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
     if bytes.len() < HEADER_LEN {
         return Err(SnapshotError::Truncated);
     }
-    if &bytes[..4] != MAGIC || bytes[4] != VERSION {
+    if &bytes[..4] != MAGIC {
         return Err(SnapshotError::BadHeader);
     }
+    let version = bytes[4];
+    if version != VERSION_V1 && version != VERSION {
+        return Err(SnapshotError::BadHeader);
+    }
+    let body_end = if version >= VERSION {
+        // The trailer protects header + entries against bit rot.
+        let Some(crc_start) = bytes.len().checked_sub(TRAILER_LEN) else {
+            return Err(SnapshotError::Truncated);
+        };
+        if crc_start < HEADER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let declared = u32::from_le_bytes(bytes[crc_start..].try_into().expect("4 bytes"));
+        if crc32c(&bytes[..crc_start]) != declared {
+            return Err(SnapshotError::Corrupt);
+        }
+        crc_start
+    } else {
+        bytes.len()
+    };
     let prefix = bytes[5] as usize;
     if !(1..=3).contains(&prefix) {
         return Err(SnapshotError::BadField("prefix_bytes"));
@@ -112,6 +159,20 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
     let seed = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
     let count = u64::from_le_bytes(bytes[26..34].try_into().expect("8 bytes"));
 
+    // Validate the declared count against what the blob actually holds
+    // before sizing anything from it: a corrupted count must fail cleanly,
+    // never drive an allocation.
+    let suffix_len = 20 - prefix;
+    let entry_len = prefix + suffix_len + 12;
+    let count = usize::try_from(count).map_err(|_| SnapshotError::BadField("entry_count"))?;
+    let need = count
+        .checked_mul(entry_len)
+        .ok_or(SnapshotError::BadField("entry_count"))?;
+    let body = &bytes[HEADER_LEN..body_end];
+    if body.len() < need {
+        return Err(SnapshotError::Truncated);
+    }
+
     // The Bloom front is a volatile acceleration structure; restores come
     // up without one (re-enable by rebuilding with a bloom-configured
     // index and re-inserting, or accept probe-everything behaviour).
@@ -123,13 +184,7 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
         ..BinIndexConfig::default()
     });
 
-    let suffix_len = 20 - prefix;
-    let entry_len = prefix + suffix_len + 12;
-    let body = &bytes[HEADER_LEN..];
-    if body.len() < count as usize * entry_len {
-        return Err(SnapshotError::Truncated);
-    }
-    for record in body.chunks_exact(entry_len).take(count as usize) {
+    for record in body.chunks_exact(entry_len).take(count) {
         let mut bin_id = 0usize;
         for &b in &record[..prefix] {
             bin_id = (bin_id << 8) | b as usize;
@@ -167,10 +222,17 @@ mod tests {
         index
     }
 
+    /// A v1 blob for back-compat tests: strip the trailer, stamp version 1.
+    fn as_v1(mut blob: Vec<u8>) -> Vec<u8> {
+        blob.truncate(blob.len() - TRAILER_LEN);
+        blob[4] = VERSION_V1;
+        blob
+    }
+
     #[test]
     fn snapshot_round_trips_every_entry() {
         let index = populated(500);
-        let blob = snapshot(&index);
+        let blob = snapshot(&index).expect("snapshot");
         let mut restored = restore(&blob).expect("restore");
         assert_eq!(restored.len(), index.len());
         for i in 0..500u64 {
@@ -186,24 +248,21 @@ mod tests {
     #[test]
     fn restored_config_matches() {
         let index = populated(10);
-        let restored = restore(&snapshot(&index)).unwrap();
+        let restored = restore(&snapshot(&index).unwrap()).unwrap();
         assert_eq!(restored.config(), index.config());
     }
 
     #[test]
     fn empty_index_round_trips() {
         let index = BinIndex::new(BinIndexConfig::default());
-        let restored = restore(&snapshot(&index)).unwrap();
+        let restored = restore(&snapshot(&index).unwrap()).unwrap();
         assert!(restored.is_empty());
     }
 
     #[test]
     fn truncation_detected() {
-        let blob = snapshot(&populated(100));
-        assert!(matches!(
-            restore(&blob[..blob.len() - 3]),
-            Err(SnapshotError::Truncated)
-        ));
+        let blob = snapshot(&populated(100)).unwrap();
+        assert!(restore(&blob[..blob.len() - 3]).is_err());
         assert!(matches!(
             restore(&blob[..20]),
             Err(SnapshotError::Truncated)
@@ -212,14 +271,21 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        let mut blob = snapshot(&populated(1));
+        let mut blob = snapshot(&populated(1)).unwrap();
         blob[0] = b'X';
         assert!(matches!(restore(&blob), Err(SnapshotError::BadHeader)));
     }
 
     #[test]
+    fn future_version_rejected() {
+        let mut blob = snapshot(&populated(1)).unwrap();
+        blob[4] = VERSION + 1;
+        assert!(matches!(restore(&blob), Err(SnapshotError::BadHeader)));
+    }
+
+    #[test]
     fn bad_prefix_detected() {
-        let mut blob = snapshot(&populated(1));
+        let mut blob = as_v1(snapshot(&populated(1)).unwrap());
         blob[5] = 9;
         assert!(matches!(
             restore(&blob),
@@ -228,11 +294,56 @@ mod tests {
     }
 
     #[test]
+    fn single_bit_flip_fails_the_integrity_check() {
+        let blob = snapshot(&populated(64)).unwrap();
+        // Flip one bit in every region: header fields, entry bytes, CRC.
+        for offset in [4usize, 27, HEADER_LEN + 3, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[offset] ^= 0x10;
+            assert!(
+                restore(&bad).is_err(),
+                "bit flip at {offset} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_flip_is_reported_as_corrupt() {
+        let mut blob = snapshot(&populated(64)).unwrap();
+        let mid = HEADER_LEN + (blob.len() - HEADER_LEN - TRAILER_LEN) / 2;
+        blob[mid] ^= 0x01;
+        assert!(matches!(restore(&blob), Err(SnapshotError::Corrupt)));
+    }
+
+    #[test]
+    fn inflated_count_is_rejected_before_any_entry_is_read() {
+        let mut blob = snapshot(&populated(8)).unwrap();
+        // Claim u64::MAX entries; the checked size math must refuse it (on
+        // a v1 blob, so the CRC does not mask the count validation).
+        blob[26..34].copy_from_slice(&u64::MAX.to_le_bytes());
+        let blob = as_v1(blob);
+        assert!(matches!(
+            restore(&blob),
+            Err(SnapshotError::BadField("entry_count")) | Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v1_blobs_still_restore() {
+        let index = populated(200);
+        let blob = as_v1(snapshot(&index).unwrap());
+        let mut restored = restore(&blob).expect("v1 restore");
+        assert_eq!(restored.len(), index.len());
+        let d = sha1_digest(&7u64.to_le_bytes());
+        assert_eq!(restored.lookup(&d), Some(ChunkRef::new(7 * 4096, 4096)));
+    }
+
+    #[test]
     fn restore_does_not_emit_flushes() {
         // Restored entries land in trees; inserting one more into a bin
         // must not immediately flush a huge buffer.
         let index = populated(300);
-        let mut restored = restore(&snapshot(&index)).unwrap();
+        let mut restored = restore(&snapshot(&index).unwrap()).unwrap();
         let stats_before = restored.stats();
         restored.insert(sha1_digest(b"new"), ChunkRef::new(0, 1));
         assert_eq!(restored.stats().flushes, stats_before.flushes);

@@ -85,10 +85,85 @@ fn snapshot_round_trips() {
         for k in &keys {
             index.insert(digest_of(*k), ChunkRef::new(*k, 7));
         }
-        let mut restored = restore(&snapshot(&index)).expect("restore");
+        let mut restored = restore(&snapshot(&index).expect("snapshot")).expect("restore");
         assert_eq!(restored.len(), index.len());
         for k in &keys {
             assert_eq!(restored.lookup(&digest_of(*k)), Some(ChunkRef::new(*k, 7)));
+        }
+    });
+}
+
+/// Collects the full lookup table of an index for equality comparison.
+fn contents_of(index: &mut BinIndex, universe: u64) -> Vec<Option<ChunkRef>> {
+    (0..universe).map(|k| index.lookup(&digest_of(k))).collect()
+}
+
+/// Truncating a snapshot at *every* boundary — mid-header, mid-entry,
+/// mid-trailer — must fail cleanly, never panic, and never restore an
+/// index with different contents.
+#[test]
+fn truncated_snapshots_never_restore_wrong_contents() {
+    Cases::new(
+        "truncated_snapshots_never_restore_wrong_contents",
+        0xB14_0005,
+    )
+    .run(16, |rng| {
+        let keys: HashSet<u64> = (0..testkit::usize_in(rng, 1, 24))
+            .map(|_| testkit::u64_in(rng, 0, 99))
+            .collect();
+        let mut index = BinIndex::new(BinIndexConfig::default());
+        for k in &keys {
+            index.insert(digest_of(*k), ChunkRef::new(*k, 7));
+        }
+        let want = contents_of(&mut index, 100);
+        let blob = snapshot(&index).expect("snapshot");
+        for cut in 0..blob.len() {
+            match restore(&blob[..cut]) {
+                Err(_) => {}
+                Ok(mut got) => {
+                    // A prefix that still parses may only be accepted when
+                    // it reproduces the exact original contents.
+                    assert_eq!(
+                        contents_of(&mut got, 100),
+                        want,
+                        "truncation at {cut}/{} restored different contents",
+                        blob.len()
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Flipping one random byte anywhere in the blob must fail cleanly or
+/// restore identical contents — silent corruption is the one forbidden
+/// outcome. The CRC-32C trailer is what makes this hold for entry bytes.
+#[test]
+fn corrupted_snapshots_never_restore_wrong_contents() {
+    Cases::new(
+        "corrupted_snapshots_never_restore_wrong_contents",
+        0xB14_0006,
+    )
+    .run(64, |rng| {
+        let keys: HashSet<u64> = (0..testkit::usize_in(rng, 1, 49))
+            .map(|_| testkit::u64_in(rng, 0, 199))
+            .collect();
+        let mut index = BinIndex::new(BinIndexConfig::default());
+        for k in &keys {
+            index.insert(digest_of(*k), ChunkRef::new(*k, 7));
+        }
+        let want = contents_of(&mut index, 200);
+        let mut blob = snapshot(&index).expect("snapshot");
+        let offset = testkit::usize_in(rng, 0, blob.len() - 1);
+        let bit = 1u8 << testkit::usize_in(rng, 0, 7);
+        blob[offset] ^= bit;
+        match restore(&blob) {
+            Err(_) => {}
+            Ok(mut got) => assert_eq!(
+                contents_of(&mut got, 200),
+                want,
+                "byte flip at {offset} (bit {bit:#04x}) restored different contents"
+            ),
         }
     });
 }

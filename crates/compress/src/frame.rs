@@ -21,6 +21,15 @@ const METHOD_LZ: u8 = 1;
 const METHOD_LZH: u8 = 2;
 const HEADER_LEN: usize = 5;
 
+/// The header's original-length field, checked instead of silently
+/// narrowed: a >4 GiB "chunk" would previously truncate to a bogus length
+/// in release builds (the `debug_assert!` only fired under debug).
+fn header_len_of(original: &[u8]) -> [u8; 4] {
+    let len = u32::try_from(original.len())
+        .expect("chunk exceeds the frame format's 4 GiB original-length field");
+    len.to_le_bytes()
+}
+
 /// A parsed view of a compressed block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -34,17 +43,21 @@ pub enum Frame {
 
 /// Wraps `tokens` for `original` into a frame, falling back to stored-raw
 /// when the encoded tokens are not strictly smaller than the input.
+///
+/// # Panics
+///
+/// Panics when `original` exceeds the format's u32 length field.
 pub fn seal(original: &[u8], tokens: &[Token]) -> Vec<u8> {
-    debug_assert!(original.len() <= u32::MAX as usize);
+    let header_len = header_len_of(original);
     let encoded = encode_tokens(tokens);
     let mut out = Vec::with_capacity(HEADER_LEN + encoded.len().min(original.len()));
     if encoded.len() < original.len() {
         out.push(METHOD_LZ);
-        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(&header_len);
         out.extend_from_slice(&encoded);
     } else {
         out.push(METHOD_RAW);
-        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(&header_len);
         out.extend_from_slice(original);
     }
     out
@@ -57,16 +70,20 @@ pub fn seal(original: &[u8], tokens: &[Token]) -> Vec<u8> {
 ///
 /// Reuses whatever capacity `out` already has, so a recycled buffer makes
 /// compression allocation-free in the steady state.
+///
+/// # Panics
+///
+/// Panics when `original` exceeds the format's u32 length field.
 pub fn seal_with(original: &[u8], out: &mut Vec<u8>, encode: impl FnOnce(&[u8], &mut Vec<u8>)) {
-    debug_assert!(original.len() <= u32::MAX as usize);
+    let header_len = header_len_of(original);
     out.clear();
     out.push(METHOD_LZ);
-    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header_len);
     encode(original, out);
     if out.len() - HEADER_LEN >= original.len() {
         out.clear();
         out.push(METHOD_RAW);
-        out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+        out.extend_from_slice(&header_len);
         out.extend_from_slice(original);
     }
 }
@@ -74,8 +91,12 @@ pub fn seal_with(original: &[u8], out: &mut Vec<u8>, encode: impl FnOnce(&[u8], 
 /// Like [`seal`], but additionally tries a Huffman entropy pass over the
 /// encoded tokens and keeps whichever of {raw, LZ, LZ+Huffman} is
 /// smallest.
+///
+/// # Panics
+///
+/// Panics when `original` exceeds the format's u32 length field.
 pub fn seal_entropy(original: &[u8], tokens: &[Token]) -> Vec<u8> {
-    debug_assert!(original.len() <= u32::MAX as usize);
+    let header_len = header_len_of(original);
     let encoded = encode_tokens(tokens);
     let entropy = crate::huffman::huffman_encode(&encoded);
     let (method, payload): (u8, &[u8]) =
@@ -88,7 +109,7 @@ pub fn seal_entropy(original: &[u8], tokens: &[Token]) -> Vec<u8> {
         };
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.push(method);
-    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header_len);
     out.extend_from_slice(payload);
     out
 }
@@ -101,11 +122,15 @@ pub fn seal_raw(original: &[u8]) -> Vec<u8> {
 }
 
 /// [`seal_raw`] into a recycled buffer (cleared first).
+///
+/// # Panics
+///
+/// Panics when `original` exceeds the format's u32 length field.
 pub fn seal_raw_into(original: &[u8], out: &mut Vec<u8>) {
-    debug_assert!(original.len() <= u32::MAX as usize);
+    let header_len = header_len_of(original);
     out.clear();
     out.push(METHOD_RAW);
-    out.extend_from_slice(&(original.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header_len);
     out.extend_from_slice(original);
 }
 

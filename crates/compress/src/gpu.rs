@@ -158,7 +158,10 @@ impl GpuCompressor {
     /// # Errors
     ///
     /// [`GpuError::OutOfMemory`] when the batch does not fit in device
-    /// memory.
+    /// memory; launch-level faults ([`GpuError::LaunchFailed`],
+    /// [`GpuError::ProbeTimeout`], [`GpuError::DeviceLost`]) when the
+    /// device's fault schedule injects them — the staged batch is freed
+    /// before the error propagates, so a retry is safe.
     pub fn compress_batch(
         &self,
         now: SimTime,
@@ -219,11 +222,20 @@ impl GpuCompressor {
             local_mem_per_group: (self.config.history as u32).saturating_mul(64).max(1),
             items_per_group: 64,
         };
-        let kernel = gpu.launch(
+        let kernel = match gpu.launch(
             h2d.end,
             LaunchConfig::named("lz-subchunk").with_resources(resources),
             &items,
-        );
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                // Release the staged batch so a retry (or the CPU fallback)
+                // does not leak device memory; on a lost device the free
+                // can fail too, which is fine to ignore.
+                let _ = gpu.free(in_buf);
+                return Err(e);
+            }
+        };
 
         // Return raw streams to the host.
         let out_buf = gpu.alloc(raw_token_bytes.max(1))?;

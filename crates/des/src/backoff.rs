@@ -1,0 +1,114 @@
+//! Bounded retry with exponential backoff on the simulated clock.
+//!
+//! Device models inject *transient* faults (a busy controller, a rejected
+//! kernel launch); callers that retry must charge simulated time for each
+//! wait or the retries would be free and the experiment dishonest. This
+//! module centralizes that arithmetic so every component that degrades
+//! gracefully waits the same, deterministic way.
+
+use crate::time::SimDuration;
+
+/// A bounded exponential-backoff schedule: attempt `k` (zero-based) waits
+/// `base * factor^k` before retrying, up to `max_retries` retries after
+/// the initial attempt.
+///
+/// # Example
+///
+/// ```
+/// use dr_des::{ExponentialBackoff, SimDuration};
+///
+/// let backoff = ExponentialBackoff::new(SimDuration::from_micros(50), 2, 3);
+/// assert_eq!(backoff.delay(0), SimDuration::from_micros(50));
+/// assert_eq!(backoff.delay(1), SimDuration::from_micros(100));
+/// assert_eq!(backoff.delay(2), SimDuration::from_micros(200));
+/// // Total attempts = 1 initial + max_retries.
+/// assert_eq!(backoff.max_attempts(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExponentialBackoff {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per subsequent retry (≥ 1).
+    pub factor: u64,
+    /// Retries allowed after the initial attempt.
+    pub max_retries: u32,
+}
+
+impl ExponentialBackoff {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero (the schedule would collapse).
+    pub fn new(base: SimDuration, factor: u64, max_retries: u32) -> Self {
+        assert!(factor >= 1, "backoff factor must be at least 1");
+        ExponentialBackoff {
+            base,
+            factor,
+            max_retries,
+        }
+    }
+
+    /// The wait before retry number `retry` (zero-based): `base *
+    /// factor^retry`, saturating instead of overflowing.
+    pub fn delay(&self, retry: u32) -> SimDuration {
+        let mut scale: u64 = 1;
+        for _ in 0..retry {
+            scale = scale.saturating_mul(self.factor);
+        }
+        SimDuration::from_nanos(self.base.as_nanos().saturating_mul(scale))
+    }
+
+    /// Total attempts permitted: the initial one plus every retry.
+    pub fn max_attempts(&self) -> u32 {
+        1 + self.max_retries
+    }
+
+    /// Sum of every delay the full schedule can charge, saturating.
+    pub fn total_delay(&self) -> SimDuration {
+        let mut total: u64 = 0;
+        for retry in 0..self.max_retries {
+            total = total.saturating_add(self.delay(retry).as_nanos());
+        }
+        SimDuration::from_nanos(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_geometrically() {
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 3, 4);
+        assert_eq!(b.delay(0), SimDuration::from_micros(10));
+        assert_eq!(b.delay(1), SimDuration::from_micros(30));
+        assert_eq!(b.delay(2), SimDuration::from_micros(90));
+        assert_eq!(b.max_attempts(), 5);
+    }
+
+    #[test]
+    fn factor_one_is_constant() {
+        let b = ExponentialBackoff::new(SimDuration::from_millis(1), 1, 10);
+        assert_eq!(b.delay(0), b.delay(9));
+    }
+
+    #[test]
+    fn huge_retry_count_saturates() {
+        let b = ExponentialBackoff::new(SimDuration::from_secs(1), 2, 200);
+        assert_eq!(b.delay(200), SimDuration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn total_delay_sums_the_schedule() {
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 2, 3);
+        // 10 + 20 + 40 = 70us.
+        assert_eq!(b.total_delay(), SimDuration::from_micros(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_rejected() {
+        ExponentialBackoff::new(SimDuration::from_micros(1), 0, 1);
+    }
+}

@@ -29,6 +29,7 @@
 //! assert_eq!(b.start, a.end);
 //! ```
 
+pub mod backoff;
 pub mod event;
 pub mod resource;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod testkit;
 pub mod time;
 
+pub use backoff::ExponentialBackoff;
 pub use event::{EventQueue, ScheduledEvent};
 pub use resource::{Grant, Resource};
 pub use rng::SplitMix64;

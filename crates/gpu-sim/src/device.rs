@@ -59,6 +59,8 @@ pub struct GpuStats {
     pub kernel_busy: SimDuration,
     /// Total copy-engine busy time.
     pub copy_busy: SimDuration,
+    /// Faults injected (launch failures, probe timeouts, device loss).
+    pub faults_injected: u64,
 }
 
 /// Interned `gpu.*` metric handles; inert until [`GpuDevice::set_obs`].
@@ -70,6 +72,7 @@ struct GpuObs {
     h2d_bytes: CounterHandle,
     d2h_bytes: CounterHandle,
     transfer_ns: HistogramHandle,
+    faults_injected: CounterHandle,
 }
 
 impl GpuObs {
@@ -81,6 +84,7 @@ impl GpuObs {
             h2d_bytes: obs.counter("gpu.h2d_bytes"),
             d2h_bytes: obs.counter("gpu.d2h_bytes"),
             transfer_ns: obs.histogram("gpu.transfer_ns"),
+            faults_injected: obs.counter("fault.gpu.injected"),
         }
     }
 }
@@ -112,6 +116,15 @@ pub struct GpuDevice {
     compute_queue: Resource,
     /// DMA copy engine (one per direction would overlap; model one shared).
     copy_engine: Resource,
+    /// Dedicated stream for the fault schedule ([`GpuFaultSpec`]); never
+    /// drawn while every fault rate is zero.
+    ///
+    /// [`GpuFaultSpec`]: crate::GpuFaultSpec
+    fault_rng: dr_des::SplitMix64,
+    /// Launch attempts, for the `device_lost_after` threshold.
+    launches_attempted: u64,
+    /// Once true, every operation fails with [`GpuError::DeviceLost`].
+    lost: bool,
     stats: GpuStats,
     obs: GpuObs,
 }
@@ -129,6 +142,9 @@ impl GpuDevice {
             compute_queue: Resource::new(format!("{}-compute", spec.name), 1),
             copy_engine: Resource::new(format!("{}-dma", spec.name), 1),
             mem,
+            fault_rng: dr_des::SplitMix64::new(spec.faults.seed),
+            launches_attempted: 0,
+            lost: false,
             spec,
             stats: GpuStats::default(),
             obs: GpuObs::default(),
@@ -161,8 +177,12 @@ impl GpuDevice {
     ///
     /// # Errors
     ///
-    /// [`GpuError::OutOfMemory`] when capacity is exhausted.
+    /// [`GpuError::OutOfMemory`] when capacity is exhausted;
+    /// [`GpuError::DeviceLost`] once the device is gone.
     pub fn alloc(&mut self, len: u64) -> Result<BufferId, GpuError> {
+        if self.lost {
+            return Err(GpuError::DeviceLost);
+        }
         self.mem.alloc(len)
     }
 
@@ -180,7 +200,8 @@ impl GpuDevice {
     ///
     /// # Errors
     ///
-    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`].
+    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`];
+    /// [`GpuError::DeviceLost`] once the device is gone.
     pub fn write_buffer(
         &mut self,
         now: SimTime,
@@ -188,6 +209,9 @@ impl GpuDevice {
         offset: u64,
         data: &[u8],
     ) -> Result<Grant, GpuError> {
+        if self.lost {
+            return Err(GpuError::DeviceLost);
+        }
         let time = pcie_transfer_time(&self.spec, data.len() as u64);
         let buf = self.mem.get_mut(id)?;
         let end = offset + data.len() as u64;
@@ -212,7 +236,8 @@ impl GpuDevice {
     ///
     /// # Errors
     ///
-    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`].
+    /// [`GpuError::InvalidBuffer`] / [`GpuError::OutOfBounds`];
+    /// [`GpuError::DeviceLost`] once the device is gone.
     pub fn read_buffer(
         &mut self,
         now: SimTime,
@@ -220,6 +245,9 @@ impl GpuDevice {
         offset: u64,
         len: u64,
     ) -> Result<(Vec<u8>, Grant), GpuError> {
+        if self.lost {
+            return Err(GpuError::DeviceLost);
+        }
         let buf = self.mem.get(id)?;
         let end = offset + len;
         if end > buf.len() as u64 {
@@ -258,15 +286,54 @@ impl GpuDevice {
         self.mem.get_mut(id)
     }
 
+    /// True once the device has been lost to fault injection; every
+    /// operation on a lost device fails with [`GpuError::DeviceLost`].
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    fn record_fault(&mut self) {
+        self.stats.faults_injected += 1;
+        self.obs.faults_injected.incr();
+    }
+
     /// Enqueues a kernel whose work items cost `items`, from `now`, and
     /// returns when it ran. The caller performs the functional work itself
     /// against [`GpuDevice::buffer_mut`]; this charges the simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Only the spec's fault schedule makes this fail:
+    /// [`GpuError::DeviceLost`] once the device is gone (permanent),
+    /// [`GpuError::LaunchFailed`] for a driver-level rejection that costs
+    /// no device time, and [`GpuError::ProbeTimeout`] for a kernel that
+    /// occupied the queue for its full duration but never completed. With
+    /// an inert [`GpuFaultSpec`](crate::GpuFaultSpec) (the default) this
+    /// never fails and draws no randomness.
     pub fn launch(
         &mut self,
         now: SimTime,
         config: LaunchConfig,
         items: &[WorkItemCost],
-    ) -> LaunchReport {
+    ) -> Result<LaunchReport, GpuError> {
+        if self.lost {
+            return Err(GpuError::DeviceLost);
+        }
+        self.launches_attempted += 1;
+        let faults = &self.spec.faults;
+        if faults.device_lost_after > 0 && self.launches_attempted > faults.device_lost_after {
+            self.lost = true;
+            self.record_fault();
+            return Err(GpuError::DeviceLost);
+        }
+        if faults.launch_failure_rate > 0.0
+            && self.fault_rng.next_f64() < faults.launch_failure_rate
+        {
+            self.record_fault();
+            return Err(GpuError::LaunchFailed {
+                kernel: config.name,
+            });
+        }
         let timing = match &config.resources {
             Some(res) => {
                 let rate = crate::occupancy::occupancy_factor(
@@ -278,6 +345,18 @@ impl GpuDevice {
             }
             None => kernel_timing(&self.spec, items),
         };
+        let faults = &self.spec.faults;
+        if faults.probe_timeout_rate > 0.0 && self.fault_rng.next_f64() < faults.probe_timeout_rate
+        {
+            // The kernel ran (and occupied the queue) but its completion
+            // was never observed: charge the time, return no result.
+            let _ = self.compute_queue.acquire(now, timing.duration());
+            self.stats.kernel_busy += timing.duration();
+            self.record_fault();
+            return Err(GpuError::ProbeTimeout {
+                kernel: config.name,
+            });
+        }
         let grant = self.compute_queue.acquire(now, timing.duration());
         self.stats.kernels += 1;
         self.stats.kernel_busy += timing.duration();
@@ -286,11 +365,11 @@ impl GpuDevice {
             .kernel_latency_ns
             .record(timing.duration().as_nanos());
         self.obs.kernel_items.record(items.len() as u64);
-        LaunchReport {
+        Ok(LaunchReport {
             name: config.name,
             grant,
             timing,
-        }
+        })
     }
 
     /// The earliest instant the compute queue can accept a new kernel;
@@ -352,8 +431,12 @@ mod tests {
     fn kernels_serialize_on_the_compute_queue() {
         let mut gpu = device();
         let items = vec![WorkItemCost::compute(1000); 64];
-        let r1 = gpu.launch(SimTime::ZERO, LaunchConfig::named("k1"), &items);
-        let r2 = gpu.launch(SimTime::ZERO, LaunchConfig::named("k2"), &items);
+        let r1 = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("k1"), &items)
+            .unwrap();
+        let r2 = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("k2"), &items)
+            .unwrap();
         assert_eq!(r2.grant.start, r1.grant.end);
         assert_eq!(gpu.stats().kernels, 2);
         assert_eq!(gpu.compute_free_at(), r2.grant.end);
@@ -362,7 +445,9 @@ mod tests {
     #[test]
     fn launch_includes_fixed_latency() {
         let mut gpu = device();
-        let r = gpu.launch(SimTime::ZERO, LaunchConfig::named("tiny"), &[]);
+        let r = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("tiny"), &[])
+            .unwrap();
         assert_eq!(
             r.grant.end.duration_since(r.grant.start),
             gpu.spec().launch_latency
@@ -374,16 +459,20 @@ mod tests {
         use crate::occupancy::KernelResources;
         let mut gpu = device();
         let items = vec![WorkItemCost::compute(100_000); 64 * 64];
-        let light = gpu.launch(SimTime::ZERO, LaunchConfig::named("light"), &items);
-        let heavy = gpu.launch(
-            SimTime::ZERO,
-            LaunchConfig::named("heavy").with_resources(KernelResources {
-                registers_per_item: 128, // only 2 resident waves
-                local_mem_per_group: 0,
-                items_per_group: 64,
-            }),
-            &items,
-        );
+        let light = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("light"), &items)
+            .unwrap();
+        let heavy = gpu
+            .launch(
+                SimTime::ZERO,
+                LaunchConfig::named("heavy").with_resources(KernelResources {
+                    registers_per_item: 128, // only 2 resident waves
+                    local_mem_per_group: 0,
+                    items_per_group: 64,
+                }),
+                &items,
+            )
+            .unwrap();
         assert_eq!(
             heavy.timing.compute_time.as_nanos(),
             light.timing.compute_time.as_nanos() * 2
@@ -418,7 +507,9 @@ mod tests {
             .unwrap();
         gpu.read_buffer(SimTime::ZERO, buf, 0, 256).unwrap();
         let items = vec![WorkItemCost::compute(1000); 32];
-        let r = gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &items);
+        let r = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("k"), &items)
+            .unwrap();
         let snap = obs.snapshot().unwrap();
         let counter = |name: &str| {
             snap.counters
@@ -446,11 +537,107 @@ mod tests {
     }
 
     #[test]
+    fn certain_launch_failure_costs_no_time() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.faults.launch_failure_rate = 1.0;
+        let mut gpu = GpuDevice::new(spec);
+        let err = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("k"), &[])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::LaunchFailed {
+                kernel: "k".to_owned()
+            }
+        );
+        assert_eq!(gpu.stats().kernels, 0);
+        assert_eq!(gpu.stats().faults_injected, 1);
+        assert_eq!(gpu.compute_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn probe_timeout_charges_queue_time() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.faults.probe_timeout_rate = 1.0;
+        let mut gpu = GpuDevice::new(spec);
+        let items = vec![WorkItemCost::compute(1000); 64];
+        let err = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("probe"), &items)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::ProbeTimeout { .. }));
+        assert_eq!(gpu.stats().kernels, 0);
+        assert!(
+            gpu.compute_free_at() > SimTime::ZERO,
+            "timed-out kernel must still occupy the queue"
+        );
+    }
+
+    #[test]
+    fn device_lost_after_threshold_is_sticky() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.faults.device_lost_after = 2;
+        let mut gpu = GpuDevice::new(spec);
+        gpu.launch(SimTime::ZERO, LaunchConfig::named("a"), &[])
+            .unwrap();
+        gpu.launch(SimTime::ZERO, LaunchConfig::named("b"), &[])
+            .unwrap();
+        assert!(!gpu.is_lost());
+        assert!(matches!(
+            gpu.launch(SimTime::ZERO, LaunchConfig::named("c"), &[]),
+            Err(GpuError::DeviceLost)
+        ));
+        assert!(gpu.is_lost());
+        // Everything else is poisoned too.
+        assert_eq!(gpu.alloc(16), Err(GpuError::DeviceLost));
+        let items = vec![WorkItemCost::compute(1); 1];
+        assert!(matches!(
+            gpu.launch(SimTime::ZERO, LaunchConfig::named("d"), &items),
+            Err(GpuError::DeviceLost)
+        ));
+    }
+
+    #[test]
+    fn partial_launch_failure_rate_is_deterministic() {
+        let run = || {
+            let mut spec = GpuSpec::radeon_hd_7970();
+            spec.faults.launch_failure_rate = 0.5;
+            let mut gpu = GpuDevice::new(spec);
+            (0..32)
+                .map(|i| {
+                    gpu.launch(SimTime::ZERO, LaunchConfig::named(format!("k{i}")), &[])
+                        .is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same fault schedule");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok));
+    }
+
+    #[test]
+    fn gpu_fault_counter_appears_in_obs() {
+        let obs = ObsHandle::enabled("t");
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.faults.launch_failure_rate = 1.0;
+        let mut gpu = GpuDevice::new(spec);
+        gpu.set_obs(&obs);
+        let _ = gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &[]);
+        let snap = obs.snapshot().unwrap();
+        let injected = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "fault.gpu.injected")
+            .map(|(_, v)| *v);
+        assert_eq!(injected, Some(1));
+    }
+
+    #[test]
     fn reset_timeline_keeps_memory() {
         let mut gpu = device();
         let buf = gpu.alloc(8).unwrap();
         gpu.write_buffer(SimTime::ZERO, buf, 0, &[9; 8]).unwrap();
-        gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &[]);
+        gpu.launch(SimTime::ZERO, LaunchConfig::named("k"), &[])
+            .unwrap();
         gpu.reset_timeline();
         assert_eq!(gpu.stats().kernels, 0);
         assert_eq!(gpu.compute_free_at(), SimTime::ZERO);

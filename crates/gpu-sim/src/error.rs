@@ -26,6 +26,35 @@ pub enum GpuError {
         /// Actual length of the buffer.
         len: u64,
     },
+    /// Injected transient launch rejection: the driver refused the kernel
+    /// before it consumed any device time. A retry may succeed.
+    LaunchFailed {
+        /// Name of the kernel that failed to launch.
+        kernel: String,
+    },
+    /// Injected probe timeout: the kernel occupied the compute queue for
+    /// its full duration but its completion never arrived, so the caller
+    /// paid the time and got nothing. A retry may succeed.
+    ProbeTimeout {
+        /// Name of the kernel that timed out.
+        kernel: String,
+    },
+    /// The device fell off the bus; every subsequent operation fails with
+    /// this error until the device is rebuilt. Not retriable.
+    DeviceLost,
+}
+
+impl GpuError {
+    /// True for injected faults that are worth retrying on the same device
+    /// ([`LaunchFailed`](Self::LaunchFailed),
+    /// [`ProbeTimeout`](Self::ProbeTimeout)); false for
+    /// [`DeviceLost`](Self::DeviceLost) and programming errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GpuError::LaunchFailed { .. } | GpuError::ProbeTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for GpuError {
@@ -43,6 +72,13 @@ impl fmt::Display for GpuError {
                 f,
                 "access past end of buffer {buffer:?}: end {end} > len {len}"
             ),
+            GpuError::LaunchFailed { kernel } => {
+                write!(f, "kernel '{kernel}' failed to launch (transient, retry)")
+            }
+            GpuError::ProbeTimeout { kernel } => {
+                write!(f, "kernel '{kernel}' probe timed out (transient, retry)")
+            }
+            GpuError::DeviceLost => write!(f, "device lost: all further operations fail"),
         }
     }
 }
@@ -66,6 +102,31 @@ mod tests {
         assert!(GpuError::InvalidBuffer(BufferId(3))
             .to_string()
             .contains("3"));
+        assert!(GpuError::LaunchFailed {
+            kernel: "lz".to_owned()
+        }
+        .to_string()
+        .contains("lz"));
+        assert!(GpuError::ProbeTimeout {
+            kernel: "lookup".to_owned()
+        }
+        .to_string()
+        .contains("lookup"));
+        assert!(GpuError::DeviceLost.to_string().contains("lost"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(GpuError::LaunchFailed {
+            kernel: String::new()
+        }
+        .is_transient());
+        assert!(GpuError::ProbeTimeout {
+            kernel: String::new()
+        }
+        .is_transient());
+        assert!(!GpuError::DeviceLost.is_transient());
+        assert!(!GpuError::InvalidBuffer(BufferId(0)).is_transient());
     }
 
     #[test]

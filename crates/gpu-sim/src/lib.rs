@@ -37,7 +37,7 @@
 //!     grant.end,
 //!     LaunchConfig::named("example"),
 //!     &vec![WorkItemCost::compute(100); 1024],
-//! );
+//! ).unwrap();
 //! assert!(report.grant.end > grant.end);
 //! ```
 
@@ -52,5 +52,5 @@ pub use device::{GpuDevice, GpuStats, LaunchConfig, LaunchReport};
 pub use error::GpuError;
 pub use memory::BufferId;
 pub use occupancy::{occupancy_factor, CuBudget, KernelResources};
-pub use spec::{GpuSpec, PcieSpec};
+pub use spec::{GpuFaultSpec, GpuSpec, PcieSpec};
 pub use timing::{MemAccess, WorkItemCost};

@@ -29,6 +29,67 @@ impl PcieSpec {
     }
 }
 
+/// Deterministic fault-injection knobs for a GPU device.
+///
+/// All rates default to zero and `device_lost_after` to "never"; a device
+/// with the default spec draws nothing from the fault stream and behaves
+/// bit-identically to a device without the fault layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuFaultSpec {
+    /// Probability a kernel launch is rejected by the driver with
+    /// [`GpuError::LaunchFailed`] before consuming any device time.
+    ///
+    /// [`GpuError::LaunchFailed`]: crate::GpuError::LaunchFailed
+    pub launch_failure_rate: f64,
+    /// Probability a kernel occupies the compute queue for its full
+    /// duration but its completion never arrives —
+    /// [`GpuError::ProbeTimeout`]. The caller pays the time and gets no
+    /// result, the worst case for an opportunistic co-processor.
+    ///
+    /// [`GpuError::ProbeTimeout`]: crate::GpuError::ProbeTimeout
+    pub probe_timeout_rate: f64,
+    /// After this many launch attempts the device is permanently lost
+    /// (every subsequent operation fails with [`GpuError::DeviceLost`]).
+    /// `0` means never.
+    ///
+    /// [`GpuError::DeviceLost`]: crate::GpuError::DeviceLost
+    pub device_lost_after: u64,
+    /// Seed for the dedicated fault-schedule RNG stream.
+    pub seed: u64,
+}
+
+impl Default for GpuFaultSpec {
+    fn default() -> Self {
+        GpuFaultSpec {
+            launch_failure_rate: 0.0,
+            probe_timeout_rate: 0.0,
+            device_lost_after: 0,
+            seed: 0x6B0_FA17,
+        }
+    }
+}
+
+impl GpuFaultSpec {
+    /// True when no fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.launch_failure_rate == 0.0
+            && self.probe_timeout_rate == 0.0
+            && self.device_lost_after == 0
+    }
+
+    fn validate(&self) {
+        for (name, rate) in [
+            ("launch_failure_rate", self.launch_failure_rate),
+            ("probe_timeout_rate", self.probe_timeout_rate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} must be a probability, got {rate}"
+            );
+        }
+    }
+}
+
 /// A GPU hardware description.
 ///
 /// All presets are calibrated from public spec sheets; the defaults model
@@ -61,6 +122,9 @@ pub struct GpuSpec {
     pub divergence_penalty: f64,
     /// Host↔device link.
     pub pcie: PcieSpec,
+    /// Fault injection (launch failures, probe timeouts, device loss);
+    /// defaults to inert.
+    pub faults: GpuFaultSpec,
 }
 
 impl GpuSpec {
@@ -79,6 +143,7 @@ impl GpuSpec {
             uncoalesced_penalty: 8.0,
             divergence_penalty: 1.0,
             pcie: PcieSpec::gen3_x16(),
+            faults: GpuFaultSpec::default(),
         }
     }
 
@@ -97,6 +162,7 @@ impl GpuSpec {
             uncoalesced_penalty: 8.0,
             divergence_penalty: 1.0,
             pcie: PcieSpec::gen2_x16(),
+            faults: GpuFaultSpec::default(),
         }
     }
 
@@ -115,6 +181,7 @@ impl GpuSpec {
             uncoalesced_penalty: 6.0,
             divergence_penalty: 1.0,
             pcie: PcieSpec::gen3_x16(),
+            faults: GpuFaultSpec::default(),
         }
     }
 
@@ -148,6 +215,7 @@ impl GpuSpec {
             self.pcie.bandwidth_bytes_per_sec > 0.0,
             "PCIe bandwidth must be positive"
         );
+        self.faults.validate();
     }
 }
 
@@ -183,6 +251,22 @@ mod tests {
     fn sub_unity_uncoalesced_penalty_rejected() {
         let mut spec = GpuSpec::radeon_hd_7970();
         spec.uncoalesced_penalty = 0.5;
+        spec.validate();
+    }
+
+    #[test]
+    fn default_faults_are_inert() {
+        assert!(GpuFaultSpec::default().is_inert());
+        assert!(GpuSpec::radeon_hd_7970().faults.is_inert());
+        assert!(GpuSpec::weak_igpu().faults.is_inert());
+        assert!(GpuSpec::strong_dgpu().faults.is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "probe_timeout_rate")]
+    fn out_of_range_fault_rate_rejected() {
+        let mut spec = GpuSpec::radeon_hd_7970();
+        spec.faults.probe_timeout_rate = -0.1;
         spec.validate();
     }
 }

@@ -1,0 +1,224 @@
+//! Graceful-degradation policy: bounded retry, sticky latches, re-probing.
+//!
+//! The paper treats data reduction as *best-effort* — the index is
+//! in-memory only, missed duplicates are acceptable, the GPU is an
+//! opportunistic co-processor. The degradation policy extends that stance
+//! to faults: when a component (GPU dedup, GPU compression, SSD writes)
+//! keeps failing, the pipeline stops leaning on it — routing work to the
+//! CPU path or writing data unreduced — and re-probes it on a sim-time
+//! timer. Correctness is never best-effort: every logical byte reaches the
+//! device no matter which path it takes.
+
+use dr_des::{ExponentialBackoff, SimDuration, SimTime};
+
+/// Tunable knobs of the degradation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Retries allowed per operation before the component latches degraded.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Backoff multiplier per subsequent retry.
+    pub backoff_factor: u64,
+    /// How long a degraded component rests before the next probe attempt.
+    pub reprobe_interval: SimDuration,
+    /// Consecutive probe successes required to close the latch again
+    /// (hysteresis: one lucky probe must not flap the pipeline back).
+    pub reprobe_successes: u32,
+}
+
+impl Default for DegradePolicy {
+    /// Three retries at 50 µs doubling, 10 ms rest, two clean probes to
+    /// recover.
+    fn default() -> Self {
+        DegradePolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_micros(50),
+            backoff_factor: 2,
+            reprobe_interval: SimDuration::from_millis(10),
+            reprobe_successes: 2,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The retry schedule this policy prescribes.
+    pub fn backoff(&self) -> ExponentialBackoff {
+        ExponentialBackoff::new(self.backoff_base, self.backoff_factor, self.max_retries)
+    }
+}
+
+/// The sticky degraded-mode latch for one component.
+///
+/// State machine: healthy → (failure) → degraded; while degraded, one
+/// probe attempt is allowed each `reprobe_interval`; after
+/// `reprobe_successes` consecutive clean probes the latch closes. A
+/// failure at any point re-opens it and restarts the rest timer.
+#[derive(Debug, Clone)]
+pub struct ComponentLatch {
+    policy: DegradePolicy,
+    degraded: bool,
+    /// Earliest sim time the next probe may run (only while degraded).
+    next_probe_at: SimTime,
+    /// Clean probes in a row (only while degraded).
+    consecutive_ok: u32,
+    /// Times this latch opened (healthy → degraded transitions).
+    transitions: u64,
+}
+
+impl ComponentLatch {
+    /// A healthy latch under `policy`.
+    pub fn new(policy: DegradePolicy) -> Self {
+        ComponentLatch {
+            policy,
+            degraded: false,
+            next_probe_at: SimTime::ZERO,
+            consecutive_ok: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Whether the component is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Healthy → degraded transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Whether an attempt may be made at `now`: always while healthy, and
+    /// once per rest interval while degraded (the probe).
+    pub fn allow_attempt(&self, now: SimTime) -> bool {
+        !self.degraded || now >= self.next_probe_at
+    }
+
+    /// Records an operation-level failure (after its retries were
+    /// exhausted). Opens the latch and starts/restarts the rest timer.
+    pub fn record_failure(&mut self, now: SimTime) {
+        if !self.degraded {
+            self.degraded = true;
+            self.transitions += 1;
+        }
+        self.consecutive_ok = 0;
+        self.next_probe_at = now + self.policy.reprobe_interval;
+    }
+
+    /// Records a successful operation. While degraded, counts toward the
+    /// hysteresis threshold and closes the latch once reached; spaces
+    /// probes a rest interval apart until then.
+    pub fn record_success(&mut self, now: SimTime) {
+        if !self.degraded {
+            return;
+        }
+        self.consecutive_ok += 1;
+        if self.consecutive_ok >= self.policy.reprobe_successes {
+            self.degraded = false;
+            self.consecutive_ok = 0;
+        } else {
+            self.next_probe_at = now + self.policy.reprobe_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DegradePolicy {
+        DegradePolicy {
+            reprobe_interval: SimDuration::from_millis(1),
+            reprobe_successes: 2,
+            ..DegradePolicy::default()
+        }
+    }
+
+    #[test]
+    fn healthy_latch_always_allows() {
+        let latch = ComponentLatch::new(policy());
+        assert!(latch.allow_attempt(SimTime::ZERO));
+        assert!(!latch.is_degraded());
+        assert_eq!(latch.transitions(), 0);
+    }
+
+    #[test]
+    fn failure_opens_latch_and_blocks_until_reprobe() {
+        let mut latch = ComponentLatch::new(policy());
+        let t0 = SimTime::ZERO;
+        latch.record_failure(t0);
+        assert!(latch.is_degraded());
+        assert_eq!(latch.transitions(), 1);
+        assert!(!latch.allow_attempt(t0));
+        assert!(!latch.allow_attempt(t0 + SimDuration::from_micros(999)));
+        assert!(latch.allow_attempt(t0 + SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn hysteresis_needs_consecutive_successes() {
+        let mut latch = ComponentLatch::new(policy());
+        let mut now = SimTime::ZERO;
+        latch.record_failure(now);
+        now += SimDuration::from_millis(1);
+        latch.record_success(now);
+        assert!(latch.is_degraded(), "one probe is not enough");
+        assert!(
+            !latch.allow_attempt(now),
+            "next probe waits a rest interval"
+        );
+        now += SimDuration::from_millis(1);
+        latch.record_success(now);
+        assert!(!latch.is_degraded(), "two clean probes close the latch");
+        assert!(latch.allow_attempt(now));
+    }
+
+    #[test]
+    fn probe_failure_resets_the_streak() {
+        let mut latch = ComponentLatch::new(policy());
+        let mut now = SimTime::ZERO;
+        latch.record_failure(now);
+        now += SimDuration::from_millis(1);
+        latch.record_success(now);
+        latch.record_failure(now);
+        assert!(latch.is_degraded());
+        // Still only one healthy→degraded transition (it never closed).
+        assert_eq!(latch.transitions(), 1);
+        now += SimDuration::from_millis(1);
+        latch.record_success(now);
+        assert!(latch.is_degraded(), "streak restarted after the failure");
+        now += SimDuration::from_millis(1);
+        latch.record_success(now);
+        assert!(!latch.is_degraded());
+    }
+
+    #[test]
+    fn reopening_counts_a_second_transition() {
+        let mut latch = ComponentLatch::new(policy());
+        let mut now = SimTime::ZERO;
+        latch.record_failure(now);
+        for _ in 0..2 {
+            now += SimDuration::from_millis(1);
+            latch.record_success(now);
+        }
+        assert!(!latch.is_degraded());
+        latch.record_failure(now);
+        assert_eq!(latch.transitions(), 2);
+    }
+
+    #[test]
+    fn success_while_healthy_is_a_no_op() {
+        let mut latch = ComponentLatch::new(policy());
+        latch.record_success(SimTime::ZERO);
+        assert!(!latch.is_degraded());
+        assert_eq!(latch.transitions(), 0);
+    }
+
+    #[test]
+    fn policy_backoff_matches_knobs() {
+        let p = DegradePolicy::default();
+        let b = p.backoff();
+        assert_eq!(b.base, SimDuration::from_micros(50));
+        assert_eq!(b.delay(1), SimDuration::from_micros(100));
+        assert_eq!(b.max_attempts(), 4);
+    }
+}

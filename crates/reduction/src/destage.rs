@@ -7,7 +7,7 @@
 //! for the SSD").
 
 use dr_binindex::ChunkRef;
-use dr_des::{Grant, SimTime};
+use dr_des::{ExponentialBackoff, Grant, SimDuration, SimTime};
 use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 use dr_ssd_sim::{SsdDevice, SsdError};
 
@@ -22,6 +22,8 @@ struct DestageObs {
     /// Simulated latency of each destaged data page: frame-ready to
     /// write-grant end, so device queueing is included.
     sim_ns: HistogramHandle,
+    /// Retries charged against transient SSD faults.
+    write_retries: CounterHandle,
 }
 
 impl DestageObs {
@@ -33,6 +35,7 @@ impl DestageObs {
             index_pages: obs.counter("destage.index_pages"),
             partial_flushes: obs.counter("destage.partial_flushes"),
             sim_ns: obs.histogram("destage.sim_ns"),
+            write_retries: obs.counter("fault.ssd_write.retries"),
         }
     }
 }
@@ -53,6 +56,11 @@ pub struct Destager {
     buf: Vec<u8>,
     /// Total frame bytes appended (pre-padding).
     appended_bytes: u64,
+    /// Retry schedule for transient SSD faults; each retry charges its
+    /// backoff delay on the simulated clock.
+    backoff: ExponentialBackoff,
+    /// Retries spent on transient SSD faults so far.
+    write_retries: u64,
     obs: DestageObs,
 }
 
@@ -66,6 +74,8 @@ impl Destager {
             next_index_lpn: ssd.logical_pages() - 1,
             buf: Vec::with_capacity(page_bytes),
             appended_bytes: 0,
+            backoff: ExponentialBackoff::new(SimDuration::from_micros(50), 2, 3),
+            write_retries: 0,
             obs: DestageObs::default(),
         }
     }
@@ -74,6 +84,11 @@ impl Destager {
     /// handle (the default) to turn recording off.
     pub fn set_obs(&mut self, obs: &ObsHandle) {
         self.obs = DestageObs::new(obs);
+    }
+
+    /// Replaces the transient-fault retry schedule.
+    pub fn set_backoff(&mut self, backoff: ExponentialBackoff) {
+        self.backoff = backoff;
     }
 
     /// Total frame bytes appended so far (excludes page padding).
@@ -86,19 +101,91 @@ impl Destager {
         self.next_data_lpn
     }
 
+    /// Retries spent on transient SSD faults (reads and writes) so far.
+    pub fn fault_retries(&self) -> u64 {
+        self.write_retries
+    }
+
+    /// Data pages still writable before the data log meets the index
+    /// region (the open partial page not included).
+    fn free_data_pages(&self) -> u64 {
+        self.next_index_lpn.saturating_sub(self.next_data_lpn)
+    }
+
+    /// Issues one page write, absorbing transient injected faults with the
+    /// backoff schedule: each retry starts `delay(k)` after the previous
+    /// attempt, so retries cost simulated time. Non-transient errors and
+    /// retry-budget exhaustion propagate.
+    fn write_page_retrying(
+        &mut self,
+        now: SimTime,
+        ssd: &mut SsdDevice,
+        lpn: u64,
+        page: &[u8],
+    ) -> Result<Grant, SsdError> {
+        let mut at = now;
+        let mut retry = 0u32;
+        loop {
+            match ssd.write_page(at, lpn, page) {
+                Ok(g) => return Ok(g),
+                Err(e) if e.is_transient() && retry < self.backoff.max_retries => {
+                    at += self.backoff.delay(retry);
+                    retry += 1;
+                    self.write_retries += 1;
+                    self.obs.write_retries.incr();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`write_page_retrying`](Self::write_page_retrying) for reads.
+    fn read_page_retrying(
+        &mut self,
+        now: SimTime,
+        ssd: &mut SsdDevice,
+        lpn: u64,
+    ) -> Result<Vec<u8>, SsdError> {
+        let mut at = now;
+        let mut retry = 0u32;
+        loop {
+            match ssd.read_page(at, lpn) {
+                Ok((page, _)) => return Ok(page),
+                Err(e) if e.is_transient() && retry < self.backoff.max_retries => {
+                    at += self.backoff.delay(retry);
+                    retry += 1;
+                    self.write_retries += 1;
+                    self.obs.write_retries.incr();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Appends one sealed frame to the log. Full pages are written to the
     /// SSD immediately; the tail stays buffered. Returns the chunk's
     /// location and the grants of any page writes issued.
     ///
     /// # Errors
     ///
-    /// Propagates SSD errors (e.g. the log reaching device capacity).
+    /// [`SsdError::CapacityExhausted`] when accepting the frame would push
+    /// the data log into the index region — checked *before* any state
+    /// changes, so a failed append leaves the log exactly as it was.
+    /// Transient injected faults are retried with the backoff schedule;
+    /// only a fault that survives every retry propagates.
     pub fn append(
         &mut self,
         now: SimTime,
         ssd: &mut SsdDevice,
         frame: &[u8],
     ) -> Result<(ChunkRef, Vec<Grant>), SsdError> {
+        // Full pages this frame would force out right now. Refuse up front:
+        // a capacity error must not leave half a frame buffered or the
+        // grow-up data log overlapping the grow-down index region.
+        let full_pages = ((self.buf.len() + frame.len()) / self.page_bytes) as u64;
+        if full_pages > self.free_data_pages() {
+            return Err(SsdError::CapacityExhausted);
+        }
         let addr = self.next_data_lpn * self.page_bytes as u64 + self.buf.len() as u64;
         self.buf.extend_from_slice(frame);
         self.appended_bytes += frame.len() as u64;
@@ -106,11 +193,11 @@ impl Destager {
         self.obs.appended_bytes.add(frame.len() as u64);
         let mut grants = Vec::new();
         while self.buf.len() >= self.page_bytes {
-            let page: Vec<u8> = self.buf.drain(..self.page_bytes).collect();
-            if self.next_data_lpn >= self.next_index_lpn {
-                return Err(SsdError::CapacityExhausted);
-            }
-            let g = ssd.write_page(now, self.next_data_lpn, &page)?;
+            // Write from a copy and drain only on success, so a fault that
+            // survives every retry leaves the buffered bytes intact.
+            let page: Vec<u8> = self.buf[..self.page_bytes].to_vec();
+            let g = self.write_page_retrying(now, ssd, self.next_data_lpn, &page)?;
+            self.buf.drain(..self.page_bytes);
             self.next_data_lpn += 1;
             self.obs.data_pages.incr();
             self.obs
@@ -131,12 +218,16 @@ impl Destager {
         if self.buf.is_empty() {
             return Ok(None);
         }
-        let mut page = std::mem::take(&mut self.buf);
-        page.resize(self.page_bytes, 0);
-        if self.next_data_lpn >= self.next_index_lpn {
+        // Check the crossing *before* touching the buffer, so a full device
+        // does not silently discard the buffered tail; likewise write from
+        // a padded copy and clear only on success.
+        if self.free_data_pages() == 0 {
             return Err(SsdError::CapacityExhausted);
         }
-        let g = ssd.write_page(now, self.next_data_lpn, &page)?;
+        let mut page = self.buf.clone();
+        page.resize(self.page_bytes, 0);
+        let g = self.write_page_retrying(now, ssd, self.next_data_lpn, &page)?;
+        self.buf.clear();
         self.next_data_lpn += 1;
         self.obs.partial_flushes.incr();
         self.obs.data_pages.incr();
@@ -167,7 +258,7 @@ impl Destager {
             if self.next_index_lpn <= self.next_data_lpn {
                 return Err(SsdError::CapacityExhausted);
             }
-            let g = ssd.write_page(now, self.next_index_lpn, &payload)?;
+            let g = self.write_page_retrying(now, ssd, self.next_index_lpn, &payload)?;
             self.next_index_lpn -= 1;
             self.obs.index_pages.incr();
             grants.push(g);
@@ -198,7 +289,7 @@ impl Destager {
         let mut bytes =
             Vec::with_capacity(((last_page - first_page + 1) as usize) * self.page_bytes);
         for lpn in first_page..=last_page {
-            let (page, _) = ssd.read_page(now, lpn)?;
+            let page = self.read_page_retrying(now, ssd, lpn)?;
             bytes.extend_from_slice(&page);
         }
         let offset = (start - first_page * self.page_bytes as u64) as usize;
@@ -354,5 +445,174 @@ mod tests {
             }
         }
         assert!(hit_cap, "log never reported capacity exhaustion");
+    }
+
+    /// A device where the destage frontiers (not FTL free-block reserves)
+    /// are the binding constraint: generous over-provisioning keeps GC out
+    /// of the way, so the crossing check is what fires. 32 logical pages,
+    /// top index LPN 31.
+    fn tiny() -> SsdDevice {
+        SsdDevice::new(SsdSpec {
+            channels: 1,
+            dies_per_channel: 1,
+            blocks_per_die: 16,
+            pages_per_block: 4,
+            over_provisioning: 0.5,
+            store_data: true,
+            ..SsdSpec::samsung_830_256g()
+        })
+    }
+
+    #[test]
+    fn data_and_index_meeting_on_adjacent_lpns_errors_cleanly() {
+        let mut dev = tiny();
+        let top = dev.logical_pages() - 1; // first index LPN
+        let mut log = Destager::new(&dev);
+        // Walk the index frontier down to just above the data frontier:
+        // index pages claim top, top-1, ..., 1; data has written nothing.
+        for _ in 0..top {
+            log.append_index(SimTime::ZERO, &mut dev, 1).unwrap();
+        }
+        // The frontiers are now adjacent (both at LPN 0): neither side may
+        // take another page.
+        assert!(matches!(
+            log.append_index(SimTime::ZERO, &mut dev, 1),
+            Err(SsdError::CapacityExhausted)
+        ));
+        let frame = vec![3u8; 4096];
+        assert!(matches!(
+            log.append(SimTime::ZERO, &mut dev, &frame),
+            Err(SsdError::CapacityExhausted)
+        ));
+    }
+
+    #[test]
+    fn data_and_index_meeting_on_same_lpn_never_overwrites() {
+        let mut dev = tiny();
+        let top = dev.logical_pages() - 1;
+        let mut log = Destager::new(&dev);
+        let frame = vec![0xAB; 4096];
+        // Drive the data frontier all the way up to the untouched index
+        // frontier: LPNs 0..top-1 hold data, both counters now point at
+        // the same (unwritten) LPN `top`.
+        for _ in 0..top {
+            log.append(SimTime::ZERO, &mut dev, &frame).unwrap();
+        }
+        assert_eq!(log.data_pages_written(), top);
+        // The contested page belongs to neither side: both must refuse it
+        // rather than risk overwriting the opposing region.
+        assert!(matches!(
+            log.append(SimTime::ZERO, &mut dev, &frame),
+            Err(SsdError::CapacityExhausted)
+        ));
+        assert!(matches!(
+            log.append_index(SimTime::ZERO, &mut dev, 1),
+            Err(SsdError::CapacityExhausted)
+        ));
+        // Every data page survives intact.
+        for lpn in 0..top {
+            let r = ChunkRef::new(lpn * 4096, 4096);
+            assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn failed_append_leaves_log_state_untouched() {
+        let mut dev = tiny();
+        let top = dev.logical_pages() - 1;
+        let mut log = Destager::new(&dev);
+        let frame = vec![0x5A; 4096];
+        for _ in 0..top {
+            log.append(SimTime::ZERO, &mut dev, &frame).unwrap();
+        }
+        // Park a partial frame in the buffer, then overflow.
+        log.append(SimTime::ZERO, &mut dev, &[7u8; 100]).unwrap();
+        let bytes_before = log.appended_bytes();
+        let pages_before = log.data_pages_written();
+        assert!(log.append(SimTime::ZERO, &mut dev, &frame).is_err());
+        assert_eq!(log.appended_bytes(), bytes_before, "no bytes recorded");
+        assert_eq!(log.data_pages_written(), pages_before, "no pages written");
+        // The buffered partial frame is still there and still readable.
+        let r = ChunkRef::new(top * 4096, 100);
+        // Flushing it fails (device full), but the buffer is not lost:
+        assert!(matches!(
+            log.read_chunk(SimTime::ZERO, &mut dev, r),
+            Err(SsdError::CapacityExhausted)
+        ));
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_and_counted() {
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 64,
+            pages_per_block: 16,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.write_error_rate = 0.4;
+        let mut dev = SsdDevice::new(spec);
+        let mut log = Destager::new(&dev);
+        let frame: Vec<u8> = (0..4096u32).map(|i| (i % 241) as u8).collect();
+        let mut refs = Vec::new();
+        for _ in 0..16 {
+            let (r, _) = log.append(SimTime::ZERO, &mut dev, &frame).unwrap();
+            refs.push(r);
+        }
+        assert!(
+            log.fault_retries() > 0,
+            "faults at 0.4 must trigger retries"
+        );
+        assert!(dev.stats().faults_injected > 0);
+        for r in refs {
+            assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_propagates_the_fault() {
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 64,
+            pages_per_block: 16,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.write_error_rate = 1.0;
+        let mut dev = SsdDevice::new(spec);
+        let mut log = Destager::new(&dev);
+        let err = log
+            .append(SimTime::ZERO, &mut dev, &vec![1u8; 4096])
+            .unwrap_err();
+        assert!(err.is_transient(), "exhausted retries surface the fault");
+        assert_eq!(log.fault_retries(), 3, "default budget is three retries");
+    }
+
+    #[test]
+    fn retries_charge_simulated_time() {
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 64,
+            pages_per_block: 16,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.write_error_rate = 0.5;
+        let mut dev = SsdDevice::new(spec);
+        let mut log = Destager::new(&dev);
+        let frame = vec![2u8; 4096];
+        // Every append starts at t=0, so any write whose grant starts
+        // later than t=0 was pushed there by retry backoff.
+        let mut saw_delayed_grant = false;
+        for _ in 0..32 {
+            let retries_before = log.fault_retries();
+            let (_, grants) = log.append(SimTime::ZERO, &mut dev, &frame).unwrap();
+            if log.fault_retries() > retries_before {
+                let g = grants.first().expect("full-page append writes a page");
+                assert!(g.start > SimTime::ZERO, "retry must charge backoff time");
+                saw_delayed_grant = true;
+            }
+        }
+        assert!(saw_delayed_grant, "rate 0.5 over 32 writes must retry");
     }
 }

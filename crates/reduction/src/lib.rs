@@ -60,6 +60,7 @@
 pub mod background;
 pub mod calibrate;
 pub mod cpu_model;
+pub mod degrade;
 pub mod destage;
 pub mod pipeline;
 pub mod report;
@@ -71,6 +72,7 @@ pub use background::{
 };
 pub use calibrate::{calibrate, CalibrationOutcome};
 pub use cpu_model::CpuModel;
+pub use degrade::{ComponentLatch, DegradePolicy};
 pub use destage::Destager;
 pub use pipeline::{IntegrationMode, Pipeline, PipelineConfig};
 pub use report::Report;

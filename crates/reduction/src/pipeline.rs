@@ -6,7 +6,7 @@ use dr_binindex::{
 };
 use dr_chunking::{Chunker, FixedChunker};
 use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
-use dr_des::{Resource, SimTime};
+use dr_des::{Grant, Resource, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::{hash_chunks_pooled, ChunkDigest};
 use dr_obs::{CounterHandle, GaugeHandle, ObsHandle, StageObs};
@@ -15,6 +15,7 @@ use dr_ssd_sim::{SsdDevice, SsdSpec};
 use std::sync::Arc;
 
 use crate::cpu_model::CpuModel;
+use crate::degrade::{ComponentLatch, DegradePolicy};
 use crate::destage::Destager;
 use crate::report::Report;
 
@@ -134,6 +135,11 @@ pub struct PipelineConfig {
     /// verify it on reads, so device corruption is detected instead of
     /// silently decompressed.
     pub integrity: bool,
+    /// Degradation policy applied when device models inject faults:
+    /// bounded retry with backoff, then reroute to the CPU path (GPU
+    /// faults) or shed reduction effort (SSD write faults), with a
+    /// sim-time re-probe timer. Inert while no faults are injected.
+    pub degrade: DegradePolicy,
     /// Observability sink. The default handle is disabled, which makes
     /// every instrumentation point a no-op; pass
     /// [`ObsHandle::enabled`]/[`ObsHandle::with_registry`] to record
@@ -159,6 +165,7 @@ impl Default for PipelineConfig {
             compress_enabled: true,
             verify: false,
             integrity: false,
+            degrade: DegradePolicy::default(),
             obs: ObsHandle::disabled(),
         }
     }
@@ -186,6 +193,13 @@ struct PipelineObs {
     compress_out_bytes: GaugeHandle,
     /// The CPU-vs-GPU probe routing decision counters (`router.*`).
     routing: RoutingObs,
+    /// `fault.<component>.retries` / `fault.<component>.degraded_transitions`
+    /// for the three components the degradation policy watches.
+    gpu_dedup_retries: CounterHandle,
+    gpu_dedup_degraded: CounterHandle,
+    gpu_compress_retries: CounterHandle,
+    gpu_compress_degraded: CounterHandle,
+    ssd_write_degraded: CounterHandle,
 }
 
 impl PipelineObs {
@@ -202,7 +216,39 @@ impl PipelineObs {
             compress_in_bytes: obs.gauge("compress.in_bytes"),
             compress_out_bytes: obs.gauge("compress.out_bytes"),
             routing: RoutingObs::new(obs),
+            gpu_dedup_retries: obs.counter("fault.gpu_dedup.retries"),
+            gpu_dedup_degraded: obs.counter("fault.gpu_dedup.degraded_transitions"),
+            gpu_compress_retries: obs.counter("fault.gpu_compress.retries"),
+            gpu_compress_degraded: obs.counter("fault.gpu_compress.degraded_transitions"),
+            ssd_write_degraded: obs.counter("fault.ssd_write.degraded_transitions"),
         }
+    }
+}
+
+/// Per-component degradation latches plus the pipeline-level retry tally
+/// (destage-level SSD retries are counted by the [`Destager`] itself).
+#[derive(Debug)]
+struct FaultState {
+    gpu_dedup: ComponentLatch,
+    gpu_compress: ComponentLatch,
+    ssd_write: ComponentLatch,
+    retries: u64,
+}
+
+impl FaultState {
+    fn new(policy: DegradePolicy) -> Self {
+        FaultState {
+            gpu_dedup: ComponentLatch::new(policy),
+            gpu_compress: ComponentLatch::new(policy),
+            ssd_write: ComponentLatch::new(policy),
+            retries: 0,
+        }
+    }
+
+    fn transitions(&self) -> u64 {
+        self.gpu_dedup.transitions()
+            + self.gpu_compress.transitions()
+            + self.ssd_write.transitions()
     }
 }
 
@@ -325,6 +371,8 @@ pub struct Pipeline {
     pool: WorkerPool,
     /// Recycled compression output buffers.
     arena: FrameArena,
+    /// Degradation latches (sticky degraded mode with timed re-probes).
+    fault: FaultState,
     obs: PipelineObs,
     report: Report,
     /// The stream recipe: one stored-chunk reference per ingested chunk,
@@ -366,6 +414,7 @@ impl Pipeline {
         ssd.set_obs(&config.obs);
         let mut destage = Destager::new(&ssd);
         destage.set_obs(&config.obs);
+        destage.set_backoff(config.degrade.backoff());
         let mut index = BinIndex::new(config.index);
         index.set_obs(&config.obs);
         let mut gpu_comp = GpuCompressor::new(config.gpu_compressor);
@@ -382,6 +431,7 @@ impl Pipeline {
             destage,
             pool,
             arena: FrameArena::new(config.batch_chunks),
+            fault: FaultState::new(config.degrade),
             obs: PipelineObs::new(&config.obs),
             report,
             recipe: Vec::new(),
@@ -577,7 +627,62 @@ impl Pipeline {
         self.report.gpu_kernels = self.gpu.stats().kernels;
         self.report.gpu_busy = self.gpu.stats().kernel_busy;
         self.report.cpu_busy = self.cpu.total_busy_time();
+        self.report.faults_injected =
+            self.ssd.stats().faults_injected + self.gpu.stats().faults_injected;
+        self.report.fault_retries = self.fault.retries + self.destage.fault_retries();
+        self.report.degraded_transitions = self.fault.transitions();
         self.report.clone()
+    }
+
+    /// Records an operation-level failure on a latch, bumping the matching
+    /// obs counter exactly once per healthy→degraded transition.
+    fn latch_failure(latch: &mut ComponentLatch, now: SimTime, transitions: &CounterHandle) {
+        let before = latch.transitions();
+        latch.record_failure(now);
+        if latch.transitions() > before {
+            transitions.incr();
+        }
+    }
+
+    /// Destages one sealed frame, absorbing transient SSD write faults:
+    /// the destager already retried with backoff; if it still failed, the
+    /// SSD-write latch opens (shedding compression for subsequent batches)
+    /// and one final attempt is made after a degraded rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is genuinely full or still failing after the
+    /// rest — at that point correctness cannot be preserved by degrading.
+    fn destage_frame(
+        &mut self,
+        ready: SimTime,
+        stored: &[u8],
+    ) -> (dr_binindex::ChunkRef, Vec<Grant>) {
+        match self.destage.append(ready, &mut self.ssd, stored) {
+            Ok(out) => {
+                // While degraded, only successes past the rest interval
+                // count as probes (healthy latches make this a no-op).
+                if self.fault.ssd_write.allow_attempt(ready) {
+                    self.fault.ssd_write.record_success(ready);
+                }
+                out
+            }
+            Err(e) if e.is_transient() => {
+                Self::latch_failure(
+                    &mut self.fault.ssd_write,
+                    ready,
+                    &self.obs.ssd_write_degraded,
+                );
+                let rest = ready + self.config.degrade.reprobe_interval;
+                let out = self
+                    .destage
+                    .append(rest, &mut self.ssd, stored)
+                    .unwrap_or_else(|e| panic!("destage failed after degraded rest: {e}"));
+                self.fault.ssd_write.record_success(rest);
+                out
+            }
+            Err(e) => panic!("destage failed: {e} (size the SSD to the workload)"),
+        }
     }
 
     /// Processes one batch of chunks through chunk→hash→index→compress→
@@ -669,26 +774,32 @@ impl Pipeline {
         let unique: Vec<usize> = (0..chunks.len())
             .filter(|&i| matches!(chunks[i].outcome, DedupOutcome::Unique))
             .collect();
-        let frames: Vec<(usize, Vec<u8>, SimTime)> = if !self.config.compress_enabled {
-            unique
-                .iter()
-                .map(|&i| {
-                    let mut f = self.arena.take();
-                    frame::seal_raw_into(payload.view(i), &mut f);
-                    (i, f, chunks[i].ready_at)
-                })
-                .collect()
-        } else if self.config.mode.gpu_compression() {
-            let span = self.obs.compress.span();
-            let frames = self.gpu_compress(payload, &chunks, &unique);
-            span.finish();
-            frames
-        } else {
-            let span = self.obs.compress.span();
-            let frames = self.cpu_compress(payload, &chunks, &unique);
-            span.finish();
-            frames
-        };
+        // While the SSD-write latch is open, reduction effort is shed:
+        // frames are sealed raw so a struggling device gets the simplest
+        // possible write path (the ISSUE's "reduction is best-effort,
+        // correctness is not"). Re-probes close the latch again.
+        let shed_compression = self.fault.ssd_write.is_degraded();
+        let frames: Vec<(usize, Vec<u8>, SimTime)> =
+            if !self.config.compress_enabled || shed_compression {
+                unique
+                    .iter()
+                    .map(|&i| {
+                        let mut f = self.arena.take();
+                        frame::seal_raw_into(payload.view(i), &mut f);
+                        (i, f, chunks[i].ready_at)
+                    })
+                    .collect()
+            } else if self.config.mode.gpu_compression() {
+                let span = self.obs.compress.span();
+                let frames = self.gpu_compress(payload, &chunks, &unique);
+                span.finish();
+                frames
+            } else {
+                let span = self.obs.compress.span();
+                let frames = self.cpu_compress(payload, &chunks, &unique, SimTime::ZERO);
+                span.finish();
+                frames
+            };
         if self.config.compress_enabled && self.config.obs.is_enabled() {
             let in_bytes: i64 = unique.iter().map(|&i| payload.view(i).len() as i64).sum();
             let out_bytes: i64 = frames.iter().map(|(_, f, _)| f.len() as i64).sum();
@@ -709,10 +820,7 @@ impl Pipeline {
                 &frame_bytes
             };
             self.report.stored_bytes += stored.len() as u64;
-            let (chunk_ref, grants) = self
-                .destage
-                .append(ready, &mut self.ssd, stored)
-                .expect("destage failed: device full (size the SSD to the workload)");
+            let (chunk_ref, grants) = self.destage_frame(ready, stored);
             refs[i] = Some(chunk_ref);
             for g in grants {
                 self.report.ssd_end = self.report.ssd_end.max(g.end);
@@ -723,33 +831,57 @@ impl Pipeline {
                 chunks[i].ready_at = g.end;
                 if let Some(flush) = self.index.insert(chunks[i].digest, chunk_ref) {
                     self.report.bin_flushes += 1;
-                    // Sequential index write to the SSD.
+                    // Sequential index write to the SSD. The spill is
+                    // best-effort (the authoritative index is in memory):
+                    // a transient failure after the destager's retries
+                    // opens the SSD-write latch, anything else is dropped.
                     let bytes = flush.flushed_bytes(self.config.index.prefix_bytes);
-                    if let Ok(gs) = self.destage.append_index(g.end, &mut self.ssd, bytes) {
-                        for fg in gs {
-                            self.report.ssd_end = self.report.ssd_end.max(fg.end);
+                    match self.destage.append_index(g.end, &mut self.ssd, bytes) {
+                        Ok(gs) => {
+                            for fg in gs {
+                                self.report.ssd_end = self.report.ssd_end.max(fg.end);
+                            }
                         }
+                        Err(e) if e.is_transient() => Self::latch_failure(
+                            &mut self.fault.ssd_write,
+                            g.end,
+                            &self.obs.ssd_write_degraded,
+                        ),
+                        Err(_) => {}
                     }
-                    // Mirror the flush into the GPU-resident bin.
+                    // Mirror the flush into the GPU-resident bin — also
+                    // best-effort: a device fault opens the GPU-dedup
+                    // latch and the mirror is skipped until a re-probe
+                    // succeeds (host-side bins stay authoritative, so the
+                    // worst case is a missed duplicate, never bad data).
                     if let Some(gpu_index) = &mut self.gpu_index {
-                        let t = if gpu_index.is_resident(flush.bin) {
-                            gpu_index
-                                .apply_flush(g.end, &mut self.gpu, &flush)
-                                .expect("GPU bin update failed")
-                        } else {
-                            // Mirror the *tree* portion only; buffer
-                            // entries reach the device with their flush.
-                            let entries: Vec<_> = self
-                                .index
-                                .bin(flush.bin)
-                                .iter_tree()
-                                .map(|(k, v)| (*k, *v))
-                                .collect();
-                            gpu_index
-                                .install_bin(g.end, &mut self.gpu, flush.bin, &entries)
-                                .expect("GPU bin install failed")
-                        };
-                        self.report.gpu_index_sync_end = self.report.gpu_index_sync_end.max(t);
+                        if self.fault.gpu_dedup.allow_attempt(g.end) {
+                            let synced = if gpu_index.is_resident(flush.bin) {
+                                gpu_index.apply_flush(g.end, &mut self.gpu, &flush)
+                            } else {
+                                // Mirror the *tree* portion only; buffer
+                                // entries reach the device with their flush.
+                                let entries: Vec<_> = self
+                                    .index
+                                    .bin(flush.bin)
+                                    .iter_tree()
+                                    .map(|(k, v)| (*k, *v))
+                                    .collect();
+                                gpu_index.install_bin(g.end, &mut self.gpu, flush.bin, &entries)
+                            };
+                            match synced {
+                                Ok(t) => {
+                                    self.fault.gpu_dedup.record_success(t);
+                                    self.report.gpu_index_sync_end =
+                                        self.report.gpu_index_sync_end.max(t);
+                                }
+                                Err(_) => Self::latch_failure(
+                                    &mut self.fault.gpu_dedup,
+                                    g.end,
+                                    &self.obs.gpu_dedup_degraded,
+                                ),
+                            }
+                        }
                     }
                 }
             } else {
@@ -803,44 +935,79 @@ impl Pipeline {
             None,
         }
 
-        // GPU indexing first, when assigned (batch barrier at hash end).
+        // GPU indexing first, when assigned and not latched degraded
+        // (batch barrier at hash end).
         let mut plan = vec![CpuProbe::Full; chunks.len()];
-        if self.gpu_index.is_some() {
+        let batch_ready = chunks
+            .iter()
+            .map(|c| c.ready_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let use_gpu = self.gpu_index.is_some() && self.fault.gpu_dedup.allow_attempt(batch_ready);
+        if use_gpu {
             self.obs.routing.to_gpu.add(chunks.len() as u64);
         } else {
             self.obs.routing.to_cpu.add(chunks.len() as u64);
         }
-        if let Some(gpu_index) = &mut self.gpu_index {
-            let batch_ready = chunks
-                .iter()
-                .map(|c| c.ready_at)
-                .max()
-                .unwrap_or(SimTime::ZERO);
+        if use_gpu {
+            let gpu_index = self.gpu_index.as_mut().expect("use_gpu implies an index");
             let digests: Vec<_> = chunks.iter().map(|c| c.digest).collect();
-            let (probes, report) = gpu_index
-                .lookup_batch(batch_ready, &mut self.gpu, &digests)
-                .expect("GPU lookup failed");
-            self.report.gpu_index_queries += report.queries as u64;
-            self.report.gpu_index_hits += report.hits as u64;
-            for ((chunk, probe), p) in chunks.iter_mut().zip(probes).zip(plan.iter_mut()) {
-                match probe {
-                    GpuProbe::Hit(r) => {
-                        chunk.outcome = DedupOutcome::Duplicate(r);
-                        chunk.ready_at = report.done;
-                        *p = CpuProbe::None;
-                        self.obs.routing.gpu_hits.incr();
+            let backoff = self.config.degrade.backoff();
+            let mut at = batch_ready;
+            let mut retry = 0u32;
+            let outcome = loop {
+                match gpu_index.lookup_batch(at, &mut self.gpu, &digests) {
+                    Ok(out) => break Some(out),
+                    Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                        at += backoff.delay(retry);
+                        retry += 1;
+                        self.fault.retries += 1;
+                        self.obs.gpu_dedup_retries.incr();
                     }
-                    GpuProbe::AuthoritativeMiss => {
-                        // Tree portion settled; recent (unflushed) inserts
-                        // can still live in the CPU bin buffer — Fig. 1's
-                        // "bin buffer is checked first" still applies.
-                        chunk.ready_at = report.done;
-                        *p = CpuProbe::BufferOnly;
-                        self.obs.routing.gpu_authoritative_misses.incr();
+                    Err(_) => break None,
+                }
+            };
+            match outcome {
+                Some((probes, report)) => {
+                    self.fault.gpu_dedup.record_success(report.done);
+                    self.report.gpu_index_queries += report.queries as u64;
+                    self.report.gpu_index_hits += report.hits as u64;
+                    for ((chunk, probe), p) in chunks.iter_mut().zip(probes).zip(plan.iter_mut()) {
+                        match probe {
+                            GpuProbe::Hit(r) => {
+                                chunk.outcome = DedupOutcome::Duplicate(r);
+                                chunk.ready_at = report.done;
+                                *p = CpuProbe::None;
+                                self.obs.routing.gpu_hits.incr();
+                            }
+                            GpuProbe::AuthoritativeMiss => {
+                                // Tree portion settled; recent (unflushed) inserts
+                                // can still live in the CPU bin buffer — Fig. 1's
+                                // "bin buffer is checked first" still applies.
+                                chunk.ready_at = report.done;
+                                *p = CpuProbe::BufferOnly;
+                                self.obs.routing.gpu_authoritative_misses.incr();
+                            }
+                            GpuProbe::NeedsCpu => {
+                                self.obs.routing.gpu_needs_cpu.incr();
+                                self.obs.routing.to_cpu.incr();
+                            }
+                        }
                     }
-                    GpuProbe::NeedsCpu => {
-                        self.obs.routing.gpu_needs_cpu.incr();
-                        self.obs.routing.to_cpu.incr();
+                }
+                None => {
+                    // Retries exhausted (or a hard fault): latch the GPU
+                    // index degraded and fall the whole batch back to the
+                    // CPU index. Time burnt on the attempts is charged to
+                    // every chunk — degradation is never free.
+                    Self::latch_failure(
+                        &mut self.fault.gpu_dedup,
+                        at,
+                        &self.obs.gpu_dedup_degraded,
+                    );
+                    self.obs.routing.to_cpu.add(chunks.len() as u64);
+                    for chunk in chunks.iter_mut() {
+                        chunk.ready_at = chunk.ready_at.max(at);
                     }
                 }
             }
@@ -910,11 +1077,16 @@ impl Pipeline {
     /// fanned out over the persistent pool into recycled arena buffers.
     /// The simulated cost accounting below stays serial and in input
     /// order, so pool scheduling never affects simulated results.
+    ///
+    /// `floor` is the earliest simulated instant any chunk may start —
+    /// [`SimTime::ZERO`] on the normal path (a no-op), or the moment a
+    /// failed GPU attempt handed the batch over when degrading.
     fn cpu_compress(
         &mut self,
         payload: &BatchPayload,
         chunks: &[InFlight],
         unique: &[usize],
+        floor: SimTime,
     ) -> Vec<(usize, Vec<u8>, SimTime)> {
         let cpu_model = self.config.cpu;
         let codec = self.codec;
@@ -929,14 +1101,17 @@ impl Pipeline {
                 let ratio = len as f64 / frame_bytes.len() as f64;
                 let cost = cpu_model.compress_cost(len, ratio);
                 self.obs.compress.record_sim_ns(cost.as_nanos());
-                let g = self.cpu.acquire(chunks[i].ready_at, cost);
+                let g = self.cpu.acquire(chunks[i].ready_at.max(floor), cost);
                 (i, frame_bytes, g.end)
             })
             .collect()
     }
 
     /// GPU compression: one batched kernel, then CPU post-processing
-    /// ("refinement") per chunk.
+    /// ("refinement") per chunk. Transient launch faults are retried with
+    /// backoff; exhausted retries (or a lost device, or an open latch)
+    /// route the batch to [`Pipeline::cpu_compress`] instead — the frames
+    /// still get sealed, just slower.
     fn gpu_compress(
         &mut self,
         payload: &BatchPayload,
@@ -952,11 +1127,35 @@ impl Pipeline {
             .map(|&i| chunks[i].ready_at)
             .max()
             .unwrap_or(SimTime::ZERO);
+        if !self.fault.gpu_compress.allow_attempt(batch_ready) {
+            return self.cpu_compress(payload, chunks, unique, SimTime::ZERO);
+        }
         let views: Vec<&[u8]> = unique.iter().map(|&i| payload.view(i)).collect();
-        let (frames, report) = self
-            .gpu_comp
-            .compress_batch(batch_ready, &mut self.gpu, &views)
-            .expect("GPU compression failed");
+        let backoff = self.config.degrade.backoff();
+        let mut at = batch_ready;
+        let mut retry = 0u32;
+        let (frames, report) = loop {
+            match self.gpu_comp.compress_batch(at, &mut self.gpu, &views) {
+                Ok(out) => break out,
+                Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                    at += backoff.delay(retry);
+                    retry += 1;
+                    self.fault.retries += 1;
+                    self.obs.gpu_compress_retries.incr();
+                }
+                Err(_) => {
+                    Self::latch_failure(
+                        &mut self.fault.gpu_compress,
+                        at,
+                        &self.obs.gpu_compress_degraded,
+                    );
+                    // The time burnt attempting the GPU is the floor for
+                    // the CPU fallback — degradation is never free.
+                    return self.cpu_compress(payload, chunks, unique, at);
+                }
+            }
+        };
+        self.fault.gpu_compress.record_success(report.gpu_done);
         self.report.gpu_comp_batches += 1;
         let per_chunk_raw = (report.raw_token_bytes as usize / unique.len()).max(1);
         unique

@@ -60,6 +60,12 @@ pub struct Report {
     pub gpu_busy: SimDuration,
     /// Total CPU busy time across workers.
     pub cpu_busy: SimDuration,
+    /// Faults the device models injected (SSD + GPU).
+    pub faults_injected: u64,
+    /// Transient-fault retries the pipeline and destager performed.
+    pub fault_retries: u64,
+    /// Healthy→degraded latch transitions across all components.
+    pub degraded_transitions: u64,
 }
 
 impl Report {
@@ -89,6 +95,9 @@ impl Report {
             gpu_kernels: 0,
             gpu_busy: SimDuration::ZERO,
             cpu_busy: SimDuration::ZERO,
+            faults_injected: 0,
+            fault_retries: 0,
+            degraded_transitions: 0,
         }
     }
 
@@ -171,7 +180,17 @@ impl std::fmt::Display for Report {
             self.gpu_kernels,
             self.gpu_busy,
             self.cpu_busy,
-        )
+        )?;
+        // Printed only when something actually faulted, so fault-free runs
+        // produce byte-identical output to builds without the fault layer.
+        if self.faults_injected > 0 || self.fault_retries > 0 || self.degraded_transitions > 0 {
+            write!(
+                f,
+                "\n  faults: {} injected, {} retries, {} degraded transitions",
+                self.faults_injected, self.fault_retries, self.degraded_transitions,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -211,6 +230,17 @@ mod tests {
         r.reduction_end = SimTime::ZERO + SimDuration::from_millis(10);
         assert!((r.iops() - 100_000.0).abs() < 1.0);
         assert!((r.mb_per_sec() - 409.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn fault_line_appears_only_when_faults_happened() {
+        let mut r = Report::new(IntegrationMode::CpuOnly);
+        assert!(!r.to_string().contains("faults:"));
+        r.faults_injected = 3;
+        r.fault_retries = 2;
+        assert!(r
+            .to_string()
+            .contains("faults: 3 injected, 2 retries, 0 degraded transitions"));
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub struct SsdStats {
     pub bytes_written: u64,
     /// Total bytes read by the host.
     pub bytes_read: u64,
+    /// Transient faults injected (write/read errors and busy rejections).
+    pub faults_injected: u64,
 }
 
 /// Interned `ssd.*` metric handles; inert until [`SsdDevice::set_obs`].
@@ -32,6 +34,7 @@ struct SsdObs {
     bytes_read: CounterHandle,
     write_ns: HistogramHandle,
     read_ns: HistogramHandle,
+    faults_injected: CounterHandle,
 }
 
 impl SsdObs {
@@ -43,6 +46,7 @@ impl SsdObs {
             bytes_read: obs.counter("ssd.bytes_read"),
             write_ns: obs.histogram("ssd.write_sim_ns"),
             read_ns: obs.histogram("ssd.read_sim_ns"),
+            faults_injected: obs.counter("fault.ssd.injected"),
         }
     }
 }
@@ -79,6 +83,10 @@ pub struct SsdDevice {
     store: Option<HashMap<u64, Vec<u8>>>,
     /// Deterministic generator for read-fault injection.
     fault_rng: dr_des::SplitMix64,
+    /// Dedicated stream for the transient-fault schedule ([`SsdFaultSpec`]),
+    /// kept separate from `fault_rng` so enabling one class of faults does
+    /// not perturb the other's schedule.
+    transient_rng: dr_des::SplitMix64,
     stats: SsdStats,
     obs: SsdObs,
 }
@@ -98,6 +106,7 @@ impl SsdDevice {
         let store = spec.store_data.then(HashMap::new);
         SsdDevice {
             fault_rng: dr_des::SplitMix64::new(spec.fault_seed),
+            transient_rng: dr_des::SplitMix64::new(spec.faults.seed),
             ftl: Ftl::new(spec),
             dies,
             controller,
@@ -164,13 +173,46 @@ impl SsdDevice {
         done
     }
 
+    /// Draws from the transient-fault schedule; returns the injected error,
+    /// if any. Rates are gated *before* any RNG draw so an all-zero
+    /// [`SsdFaultSpec`](crate::SsdFaultSpec) consumes no randomness and the
+    /// device behaves bit-identically to one without the fault layer.
+    /// Injected faults charge no device time and mutate no FTL state.
+    fn draw_transient_fault(&mut self, lpn: u64, is_write: bool) -> Option<SsdError> {
+        let faults = &self.ftl.spec().faults;
+        let busy_rate = faults.busy_rate;
+        let error_rate = if is_write {
+            faults.write_error_rate
+        } else {
+            faults.read_error_rate
+        };
+        let fault = if busy_rate > 0.0 && self.transient_rng.next_f64() < busy_rate {
+            Some(SsdError::Busy)
+        } else if error_rate > 0.0 && self.transient_rng.next_f64() < error_rate {
+            Some(if is_write {
+                SsdError::WriteFault { lpn }
+            } else {
+                SsdError::ReadFault { lpn }
+            })
+        } else {
+            None
+        };
+        if fault.is_some() {
+            self.stats.faults_injected += 1;
+            self.obs.faults_injected.incr();
+        }
+        fault
+    }
+
     /// Writes one page. Returns the command's grant (queueing + service).
     ///
     /// # Errors
     ///
     /// [`SsdError::BadPageSize`] when `data` is not exactly one page;
     /// [`SsdError::InvalidLpn`] / [`SsdError::CapacityExhausted`] from the
-    /// FTL.
+    /// FTL; [`SsdError::Busy`] / [`SsdError::WriteFault`] when the spec's
+    /// fault schedule injects a transient failure (no state changes and no
+    /// device time is charged — the caller decides when to retry).
     pub fn write_page(&mut self, now: SimTime, lpn: u64, data: &[u8]) -> Result<Grant, SsdError> {
         let page_bytes = self.ftl.spec().page_bytes;
         if data.len() != page_bytes as usize {
@@ -178,6 +220,9 @@ impl SsdDevice {
                 got: data.len(),
                 expected: page_bytes,
             });
+        }
+        if let Some(fault) = self.draw_transient_fault(lpn, true) {
+            return Err(fault);
         }
         let t_ctrl = self.ftl.spec().t_ctrl;
         let ops = self.ftl.write(lpn)?;
@@ -204,8 +249,13 @@ impl SsdDevice {
     ///
     /// # Errors
     ///
-    /// [`SsdError::InvalidLpn`] / [`SsdError::Unwritten`] from the FTL.
+    /// [`SsdError::InvalidLpn`] / [`SsdError::Unwritten`] from the FTL;
+    /// [`SsdError::Busy`] / [`SsdError::ReadFault`] when the spec's fault
+    /// schedule injects a transient failure (retry is safe).
     pub fn read_page(&mut self, now: SimTime, lpn: u64) -> Result<(Vec<u8>, Grant), SsdError> {
+        if let Some(fault) = self.draw_transient_fault(lpn, false) {
+            return Err(fault);
+        }
         let t_ctrl = self.ftl.spec().t_ctrl;
         let (_ppa, ops) = self.ftl.read(lpn)?;
         let front = self.controller.acquire(now, t_ctrl);
@@ -452,6 +502,133 @@ mod tests {
     #[test]
     fn batch_span_of_empty_is_zero() {
         assert_eq!(batch_span(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn certain_write_fault_always_injects_and_mutates_nothing() {
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 16,
+            pages_per_block: 8,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.write_error_rate = 1.0;
+        let mut ssd = SsdDevice::new(spec);
+        let page = vec![1u8; 4096];
+        for _ in 0..3 {
+            assert_eq!(
+                ssd.write_page(SimTime::ZERO, 5, &page),
+                Err(SsdError::WriteFault { lpn: 5 })
+            );
+        }
+        assert_eq!(ssd.stats().writes, 0);
+        assert_eq!(ssd.stats().faults_injected, 3);
+        // The page was never committed.
+        assert!(matches!(
+            ssd.read_page(SimTime::ZERO, 5),
+            Err(SsdError::Unwritten { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_write_fault_rate_is_deterministic_and_retriable() {
+        let build = || {
+            let mut spec = SsdSpec {
+                channels: 2,
+                dies_per_channel: 2,
+                blocks_per_die: 16,
+                pages_per_block: 8,
+                ..SsdSpec::samsung_830_256g()
+            };
+            spec.faults.write_error_rate = 0.5;
+            SsdDevice::new(spec)
+        };
+        let run = |ssd: &mut SsdDevice| {
+            let page = vec![2u8; 4096];
+            let mut outcomes = Vec::new();
+            for lpn in 0..32 {
+                loop {
+                    match ssd.write_page(SimTime::ZERO, lpn, &page) {
+                        Ok(_) => {
+                            outcomes.push(true);
+                            break;
+                        }
+                        Err(e) => {
+                            assert!(e.is_transient());
+                            outcomes.push(false);
+                        }
+                    }
+                }
+            }
+            outcomes
+        };
+        let mut a = build();
+        let mut b = build();
+        let oa = run(&mut a);
+        assert_eq!(oa, run(&mut b), "same seed, same fault schedule");
+        assert!(oa.iter().any(|ok| !ok), "some attempts must fault");
+        assert!(a.stats().faults_injected > 0);
+        assert_eq!(a.stats().writes, 32);
+        // Every page landed despite the faults.
+        for lpn in 0..32 {
+            a.read_page(SimTime::ZERO, lpn).unwrap();
+        }
+    }
+
+    #[test]
+    fn busy_and_read_faults_inject() {
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 16,
+            pages_per_block: 8,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.busy_rate = 1.0;
+        let mut ssd = SsdDevice::new(spec);
+        let page = vec![3u8; 4096];
+        assert_eq!(ssd.write_page(SimTime::ZERO, 0, &page), Err(SsdError::Busy));
+        assert_eq!(ssd.read_page(SimTime::ZERO, 0).unwrap_err(), SsdError::Busy);
+
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 16,
+            pages_per_block: 8,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.read_error_rate = 1.0;
+        let mut ssd = SsdDevice::new(spec);
+        ssd.write_page(SimTime::ZERO, 4, &page).unwrap();
+        assert_eq!(
+            ssd.read_page(SimTime::ZERO, 4).unwrap_err(),
+            SsdError::ReadFault { lpn: 4 }
+        );
+    }
+
+    #[test]
+    fn fault_counter_appears_in_obs() {
+        let obs = ObsHandle::enabled("t");
+        let mut spec = SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 16,
+            pages_per_block: 8,
+            ..SsdSpec::samsung_830_256g()
+        };
+        spec.faults.write_error_rate = 1.0;
+        let mut ssd = SsdDevice::new(spec);
+        ssd.set_obs(&obs);
+        let page = vec![0u8; 4096];
+        let _ = ssd.write_page(SimTime::ZERO, 0, &page);
+        let snap = obs.snapshot().unwrap();
+        let injected = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "fault.ssd.injected")
+            .map(|(_, v)| *v);
+        assert_eq!(injected, Some(1));
     }
 
     #[test]

@@ -29,6 +29,34 @@ pub enum SsdError {
     /// (logical capacity exceeded — the host wrote more live data than the
     /// device advertises).
     CapacityExhausted,
+    /// Injected transient write failure: the program did not commit and no
+    /// FTL state changed, so a retry of the same write is safe.
+    WriteFault {
+        /// The logical page the host was writing.
+        lpn: u64,
+    },
+    /// Injected transient read failure: the controller reported a media
+    /// error instead of returning data. A retry is safe.
+    ReadFault {
+        /// The logical page the host was reading.
+        lpn: u64,
+    },
+    /// Injected transient controller-busy rejection (queue full or a
+    /// firmware housekeeping window). No state changed; retry later.
+    Busy,
+}
+
+impl SsdError {
+    /// True for injected transient faults that are safe to retry
+    /// ([`WriteFault`](Self::WriteFault), [`ReadFault`](Self::ReadFault),
+    /// [`Busy`](Self::Busy)); false for hard errors like
+    /// [`CapacityExhausted`](Self::CapacityExhausted).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SsdError::WriteFault { .. } | SsdError::ReadFault { .. } | SsdError::Busy
+        )
+    }
 }
 
 impl fmt::Display for SsdError {
@@ -50,6 +78,13 @@ impl fmt::Display for SsdError {
             SsdError::CapacityExhausted => {
                 write!(f, "no free blocks left after garbage collection")
             }
+            SsdError::WriteFault { lpn } => {
+                write!(f, "transient write fault on logical page {lpn} (retry)")
+            }
+            SsdError::ReadFault { lpn } => {
+                write!(f, "transient read fault on logical page {lpn} (retry)")
+            }
+            SsdError::Busy => write!(f, "device busy: command rejected, retry later"),
         }
     }
 }
@@ -71,6 +106,18 @@ mod tests {
         assert!(SsdError::CapacityExhausted
             .to_string()
             .contains("free blocks"));
+        assert!(SsdError::WriteFault { lpn: 3 }.to_string().contains("3"));
+        assert!(SsdError::ReadFault { lpn: 8 }.to_string().contains("8"));
+        assert!(SsdError::Busy.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(SsdError::WriteFault { lpn: 0 }.is_transient());
+        assert!(SsdError::ReadFault { lpn: 0 }.is_transient());
+        assert!(SsdError::Busy.is_transient());
+        assert!(!SsdError::CapacityExhausted.is_transient());
+        assert!(!SsdError::Unwritten { lpn: 0 }.is_transient());
     }
 
     #[test]

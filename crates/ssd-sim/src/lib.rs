@@ -37,4 +37,4 @@ pub mod spec;
 pub use device::{SsdDevice, SsdStats};
 pub use error::SsdError;
 pub use ftl::{Ftl, FtlStats};
-pub use spec::SsdSpec;
+pub use spec::{SsdFaultSpec, SsdSpec};

@@ -2,6 +2,66 @@
 
 use dr_des::SimDuration;
 
+/// Deterministic fault-injection knobs for an SSD device.
+///
+/// All rates are probabilities in `[0, 1]` and default to zero; a device
+/// with the default spec draws nothing from the fault stream and behaves
+/// bit-identically to a device without the fault layer. Injected faults
+/// are *transient* — the command fails without touching FTL state or
+/// charging device time, so a retry is always safe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdFaultSpec {
+    /// Probability a host page write fails with [`SsdError::WriteFault`].
+    ///
+    /// [`SsdError::WriteFault`]: crate::SsdError::WriteFault
+    pub write_error_rate: f64,
+    /// Probability a host command is rejected with [`SsdError::Busy`]
+    /// (controller queue-full / firmware housekeeping window).
+    ///
+    /// [`SsdError::Busy`]: crate::SsdError::Busy
+    pub busy_rate: f64,
+    /// Probability a host page read fails with [`SsdError::ReadFault`]
+    /// (media error the controller reports rather than silently passing
+    /// through — contrast [`SsdSpec::read_fault_rate`], which flips a bit
+    /// *silently* for integrity testing).
+    ///
+    /// [`SsdError::ReadFault`]: crate::SsdError::ReadFault
+    pub read_error_rate: f64,
+    /// Seed for the dedicated fault-schedule RNG stream.
+    pub seed: u64,
+}
+
+impl Default for SsdFaultSpec {
+    fn default() -> Self {
+        SsdFaultSpec {
+            write_error_rate: 0.0,
+            busy_rate: 0.0,
+            read_error_rate: 0.0,
+            seed: 0x55D_FA17,
+        }
+    }
+}
+
+impl SsdFaultSpec {
+    /// True when every rate is zero (the fault stream is never drawn).
+    pub fn is_inert(&self) -> bool {
+        self.write_error_rate == 0.0 && self.busy_rate == 0.0 && self.read_error_rate == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, rate) in [
+            ("write_error_rate", self.write_error_rate),
+            ("busy_rate", self.busy_rate),
+            ("read_error_rate", self.read_error_rate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} must be a probability, got {rate}"
+            );
+        }
+    }
+}
+
 /// An SSD hardware description.
 ///
 /// The logical interface is page-granular: hosts read and write
@@ -40,6 +100,9 @@ pub struct SsdSpec {
     pub read_fault_rate: f64,
     /// Seed for deterministic fault injection.
     pub fault_seed: u64,
+    /// Transient-fault injection (write/read errors, busy); defaults to
+    /// all-zero rates, i.e. no faults.
+    pub faults: SsdFaultSpec,
 }
 
 impl SsdSpec {
@@ -63,6 +126,7 @@ impl SsdSpec {
             store_data: true,
             read_fault_rate: 0.0,
             fault_seed: 0xFA17,
+            faults: SsdFaultSpec::default(),
         }
     }
 
@@ -116,6 +180,7 @@ impl SsdSpec {
             (0.0..=1.0).contains(&self.read_fault_rate),
             "fault rate must be a probability"
         );
+        self.faults.validate();
     }
 }
 
@@ -153,6 +218,31 @@ mod tests {
     fn full_op_rejected() {
         let mut spec = SsdSpec::samsung_830_256g();
         spec.over_provisioning = 1.0;
+        spec.validate();
+    }
+
+    #[test]
+    fn default_faults_are_inert() {
+        assert!(SsdFaultSpec::default().is_inert());
+        assert!(SsdSpec::samsung_830_256g().faults.is_inert());
+        assert!(SsdSpec::samsung_830_sweep().faults.is_inert());
+    }
+
+    #[test]
+    fn nonzero_fault_rates_validate() {
+        let mut spec = SsdSpec::samsung_830_256g();
+        spec.faults.write_error_rate = 0.5;
+        spec.faults.busy_rate = 1.0;
+        spec.faults.read_error_rate = 0.01;
+        spec.validate();
+        assert!(!spec.faults.is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "write_error_rate")]
+    fn out_of_range_fault_rate_rejected() {
+        let mut spec = SsdSpec::samsung_830_256g();
+        spec.faults.write_error_rate = 1.5;
         spec.validate();
     }
 }

@@ -28,7 +28,9 @@ fn launch_latency_floor() {
     println!("{}", "-".repeat(44));
     for items in [64usize, 1024, 16384, 262144] {
         let costs = vec![WorkItemCost::streaming(200, 64); items];
-        let report = gpu.launch(SimTime::ZERO, LaunchConfig::named("probe"), &costs);
+        let report = gpu
+            .launch(SimTime::ZERO, LaunchConfig::named("probe"), &costs)
+            .expect("fault-free device");
         let us = report.timing.duration().as_secs_f64() * 1e6;
         println!("{items:>10} | {us:>10.1}us | {:>12.3}us", us / items as f64);
     }
@@ -59,8 +61,12 @@ fn divergence_penalty() {
             }
         })
         .collect();
-    let linear_report = gpu.launch(SimTime::ZERO, LaunchConfig::named("linear"), &linear);
-    let tree_report = gpu.launch(SimTime::ZERO, LaunchConfig::named("tree"), &tree);
+    let linear_report = gpu
+        .launch(SimTime::ZERO, LaunchConfig::named("linear"), &linear)
+        .expect("fault-free device");
+    let tree_report = gpu
+        .launch(SimTime::ZERO, LaunchConfig::named("tree"), &tree)
+        .expect("fault-free device");
     let l = linear_report.timing.duration().as_secs_f64() * 1e6;
     let t = tree_report.timing.duration().as_secs_f64() * 1e6;
     println!("  linear-table scan: {l:>8.1}us");

@@ -36,4 +36,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Degradation gate: seeded fault schedules must not change the logical
+# volume contents in any integration mode (DESIGN.md §10). The bin exits
+# non-zero on a digest mismatch.
+echo "==> fault matrix (faulted vs fault-free digest diff)"
+cargo run --release -q -p dr-bench --bin fault_matrix
+
 echo "CI gate passed."

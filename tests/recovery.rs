@@ -30,7 +30,7 @@ fn restored_index_finds_pre_crash_chunks() {
     }
 
     // "Crash": only the snapshot bytes survive.
-    let blob = snapshot(&index);
+    let blob = snapshot(&index).expect("snapshot");
     drop(index);
     let mut recovered = restore(&blob).expect("restore");
 
@@ -56,9 +56,45 @@ fn snapshot_size_tracks_the_memory_model() {
             index.insert(d, ChunkRef::new(i as u64 * 4096, 4096));
         }
     }
-    let blob = snapshot(&index);
+    let blob = snapshot(&index).expect("snapshot");
     // Per-entry cost: 2-byte bin id + 18-byte suffix + 12-byte metadata =
-    // the paper's truncated 32-byte entry — plus a fixed header.
-    let expected = 34 + index.len() as usize * 32;
+    // the paper's truncated 32-byte entry — plus a fixed header and the
+    // 4-byte CRC-32C trailer.
+    let expected = 34 + index.len() as usize * 32 + 4;
     assert_eq!(blob.len(), expected);
+}
+
+#[test]
+fn index_snapshotted_after_a_faulty_run_still_recovers() {
+    // Run a pipeline against an SSD that injects transient write faults,
+    // snapshot the index it built, "crash", and keep deduplicating: the
+    // degradation machinery must never leave the index unsnapshottable or
+    // the stored chunks unreadable.
+    use inline_dr::reduction::{IntegrationMode, Pipeline, PipelineConfig};
+    use inline_dr::ssd_sim::SsdSpec;
+
+    let mut ssd_spec = SsdSpec::samsung_830_256g();
+    ssd_spec.faults.write_error_rate = 0.05;
+    ssd_spec.faults.busy_rate = 0.05;
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        mode: IntegrationMode::CpuOnly,
+        ssd_spec,
+        verify: true,
+        ..PipelineConfig::default()
+    });
+    let data: Vec<u8> = blocks().into_iter().flatten().collect();
+    let report = pipeline.run(&data);
+    assert!(report.faults_injected > 0, "no faults were injected");
+
+    let blob = snapshot(pipeline.index()).expect("snapshot");
+    let mut recovered = restore(&blob).expect("restore");
+    assert_eq!(recovered.len(), report.unique_chunks);
+    // Every stored chunk the recovered index points at reads back as the
+    // original bytes through the surviving pipeline's device.
+    for (i, block) in data.chunks(4096).enumerate().step_by(37) {
+        let d = sha1_digest(block);
+        let r = recovered.lookup(&d).expect("chunk indexed");
+        let back = pipeline.read_chunk(r).expect("read path");
+        assert_eq!(back, block, "chunk {i} corrupted");
+    }
 }
