@@ -1,0 +1,309 @@
+//! Replayable failure artifacts.
+//!
+//! An artifact pins everything a failure needs to reproduce bit-exactly:
+//! the generator seed (provenance), the integration mode, the scenario,
+//! the (minimized) op list, and the failure that was observed. All numeric
+//! fields are unsigned integers — rates and ratios travel in milli-units —
+//! so serialization is exact and replay is deterministic across platforms.
+
+use crate::json::{self, quote, Value};
+use crate::ops::{Op, Scenario};
+use crate::runner::Failure;
+use dr_reduction::IntegrationMode;
+
+/// Artifact schema version.
+pub const VERSION: u64 = 1;
+
+/// One recorded failure: seed, environment, minimized ops, observed
+/// failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Generator seed that produced the original sequence.
+    pub seed: u64,
+    /// Integration mode the failure occurred in.
+    pub mode: IntegrationMode,
+    /// Scenario the sequence was generated for.
+    pub scenario: Scenario,
+    /// The (minimized) op sequence.
+    pub ops: Vec<Op>,
+    /// The failure the sequence reproduces.
+    pub failure: Failure,
+}
+
+impl Artifact {
+    /// Serializes to the canonical JSON artifact format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {VERSION},\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"mode\": {},\n", quote(&self.mode.to_string())));
+        out.push_str(&format!(
+            "  \"scenario\": {},\n",
+            quote(self.scenario.name())
+        ));
+        out.push_str(&format!(
+            "  \"failure\": {{\"op_index\": {}, \"invariant\": {}, \"detail\": {}}},\n",
+            self.failure.op_index,
+            quote(&self.failure.invariant),
+            quote(&self.failure.detail)
+        ));
+        out.push_str("  \"ops\": [\n");
+        for (i, op) in self.ops.iter().enumerate() {
+            let sep = if i + 1 == self.ops.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", op_to_json(op)));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the canonical JSON artifact format.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<Artifact, String> {
+        let v = json::parse(text)?;
+        let version = field_u64(&v, "version")?;
+        if version != VERSION {
+            return Err(format!("unsupported artifact version {version}"));
+        }
+        let mode: IntegrationMode = field_str(&v, "mode")?.parse()?;
+        let scenario = Scenario::parse(field_str(&v, "scenario")?)?;
+        let failure = {
+            let f = v.get("failure").ok_or("missing field 'failure'")?;
+            Failure {
+                op_index: field_u64(f, "op_index")? as usize,
+                invariant: field_str(f, "invariant")?.to_owned(),
+                detail: field_str(f, "detail")?.to_owned(),
+            }
+        };
+        let ops = v
+            .get("ops")
+            .and_then(Value::as_arr)
+            .ok_or("missing field 'ops'")?
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<Op>, String>>()?;
+        Ok(Artifact {
+            seed: field_u64(&v, "seed")?,
+            mode,
+            scenario,
+            ops,
+            failure,
+        })
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn op_to_json(op: &Op) -> String {
+    let tag = quote(op.tag());
+    match op {
+        Op::CreateVolume { vol, blocks } => {
+            format!("{{\"op\": {tag}, \"vol\": {vol}, \"blocks\": {blocks}}}")
+        }
+        Op::Write {
+            vol,
+            block,
+            nblocks,
+            seed,
+            ratio_milli,
+        } => format!(
+            "{{\"op\": {tag}, \"vol\": {vol}, \"block\": {block}, \"nblocks\": {nblocks}, \
+             \"seed\": {seed}, \"ratio_milli\": {ratio_milli}}}"
+        ),
+        Op::Read { vol, block } => {
+            format!("{{\"op\": {tag}, \"vol\": {vol}, \"block\": {block}}}")
+        }
+        Op::ZipfBurst {
+            vol,
+            count,
+            theta_milli,
+            seed,
+        } => format!(
+            "{{\"op\": {tag}, \"vol\": {vol}, \"count\": {count}, \
+             \"theta_milli\": {theta_milli}, \"seed\": {seed}}}"
+        ),
+        Op::StreamBurst {
+            vol,
+            block,
+            nblocks,
+            seed,
+        } => format!(
+            "{{\"op\": {tag}, \"vol\": {vol}, \"block\": {block}, \
+             \"nblocks\": {nblocks}, \"seed\": {seed}}}"
+        ),
+        Op::SetSsdFaults {
+            write_milli,
+            busy_milli,
+            read_milli,
+            seed,
+        } => format!(
+            "{{\"op\": {tag}, \"write_milli\": {write_milli}, \"busy_milli\": {busy_milli}, \
+             \"read_milli\": {read_milli}, \"seed\": {seed}}}"
+        ),
+        Op::SetGpuFaults {
+            launch_milli,
+            timeout_milli,
+            seed,
+        } => format!(
+            "{{\"op\": {tag}, \"launch_milli\": {launch_milli}, \
+             \"timeout_milli\": {timeout_milli}, \"seed\": {seed}}}"
+        ),
+        Op::ClearFaults | Op::Flush | Op::SnapshotRestore => format!("{{\"op\": {tag}}}"),
+    }
+}
+
+fn op_from_json(v: &Value) -> Result<Op, String> {
+    let tag = field_str(v, "op")?;
+    let vol = |v: &Value| -> Result<u8, String> { Ok(field_u64(v, "vol")? as u8) };
+    match tag {
+        "create-volume" => Ok(Op::CreateVolume {
+            vol: vol(v)?,
+            blocks: field_u64(v, "blocks")?,
+        }),
+        "write" => Ok(Op::Write {
+            vol: vol(v)?,
+            block: field_u64(v, "block")?,
+            nblocks: field_u64(v, "nblocks")?,
+            seed: field_u64(v, "seed")?,
+            ratio_milli: field_u64(v, "ratio_milli")?,
+        }),
+        "read" => Ok(Op::Read {
+            vol: vol(v)?,
+            block: field_u64(v, "block")?,
+        }),
+        "zipf-burst" => Ok(Op::ZipfBurst {
+            vol: vol(v)?,
+            count: field_u64(v, "count")?,
+            theta_milli: field_u64(v, "theta_milli")?,
+            seed: field_u64(v, "seed")?,
+        }),
+        "stream-burst" => Ok(Op::StreamBurst {
+            vol: vol(v)?,
+            block: field_u64(v, "block")?,
+            nblocks: field_u64(v, "nblocks")?,
+            seed: field_u64(v, "seed")?,
+        }),
+        "set-ssd-faults" => Ok(Op::SetSsdFaults {
+            write_milli: field_u64(v, "write_milli")?,
+            busy_milli: field_u64(v, "busy_milli")?,
+            read_milli: field_u64(v, "read_milli")?,
+            seed: field_u64(v, "seed")?,
+        }),
+        "set-gpu-faults" => Ok(Op::SetGpuFaults {
+            launch_milli: field_u64(v, "launch_milli")?,
+            timeout_milli: field_u64(v, "timeout_milli")?,
+            seed: field_u64(v, "seed")?,
+        }),
+        "clear-faults" => Ok(Op::ClearFaults),
+        "flush" => Ok(Op::Flush),
+        "snapshot-restore" => Ok(Op::SnapshotRestore),
+        other => Err(format!("unknown op tag '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{generate, Scenario};
+
+    #[test]
+    fn artifacts_round_trip_bit_exactly() {
+        for seed in [0u64, 7, 42, u64::MAX] {
+            let artifact = Artifact {
+                seed,
+                mode: IntegrationMode::GpuForBoth,
+                scenario: Scenario::Faulted,
+                ops: generate(seed, 40, Scenario::Faulted),
+                failure: Failure {
+                    op_index: 3,
+                    invariant: "byte-identity".to_owned(),
+                    detail: "quotes \" and\nnewlines must survive".to_owned(),
+                },
+            };
+            let text = artifact.to_json();
+            let back = Artifact::from_json(&text).expect("parse back");
+            assert_eq!(back, artifact);
+            // And serialization itself is a fixed point.
+            assert_eq!(back.to_json(), text);
+        }
+    }
+
+    #[test]
+    fn every_op_kind_survives_the_round_trip() {
+        let ops = vec![
+            Op::CreateVolume { vol: 1, blocks: 9 },
+            Op::Write {
+                vol: 0,
+                block: 2,
+                nblocks: 3,
+                seed: 4,
+                ratio_milli: 1500,
+            },
+            Op::Read { vol: 2, block: 1 },
+            Op::ZipfBurst {
+                vol: 3,
+                count: 5,
+                theta_milli: 990,
+                seed: 6,
+            },
+            Op::StreamBurst {
+                vol: 0,
+                block: 7,
+                nblocks: 2,
+                seed: 8,
+            },
+            Op::SetSsdFaults {
+                write_milli: 120,
+                busy_milli: 100,
+                read_milli: 50,
+                seed: u64::MAX,
+            },
+            Op::SetGpuFaults {
+                launch_milli: 500,
+                timeout_milli: 250,
+                seed: 9,
+            },
+            Op::ClearFaults,
+            Op::Flush,
+            Op::SnapshotRestore,
+        ];
+        let artifact = Artifact {
+            seed: 1,
+            mode: IntegrationMode::CpuOnly,
+            scenario: Scenario::FaultFree,
+            ops: ops.clone(),
+            failure: Failure {
+                op_index: 0,
+                invariant: "panic".to_owned(),
+                detail: String::new(),
+            },
+        };
+        let back = Artifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(back.ops, ops);
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_with_reasons() {
+        assert!(Artifact::from_json("{}").is_err());
+        assert!(Artifact::from_json("not json").is_err());
+        let wrong_version = r#"{"version": 99, "seed": 0, "mode": "cpu-only",
+            "scenario": "faulted", "failure": {"op_index": 0, "invariant": "x",
+            "detail": ""}, "ops": []}"#;
+        assert!(Artifact::from_json(wrong_version)
+            .unwrap_err()
+            .contains("version"));
+    }
+}

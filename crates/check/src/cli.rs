@@ -1,0 +1,168 @@
+//! Argument parsing shared by the `dr-check` binary and the `inline-dr
+//! check` subcommand.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dr_reduction::IntegrationMode;
+
+use crate::ops::Scenario;
+use crate::{replay, run_matrix, Artifact, MatrixOptions, ReplayOutcome};
+
+const USAGE: &str = "usage: dr-check <command> [flags]\n\
+     \n\
+     commands:\n\
+       run     sweep seeds x integration modes x scenarios\n\
+               [--seeds N] [--seed-start S] [--ops N] [--mode M|all]\n\
+               [--scenario fault-free|faulted|both] [--artifact-dir DIR]\n\
+       replay  re-execute a recorded failure artifact  <artifact.json>\n\
+     \n\
+     modes: cpu-only | gpu-dedup | gpu-compression | gpu-both | all\n\
+     seeds default: $DR_CHECK_SEEDS, else 25";
+
+/// Runs the dr-check CLI over `args` (without the program name).
+/// Exit codes: 0 = clean (or reproduced, for replay), 1 = failure found
+/// (or replay divergence), 2 = usage / IO error.
+pub fn cli(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(opts) => cmd_run(&opts),
+            Err(e) => usage_error(&e),
+        },
+        Some("replay") => match args.get(1) {
+            Some(path) if args.len() == 2 => cmd_replay(path),
+            _ => usage_error("replay takes exactly one artifact path"),
+        },
+        _ => usage_error("expected a command"),
+    }
+}
+
+fn usage_error(e: &str) -> ExitCode {
+    eprintln!("error: {e}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_run(args: &[String]) -> Result<MatrixOptions, String> {
+    let mut opts = MatrixOptions {
+        seeds: std::env::var("DR_CHECK_SEEDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(25),
+        progress: true,
+        ..MatrixOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument '{arg}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        match key {
+            "seeds" => {
+                opts.seeds = value
+                    .parse()
+                    .map_err(|_| format!("--seeds: '{value}' is not a count"))?;
+            }
+            "seed-start" => {
+                opts.seed_start = value
+                    .parse()
+                    .map_err(|_| format!("--seed-start: '{value}' is not a seed"))?;
+            }
+            "ops" => {
+                opts.ops = value
+                    .parse()
+                    .map_err(|_| format!("--ops: '{value}' is not a count"))?;
+            }
+            "mode" => {
+                opts.modes = match value.as_str() {
+                    "all" => IntegrationMode::ALL.to_vec(),
+                    m => vec![m.parse()?],
+                };
+            }
+            "scenario" => {
+                opts.scenarios = match value.as_str() {
+                    "both" => Scenario::ALL.to_vec(),
+                    s => vec![Scenario::parse(s)?],
+                };
+            }
+            "artifact-dir" => opts.artifact_dir = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_run(opts: &MatrixOptions) -> ExitCode {
+    let outcome = run_matrix(opts);
+    match outcome.failure {
+        None => {
+            println!(
+                "dr-check: {} sequences passed ({} modes x {} scenarios)",
+                outcome.cases_run,
+                opts.modes.len(),
+                opts.scenarios.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(artifact) => {
+            eprintln!(
+                "dr-check: FAILURE at seed {} ({} x {}), shrunk to {} ops",
+                artifact.seed,
+                artifact.mode,
+                artifact.scenario.name(),
+                artifact.ops.len()
+            );
+            eprintln!("dr-check: {}", artifact.failure);
+            match &outcome.artifact_path {
+                Some(path) => eprintln!("dr-check: artifact written to {}", path.display()),
+                None => {
+                    eprintln!("dr-check: artifact (pass --artifact-dir to persist):");
+                    eprintln!("{}", artifact.to_json());
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let artifact = match Artifact::from_json(&text) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid artifact: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "dr-check: replaying seed {} ({} x {}, {} ops)",
+        artifact.seed,
+        artifact.mode,
+        artifact.scenario.name(),
+        artifact.ops.len()
+    );
+    match replay(&artifact) {
+        ReplayOutcome::Reproduced(failure) => {
+            println!("dr-check: reproduced bit-identically: {failure}");
+            ExitCode::SUCCESS
+        }
+        ReplayOutcome::Diverged { observed, recorded } => {
+            eprintln!("dr-check: DIVERGED");
+            eprintln!("  recorded: {recorded}");
+            eprintln!("  observed: {observed}");
+            ExitCode::FAILURE
+        }
+        ReplayOutcome::Passed => {
+            println!("dr-check: sequence passes — the recorded bug no longer reproduces");
+            ExitCode::FAILURE
+        }
+    }
+}

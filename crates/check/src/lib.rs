@@ -1,0 +1,228 @@
+//! `dr-check` — model-based differential checker for the reduction stack.
+//!
+//! The paper's transparency claim (reduction changes ratios and latency,
+//! never logical contents) is exactly the kind of property hand-written
+//! tests under-cover once four integration modes, fault schedules, and
+//! overwrite patterns multiply. `dr-check` drives the real
+//! [`VolumeManager`](dr_reduction::VolumeManager) and a trivially-correct
+//! in-memory [`Oracle`](model::Oracle) through seeded op sequences in
+//! lockstep, checks invariants after every op, shrinks any failing
+//! sequence with delta debugging, and records it as a replayable JSON
+//! artifact.
+//!
+//! ```text
+//! dr-check run [--seeds N] [--seed-start S] [--ops N]
+//!              [--mode M|all] [--scenario fault-free|faulted|both]
+//!              [--artifact-dir DIR]
+//! dr-check replay <artifact.json>
+//! ```
+
+pub mod artifact;
+pub mod json;
+pub mod model;
+pub mod ops;
+pub mod runner;
+pub mod shrink;
+
+mod cli;
+
+pub use artifact::Artifact;
+pub use cli::cli;
+pub use model::{ModelError, Oracle};
+pub use ops::{generate, Op, Scenario};
+pub use runner::{run_ops, Failure};
+pub use shrink::{shrink, Shrunk};
+
+use dr_reduction::IntegrationMode;
+use std::path::PathBuf;
+
+/// What to sweep in [`run_matrix`].
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Number of generator seeds per (mode, scenario) cell.
+    pub seeds: u64,
+    /// First seed (cells use `seed_start..seed_start + seeds`).
+    pub seed_start: u64,
+    /// Ops per generated sequence.
+    pub ops: usize,
+    /// Integration modes to sweep.
+    pub modes: Vec<IntegrationMode>,
+    /// Scenarios to sweep.
+    pub scenarios: Vec<Scenario>,
+    /// Where to write a failing artifact (created if missing).
+    pub artifact_dir: Option<PathBuf>,
+    /// Shrink budget (candidate executions).
+    pub shrink_budget: usize,
+    /// Print per-cell progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            seeds: 25,
+            seed_start: 0,
+            ops: 40,
+            modes: IntegrationMode::ALL.to_vec(),
+            scenarios: Scenario::ALL.to_vec(),
+            artifact_dir: None,
+            shrink_budget: shrink::DEFAULT_BUDGET,
+            progress: false,
+        }
+    }
+}
+
+/// Result of a matrix sweep.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// Sequences executed before stopping.
+    pub cases_run: u64,
+    /// The first failure, shrunk and packaged — `None` when all passed.
+    pub failure: Option<Artifact>,
+    /// Where the artifact was written, when a directory was configured.
+    pub artifact_path: Option<PathBuf>,
+}
+
+/// Sweeps seeds × modes × scenarios, stopping at the first failure, which
+/// is shrunk and (optionally) written to disk as a replay artifact.
+///
+/// Pipeline panics are converted to failures by the runner; the default
+/// panic hook still prints them, so long sweeps install a quiet hook for
+/// the duration (restored on exit).
+pub fn run_matrix(opts: &MatrixOptions) -> MatrixOutcome {
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = run_matrix_inner(opts);
+    std::panic::set_hook(prior_hook);
+    outcome
+}
+
+fn run_matrix_inner(opts: &MatrixOptions) -> MatrixOutcome {
+    let mut cases_run = 0u64;
+    for scenario in &opts.scenarios {
+        for mode in &opts.modes {
+            if opts.progress {
+                eprintln!(
+                    "dr-check: {} x {} ({} seeds, {} ops each)",
+                    mode,
+                    scenario.name(),
+                    opts.seeds,
+                    opts.ops
+                );
+            }
+            for seed in opts.seed_start..opts.seed_start + opts.seeds {
+                cases_run += 1;
+                let ops = generate(seed, opts.ops, *scenario);
+                if run_ops(*mode, &ops).is_err() {
+                    let shrunk = shrink(*mode, &ops, opts.shrink_budget);
+                    let artifact = Artifact {
+                        seed,
+                        mode: *mode,
+                        scenario: *scenario,
+                        ops: shrunk.ops,
+                        failure: shrunk.failure,
+                    };
+                    let artifact_path = opts
+                        .artifact_dir
+                        .as_ref()
+                        .and_then(|dir| write_artifact(dir, &artifact));
+                    return MatrixOutcome {
+                        cases_run,
+                        failure: Some(artifact),
+                        artifact_path,
+                    };
+                }
+            }
+        }
+    }
+    MatrixOutcome {
+        cases_run,
+        failure: None,
+        artifact_path: None,
+    }
+}
+
+fn write_artifact(dir: &std::path::Path, artifact: &Artifact) -> Option<PathBuf> {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("dr-check: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!(
+        "seed-{}-{}-{}.json",
+        artifact.seed,
+        artifact.mode,
+        artifact.scenario.name()
+    ));
+    match std::fs::write(&path, artifact.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("dr-check: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Replays an artifact's op sequence and classifies the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The recorded failure reproduced bit-identically.
+    Reproduced(Failure),
+    /// A failure occurred, but not the recorded one.
+    Diverged {
+        /// What this replay produced.
+        observed: Failure,
+        /// What the artifact recorded.
+        recorded: Failure,
+    },
+    /// The sequence passed — the recorded bug no longer reproduces.
+    Passed,
+}
+
+/// Re-executes `artifact` deterministically.
+pub fn replay(artifact: &Artifact) -> ReplayOutcome {
+    match run_ops(artifact.mode, &artifact.ops) {
+        Ok(()) => ReplayOutcome::Passed,
+        Err(observed) if observed == artifact.failure => ReplayOutcome::Reproduced(observed),
+        Err(observed) => ReplayOutcome::Diverged {
+            observed,
+            recorded: artifact.failure.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_matrix_passes_in_every_cell() {
+        let outcome = run_matrix(&MatrixOptions {
+            seeds: 2,
+            ops: 25,
+            ..MatrixOptions::default()
+        });
+        assert!(
+            outcome.failure.is_none(),
+            "unexpected failure: {:?}",
+            outcome.failure
+        );
+        // 2 seeds x 4 modes x 2 scenarios.
+        assert_eq!(outcome.cases_run, 16);
+    }
+
+    #[test]
+    fn replay_of_a_passing_sequence_reports_passed() {
+        let artifact = Artifact {
+            seed: 3,
+            mode: IntegrationMode::CpuOnly,
+            scenario: Scenario::FaultFree,
+            ops: generate(3, 20, Scenario::FaultFree),
+            failure: Failure {
+                op_index: 0,
+                invariant: "byte-identity".to_owned(),
+                detail: "made up".to_owned(),
+            },
+        };
+        assert_eq!(replay(&artifact), ReplayOutcome::Passed);
+    }
+}

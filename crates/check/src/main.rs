@@ -1,0 +1,9 @@
+//! `dr-check` binary entry point; all logic lives in the library so the
+//! `inline-dr check` subcommand can share it.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    dr_check::cli(&args)
+}

@@ -1,0 +1,165 @@
+//! The oracle: a volume array with no reduction at all.
+//!
+//! A plain `BTreeMap<(volume, block), Vec<u8>>` is obviously correct —
+//! every write stores the bytes, every read returns them. The differential
+//! runner executes the same operation sequence against this model and the
+//! real [`VolumeManager`](dr_reduction::VolumeManager); any divergence in
+//! results *or in error kinds* is a bug in the reduction stack (or, in
+//! principle, in the model — but the model is small enough to audit by
+//! eye, which is the point).
+
+use std::collections::BTreeMap;
+
+/// Error *kinds* the oracle predicts. These mirror
+/// [`VolumeError`](dr_reduction::VolumeError) variants one-to-one minus
+/// `ReadFailed`, which has no model analogue: the device layer must absorb
+/// its own (transient) failures, so a surviving read failure is a checker
+/// finding, not an expected outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelError {
+    /// No volume with that name exists.
+    UnknownVolume,
+    /// A volume with that name already exists.
+    AlreadyExists,
+    /// The block index is outside the volume.
+    OutOfRange,
+    /// The block was never written.
+    Unwritten,
+    /// A write payload was not a whole number of chunks.
+    Misaligned,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ModelError::UnknownVolume => "unknown-volume",
+            ModelError::AlreadyExists => "already-exists",
+            ModelError::OutOfRange => "out-of-range",
+            ModelError::Unwritten => "unwritten",
+            ModelError::Misaligned => "misaligned",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The reference volume array. No dedup, no compression, no devices —
+/// just bytes in a map.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    chunk_bytes: usize,
+    /// Volume name → size in blocks.
+    sizes: BTreeMap<String, u64>,
+    /// (volume, block) → stored chunk. Absent = never written.
+    blocks: BTreeMap<(String, u64), Vec<u8>>,
+}
+
+impl Oracle {
+    /// A fresh, empty oracle for `chunk_bytes`-sized blocks.
+    pub fn new(chunk_bytes: usize) -> Self {
+        Oracle {
+            chunk_bytes,
+            ..Oracle::default()
+        }
+    }
+
+    /// Mirrors [`VolumeManager::create_volume`](dr_reduction::VolumeManager::create_volume).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AlreadyExists`].
+    pub fn create_volume(&mut self, name: &str, blocks: u64) -> Result<(), ModelError> {
+        if self.sizes.contains_key(name) {
+            return Err(ModelError::AlreadyExists);
+        }
+        self.sizes.insert(name.to_owned(), blocks);
+        Ok(())
+    }
+
+    /// Mirrors [`VolumeManager::write`](dr_reduction::VolumeManager::write):
+    /// same validation order (alignment, existence, range), so error kinds
+    /// line up exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Misaligned`] / [`ModelError::UnknownVolume`] /
+    /// [`ModelError::OutOfRange`].
+    pub fn write(&mut self, name: &str, start_block: u64, data: &[u8]) -> Result<(), ModelError> {
+        if data.is_empty() || !data.len().is_multiple_of(self.chunk_bytes) {
+            return Err(ModelError::Misaligned);
+        }
+        let n = (data.len() / self.chunk_bytes) as u64;
+        let size = *self.sizes.get(name).ok_or(ModelError::UnknownVolume)?;
+        if start_block + n > size {
+            return Err(ModelError::OutOfRange);
+        }
+        for (i, chunk) in data.chunks(self.chunk_bytes).enumerate() {
+            self.blocks
+                .insert((name.to_owned(), start_block + i as u64), chunk.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Mirrors [`VolumeManager::read`](dr_reduction::VolumeManager::read).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownVolume`] / [`ModelError::OutOfRange`] /
+    /// [`ModelError::Unwritten`].
+    pub fn read(&self, name: &str, block: u64) -> Result<&[u8], ModelError> {
+        let size = *self.sizes.get(name).ok_or(ModelError::UnknownVolume)?;
+        if block >= size {
+            return Err(ModelError::OutOfRange);
+        }
+        self.blocks
+            .get(&(name.to_owned(), block))
+            .map(Vec::as_slice)
+            .ok_or(ModelError::Unwritten)
+    }
+
+    /// Size of `name` in blocks, if it exists.
+    pub fn volume_size(&self, name: &str) -> Option<u64> {
+        self.sizes.get(name).copied()
+    }
+
+    /// Every written (volume, block) pair, in deterministic order.
+    pub fn written_blocks(&self) -> impl Iterator<Item = (&str, u64, &[u8])> {
+        self.blocks
+            .iter()
+            .map(|((name, block), data)| (name.as_str(), *block, data.as_slice()))
+    }
+
+    /// Total bytes the model holds (the "no reduction" baseline).
+    pub fn raw_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_round_trips_and_mirrors_error_kinds() {
+        let mut m = Oracle::new(4);
+        assert_eq!(m.create_volume("v", 2), Ok(()));
+        assert_eq!(m.create_volume("v", 2), Err(ModelError::AlreadyExists));
+        assert_eq!(m.write("v", 0, &[1, 2, 3]), Err(ModelError::Misaligned));
+        assert_eq!(m.write("x", 0, &[0; 4]), Err(ModelError::UnknownVolume));
+        assert_eq!(m.write("v", 1, &[0; 8]), Err(ModelError::OutOfRange));
+        assert_eq!(m.write("v", 0, &[7; 8]), Ok(()));
+        assert_eq!(m.read("v", 1), Ok(&[7u8; 4][..]));
+        assert_eq!(m.read("v", 2), Err(ModelError::OutOfRange));
+        assert_eq!(m.write("v", 1, &[9; 4]), Ok(()));
+        assert_eq!(m.read("v", 1), Ok(&[9u8; 4][..]));
+        assert_eq!(m.raw_bytes(), 8);
+    }
+
+    #[test]
+    fn unwritten_blocks_are_distinguished() {
+        let mut m = Oracle::new(4);
+        m.create_volume("v", 4).unwrap();
+        m.write("v", 2, &[1; 4]).unwrap();
+        assert_eq!(m.read("v", 0), Err(ModelError::Unwritten));
+        assert_eq!(m.written_blocks().count(), 1);
+    }
+}

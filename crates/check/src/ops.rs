@@ -1,0 +1,282 @@
+//! The operation alphabet and the seeded sequence generator.
+//!
+//! Every op is **self-contained**: payloads derive from an embedded seed,
+//! volumes are named by a small fixed index, and an op against a volume
+//! that does not (yet, or anymore) exist simply produces an error — which
+//! the runner cross-checks against the oracle's error. That property makes
+//! *any subset* of a generated sequence a valid sequence, which is exactly
+//! what delta-debugging needs.
+//!
+//! Floats never appear: fault rates, skew, and compression targets are
+//! stored in integer milli-units so JSON artifacts round-trip bit-exactly.
+
+use dr_des::SplitMix64;
+
+/// How many distinct volumes a generated sequence may address ("v0".."v3").
+pub const MAX_VOLUMES: u8 = 4;
+
+/// Largest generated volume, in blocks.
+pub const MAX_VOLUME_BLOCKS: u64 = 48;
+
+/// Canonical name of volume index `vol`.
+pub fn vol_name(vol: u8) -> String {
+    format!("v{vol}")
+}
+
+/// One step of a checker sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Create volume `vol` with `blocks` blocks.
+    CreateVolume {
+        /// Volume index (`v0`..).
+        vol: u8,
+        /// Volume size in blocks.
+        blocks: u64,
+    },
+    /// Write `nblocks` synthesized chunks at `block`; payload bytes derive
+    /// from `seed` and the target compression ratio (milli-units).
+    Write {
+        /// Volume index.
+        vol: u8,
+        /// First block to write.
+        block: u64,
+        /// Number of consecutive blocks.
+        nblocks: u64,
+        /// Payload seed (block `i` uses `seed + i`).
+        seed: u64,
+        /// Target compression ratio × 1000.
+        ratio_milli: u64,
+    },
+    /// Read one block and compare against the oracle.
+    Read {
+        /// Volume index.
+        vol: u8,
+        /// Block to read.
+        block: u64,
+    },
+    /// `count` single-block writes at Zipf-skewed offsets — the hot/cold
+    /// overwrite pattern that stresses recipe remapping.
+    ZipfBurst {
+        /// Volume index.
+        vol: u8,
+        /// Number of writes.
+        count: u64,
+        /// Zipf skew θ × 1000.
+        theta_milli: u64,
+        /// Seed for both the sampler and the payloads.
+        seed: u64,
+    },
+    /// A sequential burst from `dr-workload`'s stream generator starting
+    /// at `block` — dedup-able, compressible, locality-shaped data.
+    StreamBurst {
+        /// Volume index.
+        vol: u8,
+        /// First block.
+        block: u64,
+        /// Number of consecutive blocks.
+        nblocks: u64,
+        /// Stream generator seed.
+        seed: u64,
+    },
+    /// Swap in an SSD transient-fault schedule (rates in milli-units).
+    SetSsdFaults {
+        /// Write-error rate × 1000.
+        write_milli: u64,
+        /// Busy rate × 1000.
+        busy_milli: u64,
+        /// Read-error rate × 1000.
+        read_milli: u64,
+        /// Fault-stream seed.
+        seed: u64,
+    },
+    /// Swap in a GPU fault schedule (rates in milli-units).
+    SetGpuFaults {
+        /// Kernel-launch failure rate × 1000.
+        launch_milli: u64,
+        /// Probe-timeout rate × 1000.
+        timeout_milli: u64,
+        /// Fault-stream seed.
+        seed: u64,
+    },
+    /// Zero every fault schedule.
+    ClearFaults,
+    /// Force the destage partial page out to the SSD.
+    Flush,
+    /// Snapshot the bin index, restore it, and verify the round trip is a
+    /// fixed point; the restored index replaces the live one.
+    SnapshotRestore,
+}
+
+impl Op {
+    /// Short tag for labels and artifacts.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::CreateVolume { .. } => "create-volume",
+            Op::Write { .. } => "write",
+            Op::Read { .. } => "read",
+            Op::ZipfBurst { .. } => "zipf-burst",
+            Op::StreamBurst { .. } => "stream-burst",
+            Op::SetSsdFaults { .. } => "set-ssd-faults",
+            Op::SetGpuFaults { .. } => "set-gpu-faults",
+            Op::ClearFaults => "clear-faults",
+            Op::Flush => "flush",
+            Op::SnapshotRestore => "snapshot-restore",
+        }
+    }
+}
+
+/// Whether a generated sequence may toggle fault schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// No fault ops; devices stay clean.
+    FaultFree,
+    /// Fault-schedule toggles are in the alphabet. Rates are capped well
+    /// below the level where the pipeline's *designed* abort (destage
+    /// failure after a degraded rest) becomes reachable.
+    Faulted,
+}
+
+impl Scenario {
+    /// All scenarios, for matrix runs.
+    pub const ALL: [Scenario; 2] = [Scenario::FaultFree, Scenario::Faulted];
+
+    /// Canonical CLI / artifact name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::FaultFree => "fault-free",
+            Scenario::Faulted => "faulted",
+        }
+    }
+
+    /// Parses a canonical name.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted names.
+    pub fn parse(s: &str) -> Result<Scenario, String> {
+        match s {
+            "fault-free" => Ok(Scenario::FaultFree),
+            "faulted" => Ok(Scenario::Faulted),
+            other => Err(format!("unknown scenario '{other}' (fault-free | faulted)")),
+        }
+    }
+}
+
+/// Generates a `count`-op sequence from `seed`. Identical arguments yield
+/// identical sequences on every platform (SplitMix64, no ambient state).
+pub fn generate(seed: u64, count: usize, scenario: Scenario) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut ops = Vec::with_capacity(count);
+    // Seed the sequence with one guaranteed volume so short sequences do
+    // real work; shrinking may still remove it (subsets stay valid).
+    ops.push(Op::CreateVolume {
+        vol: 0,
+        blocks: 8 + rng.next_below(MAX_VOLUME_BLOCKS - 8),
+    });
+    while ops.len() < count {
+        let vol = rng.next_below(MAX_VOLUMES as u64) as u8;
+        let roll = rng.next_below(100);
+        let op = match roll {
+            0..=7 => Op::CreateVolume {
+                vol,
+                blocks: 1 + rng.next_below(MAX_VOLUME_BLOCKS),
+            },
+            8..=37 => Op::Write {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+                nblocks: 1 + rng.next_below(4),
+                seed: rng.next_u64() % 1024,
+                ratio_milli: 1000 + 500 * rng.next_below(5),
+            },
+            38..=62 => Op::Read {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+            },
+            63..=70 => Op::ZipfBurst {
+                vol,
+                count: 1 + rng.next_below(8),
+                theta_milli: 400 + rng.next_below(800),
+                seed: rng.next_u64() % 1024,
+            },
+            71..=78 => Op::StreamBurst {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+                nblocks: 1 + rng.next_below(8),
+                seed: rng.next_u64() % 1024,
+            },
+            79..=84 => Op::Flush,
+            85..=89 => Op::SnapshotRestore,
+            // The fault band: in fault-free scenarios fold it back into
+            // reads so both scenarios see comparable op mixes.
+            _ if scenario == Scenario::FaultFree => Op::Read {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+            },
+            90..=93 => Op::SetSsdFaults {
+                write_milli: 30 * rng.next_below(5), // ≤ 0.12
+                busy_milli: 25 * rng.next_below(5),  // ≤ 0.10
+                read_milli: 25 * rng.next_below(5),  // ≤ 0.10
+                seed: rng.next_u64(),
+            },
+            94..=96 => Op::SetGpuFaults {
+                launch_milli: 100 * rng.next_below(6), // ≤ 0.50
+                timeout_milli: 50 * rng.next_below(6), // ≤ 0.25
+                seed: rng.next_u64(),
+            },
+            _ => Op::ClearFaults,
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            generate(42, 50, Scenario::Faulted),
+            generate(42, 50, Scenario::Faulted)
+        );
+        assert_ne!(
+            generate(42, 50, Scenario::Faulted),
+            generate(43, 50, Scenario::Faulted)
+        );
+    }
+
+    #[test]
+    fn fault_free_sequences_contain_no_fault_ops() {
+        for seed in 0..20 {
+            for op in generate(seed, 80, Scenario::FaultFree) {
+                assert!(
+                    !matches!(
+                        op,
+                        Op::SetSsdFaults { .. } | Op::SetGpuFaults { .. } | Op::ClearFaults
+                    ),
+                    "fault op in fault-free sequence (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_fault_rates_stay_below_the_designed_abort_threshold() {
+        for seed in 0..50 {
+            for op in generate(seed, 80, Scenario::Faulted) {
+                if let Op::SetSsdFaults {
+                    write_milli,
+                    busy_milli,
+                    read_milli,
+                    ..
+                } = op
+                {
+                    assert!(write_milli <= 150, "write rate too hot");
+                    assert!(busy_milli <= 150, "busy rate too hot");
+                    assert!(read_milli <= 150, "read rate too hot");
+                }
+            }
+        }
+    }
+}

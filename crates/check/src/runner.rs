@@ -1,0 +1,517 @@
+//! Lockstep differential execution with invariant checks after every op.
+//!
+//! The runner drives a real [`VolumeManager`] and the [`Oracle`] through
+//! the same op sequence and fails on the *first* divergence:
+//!
+//! 1. **Byte identity** — every read returns exactly the oracle's bytes.
+//! 2. **Error mirroring** — ops that fail must fail with the same *kind*
+//!    on both sides (so shrunken subsets remain comparable sequences).
+//! 3. **Counter conservation** — `chunks = unique_chunks + dedup_hits`,
+//!    and the obs `destage.appends` counter agrees with `unique_chunks`.
+//! 4. **Reduction-ratio sanity** — stored bytes never exceed the unique
+//!    byte volume plus a bounded per-chunk envelope overhead, and dedup
+//!    never "removes" more bytes than came in.
+//! 5. **Sim-time monotonicity** — `reduction_end` / `ssd_end` never move
+//!    backwards.
+//! 6. **Snapshot fixed point** — index snapshot → restore → snapshot
+//!    stabilizes, and the restored index keeps resolving every chunk.
+//!
+//! Panics inside the pipeline are caught and reported as failures with
+//! the panic message, so the shrinker can minimize aborts too.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dr_gpu_sim::GpuFaultSpec;
+use dr_obs::ObsHandle;
+use dr_reduction::{
+    IntegrationMode, PipelineConfig, ReadError, Report, VolumeError, VolumeManager,
+};
+use dr_ssd_sim::SsdFaultSpec;
+use dr_workload::{synthesize_block, StreamConfig, StreamGenerator, ZipfSampler};
+
+use crate::model::{ModelError, Oracle};
+use crate::ops::{vol_name, Op, MAX_VOLUME_BLOCKS};
+
+/// Chunk size the checker runs with (the paper's 4 KB).
+pub const CHUNK_BYTES: usize = 4096;
+
+/// Per-chunk allowance for frame header + integrity trailer + worst-case
+/// incompressible expansion of the sealed envelope.
+const FRAME_OVERHEAD_BYTES: u64 = 64;
+
+/// Transient device errors surviving the pipeline's internal retries are
+/// re-issued this many times at the op level before counting as real.
+const TRANSIENT_RETRIES: usize = 10;
+
+/// One invariant violation, pinned to the op that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Index into the op sequence (== `ops.len()` for the final sweep).
+    pub op_index: usize,
+    /// Which invariant broke (short kebab-case kind).
+    pub invariant: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "op {}: [{}] {}",
+            self.op_index, self.invariant, self.detail
+        )
+    }
+}
+
+fn fail(op_index: usize, invariant: &str, detail: String) -> Failure {
+    Failure {
+        op_index,
+        invariant: invariant.to_owned(),
+        detail,
+    }
+}
+
+/// Maps a system error to the oracle's kind space; `None` for
+/// `ReadFailed`, which the model never predicts.
+fn kind_of(e: &VolumeError) -> Option<ModelError> {
+    match e {
+        VolumeError::UnknownVolume(_) => Some(ModelError::UnknownVolume),
+        VolumeError::AlreadyExists(_) => Some(ModelError::AlreadyExists),
+        VolumeError::OutOfRange { .. } => Some(ModelError::OutOfRange),
+        VolumeError::Unwritten { .. } => Some(ModelError::Unwritten),
+        VolumeError::Misaligned { .. } => Some(ModelError::Misaligned),
+        VolumeError::ReadFailed(_) => None,
+    }
+}
+
+/// True when the error is a transient device fault worth re-issuing.
+fn is_transient(e: &VolumeError) -> bool {
+    matches!(e, VolumeError::ReadFailed(ReadError::Device(d)) if d.is_transient())
+}
+
+struct Exec {
+    system: VolumeManager,
+    oracle: Oracle,
+    obs: ObsHandle,
+    last_reduction_end: dr_des::SimTime,
+    last_ssd_end: dr_des::SimTime,
+}
+
+impl Exec {
+    fn new(mode: IntegrationMode) -> Self {
+        let obs = ObsHandle::enabled("dr-check");
+        let config = PipelineConfig {
+            mode,
+            batch_chunks: 8,
+            integrity: true,
+            obs: obs.clone(),
+            ..PipelineConfig::default()
+        };
+        Exec {
+            system: VolumeManager::new(config),
+            oracle: Oracle::new(CHUNK_BYTES),
+            obs,
+            last_reduction_end: dr_des::SimTime::ZERO,
+            last_ssd_end: dr_des::SimTime::ZERO,
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.obs
+            .snapshot()
+            .map(|s| {
+                s.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |(_, v)| *v)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Compares one write outcome against the oracle's.
+    fn check_write(
+        &mut self,
+        idx: usize,
+        name: &str,
+        block: u64,
+        data: &[u8],
+    ) -> Result<(), Failure> {
+        let got = self.system.write(name, block, data);
+        let want = self.oracle.write(name, block, data);
+        match (got, want) {
+            (Ok(()), Ok(())) => Ok(()),
+            (Err(e), Err(k)) if kind_of(&e) == Some(k) => Ok(()),
+            (got, want) => Err(fail(
+                idx,
+                "error-mirror",
+                format!("write {name}/{block}: system {got:?}, oracle {want:?}"),
+            )),
+        }
+    }
+
+    /// Reads one block on both sides, re-issuing transient device faults.
+    ///
+    /// Failure details summarize payloads by length — dumping 4 KiB of
+    /// block bytes into an artifact helps nobody.
+    fn check_read(&mut self, idx: usize, name: &str, block: u64) -> Result<(), Failure> {
+        fn describe(r: &Result<Vec<u8>, VolumeError>) -> String {
+            match r {
+                Ok(bytes) => format!("Ok({} bytes)", bytes.len()),
+                Err(e) => format!("Err({e})"),
+            }
+        }
+        let want = self.oracle.read(name, block).map(<[u8]>::to_vec);
+        let mut got = self.system.read(name, block);
+        let mut retries = 0;
+        while let Err(e) = &got {
+            if !is_transient(e) || retries >= TRANSIENT_RETRIES {
+                break;
+            }
+            retries += 1;
+            got = self.system.read(name, block);
+        }
+        match (got, want) {
+            (Ok(bytes), Ok(expect)) => {
+                if bytes == expect {
+                    Ok(())
+                } else {
+                    Err(fail(
+                        idx,
+                        "byte-identity",
+                        format!(
+                            "read {name}/{block}: {} bytes diverged from oracle \
+                             (first difference at offset {})",
+                            bytes.len(),
+                            bytes
+                                .iter()
+                                .zip(&expect)
+                                .position(|(a, b)| a != b)
+                                .map_or_else(|| "length".to_owned(), |p| p.to_string()),
+                        ),
+                    ))
+                }
+            }
+            (Err(e), Err(k)) if kind_of(&e) == Some(k) => Ok(()),
+            (got, want) => Err(fail(
+                idx,
+                "error-mirror",
+                format!(
+                    "read {name}/{block}: system {}, oracle {}",
+                    describe(&got),
+                    match &want {
+                        Ok(bytes) => format!("Ok({} bytes)", bytes.len()),
+                        Err(k) => format!("Err({k})"),
+                    }
+                ),
+            )),
+        }
+    }
+
+    /// Invariants 3–5, evaluated after every op.
+    fn check_report(&mut self, idx: usize) -> Result<(), Failure> {
+        let r: Report = self.system.report().clone();
+        if r.chunks != r.unique_chunks + r.dedup_hits {
+            return Err(fail(
+                idx,
+                "conservation",
+                format!(
+                    "chunks {} != unique {} + deduped {}",
+                    r.chunks, r.unique_chunks, r.dedup_hits
+                ),
+            ));
+        }
+        let appends = self.counter("destage.appends");
+        if appends != r.unique_chunks {
+            return Err(fail(
+                idx,
+                "conservation",
+                format!(
+                    "obs destage.appends {appends} != report unique_chunks {}",
+                    r.unique_chunks
+                ),
+            ));
+        }
+        if r.bytes_deduped > r.bytes_in {
+            return Err(fail(
+                idx,
+                "ratio-sanity",
+                format!(
+                    "deduped bytes {} exceed input bytes {}",
+                    r.bytes_deduped, r.bytes_in
+                ),
+            ));
+        }
+        let unique_bytes = r.bytes_in - r.bytes_deduped;
+        let bound = unique_bytes + FRAME_OVERHEAD_BYTES * r.unique_chunks;
+        if r.stored_bytes > bound {
+            return Err(fail(
+                idx,
+                "ratio-sanity",
+                format!(
+                    "stored {} bytes > {} unique bytes + envelope allowance {}",
+                    r.stored_bytes,
+                    unique_bytes,
+                    FRAME_OVERHEAD_BYTES * r.unique_chunks
+                ),
+            ));
+        }
+        if r.reduction_end < self.last_reduction_end || r.ssd_end < self.last_ssd_end {
+            return Err(fail(
+                idx,
+                "time-monotonic",
+                format!(
+                    "clock moved backwards: reduction {:?} -> {:?}, ssd {:?} -> {:?}",
+                    self.last_reduction_end, r.reduction_end, self.last_ssd_end, r.ssd_end
+                ),
+            ));
+        }
+        self.last_reduction_end = r.reduction_end;
+        self.last_ssd_end = r.ssd_end;
+        Ok(())
+    }
+
+    fn apply(&mut self, idx: usize, op: &Op) -> Result<(), Failure> {
+        match op {
+            Op::CreateVolume { vol, blocks } => {
+                let name = vol_name(*vol);
+                let got = self.system.create_volume(&name, *blocks);
+                let want = self.oracle.create_volume(&name, *blocks);
+                match (got, want) {
+                    (Ok(()), Ok(())) => Ok(()),
+                    (Err(e), Err(k)) if kind_of(&e) == Some(k) => Ok(()),
+                    (got, want) => Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!("create {name}: system {got:?}, oracle {want:?}"),
+                    )),
+                }
+            }
+            Op::Write {
+                vol,
+                block,
+                nblocks,
+                seed,
+                ratio_milli,
+            } => {
+                let name = vol_name(*vol);
+                let ratio = *ratio_milli as f64 / 1000.0;
+                let data: Vec<u8> = (0..*nblocks)
+                    .flat_map(|i| synthesize_block(seed + i, CHUNK_BYTES, ratio))
+                    .collect();
+                self.check_write(idx, &name, *block, &data)
+            }
+            Op::Read { vol, block } => {
+                let name = vol_name(*vol);
+                self.check_read(idx, &name, *block)
+            }
+            Op::ZipfBurst {
+                vol,
+                count,
+                theta_milli,
+                seed,
+            } => {
+                let name = vol_name(*vol);
+                let range = self
+                    .oracle
+                    .volume_size(&name)
+                    .unwrap_or(MAX_VOLUME_BLOCKS)
+                    .max(1);
+                let theta = *theta_milli as f64 / 1000.0;
+                let mut sampler = ZipfSampler::new(range as usize, theta, *seed);
+                for k in 0..*count {
+                    let block = sampler.sample() as u64;
+                    let data = synthesize_block(seed + k, CHUNK_BYTES, 2.0);
+                    self.check_write(idx, &name, block, &data)?;
+                }
+                Ok(())
+            }
+            Op::StreamBurst {
+                vol,
+                block,
+                nblocks,
+                seed,
+            } => {
+                let name = vol_name(*vol);
+                let generator = StreamGenerator::new(StreamConfig {
+                    total_bytes: nblocks * CHUNK_BYTES as u64,
+                    block_bytes: CHUNK_BYTES,
+                    seed: *seed,
+                    ..StreamConfig::default()
+                });
+                let data: Vec<u8> = generator.blocks().flatten().collect();
+                self.check_write(idx, &name, *block, &data)
+            }
+            Op::SetSsdFaults {
+                write_milli,
+                busy_milli,
+                read_milli,
+                seed,
+            } => {
+                self.system.pipeline_mut().set_ssd_faults(SsdFaultSpec {
+                    write_error_rate: *write_milli as f64 / 1000.0,
+                    busy_rate: *busy_milli as f64 / 1000.0,
+                    read_error_rate: *read_milli as f64 / 1000.0,
+                    seed: *seed,
+                });
+                Ok(())
+            }
+            Op::SetGpuFaults {
+                launch_milli,
+                timeout_milli,
+                seed,
+            } => {
+                self.system.pipeline_mut().set_gpu_faults(GpuFaultSpec {
+                    launch_failure_rate: *launch_milli as f64 / 1000.0,
+                    probe_timeout_rate: *timeout_milli as f64 / 1000.0,
+                    seed: *seed,
+                    ..GpuFaultSpec::default()
+                });
+                Ok(())
+            }
+            Op::ClearFaults => {
+                let p = self.system.pipeline_mut();
+                p.set_ssd_faults(SsdFaultSpec::default());
+                p.set_gpu_faults(GpuFaultSpec::default());
+                Ok(())
+            }
+            Op::Flush => {
+                let mut retries = 0;
+                loop {
+                    match self.system.pipeline_mut().flush() {
+                        Ok(()) => return Ok(()),
+                        Err(ReadError::Device(d))
+                            if d.is_transient() && retries < TRANSIENT_RETRIES =>
+                        {
+                            retries += 1;
+                        }
+                        Err(e) => {
+                            return Err(fail(idx, "flush", format!("destage flush failed: {e}")))
+                        }
+                    }
+                }
+            }
+            Op::SnapshotRestore => {
+                let p = self.system.pipeline_mut();
+                let s1 = p
+                    .snapshot_index()
+                    .map_err(|e| fail(idx, "snapshot", format!("first snapshot failed: {e:?}")))?;
+                p.restore_index(&s1)
+                    .map_err(|e| fail(idx, "snapshot", format!("restore failed: {e:?}")))?;
+                let s2 = p
+                    .snapshot_index()
+                    .map_err(|e| fail(idx, "snapshot", format!("re-snapshot failed: {e:?}")))?;
+                p.restore_index(&s2)
+                    .map_err(|e| fail(idx, "snapshot", format!("re-restore failed: {e:?}")))?;
+                let s3 = p.snapshot_index().map_err(|e| {
+                    fail(idx, "snapshot", format!("fixpoint snapshot failed: {e:?}"))
+                })?;
+                if s2 != s3 {
+                    return Err(fail(
+                        idx,
+                        "snapshot",
+                        format!(
+                            "snapshot/restore is not a fixed point: \
+                             {} bytes then {} bytes",
+                            s2.len(),
+                            s3.len()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads back every oracle-written block — the end-of-sequence sweep
+    /// that catches stale-reference bugs no single read tripped over.
+    fn final_sweep(&mut self, idx: usize) -> Result<(), Failure> {
+        let targets: Vec<(String, u64)> = self
+            .oracle
+            .written_blocks()
+            .map(|(name, block, _)| (name.to_owned(), block))
+            .collect();
+        for (name, block) in targets {
+            self.check_read(idx, &name, block)?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes `ops` differentially in `mode`; `Err` carries the first
+/// invariant violation (pipeline panics included).
+///
+/// # Errors
+///
+/// The [`Failure`] that stopped the run.
+pub fn run_ops(mode: IntegrationMode, ops: &[Op]) -> Result<(), Failure> {
+    let mut exec = Exec::new(mode);
+    for (idx, op) in ops.iter().enumerate() {
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            exec.apply(idx, op)?;
+            exec.check_report(idx)
+        }));
+        match step {
+            Ok(Ok(())) => {}
+            Ok(Err(failure)) => return Err(failure),
+            Err(payload) => return Err(fail(idx, "panic", panic_message(&payload))),
+        }
+    }
+    let idx = ops.len();
+    match catch_unwind(AssertUnwindSafe(|| exec.final_sweep(idx))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(failure)) => Err(failure),
+        Err(payload) => Err(fail(idx, "panic", panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{generate, Scenario};
+
+    #[test]
+    fn a_handful_of_seeds_pass_in_cpu_mode() {
+        for seed in 0..4 {
+            let ops = generate(seed, 30, Scenario::FaultFree);
+            run_ops(IntegrationMode::CpuOnly, &ops).expect("seed must pass");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ops = generate(7, 40, Scenario::Faulted);
+        let a = run_ops(IntegrationMode::GpuForCompression, &ops);
+        let b = run_ops(IntegrationMode::GpuForCompression, &ops);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ops_on_missing_volumes_mirror_cleanly() {
+        // No create-volume at all: every data op must error identically on
+        // both sides, and the run must pass.
+        let ops = vec![
+            Op::Write {
+                vol: 3,
+                block: 0,
+                nblocks: 1,
+                seed: 1,
+                ratio_milli: 2000,
+            },
+            Op::Read { vol: 3, block: 0 },
+            Op::Flush,
+            Op::SnapshotRestore,
+        ];
+        run_ops(IntegrationMode::CpuOnly, &ops).expect("mirrored errors are not failures");
+    }
+}

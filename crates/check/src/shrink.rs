@@ -1,0 +1,320 @@
+//! Delta-debugging over failing op sequences.
+//!
+//! Two passes, both accepting *any* failure (not necessarily the original
+//! one — a shorter sequence exposing a different invariant violation is
+//! still a better bug report):
+//!
+//! 1. **ddmin over ops** — remove chunks of the sequence at doubling
+//!    granularity until no chunk can be removed (classic Zeller/Hildebrandt
+//!    minimization; valid because every op subset is a valid sequence).
+//! 2. **Payload simplification** — per surviving op, try strictly simpler
+//!    replacements (one block instead of four, seed 0, burst → single
+//!    write) until none applies.
+//!
+//! Every candidate execution counts against a budget so shrinking a
+//! pathological case stays bounded.
+
+use dr_reduction::IntegrationMode;
+
+use crate::ops::Op;
+use crate::runner::{run_ops, Failure};
+
+/// Upper bound on candidate executions across both passes.
+pub const DEFAULT_BUDGET: usize = 400;
+
+/// A minimized failing sequence and the failure it still produces.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized op sequence.
+    pub ops: Vec<Op>,
+    /// The failure the minimized sequence reproduces.
+    pub failure: Failure,
+    /// Candidate executions spent.
+    pub executions: usize,
+}
+
+struct Budget {
+    left: usize,
+}
+
+impl Budget {
+    fn try_run(&mut self, mode: IntegrationMode, ops: &[Op]) -> Option<Failure> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        run_ops(mode, ops).err()
+    }
+}
+
+/// Minimizes `ops` (which must fail under `mode`) and returns the reduced
+/// sequence together with its failure.
+///
+/// # Panics
+///
+/// Panics if `ops` does not fail — shrinking a passing sequence is a
+/// harness bug, not a checkable state.
+pub fn shrink(mode: IntegrationMode, ops: &[Op], budget: usize) -> Shrunk {
+    let initial = run_ops(mode, ops).expect_err("shrink requires a failing sequence");
+    let total = budget;
+    let mut budget = Budget { left: budget };
+    let mut current = ops.to_vec();
+    let mut failure = initial;
+
+    ddmin(mode, &mut current, &mut failure, &mut budget);
+    simplify_payloads(mode, &mut current, &mut failure, &mut budget);
+    // Payload simplification can unlock further op removal (a simplified
+    // op may now be redundant); one more cheap pass.
+    ddmin(mode, &mut current, &mut failure, &mut budget);
+
+    Shrunk {
+        ops: current,
+        failure,
+        executions: total - budget.left,
+    }
+}
+
+/// Classic ddmin: try removing each of `n` chunks, refine granularity.
+fn ddmin(mode: IntegrationMode, current: &mut Vec<Op>, failure: &mut Failure, budget: &mut Budget) {
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let len = current.len();
+        let chunk = len.div_ceil(n);
+        let mut removed = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<Op> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(f) = budget.try_run(mode, &candidate) {
+                *current = candidate;
+                *failure = f;
+                removed = true;
+                // Keep position: the next chunk now sits at `start`.
+            } else {
+                start = end;
+            }
+            if budget.left == 0 {
+                return;
+            }
+        }
+        if removed {
+            n = n.saturating_sub(1).max(2);
+        } else if n >= len {
+            break;
+        } else {
+            n = (n * 2).min(current.len().max(2));
+        }
+    }
+}
+
+/// Strictly-simpler replacement candidates for one op, most aggressive
+/// first.
+fn simpler(op: &Op) -> Vec<Op> {
+    let mut out = Vec::new();
+    match op {
+        Op::CreateVolume { vol, blocks } => {
+            if *blocks > 1 {
+                out.push(Op::CreateVolume {
+                    vol: *vol,
+                    blocks: 1,
+                });
+            }
+        }
+        Op::Write {
+            vol,
+            block,
+            nblocks,
+            seed,
+            ratio_milli,
+        } => {
+            if *nblocks > 1 {
+                out.push(Op::Write {
+                    vol: *vol,
+                    block: *block,
+                    nblocks: 1,
+                    seed: *seed,
+                    ratio_milli: *ratio_milli,
+                });
+            }
+            if *block > 0 {
+                out.push(Op::Write {
+                    vol: *vol,
+                    block: 0,
+                    nblocks: *nblocks,
+                    seed: *seed,
+                    ratio_milli: *ratio_milli,
+                });
+            }
+            if *seed != 0 {
+                out.push(Op::Write {
+                    vol: *vol,
+                    block: *block,
+                    nblocks: *nblocks,
+                    seed: 0,
+                    ratio_milli: *ratio_milli,
+                });
+            }
+        }
+        Op::Read { vol, block } => {
+            if *block > 0 {
+                out.push(Op::Read {
+                    vol: *vol,
+                    block: 0,
+                });
+            }
+        }
+        Op::ZipfBurst { vol, seed, .. } => {
+            out.push(Op::Write {
+                vol: *vol,
+                block: 0,
+                nblocks: 1,
+                seed: *seed,
+                ratio_milli: 2000,
+            });
+        }
+        Op::StreamBurst {
+            vol, block, seed, ..
+        } => {
+            out.push(Op::Write {
+                vol: *vol,
+                block: *block,
+                nblocks: 1,
+                seed: *seed,
+                ratio_milli: 2000,
+            });
+        }
+        Op::SetSsdFaults {
+            write_milli,
+            busy_milli,
+            read_milli,
+            seed,
+        } => {
+            // Try dropping each non-zero rate separately.
+            for (w, b, r) in [
+                (*write_milli, 0, 0),
+                (0, *busy_milli, 0),
+                (0, 0, *read_milli),
+            ] {
+                let candidate = Op::SetSsdFaults {
+                    write_milli: w,
+                    busy_milli: b,
+                    read_milli: r,
+                    seed: *seed,
+                };
+                if candidate != *op && (w | b | r) != 0 {
+                    out.push(candidate);
+                }
+            }
+        }
+        Op::SetGpuFaults {
+            launch_milli,
+            timeout_milli,
+            seed,
+        } => {
+            for (l, t) in [(*launch_milli, 0), (0, *timeout_milli)] {
+                let candidate = Op::SetGpuFaults {
+                    launch_milli: l,
+                    timeout_milli: t,
+                    seed: *seed,
+                };
+                if candidate != *op && (l | t) != 0 {
+                    out.push(candidate);
+                }
+            }
+        }
+        Op::ClearFaults | Op::Flush | Op::SnapshotRestore => {}
+    }
+    out
+}
+
+fn simplify_payloads(
+    mode: IntegrationMode,
+    current: &mut Vec<Op>,
+    failure: &mut Failure,
+    budget: &mut Budget,
+) {
+    let mut changed = true;
+    while changed && budget.left > 0 {
+        changed = false;
+        for i in 0..current.len() {
+            for candidate_op in simpler(&current[i]) {
+                let mut candidate = current.clone();
+                candidate[i] = candidate_op;
+                if let Some(f) = budget.try_run(mode, &candidate) {
+                    *current = candidate;
+                    *failure = f;
+                    changed = true;
+                    break;
+                }
+                if budget.left == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // A self-contained "bug": reading v0/0 after any write to it. We fake
+    // it by shrinking against an invariant the real pipeline does violate:
+    // none — so instead exercise ddmin mechanics through a sequence whose
+    // failure we synthesize via an out-of-model op mix. The real
+    // end-to-end shrink demo lives in tests/mutation_demo.rs; here we only
+    // pin the ddmin plumbing with a cheap artificial predicate.
+    fn ddmin_with_predicate(ops: Vec<u32>, keep: impl Fn(&[u32]) -> bool) -> Vec<u32> {
+        // Mirror of the ddmin loop over plain integers.
+        let mut current = ops;
+        let mut n = 2usize;
+        while current.len() >= 2 {
+            let len = current.len();
+            let chunk = len.div_ceil(n);
+            let mut removed = false;
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                let candidate: Vec<u32> = current[..start]
+                    .iter()
+                    .chain(&current[end..])
+                    .copied()
+                    .collect();
+                if !candidate.is_empty() && keep(&candidate) {
+                    current = candidate;
+                    removed = true;
+                } else {
+                    start = end;
+                }
+            }
+            if removed {
+                n = n.saturating_sub(1).max(2);
+            } else if n >= len {
+                break;
+            } else {
+                n = (n * 2).min(current.len().max(2));
+            }
+        }
+        current
+    }
+
+    #[test]
+    fn ddmin_isolates_a_single_culprit() {
+        let ops: Vec<u32> = (0..64).collect();
+        let out = ddmin_with_predicate(ops, |s| s.contains(&37));
+        assert_eq!(out, vec![37]);
+    }
+
+    #[test]
+    fn ddmin_isolates_an_interacting_pair() {
+        let ops: Vec<u32> = (0..64).collect();
+        let out = ddmin_with_predicate(ops, |s| s.contains(&3) && s.contains(&59));
+        assert_eq!(out, vec![3, 59]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Mutation-detection demo for dr-check (kept `#[ignore]`d).
+//!
+//! This test documents — and lets anyone re-verify — that the checker
+//! detects a realistic seeded fault in the destage read path and shrinks
+//! it to a tiny reproducer. It is ignored by default because the tree is
+//! only *expected* to fail the checker with the mutation applied.
+//!
+//! To run the demo, apply this one-line patch to
+//! `crates/reduction/src/destage.rs` (`read_chunk`):
+//!
+//! ```diff
+//! -        let offset = (start - first_page * self.page_bytes as u64) as usize;
+//! +        let offset = (start - first_page * self.page_bytes as u64) as usize + 1;
+//! ```
+//!
+//! then:
+//!
+//! ```text
+//! cargo test -p dr-check --test mutation_demo -- --ignored
+//! ```
+//!
+//! Observed behavior with the patch applied (2026-08): the very first
+//! matrix cell (seed 0, cpu-only, fault-free) fails the error-mirror
+//! invariant — the shifted offset corrupts the frame so the integrity
+//! trailer rejects it with `BadChecksum` where the oracle expects clean
+//! bytes — and ddmin + payload simplification shrink the reproducer to
+//! 2 ops (create-volume, write), well under the ≤10-op acceptance bound.
+//! Revert the patch and this test's inverse twin in `corpus.rs` (plus
+//! tier-1) goes green again.
+
+use dr_check::{run_matrix, shrink, MatrixOptions};
+
+#[test]
+#[ignore = "only meaningful with the destage off-by-one patch applied (see module docs)"]
+fn off_by_one_in_destage_is_caught_and_shrunk() {
+    let options = MatrixOptions {
+        seeds: 5,
+        ..MatrixOptions::default()
+    };
+    let outcome = run_matrix(&options);
+    let artifact = outcome
+        .failure
+        .expect("mutation not detected — is the destage `+ 1` patch applied?");
+    // run_matrix already shrinks; re-shrink from the minimized sequence to
+    // assert the bound holds even from a cold start.
+    let shrunk = shrink(artifact.mode, &artifact.ops, 400);
+    assert!(
+        shrunk.ops.len() <= 10,
+        "reproducer did not shrink to <= 10 ops: got {} ({:?})",
+        shrunk.ops.len(),
+        shrunk.ops
+    );
+}

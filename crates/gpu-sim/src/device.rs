@@ -163,6 +163,15 @@ impl GpuDevice {
         &self.spec
     }
 
+    /// Replaces the fault schedule mid-run and reseeds the fault stream,
+    /// so a toggle at sim-time T is deterministic regardless of earlier
+    /// draws. A device already lost stays lost — degradation is sticky by
+    /// design — but rate-based faults start (or stop) immediately.
+    pub fn set_faults(&mut self, faults: crate::spec::GpuFaultSpec) {
+        self.fault_rng = dr_des::SplitMix64::new(faults.seed);
+        self.spec.faults = faults;
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> &GpuStats {
         &self.stats

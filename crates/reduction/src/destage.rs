@@ -179,6 +179,24 @@ impl Destager {
         ssd: &mut SsdDevice,
         frame: &[u8],
     ) -> Result<(ChunkRef, Vec<Grant>), SsdError> {
+        let r = self.stage(frame)?;
+        let grants = self.drain_full(now, ssd)?;
+        Ok((r, grants))
+    }
+
+    /// Stages one sealed frame into the log buffer: capacity is checked
+    /// and the chunk's address assigned, but no page write is issued yet.
+    /// Pair with [`drain_full`](Self::drain_full); a frame must be staged
+    /// exactly once no matter how many times the drain is retried —
+    /// re-appending after a failed drain would store the bytes twice
+    /// (found by `dr-check` seed 415).
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::CapacityExhausted`] when accepting the frame would push
+    /// the data log into the index region — checked *before* any state
+    /// changes, so a failed stage leaves the log exactly as it was.
+    pub fn stage(&mut self, frame: &[u8]) -> Result<ChunkRef, SsdError> {
         // Full pages this frame would force out right now. Refuse up front:
         // a capacity error must not leave half a frame buffered or the
         // grow-up data log overlapping the grow-down index region.
@@ -191,6 +209,22 @@ impl Destager {
         self.appended_bytes += frame.len() as u64;
         self.obs.appends.incr();
         self.obs.appended_bytes.add(frame.len() as u64);
+        Ok(ChunkRef::new(addr, frame.len() as u32))
+    }
+
+    /// Writes every full buffered page to the SSD. On a transient fault
+    /// that survives the retry schedule the buffered bytes stay intact,
+    /// so the call can simply be repeated later.
+    ///
+    /// # Errors
+    ///
+    /// Transient injected faults are retried with the backoff schedule;
+    /// only a fault that survives every retry propagates.
+    pub fn drain_full(
+        &mut self,
+        now: SimTime,
+        ssd: &mut SsdDevice,
+    ) -> Result<Vec<Grant>, SsdError> {
         let mut grants = Vec::new();
         while self.buf.len() >= self.page_bytes {
             // Write from a copy and drain only on success, so a fault that
@@ -205,7 +239,7 @@ impl Destager {
                 .record(g.end.saturating_duration_since(now).as_nanos());
             grants.push(g);
         }
-        Ok((ChunkRef::new(addr, frame.len() as u32), grants))
+        Ok(grants)
     }
 
     /// Flushes the open partial page (zero-padded). Returns its grant, or

@@ -62,6 +62,7 @@ pub mod calibrate;
 pub mod cpu_model;
 pub mod degrade;
 pub mod destage;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod volume;
@@ -74,6 +75,7 @@ pub use calibrate::{calibrate, CalibrationOutcome};
 pub use cpu_model::CpuModel;
 pub use degrade::{ComponentLatch, DegradePolicy};
 pub use destage::Destager;
+pub use error::ReadError;
 pub use pipeline::{IntegrationMode, Pipeline, PipelineConfig};
 pub use report::Report;
 pub use volume::{VolumeError, VolumeManager};

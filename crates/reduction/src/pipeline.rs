@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::cpu_model::CpuModel;
 use crate::degrade::{ComponentLatch, DegradePolicy};
 use crate::destage::Destager;
+use crate::error::ReadError;
 use crate::report::Report;
 
 /// Which data reduction operations the GPU is assigned to — the paper's
@@ -472,6 +473,66 @@ impl Pipeline {
         &self.index
     }
 
+    /// Flushes the open destage partial page to the SSD, if any.
+    ///
+    /// A no-op on an empty buffer; safe to call at any point between
+    /// ingests. The checker uses it to exercise flush ordering explicitly
+    /// rather than only at end-of-run.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Device`] when the flush write fails after retries.
+    pub fn flush(&mut self) -> Result<(), ReadError> {
+        let now = self.report.reduction_end;
+        if let Some(g) = self.destage.flush(now, &mut self.ssd)? {
+            self.report.ssd_end = self.report.ssd_end.max(g.end);
+        }
+        Ok(())
+    }
+
+    /// Serializes the CPU-side bin index to its portable snapshot format
+    /// (see `dr-binindex::snapshot`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`](dr_binindex::SnapshotError) from the
+    /// encoder.
+    pub fn snapshot_index(&self) -> Result<Vec<u8>, dr_binindex::SnapshotError> {
+        dr_binindex::snapshot(&self.index)
+    }
+
+    /// Replaces the CPU-side bin index with one restored from `bytes`,
+    /// re-wiring observability. Stored chunks, the recipe, and the destage
+    /// log are untouched — only the dedup lookup structure is swapped, so
+    /// subsequent reads validate that the restored index still resolves
+    /// every prior chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`](dr_binindex::SnapshotError) when the
+    /// snapshot is corrupt; the current index is left in place.
+    pub fn restore_index(&mut self, bytes: &[u8]) -> Result<(), dr_binindex::SnapshotError> {
+        let mut index = dr_binindex::restore(bytes)?;
+        index.set_obs(&self.config.obs);
+        self.index = index;
+        Ok(())
+    }
+
+    /// Replaces the SSD transient-fault schedule mid-run (checker
+    /// tooling). Takes effect for the next device command.
+    pub fn set_ssd_faults(&mut self, faults: dr_ssd_sim::SsdFaultSpec) {
+        self.config.ssd_spec.faults = faults.clone();
+        self.ssd.set_faults(faults);
+    }
+
+    /// Replaces the GPU fault schedule mid-run (checker tooling). Takes
+    /// effect for the next kernel launch; a device already lost stays
+    /// lost.
+    pub fn set_gpu_faults(&mut self, faults: dr_gpu_sim::GpuFaultSpec) {
+        self.config.gpu_spec.faults = faults.clone();
+        self.gpu.set_faults(faults);
+    }
+
     /// NAND-side statistics of the backing SSD (write amplification,
     /// erases, migrations) — the endurance numbers.
     pub fn ssd_ftl_stats(&self) -> dr_ssd_sim::FtlStats {
@@ -483,20 +544,17 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns an error string when the device read or the frame decode
-    /// fails.
-    pub fn read_chunk(&mut self, r: ChunkRef) -> Result<Vec<u8>, String> {
+    /// [`ReadError::Device`] when the device read fails after retries,
+    /// [`ReadError::Frame`] when the frame decode or integrity check fails.
+    pub fn read_chunk(&mut self, r: ChunkRef) -> Result<Vec<u8>, ReadError> {
         let now = self.report.reduction_end;
-        let block = self
-            .destage
-            .read_chunk(now, &mut self.ssd, r)
-            .map_err(|e| e.to_string())?;
+        let block = self.destage.read_chunk(now, &mut self.ssd, r)?;
         let frame_bytes = if self.config.integrity {
-            frame::verify_and_strip(&block).map_err(|e| e.to_string())?
+            frame::verify_and_strip(&block)?
         } else {
             &block[..]
         };
-        frame::open(frame_bytes).map_err(|e| e.to_string())
+        Ok(frame::open(frame_bytes)?)
     }
 
     /// Number of chunks ingested so far (the recipe length).
@@ -509,13 +567,13 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns an error string when `index` is out of range or the device
-    /// read / frame decode fails.
-    pub fn read_block(&mut self, index: usize) -> Result<Vec<u8>, String> {
+    /// [`ReadError::UnknownBlock`] when `index` is out of range, otherwise
+    /// whatever [`Pipeline::read_chunk`] reports.
+    pub fn read_block(&mut self, index: usize) -> Result<Vec<u8>, ReadError> {
         let r = *self
             .recipe
             .get(index)
-            .ok_or_else(|| format!("block {index} was never ingested"))?;
+            .ok_or(ReadError::UnknownBlock { index })?;
         self.read_chunk(r)
     }
 
@@ -658,14 +716,21 @@ impl Pipeline {
         ready: SimTime,
         stored: &[u8],
     ) -> (dr_binindex::ChunkRef, Vec<Grant>) {
-        match self.destage.append(ready, &mut self.ssd, stored) {
-            Ok(out) => {
+        // Stage once, drain as often as needed: a failed drain leaves the
+        // staged bytes buffered, so retrying must NOT re-append the frame
+        // (doing so stored every faulted frame twice — dr-check seed 415).
+        let r = match self.destage.stage(stored) {
+            Ok(r) => r,
+            Err(e) => panic!("destage failed: {e} (size the SSD to the workload)"),
+        };
+        match self.destage.drain_full(ready, &mut self.ssd) {
+            Ok(grants) => {
                 // While degraded, only successes past the rest interval
                 // count as probes (healthy latches make this a no-op).
                 if self.fault.ssd_write.allow_attempt(ready) {
                     self.fault.ssd_write.record_success(ready);
                 }
-                out
+                (r, grants)
             }
             Err(e) if e.is_transient() => {
                 Self::latch_failure(
@@ -674,12 +739,12 @@ impl Pipeline {
                     &self.obs.ssd_write_degraded,
                 );
                 let rest = ready + self.config.degrade.reprobe_interval;
-                let out = self
+                let grants = self
                     .destage
-                    .append(rest, &mut self.ssd, stored)
+                    .drain_full(rest, &mut self.ssd)
                     .unwrap_or_else(|e| panic!("destage failed after degraded rest: {e}"));
                 self.fault.ssd_write.record_success(rest);
-                out
+                (r, grants)
             }
             Err(e) => panic!("destage failed: {e} (size the SSD to the workload)"),
         }
@@ -1336,7 +1401,13 @@ mod tests {
         let mut detected = 0;
         for i in 0..128 {
             if let Err(e) = p.read_block(i) {
-                assert!(e.contains("checksum"), "unexpected error: {e}");
+                assert!(
+                    matches!(
+                        e,
+                        ReadError::Frame(dr_compress::CodecError::BadChecksum { .. })
+                    ),
+                    "unexpected error: {e}"
+                );
                 detected += 1;
             }
         }

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::ReadError;
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::report::Report;
 
@@ -42,7 +43,7 @@ pub enum VolumeError {
         chunk_bytes: usize,
     },
     /// The underlying read path failed (device or decode error).
-    ReadFailed(String),
+    ReadFailed(ReadError),
 }
 
 impl std::fmt::Display for VolumeError {
@@ -65,7 +66,14 @@ impl std::fmt::Display for VolumeError {
     }
 }
 
-impl std::error::Error for VolumeError {}
+impl std::error::Error for VolumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VolumeError::ReadFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct VolumeState {
@@ -104,6 +112,14 @@ impl VolumeManager {
     /// The shared pipeline (stats, report, device access).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// Mutable access to the shared pipeline — flush, index
+    /// snapshot/restore, and fault-schedule toggles (checker tooling).
+    /// Volume block maps reference the pipeline recipe by index, so
+    /// callers must not reset or truncate pipeline state.
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
     }
 
     /// The cumulative reduction report across all volumes.
@@ -165,7 +181,12 @@ impl VolumeManager {
         let first_recipe = self.pipeline.ingested_chunks();
         self.pipeline
             .run_blocks(data.chunks(chunk_bytes).map(|c| c.to_vec()));
-        let volume = self.volumes.get_mut(name).expect("checked above");
+        // Re-fetched mutably after the pipeline borrow ends; the map was
+        // not touched in between, but report the impossible case as a
+        // typed error rather than aborting a checker run.
+        let Some(volume) = self.volumes.get_mut(name) else {
+            return Err(VolumeError::UnknownVolume(name.to_owned()));
+        };
         for i in 0..n as usize {
             volume.blocks[start_block as usize + i] = Some(first_recipe + i);
         }

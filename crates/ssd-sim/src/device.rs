@@ -128,6 +128,15 @@ impl SsdDevice {
         self.ftl.spec()
     }
 
+    /// Replaces the transient-fault schedule mid-run and reseeds the
+    /// dedicated fault stream, so a toggle at sim-time T is deterministic
+    /// regardless of how many draws happened before it. Stored data, FTL
+    /// state, and timing are untouched.
+    pub fn set_faults(&mut self, faults: crate::spec::SsdFaultSpec) {
+        self.transient_rng = dr_des::SplitMix64::new(faults.seed);
+        self.ftl.set_faults(faults);
+    }
+
     /// Host-side statistics.
     pub fn stats(&self) -> &SsdStats {
         &self.stats

@@ -195,6 +195,13 @@ impl Ftl {
         &self.spec
     }
 
+    /// Replaces the transient-fault schedule. Geometry and timing are
+    /// immutable after construction; only the fault overlay may change
+    /// mid-run (checker tooling toggles it between op batches).
+    pub(crate) fn set_faults(&mut self, faults: crate::spec::SsdFaultSpec) {
+        self.spec.faults = faults;
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats

@@ -1,8 +1,10 @@
 //! Randomized tests: workload generation invariants.
 
 use dr_des::testkit::{self, Cases};
+use dr_pool::WorkerPool;
 use dr_workload::{
     synthesize_block, AccessPattern, StreamConfig, StreamGenerator, TraceConfig, TraceGenerator,
+    WriteOp, ZipfSampler,
 };
 use std::collections::HashSet;
 
@@ -85,6 +87,110 @@ fn dedup_knob_bounds_uniques() {
             "dedup ratio {measured} far below target 4.0"
         );
     });
+}
+
+/// Zipf samples stay inside `0..n` for any (n, theta), including the
+/// uniform and extreme-skew corners.
+#[test]
+fn zipf_range_holds_for_any_theta() {
+    Cases::new("zipf_range_holds_for_any_theta", 0x301_0006).run(48, |rng| {
+        let n = testkit::usize_in(rng, 1, 2000);
+        let theta = testkit::f64_in(rng, 0.0, 3.0);
+        let mut z = ZipfSampler::new(n, theta, rng.next_u64());
+        assert_eq!(z.len(), n);
+        for _ in 0..2_000 {
+            assert!(z.sample() < n);
+        }
+    });
+}
+
+/// Skew bound: for any meaningful theta, the hottest decile of ranks
+/// draws strictly more mass than the coldest decile, and mass on the
+/// hottest decile grows with theta.
+#[test]
+fn zipf_skew_orders_rank_mass() {
+    Cases::new("zipf_skew_orders_rank_mass", 0x301_0007).run(16, |rng| {
+        let n = testkit::usize_in(rng, 100, 1000);
+        let seed = rng.next_u64();
+        let decile_mass = |theta: f64| -> (u32, u32) {
+            let mut z = ZipfSampler::new(n, theta, seed);
+            let (mut hot, mut cold) = (0u32, 0u32);
+            for _ in 0..20_000 {
+                let r = z.sample();
+                if r < n / 10 {
+                    hot += 1;
+                } else if r >= n - n / 10 {
+                    cold += 1;
+                }
+            }
+            (hot, cold)
+        };
+        let (hot_mild, cold_mild) = decile_mass(0.6);
+        assert!(
+            hot_mild > cold_mild,
+            "theta 0.6: hot decile {hot_mild} <= cold decile {cold_mild} (n={n})"
+        );
+        let (hot_steep, _) = decile_mass(1.3);
+        assert!(
+            hot_steep > hot_mild,
+            "theta 1.3 hot mass {hot_steep} not above theta 0.6 mass {hot_mild} (n={n})"
+        );
+    });
+}
+
+/// The stream generator is a pure function of its seed: regenerating any
+/// block index on worker pools of different widths — including the
+/// zero-worker inline pool — yields byte-identical output. Reduction runs
+/// on a work-stealing pool, so workload bytes must never depend on which
+/// thread synthesizes them.
+#[test]
+fn stream_blocks_identical_across_pool_widths() {
+    let cfg = StreamConfig {
+        total_bytes: 64 * 4096,
+        seed: 0xBEEF,
+        ..StreamConfig::default()
+    };
+    let reference: Vec<Vec<u8>> = StreamGenerator::new(cfg).blocks().collect();
+    for workers in [0, 1, 4] {
+        let pool = WorkerPool::new(workers);
+        let parallel: Vec<Vec<u8>> = pool.map_collect(reference.len(), |i| {
+            StreamGenerator::new(cfg)
+                .blocks()
+                .nth(i)
+                .expect("index within block count")
+        });
+        assert_eq!(
+            parallel, reference,
+            "stream bytes diverged on a {workers}-worker pool"
+        );
+    }
+}
+
+/// Same property for traces: op `i` of a seeded trace is identical no
+/// matter how wide the pool that regenerates it.
+#[test]
+fn trace_ops_identical_across_pool_widths() {
+    let cfg = TraceConfig {
+        ops: 64,
+        working_set_pages: 128,
+        pattern: AccessPattern::Zipf { theta: 0.99 },
+        seed: 0xFACE,
+        ..TraceConfig::default()
+    };
+    let reference: Vec<WriteOp> = TraceGenerator::new(cfg).ops().collect();
+    for workers in [0, 1, 4] {
+        let pool = WorkerPool::new(workers);
+        let parallel: Vec<WriteOp> = pool.map_collect(reference.len(), |i| {
+            TraceGenerator::new(cfg)
+                .ops()
+                .nth(i)
+                .expect("index within op count")
+        });
+        assert_eq!(
+            parallel, reference,
+            "trace ops diverged on a {workers}-worker pool"
+        );
+    }
 }
 
 /// Traces stay inside the working set for every pattern.

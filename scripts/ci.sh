@@ -42,4 +42,11 @@ cargo test --workspace -q
 echo "==> fault matrix (faulted vs fault-free digest diff)"
 cargo run --release -q -p dr-bench --bin fault_matrix
 
+# Differential-checker smoke: seeded op sequences against the in-memory
+# oracle across all 4 integration modes, fault-free and faulted
+# (DESIGN.md §11). DR_CHECK_SEEDS widens the sweep (the scheduled deep
+# job uses 500); the default 25 stays well under two minutes.
+echo "==> dr-check smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes x 2 scenarios)"
+cargo run --release -q -p dr-check -- run --mode all --scenario both
+
 echo "CI gate passed."

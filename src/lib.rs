@@ -17,7 +17,9 @@
 //! * [`workload`] — vdbench-style data stream generation,
 //! * [`des`] — the discrete-event simulation kernel,
 //! * [`obs`] — zero-dependency observability: counters, gauges, latency
-//!   histograms and JSON metric snapshots for every pipeline stage.
+//!   histograms and JSON metric snapshots for every pipeline stage,
+//! * [`check`] — model-based differential checker: seeded op sequences
+//!   against an in-memory oracle, with shrinking and replay artifacts.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 //! ```
 
 pub use dr_binindex as binindex;
+pub use dr_check as check;
 pub use dr_chunking as chunking;
 pub use dr_compress as compress;
 pub use dr_des as des;

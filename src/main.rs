@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! inline-dr run [--mb N] [--dedup R] [--comp R] [--mode M] [--verify] [--metrics]
+//! inline-dr check run|replay ...
 //! inline-dr calibrate [--gpu hd7970|igpu|dgpu]
 //! inline-dr endurance [--mb N]
 //! inline-dr info
@@ -184,6 +185,7 @@ fn usage() -> &'static str {
      commands:\n\
        run        run a synthetic stream through the pipeline\n\
                   [--mb N] [--dedup R] [--comp R] [--mode M] [--gpu G] [--verify] [--metrics]\n\
+       check      model-based differential checker  (check run | check replay <file>)\n\
        calibrate  probe all integration modes with dummy I/O  [--gpu G]\n\
        endurance  compare inline / background / no reduction  [--mb N]\n\
        info       print the calibrated device profiles\n\
@@ -198,6 +200,11 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `check` owns its own grammar (nested subcommands, a positional
+    // artifact path) — hand off before the flag parser rejects it.
+    if command == "check" {
+        return dr_check::cli(&argv[1..]);
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(args) => args,
         Err(e) => {
