@@ -10,16 +10,18 @@
 //! with batches of varying size, and reports per-batch execution time on
 //! each device plus the CPU-advantage ratio.
 
-use dr_bench::render_table;
+use dr_bench::{render_table, write_metrics_json};
 use dr_binindex::{BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig};
 use dr_des::SimTime;
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::{sha1_digest, ChunkDigest};
+use dr_obs::ObsHandle;
 use dr_reduction::CpuModel;
 
 fn main() {
     let entries_per_bin = 512usize;
     let cpu_model = CpuModel::default();
+    let obs = ObsHandle::enabled("e1");
 
     // Identical entry populations on both devices (the paper's condition).
     let mut cpu_index = BinIndex::new(BinIndexConfig {
@@ -28,6 +30,7 @@ fn main() {
         ..BinIndexConfig::default()
     });
     let mut gpu = GpuDevice::new(GpuSpec::radeon_hd_7970());
+    gpu.set_obs(&obs);
     let mut gpu_index = GpuBinIndex::new(
         &mut gpu,
         GpuBinIndexConfig {
@@ -106,5 +109,12 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
+    }
+    // Device-side metrics for the GPU probes (kernel launches, batch
+    // sizes, transfer volume).
+    let snap = obs.snapshot().expect("enabled handle snapshots");
+    match write_metrics_json("e1_indexing_cpu_vs_gpu", &snap.to_json()) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
     }
 }

@@ -11,16 +11,16 @@
 //! (as a warm primary storage system would be); the second pass is
 //! measured.
 
-use dr_bench::{kiops, pct_gain, render_table, scale, write_metrics_json};
-use dr_obs::{snapshots_to_json, ObsHandle, Snapshot};
+use dr_bench::{kiops, pct_gain, render_table, scale, trace_path_from_args, write_metrics_json};
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot, Tracer};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 use dr_workload::{StreamConfig, StreamGenerator};
 
-fn run_mode(mode: IntegrationMode, stream_bytes: u64) -> (f64, f64, Snapshot) {
+fn run_mode(mode: IntegrationMode, stream_bytes: u64, tracer: Tracer) -> (f64, f64, Snapshot) {
     // Recording is free on the simulated clock, so the measured pass can
     // stay instrumented without skewing the figure.
-    let obs = ObsHandle::enabled(format!("e2/{mode}"));
+    let obs = ObsHandle::enabled(format!("e2/{mode}")).with_tracer(tracer);
     let config = PipelineConfig {
         mode,
         compress_enabled: false,
@@ -58,6 +58,8 @@ fn run_mode(mode: IntegrationMode, stream_bytes: u64) -> (f64, f64, Snapshot) {
 
 fn main() {
     let stream_bytes = (32.0 * scale() * (1 << 20) as f64) as u64;
+    let trace_path = trace_path_from_args();
+    let tracer = trace_path.as_ref().map(|_| Tracer::enabled());
 
     // Baseline: raw SSD 4 KB write throughput.
     let mut ssd = SsdDevice::new(SsdSpec {
@@ -66,8 +68,15 @@ fn main() {
     });
     let ssd_iops = ssd.measure_write_iops(20_000, 7);
 
-    let (cpu_iops, _, cpu_snap) = run_mode(IntegrationMode::CpuOnly, stream_bytes);
-    let (gpu_iops, _, gpu_snap) = run_mode(IntegrationMode::GpuForDedup, stream_bytes);
+    // Trace only the GPU-assisted run: both runs start their sim clocks at
+    // zero, so a combined trace would overlay the two timelines.
+    let (cpu_iops, _, cpu_snap) =
+        run_mode(IntegrationMode::CpuOnly, stream_bytes, Tracer::disabled());
+    let (gpu_iops, _, gpu_snap) = run_mode(
+        IntegrationMode::GpuForDedup,
+        stream_bytes,
+        tracer.clone().unwrap_or_else(Tracer::disabled),
+    );
 
     println!("E2: dedup-only throughput (vdbench stream, dedup ratio 2.0, 4 KB chunks)\n");
     let rows = vec![
@@ -106,5 +115,10 @@ fn main() {
     ) {
         Ok(path) => println!("metrics: {}", path.display()),
         Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) = dr_bench::write_trace(tracer, path) {
+            eprintln!("trace: write failed: {e}");
+        }
     }
 }

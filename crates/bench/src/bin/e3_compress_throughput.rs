@@ -10,16 +10,24 @@
 //! compression-only pipeline (dedup disabled) in CPU and GPU modes,
 //! against the raw SSD baseline.
 
-use dr_bench::{kiops, pct_gain, render_table, scale};
+use dr_bench::{kiops, pct_gain, render_table, scale, trace_path_from_args, write_metrics_json};
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot, Tracer};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 use dr_workload::{StreamConfig, StreamGenerator};
 
-fn run_mode(mode: IntegrationMode, ratio: f64, stream_bytes: u64) -> (f64, f64) {
+fn run_mode(
+    mode: IntegrationMode,
+    ratio: f64,
+    stream_bytes: u64,
+    tracer: Tracer,
+) -> (f64, f64, Snapshot) {
+    let obs = ObsHandle::enabled(format!("e3/{mode}/r{ratio:.1}")).with_tracer(tracer);
     let config = PipelineConfig {
         mode,
         dedup_enabled: false,
         ssd_spec: SsdSpec::samsung_830_sweep(),
+        obs: obs.clone(),
         ..PipelineConfig::default()
     };
     let generator = StreamGenerator::new(StreamConfig {
@@ -30,11 +38,17 @@ fn run_mode(mode: IntegrationMode, ratio: f64, stream_bytes: u64) -> (f64, f64) 
     });
     let mut pipeline = Pipeline::new(config);
     let report = pipeline.run_blocks(generator.blocks());
-    (report.iops(), report.compression_ratio())
+    (
+        report.iops(),
+        report.compression_ratio(),
+        obs.snapshot().expect("enabled handle snapshots"),
+    )
 }
 
 fn main() {
     let stream_bytes = (16.0 * scale() * (1 << 20) as f64) as u64;
+    let trace_path = trace_path_from_args();
+    let tracer = trace_path.as_ref().map(|_| Tracer::enabled());
 
     let mut ssd = SsdDevice::new(SsdSpec {
         store_data: false,
@@ -45,9 +59,24 @@ fn main() {
     println!("E3: compression-only throughput vs workload compression ratio (4 KB chunks)\n");
     let mut rows = Vec::new();
     let mut gains = Vec::new();
+    let mut snapshots = Vec::new();
     for ratio in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
-        let (cpu_iops, measured) = run_mode(IntegrationMode::CpuOnly, ratio, stream_bytes);
-        let (gpu_iops, _) = run_mode(IntegrationMode::GpuForCompression, ratio, stream_bytes);
+        let (cpu_iops, measured, cpu_snap) = run_mode(
+            IntegrationMode::CpuOnly,
+            ratio,
+            stream_bytes,
+            Tracer::disabled(),
+        );
+        // Trace one representative point: the GPU path at the paper's
+        // dedup/compression ratio of 2.0.
+        let t = match &tracer {
+            Some(t) if ratio == 2.0 => t.clone(),
+            _ => Tracer::disabled(),
+        };
+        let (gpu_iops, _, gpu_snap) =
+            run_mode(IntegrationMode::GpuForCompression, ratio, stream_bytes, t);
+        snapshots.push(cpu_snap);
+        snapshots.push(gpu_snap);
         let gain = pct_gain(gpu_iops, cpu_iops);
         gains.push(gain);
         rows.push(vec![
@@ -78,4 +107,13 @@ fn main() {
         "paper: GPU +88.3% over parallel QuickLZ; CPU ~50K < SSD ~80K < GPU ~100K at low ratio"
     );
     println!("measured: average GPU gain {avg:+.1}% across the sweep");
+    match write_metrics_json("e3_compress_throughput", &snapshots_to_json(&snapshots)) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) = dr_bench::write_trace(tracer, path) {
+            eprintln!("trace: write failed: {e}");
+        }
+    }
 }

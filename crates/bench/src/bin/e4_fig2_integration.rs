@@ -11,9 +11,9 @@
 //! profile, and repeats it on a weak iGPU profile to show the ordering is
 //! platform dependent (the paper's motivation for dummy-I/O calibration).
 
-use dr_bench::{kiops, pct_gain, render_table, scale, write_metrics_json};
+use dr_bench::{kiops, pct_gain, render_table, scale, trace_path_from_args, write_metrics_json};
 use dr_gpu_sim::GpuSpec;
-use dr_obs::{snapshots_to_json, ObsHandle, Snapshot};
+use dr_obs::{snapshots_to_json, ObsHandle, Snapshot, Tracer};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::SsdSpec;
 use dr_workload::{StreamConfig, StreamGenerator};
@@ -23,8 +23,9 @@ fn run_mode(
     gpu_spec: GpuSpec,
     stream_bytes: u64,
     label: &str,
+    tracer: Tracer,
 ) -> (f64, Snapshot) {
-    let obs = ObsHandle::enabled(format!("{label}/{mode}"));
+    let obs = ObsHandle::enabled(format!("{label}/{mode}")).with_tracer(tracer);
     let config = PipelineConfig {
         mode,
         gpu_spec,
@@ -53,11 +54,19 @@ fn figure(
     stream_bytes: u64,
     label: &str,
     snapshots: &mut Vec<Snapshot>,
+    tracer: Option<&Tracer>,
 ) -> Vec<(IntegrationMode, f64)> {
     IntegrationMode::ALL
         .into_iter()
         .map(|mode| {
-            let (iops, snap) = run_mode(mode, gpu_spec.clone(), stream_bytes, label);
+            // Each run's sim timeline starts at zero, so a combined trace
+            // of all eight runs would overlay confusingly; trace only the
+            // paper's winning configuration.
+            let t = match tracer {
+                Some(t) if mode == IntegrationMode::GpuForCompression => t.clone(),
+                _ => Tracer::disabled(),
+            };
+            let (iops, snap) = run_mode(mode, gpu_spec.clone(), stream_bytes, label, t);
             snapshots.push(snap);
             (mode, iops)
         })
@@ -99,6 +108,8 @@ fn print_figure(title: &str, series: &[(IntegrationMode, f64)]) {
 fn main() {
     let stream_bytes = (24.0 * scale() * (1 << 20) as f64) as u64;
     let mut snapshots = Vec::new();
+    let trace_path = trace_path_from_args();
+    let tracer = trace_path.as_ref().map(|_| Tracer::enabled());
 
     println!("E4 / Figure 2: integration-method throughput (dedup 2.0 x compression 2.0)\n");
     print_figure(
@@ -108,6 +119,7 @@ fn main() {
             stream_bytes,
             "hd7970",
             &mut snapshots,
+            tracer.as_ref(),
         ),
     );
     print_figure(
@@ -117,9 +129,16 @@ fn main() {
             stream_bytes,
             "weak-igpu",
             &mut snapshots,
+            None,
         ),
     );
     println!("paper: GPU-for-compression best, +89.7% over CPU-only (their testbed)");
+
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) = dr_bench::write_trace(tracer, path) {
+            eprintln!("trace: write failed: {e}");
+        }
+    }
 
     // One snapshot per (gpu, mode) run: per-stage latency histograms
     // (p50/p95/p99), router decision counters, device metrics.

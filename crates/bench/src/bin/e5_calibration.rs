@@ -9,8 +9,9 @@
 //! This harness runs the calibration probe on three GPU profiles and
 //! shows the chosen mode adapting to the hardware.
 
-use dr_bench::{kiops, render_table};
+use dr_bench::{kiops, render_table, write_metrics_json};
 use dr_gpu_sim::GpuSpec;
+use dr_obs::{snapshots_to_json, ObsHandle};
 use dr_reduction::{calibrate, PipelineConfig};
 use dr_ssd_sim::SsdSpec;
 
@@ -22,14 +23,18 @@ fn main() {
         GpuSpec::strong_dgpu(),
     ];
     let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
     for gpu_spec in profiles {
         let name = gpu_spec.name.clone();
+        let obs = ObsHandle::enabled(format!("e5/{name}"));
         let config = PipelineConfig {
             gpu_spec,
             ssd_spec: SsdSpec::samsung_830_sweep(),
+            obs: obs.clone(),
             ..PipelineConfig::default()
         };
         let outcome = calibrate(&config, 512);
+        snapshots.push(obs.snapshot().expect("enabled handle snapshots"));
         let mut cells = vec![name, outcome.best.to_string()];
         for (_, iops) in &outcome.scores {
             cells.push(kiops(*iops));
@@ -51,4 +56,8 @@ fn main() {
         )
     );
     println!("paper: the probe \"can ensure the best performance even if the target platform is different\"");
+    match write_metrics_json("e5_calibration", &snapshots_to_json(&snapshots)) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

@@ -6,8 +6,9 @@
 //! authors navigated: bigger chunks amortize per-chunk costs (higher
 //! IOPS-equivalent bandwidth, smaller index) but find fewer duplicates.
 
-use dr_bench::{render_table, scale};
+use dr_bench::{render_table, scale, write_metrics_json};
 use dr_binindex::MemoryModel;
+use dr_obs::{snapshots_to_json, ObsHandle};
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
 use dr_ssd_sim::SsdSpec;
 use dr_workload::{StreamConfig, StreamGenerator};
@@ -16,8 +17,10 @@ fn main() {
     let stream_bytes = (16.0 * scale() * (1 << 20) as f64) as u64;
     println!("E7: chunk-size sensitivity (dedup 2.0 x compression 2.0 stream)\n");
     let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
     for chunk_kb in [4usize, 8, 16, 32] {
         let chunk_bytes = chunk_kb * 1024;
+        let obs = ObsHandle::enabled(format!("e7/{chunk_kb}kb"));
         let generator = StreamGenerator::new(StreamConfig {
             total_bytes: stream_bytes,
             block_bytes: chunk_bytes,
@@ -29,9 +32,11 @@ fn main() {
             mode: IntegrationMode::GpuForCompression,
             chunk_bytes,
             ssd_spec: SsdSpec::samsung_830_sweep(),
+            obs: obs.clone(),
             ..PipelineConfig::default()
         });
         let report = pipeline.run_blocks(generator.blocks());
+        snapshots.push(obs.snapshot().expect("enabled handle snapshots"));
         let memory = MemoryModel::new(4 << 40, chunk_bytes as u64, 2);
         rows.push(vec![
             format!("{chunk_kb} KB"),
@@ -53,4 +58,8 @@ fn main() {
     println!(
         "bigger chunks amortize per-chunk work and shrink the index; smaller chunks dedupe finer."
     );
+    match write_metrics_json("e7_chunk_size_sweep", &snapshots_to_json(&snapshots)) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

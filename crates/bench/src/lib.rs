@@ -91,6 +91,49 @@ pub fn write_metrics_json(name: &str, json: &str) -> std::io::Result<std::path::
     Ok(path)
 }
 
+/// Extracts `--trace <path>` (or `--trace=<path>`) from the process
+/// arguments, if present. Experiment binaries that support tracing call
+/// this once at startup; everything else about their CLI is env-driven.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Drains `tracer`, writes the Chrome `trace_event` JSON to `path`, and
+/// prints the folded profiler report to **stderr** — stdout carries the
+/// simulated results and must stay bit-identical whether tracing is on
+/// or off. Returns the number of events written.
+///
+/// # Panics
+///
+/// Panics when `tracer` is disabled — callers only construct one when
+/// `--trace` was passed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the trace file.
+pub fn write_trace(tracer: &dr_obs::Tracer, path: &std::path::Path) -> std::io::Result<usize> {
+    let sink = tracer.sink().expect("write_trace needs an enabled tracer");
+    let events = sink.drain();
+    let dropped = sink.dropped();
+    std::fs::write(path, dr_obs::chrome_trace_json(&events, dropped))?;
+    eprint!("{}", dr_obs::profile(&events, dropped));
+    eprintln!(
+        "trace: {} events -> {} (open in chrome://tracing or ui.perfetto.dev)",
+        events.len(),
+        path.display()
+    );
+    Ok(events.len())
+}
+
 /// Reads an experiment scale factor from `DR_SCALE` (default 1.0): CI runs
 /// use small streams; pass `DR_SCALE=4` for paper-sized runs.
 pub fn scale() -> f64 {

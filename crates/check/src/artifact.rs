@@ -5,6 +5,13 @@
 //! the (minimized) op list, and the failure that was observed. All numeric
 //! fields are unsigned integers — rates and ratios travel in milli-units —
 //! so serialization is exact and replay is deterministic across platforms.
+//!
+//! Version 2 adds two optional post-mortem fields: `obs_snapshot` (the
+//! final metric snapshot of the shrunk failing run, embedded as a JSON
+//! *string* so the integer-only artifact parser never has to read the
+//! float-bearing snapshot dialect) and `trace_path` (where the Chrome
+//! trace of the failing sequence was written, when tracing was on).
+//! Version-1 documents parse unchanged — both fields read back as `None`.
 
 use crate::json::{self, quote, Value};
 use crate::ops::{Op, Scenario};
@@ -12,7 +19,7 @@ use crate::runner::Failure;
 use dr_reduction::IntegrationMode;
 
 /// Artifact schema version.
-pub const VERSION: u64 = 1;
+pub const VERSION: u64 = 2;
 
 /// One recorded failure: seed, environment, minimized ops, observed
 /// failure.
@@ -28,6 +35,12 @@ pub struct Artifact {
     pub ops: Vec<Op>,
     /// The failure the sequence reproduces.
     pub failure: Failure,
+    /// Final metric snapshot of the shrunk failing run (JSON text),
+    /// when one was captured.
+    pub obs_snapshot: Option<String>,
+    /// Where the Chrome trace of the failing sequence was written, when
+    /// tracing was on.
+    pub trace_path: Option<String>,
 }
 
 impl Artifact {
@@ -48,6 +61,12 @@ impl Artifact {
             quote(&self.failure.invariant),
             quote(&self.failure.detail)
         ));
+        if let Some(snap) = &self.obs_snapshot {
+            out.push_str(&format!("  \"obs_snapshot\": {},\n", quote(snap)));
+        }
+        if let Some(path) = &self.trace_path {
+            out.push_str(&format!("  \"trace_path\": {},\n", quote(path)));
+        }
         out.push_str("  \"ops\": [\n");
         for (i, op) in self.ops.iter().enumerate() {
             let sep = if i + 1 == self.ops.len() { "" } else { "," };
@@ -65,7 +84,9 @@ impl Artifact {
     pub fn from_json(text: &str) -> Result<Artifact, String> {
         let v = json::parse(text)?;
         let version = field_u64(&v, "version")?;
-        if version != VERSION {
+        // Version 1 lacks the optional post-mortem fields but is otherwise
+        // identical — replaying old artifacts must keep working.
+        if !(1..=VERSION).contains(&version) {
             return Err(format!("unsupported artifact version {version}"));
         }
         let mode: IntegrationMode = field_str(&v, "mode")?.parse()?;
@@ -91,6 +112,8 @@ impl Artifact {
             scenario,
             ops,
             failure,
+            obs_snapshot: opt_field_str(&v, "obs_snapshot")?,
+            trace_path: opt_field_str(&v, "trace_path")?,
         })
     }
 }
@@ -105,6 +128,18 @@ fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
     v.get(key)
         .and_then(Value::as_str)
         .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+/// Optional string field: absent is `None`, present-but-not-a-string is
+/// an error (a mistyped field should not silently vanish).
+fn opt_field_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| format!("field '{key}' is not a string")),
+    }
 }
 
 fn op_to_json(op: &Op) -> String {
@@ -232,6 +267,8 @@ mod tests {
                     invariant: "byte-identity".to_owned(),
                     detail: "quotes \" and\nnewlines must survive".to_owned(),
                 },
+                obs_snapshot: None,
+                trace_path: None,
             };
             let text = artifact.to_json();
             let back = Artifact::from_json(&text).expect("parse back");
@@ -290,9 +327,47 @@ mod tests {
                 invariant: "panic".to_owned(),
                 detail: String::new(),
             },
+            obs_snapshot: None,
+            trace_path: None,
         };
         let back = Artifact::from_json(&artifact.to_json()).unwrap();
         assert_eq!(back.ops, ops);
+    }
+
+    #[test]
+    fn post_mortem_fields_round_trip() {
+        // The embedded snapshot is an arbitrary JSON document with floats
+        // and quotes — it must survive as an opaque string.
+        let snap = "{\"name\": \"dr-check\", \"histograms\": {\"p99\": 1.5}}";
+        let artifact = Artifact {
+            seed: 11,
+            mode: IntegrationMode::GpuForDedup,
+            scenario: Scenario::Faulted,
+            ops: vec![Op::Flush],
+            failure: Failure {
+                op_index: 0,
+                invariant: "flush".to_owned(),
+                detail: "x".to_owned(),
+            },
+            obs_snapshot: Some(snap.to_owned()),
+            trace_path: Some("artifacts/seed-11-trace.json".to_owned()),
+        };
+        let text = artifact.to_json();
+        let back = Artifact::from_json(&text).expect("parse back");
+        assert_eq!(back, artifact);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn version_1_artifacts_still_parse() {
+        let v1 = r#"{"version": 1, "seed": 5, "mode": "cpu-only",
+            "scenario": "fault-free", "failure": {"op_index": 0,
+            "invariant": "x", "detail": ""},
+            "ops": [{"op": "flush"}]}"#;
+        let artifact = Artifact::from_json(v1).expect("v1 parses");
+        assert_eq!(artifact.seed, 5);
+        assert_eq!(artifact.obs_snapshot, None);
+        assert_eq!(artifact.trace_path, None);
     }
 
     #[test]

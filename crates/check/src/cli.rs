@@ -15,6 +15,7 @@ const USAGE: &str = "usage: dr-check <command> [flags]\n\
        run     sweep seeds x integration modes x scenarios\n\
                [--seeds N] [--seed-start S] [--ops N] [--mode M|all]\n\
                [--scenario fault-free|faulted|both] [--artifact-dir DIR]\n\
+               [--trace-dir DIR]  (Chrome trace of the shrunk failure)\n\
        replay  re-execute a recorded failure artifact  <artifact.json>\n\
      \n\
      modes: cpu-only | gpu-dedup | gpu-compression | gpu-both | all\n\
@@ -88,6 +89,7 @@ fn parse_run(args: &[String]) -> Result<MatrixOptions, String> {
                 };
             }
             "artifact-dir" => opts.artifact_dir = Some(PathBuf::from(value)),
+            "trace-dir" => opts.trace_dir = Some(PathBuf::from(value)),
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -115,6 +117,9 @@ fn cmd_run(opts: &MatrixOptions) -> ExitCode {
                 artifact.ops.len()
             );
             eprintln!("dr-check: {}", artifact.failure);
+            if let Some(trace) = &artifact.trace_path {
+                eprintln!("dr-check: trace written to {trace}");
+            }
             match &outcome.artifact_path {
                 Some(path) => eprintln!("dr-check: artifact written to {}", path.display()),
                 None => {

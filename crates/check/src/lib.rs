@@ -30,9 +30,10 @@ pub use artifact::Artifact;
 pub use cli::cli;
 pub use model::{ModelError, Oracle};
 pub use ops::{generate, Op, Scenario};
-pub use runner::{run_ops, Failure};
+pub use runner::{run_ops, run_ops_observed, Failure};
 pub use shrink::{shrink, Shrunk};
 
+use dr_obs::Tracer;
 use dr_reduction::IntegrationMode;
 use std::path::PathBuf;
 
@@ -51,6 +52,9 @@ pub struct MatrixOptions {
     pub scenarios: Vec<Scenario>,
     /// Where to write a failing artifact (created if missing).
     pub artifact_dir: Option<PathBuf>,
+    /// Where to write a Chrome trace of the shrunk failing sequence
+    /// (created if missing); the artifact records the path.
+    pub trace_dir: Option<PathBuf>,
     /// Shrink budget (candidate executions).
     pub shrink_budget: usize,
     /// Print per-cell progress to stderr.
@@ -66,6 +70,7 @@ impl Default for MatrixOptions {
             modes: IntegrationMode::ALL.to_vec(),
             scenarios: Scenario::ALL.to_vec(),
             artifact_dir: None,
+            trace_dir: None,
             shrink_budget: shrink::DEFAULT_BUDGET,
             progress: false,
         }
@@ -115,12 +120,28 @@ fn run_matrix_inner(opts: &MatrixOptions) -> MatrixOutcome {
                 let ops = generate(seed, opts.ops, *scenario);
                 if run_ops(*mode, &ops).is_err() {
                     let shrunk = shrink(*mode, &ops, opts.shrink_budget);
+                    // One deterministic re-run of the shrunk sequence
+                    // captures its final metric state (and, when a trace
+                    // directory is configured, its event trace) for the
+                    // artifact's post-mortem fields.
+                    let tracer = if opts.trace_dir.is_some() {
+                        Tracer::enabled()
+                    } else {
+                        Tracer::disabled()
+                    };
+                    let (_, obs_json) = run_ops_observed(*mode, &shrunk.ops, tracer.clone());
+                    let trace_path = opts
+                        .trace_dir
+                        .as_ref()
+                        .and_then(|dir| write_trace(dir, seed, *mode, *scenario, &tracer));
                     let artifact = Artifact {
                         seed,
                         mode: *mode,
                         scenario: *scenario,
                         ops: shrunk.ops,
                         failure: shrunk.failure,
+                        obs_snapshot: Some(obs_json),
+                        trace_path: trace_path.map(|p| p.display().to_string()),
                     };
                     let artifact_path = opts
                         .artifact_dir
@@ -139,6 +160,29 @@ fn run_matrix_inner(opts: &MatrixOptions) -> MatrixOutcome {
         cases_run,
         failure: None,
         artifact_path: None,
+    }
+}
+
+fn write_trace(
+    dir: &std::path::Path,
+    seed: u64,
+    mode: IntegrationMode,
+    scenario: Scenario,
+    tracer: &Tracer,
+) -> Option<PathBuf> {
+    let sink = tracer.sink()?;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("dr-check: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("seed-{seed}-{mode}-{}-trace.json", scenario.name()));
+    let events = sink.drain();
+    match std::fs::write(&path, dr_obs::chrome_trace_json(&events, sink.dropped())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("dr-check: cannot write {}: {e}", path.display());
+            None
+        }
     }
 }
 
@@ -222,6 +266,8 @@ mod tests {
                 invariant: "byte-identity".to_owned(),
                 detail: "made up".to_owned(),
             },
+            obs_snapshot: None,
+            trace_path: None,
         };
         assert_eq!(replay(&artifact), ReplayOutcome::Passed);
     }

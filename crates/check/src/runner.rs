@@ -22,7 +22,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dr_gpu_sim::GpuFaultSpec;
-use dr_obs::ObsHandle;
+use dr_obs::{ObsHandle, Tracer};
 use dr_reduction::{
     IntegrationMode, PipelineConfig, ReadError, Report, VolumeError, VolumeManager,
 };
@@ -99,8 +99,8 @@ struct Exec {
 }
 
 impl Exec {
-    fn new(mode: IntegrationMode) -> Self {
-        let obs = ObsHandle::enabled("dr-check");
+    fn new(mode: IntegrationMode, tracer: Tracer) -> Self {
+        let obs = ObsHandle::enabled("dr-check").with_tracer(tracer);
         let config = PipelineConfig {
             mode,
             batch_chunks: 8,
@@ -445,7 +445,26 @@ impl Exec {
 ///
 /// The [`Failure`] that stopped the run.
 pub fn run_ops(mode: IntegrationMode, ops: &[Op]) -> Result<(), Failure> {
-    let mut exec = Exec::new(mode);
+    drive(&mut Exec::new(mode, Tracer::disabled()), ops)
+}
+
+/// Like [`run_ops`], with `tracer` attached to the pipeline's obs handle,
+/// also returning the final metric snapshot as JSON — the post-mortem
+/// state the replay artifact embeds. Runs are deterministic, so re-running
+/// a shrunk sequence through this reproduces the recorded failure with
+/// its metrics (and, when `tracer` is enabled, its trace) captured.
+pub fn run_ops_observed(
+    mode: IntegrationMode,
+    ops: &[Op],
+    tracer: Tracer,
+) -> (Result<(), Failure>, String) {
+    let mut exec = Exec::new(mode, tracer);
+    let result = drive(&mut exec, ops);
+    let obs_json = exec.obs.snapshot().map(|s| s.to_json()).unwrap_or_default();
+    (result, obs_json)
+}
+
+fn drive(exec: &mut Exec, ops: &[Op]) -> Result<(), Failure> {
     for (idx, op) in ops.iter().enumerate() {
         let step = catch_unwind(AssertUnwindSafe(|| {
             exec.apply(idx, op)?;
@@ -486,6 +505,20 @@ mod tests {
             let ops = generate(seed, 30, Scenario::FaultFree);
             run_ops(IntegrationMode::CpuOnly, &ops).expect("seed must pass");
         }
+    }
+
+    #[test]
+    fn observed_runs_capture_metrics_and_traces() {
+        let ops = generate(2, 20, Scenario::FaultFree);
+        let tracer = Tracer::enabled();
+        let (result, obs_json) =
+            run_ops_observed(IntegrationMode::GpuForCompression, &ops, tracer.clone());
+        assert_eq!(result, Ok(()));
+        assert!(obs_json.contains("dr-check"), "snapshot names the registry");
+        assert!(
+            !tracer.sink().unwrap().drain().is_empty(),
+            "the pipeline emits trace events under the checker"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The GPU device: memory, copy engine, compute queue and statistics.
 
 use dr_des::{Grant, Resource, SimDuration, SimTime};
+use dr_obs::trace::{trace_args, Tracer, Track};
 use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::error::GpuError;
@@ -73,6 +74,8 @@ struct GpuObs {
     d2h_bytes: CounterHandle,
     transfer_ns: HistogramHandle,
     faults_injected: CounterHandle,
+    /// Device events on the sim-time axis (kernel and copy tracks).
+    tracer: Tracer,
 }
 
 impl GpuObs {
@@ -85,6 +88,7 @@ impl GpuObs {
             d2h_bytes: obs.counter("gpu.d2h_bytes"),
             transfer_ns: obs.histogram("gpu.transfer_ns"),
             faults_injected: obs.counter("fault.gpu.injected"),
+            tracer: obs.tracer().clone(),
         }
     }
 }
@@ -237,6 +241,13 @@ impl GpuDevice {
         self.stats.copy_busy += time;
         self.obs.h2d_bytes.add(data.len() as u64);
         self.obs.transfer_ns.record(time.as_nanos());
+        self.obs.tracer.sim_span(
+            Track::GpuCopy,
+            "h2d",
+            grant.start.as_nanos(),
+            grant.end.as_nanos(),
+            trace_args(&[("bytes", data.len() as u64)]),
+        );
         Ok(grant)
     }
 
@@ -273,6 +284,13 @@ impl GpuDevice {
         self.stats.copy_busy += time;
         self.obs.d2h_bytes.add(len);
         self.obs.transfer_ns.record(time.as_nanos());
+        self.obs.tracer.sim_span(
+            Track::GpuCopy,
+            "d2h",
+            grant.start.as_nanos(),
+            grant.end.as_nanos(),
+            trace_args(&[("bytes", len)]),
+        );
         Ok((out, grant))
     }
 
@@ -374,6 +392,17 @@ impl GpuDevice {
             .kernel_latency_ns
             .record(timing.duration().as_nanos());
         self.obs.kernel_items.record(items.len() as u64);
+        if self.obs.tracer.is_enabled() {
+            // The kernel name is a String; clone it for the event only
+            // when someone is actually tracing.
+            self.obs.tracer.sim_span(
+                Track::GpuCompute,
+                config.name.clone(),
+                grant.start.as_nanos(),
+                grant.end.as_nanos(),
+                trace_args(&[("items", items.len() as u64)]),
+            );
+        }
         Ok(LaunchReport {
             name: config.name,
             grant,

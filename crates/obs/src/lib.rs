@@ -47,12 +47,16 @@
 
 pub mod hist;
 pub mod metric;
+pub mod profile;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use metric::{Counter, Gauge};
+pub use profile::{profile, ProfileReport, TrackStat, WorkerStat};
 pub use registry::{
     CounterHandle, GaugeHandle, HistogramHandle, ObsHandle, Registry, Span, StageObs,
 };
 pub use snapshot::{snapshots_to_json, HistogramSummary, Snapshot};
+pub use trace::{chrome_trace_json, trace_args, TraceEvent, TraceSink, Tracer, Track, WallSpan};

@@ -1,0 +1,260 @@
+//! Trace-driven profiler: folds drained [`TraceEvent`]s into per-stage
+//! self-time, sim-axis overlap, and worker-utilization tables.
+//!
+//! The report answers the paper's "where does the time go" questions
+//! directly from a trace, without loading it into chrome://tracing:
+//!
+//! * **stage self-time** — per sim track (pipeline stages and devices),
+//!   the total busy simulated time and span count;
+//! * **overlap ratio** — total sim busy time divided by the union of all
+//!   sim busy intervals. 1.0 means fully serial; higher means stages and
+//!   devices genuinely overlapped on the simulated timeline (the effect
+//!   the paper's pipelining exists to produce);
+//! * **worker utilization** — per wall track (driver + pool workers),
+//!   busy wall time over the shared wall window, showing how evenly the
+//!   work-stealing pool kept its threads fed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::{TraceEvent, Track};
+
+/// Aggregate of all spans on one track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackStat {
+    /// The track the spans were recorded on.
+    pub track: Track,
+    /// Number of spans.
+    pub spans: u64,
+    /// Sum of span durations, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// Utilization of one wall-clock track over the trace's wall window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStat {
+    /// The wall track (driver or a pool worker).
+    pub track: Track,
+    /// Number of spans.
+    pub spans: u64,
+    /// Union of span intervals, in nanoseconds — nested spans (a job that
+    /// runs a batch inside it) don't double-count.
+    pub busy_ns: u64,
+    /// busy / window, where the window is shared by all wall tracks.
+    pub utilization: f64,
+}
+
+/// The folded profile of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Sim-axis tracks (pipeline stages + devices), in track order.
+    pub stages: Vec<TrackStat>,
+    /// Wall-axis tracks (driver + workers), in track order.
+    pub workers: Vec<WorkerStat>,
+    /// Total sim busy time / union of sim busy intervals (0 when the
+    /// trace has no sim spans).
+    pub sim_overlap_ratio: f64,
+    /// Wall window spanned by the wall-axis spans, in nanoseconds.
+    pub wall_window_ns: u64,
+    /// Events the sink dropped on overflow (the profile is a lower
+    /// bound when this is non-zero).
+    pub dropped: u64,
+}
+
+/// Total length of the union of half-open intervals, merging overlaps.
+fn union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Folds drained events into a [`ProfileReport`]. `dropped` comes from
+/// [`TraceSink::dropped`](crate::trace::TraceSink::dropped).
+pub fn profile(events: &[TraceEvent], dropped: u64) -> ProfileReport {
+    let mut sim: BTreeMap<Track, TrackStat> = BTreeMap::new();
+    let mut wall: BTreeMap<Track, (u64, Vec<(u64, u64)>)> = BTreeMap::new(); // spans, intervals
+    let mut sim_intervals: Vec<(u64, u64)> = Vec::new();
+    let mut sim_busy = 0u64;
+    let mut wall_min = u64::MAX;
+    let mut wall_max = 0u64;
+
+    for e in events {
+        let Some(dur) = e.dur_ns else { continue };
+        if e.track.is_sim() {
+            let stat = sim.entry(e.track).or_insert(TrackStat {
+                track: e.track,
+                spans: 0,
+                busy_ns: 0,
+            });
+            stat.spans += 1;
+            stat.busy_ns += dur;
+            sim_busy += dur;
+            sim_intervals.push((e.ts_ns, e.ts_ns + dur));
+        } else {
+            let (spans, intervals) = wall.entry(e.track).or_insert((0, Vec::new()));
+            *spans += 1;
+            intervals.push((e.ts_ns, e.ts_ns + dur));
+            wall_min = wall_min.min(e.ts_ns);
+            wall_max = wall_max.max(e.ts_ns + dur);
+        }
+    }
+
+    let sim_union = union_ns(sim_intervals);
+    let wall_window = wall_max.saturating_sub(if wall_min == u64::MAX { 0 } else { wall_min });
+    ProfileReport {
+        stages: sim.into_values().collect(),
+        workers: wall
+            .into_iter()
+            .map(|(track, (spans, intervals))| {
+                let busy_ns = union_ns(intervals);
+                WorkerStat {
+                    track,
+                    spans,
+                    busy_ns,
+                    utilization: if wall_window == 0 {
+                        0.0
+                    } else {
+                        busy_ns as f64 / wall_window as f64
+                    },
+                }
+            })
+            .collect(),
+        sim_overlap_ratio: if sim_union == 0 {
+            0.0
+        } else {
+            sim_busy as f64 / sim_union as f64
+        },
+        wall_window_ns: wall_window,
+        dropped,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== trace profile ===")?;
+        if !self.stages.is_empty() {
+            writeln!(f, "stage self-time (sim axis):")?;
+            writeln!(f, "  {:<14} {:>8} {:>12}", "track", "spans", "busy-ms")?;
+            for s in &self.stages {
+                writeln!(
+                    f,
+                    "  {:<14} {:>8} {:>12.3}",
+                    s.track.thread_name(),
+                    s.spans,
+                    ms(s.busy_ns)
+                )?;
+            }
+            writeln!(
+                f,
+                "  sim overlap ratio: {:.2}x (1.00 = fully serial)",
+                self.sim_overlap_ratio
+            )?;
+        }
+        if !self.workers.is_empty() {
+            writeln!(
+                f,
+                "worker utilization (wall axis, window {:.3} ms):",
+                ms(self.wall_window_ns)
+            )?;
+            writeln!(
+                f,
+                "  {:<14} {:>8} {:>12} {:>8}",
+                "track", "spans", "busy-ms", "util"
+            )?;
+            for w in &self.workers {
+                writeln!(
+                    f,
+                    "  {:<14} {:>8} {:>12.3} {:>7.1}%",
+                    w.track.thread_name(),
+                    w.spans,
+                    ms(w.busy_ns),
+                    w.utilization * 100.0
+                )?;
+            }
+        }
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "warning: {} events dropped (raise trace capacity); totals are lower bounds",
+                self.dropped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_args, Tracer};
+
+    #[test]
+    fn union_merges_overlapping_intervals() {
+        assert_eq!(union_ns(vec![]), 0);
+        assert_eq!(union_ns(vec![(0, 10)]), 10);
+        assert_eq!(union_ns(vec![(0, 10), (5, 15)]), 15);
+        assert_eq!(union_ns(vec![(0, 10), (20, 30)]), 20);
+        assert_eq!(union_ns(vec![(20, 30), (0, 10), (9, 21)]), 30);
+    }
+
+    #[test]
+    fn profile_folds_stages_and_overlap() {
+        let t = Tracer::enabled();
+        // Two sim spans fully overlapping: busy 20, union 10 => 2.0x.
+        t.sim_span(Track::Hash, "b", 0, 10, trace_args(&[]));
+        t.sim_span(Track::Compress, "b", 0, 10, trace_args(&[]));
+        let events = t.sink().unwrap().drain();
+        let report = profile(&events, 0);
+        assert_eq!(report.stages.len(), 2);
+        assert!((report.sim_overlap_ratio - 2.0).abs() < 1e-9);
+        assert!(report.workers.is_empty());
+    }
+
+    #[test]
+    fn profile_computes_worker_utilization() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.wall_span(Track::Driver, "drive");
+            let _b = t.wall_span(Track::Worker(0), "job");
+        }
+        let events = t.sink().unwrap().drain();
+        let report = profile(&events, 3);
+        assert_eq!(report.workers.len(), 2);
+        assert!(report.wall_window_ns > 0);
+        for w in &report.workers {
+            assert!(w.utilization >= 0.0 && w.utilization <= 1.0 + 1e-9);
+        }
+        assert_eq!(report.dropped, 3);
+        let text = report.to_string();
+        assert!(text.contains("worker utilization"));
+        assert!(text.contains("dropped"));
+    }
+
+    #[test]
+    fn instants_do_not_count_as_busy_time() {
+        let t = Tracer::enabled();
+        t.sim_instant(Track::Fault, "latch-open", 7, trace_args(&[]));
+        let events = t.sink().unwrap().drain();
+        let report = profile(&events, 0);
+        assert!(report.stages.is_empty());
+        assert_eq!(report.sim_overlap_ratio, 0.0);
+    }
+}

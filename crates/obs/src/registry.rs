@@ -7,6 +7,7 @@ use std::time::Instant;
 use crate::hist::Histogram;
 use crate::metric::{Counter, Gauge};
 use crate::snapshot::{HistogramSummary, Snapshot};
+use crate::trace::Tracer;
 
 /// A named collection of metrics.
 ///
@@ -96,6 +97,7 @@ impl Registry {
 #[derive(Debug, Clone, Default)]
 pub struct ObsHandle {
     registry: Option<Arc<Registry>>,
+    tracer: Tracer,
 }
 
 impl ObsHandle {
@@ -108,6 +110,7 @@ impl ObsHandle {
     pub fn enabled(name: impl Into<String>) -> Self {
         ObsHandle {
             registry: Some(Arc::new(Registry::new(name))),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -115,7 +118,21 @@ impl ObsHandle {
     pub fn with_registry(registry: Arc<Registry>) -> Self {
         ObsHandle {
             registry: Some(registry),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The same handle with `tracer` attached. Components pick the
+    /// tracer up through their existing `set_obs` wiring, so attaching
+    /// it before building a pipeline traces the whole stack.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The event tracer carried by this handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// True when metrics are being recorded.

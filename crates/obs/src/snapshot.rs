@@ -143,8 +143,8 @@ pub fn snapshots_to_json(snapshots: &[Snapshot]) -> String {
 }
 
 /// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
-/// and control characters).
-fn json_escape(s: &str, out: &mut String) {
+/// and control characters). Shared with the trace writer.
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

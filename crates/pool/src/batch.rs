@@ -14,6 +14,10 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use dr_obs::trace::{trace_args, Tracer};
+
+use crate::current_track;
+
 /// Packs a half-open index interval into one atomic word.
 fn pack(start: u32, end: u32) -> u64 {
     ((start as u64) << 32) | end as u64
@@ -159,7 +163,9 @@ impl BatchCore {
 
     /// Joins the batch as participant `slot` (the caller uses slot 0, pool
     /// worker `w` uses slot `w + 1`) and works until no indices remain.
-    pub(crate) fn participate(&self, slot: usize) {
+    /// Successful steals are emitted on `tracer` against the calling
+    /// thread's wall track.
+    pub(crate) fn participate(&self, slot: usize, tracer: &Tracer) {
         self.active.fetch_add(1, Ordering::AcqRel);
         // SAFETY: see `RawFn` — we hold an index claim or touch no state.
         let f = unsafe { &*self.f.0 };
@@ -187,6 +193,11 @@ impl BatchCore {
             };
             if let Some((lo, hi)) = self.steal_back_half(victim) {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                tracer.wall_instant(
+                    current_track(),
+                    "steal",
+                    trace_args(&[("victim", victim as u64), ("stolen", (hi - lo) as u64)]),
+                );
                 for i in lo..hi {
                     if !self.run_item(f, i) {
                         break 'work;
@@ -242,7 +253,7 @@ mod tests {
         };
         // SAFETY: `core` is dropped before `f`.
         let core = unsafe { BatchCore::new(&f, 3, 37) };
-        core.participate(0);
+        core.participate(0, &Tracer::disabled());
         core.wait_done();
         assert!(hits.lock().unwrap().iter().all(|&h| h == 1));
         assert!(core.take_panic().is_none());
@@ -259,7 +270,7 @@ mod tests {
         let (s, e) = unpack(core.ranges[1].load(Ordering::Acquire));
         assert_eq!((s, e), (5, 8));
         // Drain so the test tears down cleanly.
-        core.participate(0);
+        core.participate(0, &Tracer::disabled());
         core.wait_done();
     }
 }

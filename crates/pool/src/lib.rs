@@ -42,12 +42,29 @@ mod job;
 pub use job::JobHandle;
 
 use batch::BatchCore;
+use dr_obs::trace::{Tracer, Track};
 use dr_obs::{CounterHandle, GaugeHandle, HistogramHandle, ObsHandle};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{JoinHandle as ThreadHandle, ThreadId};
 use std::time::Instant;
+
+thread_local! {
+    /// The pool-worker id of the current thread, when it is one.
+    static WORKER_ID: Cell<Option<u16>> = const { Cell::new(None) };
+}
+
+/// The wall-clock trace track of the calling thread: `Worker(w)` on a
+/// pool thread, `Driver` everywhere else (including nested calls made
+/// from inside pool jobs, which attribute to the executing worker).
+pub(crate) fn current_track() -> Track {
+    WORKER_ID.with(|c| match c.get() {
+        Some(w) => Track::Worker(w),
+        None => Track::Driver,
+    })
+}
 
 /// Hard ceiling on [`default_workers`] — beyond this, batch sizes in the
 /// 64–256 chunk range stop amortizing coordination.
@@ -84,6 +101,7 @@ struct PoolObs {
     batches: CounterHandle,
     jobs: CounterHandle,
     batch_wall_ns: HistogramHandle,
+    tracer: Tracer,
 }
 
 /// One unit of work a pool thread can pick up.
@@ -217,6 +235,7 @@ impl WorkerPool {
             batches: obs.counter("pool.batches"),
             jobs: obs.counter("pool.jobs"),
             batch_wall_ns: obs.histogram("pool.batch_wall_ns"),
+            tracer: obs.tracer().clone(),
         };
     }
 
@@ -239,6 +258,10 @@ impl WorkerPool {
         let obs = self.inner.obs();
         obs.batches.incr();
         obs.tasks.add(n as u64);
+        let _trace = obs
+            .tracer
+            .wall_span(current_track(), "batch")
+            .arg("items", n as u64);
         if self.inner.workers == 0 || n == 1 {
             let start = Instant::now();
             for i in 0..n {
@@ -263,7 +286,7 @@ impl WorkerPool {
         self.inner.cv.notify_all();
 
         let start = Instant::now();
-        core.participate(0);
+        core.participate(0, &obs.tracer);
         core.wait_done();
         obs.batch_wall_ns.record(start.elapsed().as_nanos() as u64);
         obs.steals.add(core.steals());
@@ -347,6 +370,7 @@ impl WorkerPool {
 }
 
 fn worker_main(inner: Arc<Inner>, id: usize) {
+    WORKER_ID.with(|c| c.set(Some(id.min(u16::MAX as usize) as u16)));
     loop {
         let work = {
             let mut st = inner.state.lock().expect("pool state lock");
@@ -364,10 +388,17 @@ fn worker_main(inner: Arc<Inner>, id: usize) {
                 st = inner.cv.wait(st).expect("pool state lock");
             }
         };
+        let tracer = inner.obs().tracer;
         match work {
-            Work::Job(job) => job(),
+            Work::Job(job) => {
+                let _trace = tracer.wall_span(current_track(), "job");
+                job();
+            }
             // Slot `id + 1`: slot 0 belongs to the publishing caller.
-            Work::Batch(core) => core.participate(id + 1),
+            Work::Batch(core) => {
+                let _trace = tracer.wall_span(current_track(), "batch-help");
+                core.participate(id + 1, &tracer);
+            }
         }
     }
 }

@@ -6,9 +6,12 @@
 //! the bin buffer precisely to create "the appropriate sequential writes
 //! for the SSD").
 
+use std::time::Instant;
+
 use dr_binindex::ChunkRef;
 use dr_des::{ExponentialBackoff, Grant, SimDuration, SimTime};
-use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
+use dr_obs::trace::{trace_args, Tracer, Track};
+use dr_obs::{CounterHandle, ObsHandle, StageObs};
 use dr_ssd_sim::{SsdDevice, SsdError};
 
 /// Interned `destage.*` metrics; inert by default.
@@ -19,11 +22,15 @@ struct DestageObs {
     data_pages: CounterHandle,
     index_pages: CounterHandle,
     partial_flushes: CounterHandle,
-    /// Simulated latency of each destaged data page: frame-ready to
-    /// write-grant end, so device queueing is included.
-    sim_ns: HistogramHandle,
+    /// `destage.wall_ns` is the host cost of draining pages to the
+    /// device model; `destage.sim_ns` is the simulated latency of each
+    /// destaged data page (frame-ready to write-grant end, so device
+    /// queueing is included).
+    stage: StageObs,
     /// Retries charged against transient SSD faults.
     write_retries: CounterHandle,
+    /// Fault-track retry instants, on the simulated timeline.
+    tracer: Tracer,
 }
 
 impl DestageObs {
@@ -34,8 +41,9 @@ impl DestageObs {
             data_pages: obs.counter("destage.data_pages"),
             index_pages: obs.counter("destage.index_pages"),
             partial_flushes: obs.counter("destage.partial_flushes"),
-            sim_ns: obs.histogram("destage.sim_ns"),
+            stage: obs.stage("destage"),
             write_retries: obs.counter("fault.ssd_write.retries"),
+            tracer: obs.tracer().clone(),
         }
     }
 }
@@ -133,6 +141,12 @@ impl Destager {
                     retry += 1;
                     self.write_retries += 1;
                     self.obs.write_retries.incr();
+                    self.obs.tracer.sim_instant(
+                        Track::Fault,
+                        "ssd-write retry",
+                        at.as_nanos(),
+                        trace_args(&[("retry", retry as u64)]),
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -156,6 +170,12 @@ impl Destager {
                     retry += 1;
                     self.write_retries += 1;
                     self.obs.write_retries.incr();
+                    self.obs.tracer.sim_instant(
+                        Track::Fault,
+                        "ssd-read retry",
+                        at.as_nanos(),
+                        trace_args(&[("retry", retry as u64)]),
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -225,6 +245,7 @@ impl Destager {
         now: SimTime,
         ssd: &mut SsdDevice,
     ) -> Result<Vec<Grant>, SsdError> {
+        let start = self.obs.stage.wall.is_live().then(Instant::now);
         let mut grants = Vec::new();
         while self.buf.len() >= self.page_bytes {
             // Write from a copy and drain only on success, so a fault that
@@ -235,9 +256,20 @@ impl Destager {
             self.next_data_lpn += 1;
             self.obs.data_pages.incr();
             self.obs
-                .sim_ns
+                .stage
+                .sim
                 .record(g.end.saturating_duration_since(now).as_nanos());
             grants.push(g);
+        }
+        // Wall time only when a page actually went out: an empty drain
+        // would flood the histogram with no-op samples.
+        if let Some(start) = start {
+            if !grants.is_empty() {
+                self.obs
+                    .stage
+                    .wall
+                    .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
         }
         Ok(grants)
     }
@@ -258,6 +290,7 @@ impl Destager {
         if self.free_data_pages() == 0 {
             return Err(SsdError::CapacityExhausted);
         }
+        let start = self.obs.stage.wall.is_live().then(Instant::now);
         let mut page = self.buf.clone();
         page.resize(self.page_bytes, 0);
         let g = self.write_page_retrying(now, ssd, self.next_data_lpn, &page)?;
@@ -266,8 +299,15 @@ impl Destager {
         self.obs.partial_flushes.incr();
         self.obs.data_pages.incr();
         self.obs
-            .sim_ns
+            .stage
+            .sim
             .record(g.end.saturating_duration_since(now).as_nanos());
+        if let Some(start) = start {
+            self.obs
+                .stage
+                .wall
+                .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         // Future appends continue on a fresh page; the flushed page keeps
         // its data addressable (reads use absolute byte addresses).
         Ok(Some(g))

@@ -9,10 +9,12 @@ use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
 use dr_des::{Grant, Resource, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::{hash_chunks_pooled, ChunkDigest};
+use dr_obs::trace::{trace_args, Tracer, Track};
 use dr_obs::{CounterHandle, GaugeHandle, ObsHandle, StageObs};
 use dr_pool::{JobHandle, WorkerPool};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::cpu_model::CpuModel;
 use crate::degrade::{ComponentLatch, DegradePolicy};
@@ -201,6 +203,9 @@ struct PipelineObs {
     gpu_compress_retries: CounterHandle,
     gpu_compress_degraded: CounterHandle,
     ssd_write_degraded: CounterHandle,
+    /// Event tracer (disabled unless the handle carries one): per-batch
+    /// sim-time spans on the pipeline stage tracks, fault instants.
+    tracer: Tracer,
 }
 
 impl PipelineObs {
@@ -222,8 +227,17 @@ impl PipelineObs {
             gpu_compress_retries: obs.counter("fault.gpu_compress.retries"),
             gpu_compress_degraded: obs.counter("fault.gpu_compress.degraded_transitions"),
             ssd_write_degraded: obs.counter("fault.ssd_write.degraded_transitions"),
+            tracer: obs.tracer().clone(),
         }
     }
+}
+
+/// Widens an accumulated `[start, end)` window to cover another interval.
+fn widen(win: &mut Option<(u64, u64)>, start: u64, end: u64) {
+    *win = Some(match *win {
+        None => (start, end),
+        Some((s, e)) => (s.min(start), e.max(end)),
+    });
 }
 
 /// Per-component degradation latches plus the pipeline-level retry tally
@@ -375,6 +389,8 @@ pub struct Pipeline {
     /// Degradation latches (sticky degraded mode with timed re-probes).
     fault: FaultState,
     obs: PipelineObs,
+    /// Monotonic batch id, stamped onto trace events.
+    batch_seq: u64,
     report: Report,
     /// The stream recipe: one stored-chunk reference per ingested chunk,
     /// in write order. Duplicates point at the shared stored copy — this
@@ -434,6 +450,7 @@ impl Pipeline {
             arena: FrameArena::new(config.batch_chunks),
             fault: FaultState::new(config.degrade),
             obs: PipelineObs::new(&config.obs),
+            batch_seq: 0,
             report,
             recipe: Vec::new(),
             config,
@@ -609,8 +626,13 @@ impl Pipeline {
         I: IntoIterator<Item = Vec<u8>>,
     {
         let batch_chunks = self.config.batch_chunks;
+        let chunking_wall = self.obs.chunking.wall.clone();
         let mut blocks = blocks.into_iter();
         let batches = std::iter::from_fn(move || {
+            // This path's "chunking" is batch assembly; time it so the
+            // pre-chunked path reports the same chunking.wall_ns /
+            // chunking.sim_ns pair as `run` does.
+            let start = chunking_wall.is_live().then(Instant::now);
             let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_chunks);
             while batch.len() < batch_chunks {
                 match blocks.next() {
@@ -618,7 +640,13 @@ impl Pipeline {
                     None => break,
                 }
             }
-            (!batch.is_empty()).then_some(BatchPayload::Owned(batch))
+            if batch.is_empty() {
+                return None;
+            }
+            if let Some(start) = start {
+                chunking_wall.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            Some(BatchPayload::Owned(batch))
         });
         self.drive(batches)
     }
@@ -693,12 +721,35 @@ impl Pipeline {
     }
 
     /// Records an operation-level failure on a latch, bumping the matching
-    /// obs counter exactly once per healthy→degraded transition.
-    fn latch_failure(latch: &mut ComponentLatch, now: SimTime, transitions: &CounterHandle) {
+    /// obs counter exactly once per healthy→degraded transition (and
+    /// emitting a latch-open instant on the fault trace track).
+    fn latch_failure(
+        latch: &mut ComponentLatch,
+        now: SimTime,
+        transitions: &CounterHandle,
+        tracer: &Tracer,
+        opened: &'static str,
+    ) {
         let before = latch.transitions();
         latch.record_failure(now);
         if latch.transitions() > before {
             transitions.incr();
+            tracer.sim_instant(Track::Fault, opened, now.as_nanos(), trace_args(&[]));
+        }
+    }
+
+    /// Records an operation-level success on a latch, emitting a
+    /// latch-close instant when the success actually closed it.
+    fn latch_success(
+        latch: &mut ComponentLatch,
+        now: SimTime,
+        tracer: &Tracer,
+        closed: &'static str,
+    ) {
+        let was_degraded = latch.is_degraded();
+        latch.record_success(now);
+        if was_degraded && !latch.is_degraded() {
+            tracer.sim_instant(Track::Fault, closed, now.as_nanos(), trace_args(&[]));
         }
     }
 
@@ -728,7 +779,12 @@ impl Pipeline {
                 // While degraded, only successes past the rest interval
                 // count as probes (healthy latches make this a no-op).
                 if self.fault.ssd_write.allow_attempt(ready) {
-                    self.fault.ssd_write.record_success(ready);
+                    Self::latch_success(
+                        &mut self.fault.ssd_write,
+                        ready,
+                        &self.obs.tracer,
+                        "ssd-write latch close",
+                    );
                 }
                 (r, grants)
             }
@@ -737,13 +793,20 @@ impl Pipeline {
                     &mut self.fault.ssd_write,
                     ready,
                     &self.obs.ssd_write_degraded,
+                    &self.obs.tracer,
+                    "ssd-write latch open",
                 );
                 let rest = ready + self.config.degrade.reprobe_interval;
                 let grants = self
                     .destage
                     .drain_full(rest, &mut self.ssd)
                     .unwrap_or_else(|e| panic!("destage failed after degraded rest: {e}"));
-                self.fault.ssd_write.record_success(rest);
+                Self::latch_success(
+                    &mut self.fault.ssd_write,
+                    rest,
+                    &self.obs.tracer,
+                    "ssd-write latch close",
+                );
                 (r, grants)
             }
             Err(e) => panic!("destage failed: {e} (size the SSD to the workload)"),
@@ -759,11 +822,20 @@ impl Pipeline {
         let cpu_model = self.config.cpu;
         let arrival = SimTime::ZERO; // closed loop: input is never the bottleneck
 
+        // Tracing is record-only: batch ids and stage windows are derived
+        // from the grants the cost models hand out anyway, so an enabled
+        // tracer never shifts a simulated timestamp.
+        let tracing = self.obs.tracer.is_enabled();
+        let batch_id = self.batch_seq;
+        self.batch_seq += 1;
+
         // ---- Stage 1+2: chunking + hashing (CPU, per chunk, no deps).
         // Fingerprinting only exists on behalf of dedup; the paper's
         // compression-only experiment does not hash.
         let dedup_enabled = self.config.dedup_enabled;
         self.obs.batches.incr();
+        let mut chunk_win: Option<(u64, u64)> = None;
+        let mut hash_win: Option<(u64, u64)> = None;
         let mut chunks: Vec<InFlight> = digests
             .into_iter()
             .enumerate()
@@ -778,6 +850,15 @@ impl Pipeline {
                     cost += hash_cost;
                 }
                 let g = self.cpu.acquire(arrival, cost);
+                if tracing {
+                    // One CPU grant covers chunk-then-hash; split it at the
+                    // chunk/hash cost boundary for the per-stage tracks.
+                    let split = (g.start + chunk_cost).as_nanos();
+                    widen(&mut chunk_win, g.start.as_nanos(), split);
+                    if dedup_enabled {
+                        widen(&mut hash_win, split, g.end.as_nanos());
+                    }
+                }
                 InFlight {
                     digest,
                     ready_at: g.end,
@@ -785,6 +866,25 @@ impl Pipeline {
                 }
             })
             .collect();
+        let n_chunks = chunks.len() as u64;
+        if let Some((s, e)) = chunk_win {
+            self.obs.tracer.sim_span(
+                Track::Chunk,
+                "chunk",
+                s,
+                e,
+                trace_args(&[("batch", batch_id), ("chunks", n_chunks)]),
+            );
+        }
+        if let Some((s, e)) = hash_win {
+            self.obs.tracer.sim_span(
+                Track::Hash,
+                "hash",
+                s,
+                e,
+                trace_args(&[("batch", batch_id), ("chunks", n_chunks)]),
+            );
+        }
         self.report.chunks += chunks.len() as u64;
         self.report.bytes_in += (0..payload.len())
             .map(|i| payload.view(i).len() as u64)
@@ -792,8 +892,13 @@ impl Pipeline {
 
         // ---- Stage 3: deduplication. ----
         if self.config.dedup_enabled {
+            let index_start = if tracing {
+                chunks.iter().map(|c| c.ready_at.as_nanos()).min()
+            } else {
+                None
+            };
             let probe_span = self.obs.index_probe.span();
-            self.dedup_batch(payload, &mut chunks);
+            self.dedup_batch(payload, &mut chunks, batch_id);
             probe_span.finish();
             // Intra-batch duplicates: an earlier chunk of this batch may
             // cover a later one. In the paper's per-chunk pipeline the
@@ -824,6 +929,20 @@ impl Pipeline {
                     pending.insert(chunk.digest);
                 }
             }
+            if let Some(s) = index_start {
+                let e = chunks
+                    .iter()
+                    .map(|c| c.ready_at.as_nanos())
+                    .max()
+                    .unwrap_or(s);
+                self.obs.tracer.sim_span(
+                    Track::Index,
+                    "index",
+                    s,
+                    e.max(s),
+                    trace_args(&[("batch", batch_id), ("chunks", n_chunks)]),
+                );
+            }
         }
 
         // Logical map slots for this batch, filled as chunks resolve.
@@ -844,6 +963,19 @@ impl Pipeline {
         // possible write path (the ISSUE's "reduction is best-effort,
         // correctness is not"). Re-probes close the latch again.
         let shed_compression = self.fault.ssd_write.is_degraded();
+        // Compress span start: the raw/shed paths charge no compression
+        // time, so only real codec passes get a span.
+        let trace_compress =
+            tracing && self.config.compress_enabled && !shed_compression && !unique.is_empty();
+        let compress_start = if trace_compress {
+            unique
+                .iter()
+                .map(|&i| chunks[i].ready_at.as_nanos())
+                .min()
+                .unwrap_or(0)
+        } else {
+            0
+        };
         let frames: Vec<(usize, Vec<u8>, SimTime)> =
             if !self.config.compress_enabled || shed_compression {
                 unique
@@ -865,6 +997,20 @@ impl Pipeline {
                 span.finish();
                 frames
             };
+        if trace_compress {
+            let end = frames
+                .iter()
+                .map(|(_, _, t)| t.as_nanos())
+                .max()
+                .unwrap_or(compress_start);
+            self.obs.tracer.sim_span(
+                Track::Compress,
+                "compress",
+                compress_start,
+                end.max(compress_start),
+                trace_args(&[("batch", batch_id), ("chunks", unique.len() as u64)]),
+            );
+        }
         if self.config.compress_enabled && self.config.obs.is_enabled() {
             let in_bytes: i64 = unique.iter().map(|&i| payload.view(i).len() as i64).sum();
             let out_bytes: i64 = frames.iter().map(|(_, f, _)| f.len() as i64).sum();
@@ -872,6 +1018,7 @@ impl Pipeline {
             self.obs.compress_out_bytes.add(out_bytes);
         }
 
+        let mut destage_win: Option<(u64, u64)> = None;
         for (i, frame_bytes, ready) in frames {
             if self.config.verify {
                 let back = frame::open(&frame_bytes).expect("self-check: frame must decode");
@@ -889,6 +1036,9 @@ impl Pipeline {
             refs[i] = Some(chunk_ref);
             for g in grants {
                 self.report.ssd_end = self.report.ssd_end.max(g.end);
+                if tracing {
+                    widen(&mut destage_win, g.start.as_nanos(), g.end.as_nanos());
+                }
             }
             // Index insert (CPU) + flush handling.
             if self.config.dedup_enabled {
@@ -911,6 +1061,8 @@ impl Pipeline {
                             &mut self.fault.ssd_write,
                             g.end,
                             &self.obs.ssd_write_degraded,
+                            &self.obs.tracer,
+                            "ssd-write latch open",
                         ),
                         Err(_) => {}
                     }
@@ -936,7 +1088,12 @@ impl Pipeline {
                             };
                             match synced {
                                 Ok(t) => {
-                                    self.fault.gpu_dedup.record_success(t);
+                                    Self::latch_success(
+                                        &mut self.fault.gpu_dedup,
+                                        t,
+                                        &self.obs.tracer,
+                                        "gpu-dedup latch close",
+                                    );
                                     self.report.gpu_index_sync_end =
                                         self.report.gpu_index_sync_end.max(t);
                                 }
@@ -944,6 +1101,8 @@ impl Pipeline {
                                     &mut self.fault.gpu_dedup,
                                     g.end,
                                     &self.obs.gpu_dedup_degraded,
+                                    &self.obs.tracer,
+                                    "gpu-dedup latch open",
                                 ),
                             }
                         }
@@ -956,6 +1115,15 @@ impl Pipeline {
             // The frame has been copied out to the device: recycle its
             // buffer for the next batch.
             self.arena.put(frame_bytes);
+        }
+        if let Some((s, e)) = destage_win {
+            self.obs.tracer.sim_span(
+                Track::Destage,
+                "destage",
+                s,
+                e,
+                trace_args(&[("batch", batch_id)]),
+            );
         }
 
         // Intra-batch duplicates point at the stored copy of their first
@@ -985,7 +1153,7 @@ impl Pipeline {
 
     /// Dedup stage: optional GPU probe pass, then the CPU bin-buffer /
     /// bin-tree path for unresolved chunks (the paper's Fig. 1).
-    fn dedup_batch(&mut self, payload: &BatchPayload, chunks: &mut [InFlight]) {
+    fn dedup_batch(&mut self, payload: &BatchPayload, chunks: &mut [InFlight], batch_id: u64) {
         let cpu_model = self.config.cpu;
 
         /// What the CPU still has to probe for one chunk.
@@ -1014,6 +1182,12 @@ impl Pipeline {
         } else {
             self.obs.routing.to_cpu.add(chunks.len() as u64);
         }
+        self.obs.tracer.sim_instant(
+            Track::Route,
+            if use_gpu { "to-gpu" } else { "to-cpu" },
+            batch_ready.as_nanos(),
+            trace_args(&[("batch", batch_id), ("chunks", chunks.len() as u64)]),
+        );
         if use_gpu {
             let gpu_index = self.gpu_index.as_mut().expect("use_gpu implies an index");
             let digests: Vec<_> = chunks.iter().map(|c| c.digest).collect();
@@ -1028,13 +1202,24 @@ impl Pipeline {
                         retry += 1;
                         self.fault.retries += 1;
                         self.obs.gpu_dedup_retries.incr();
+                        self.obs.tracer.sim_instant(
+                            Track::Fault,
+                            "gpu-dedup retry",
+                            at.as_nanos(),
+                            trace_args(&[("retry", retry as u64)]),
+                        );
                     }
                     Err(_) => break None,
                 }
             };
             match outcome {
                 Some((probes, report)) => {
-                    self.fault.gpu_dedup.record_success(report.done);
+                    Self::latch_success(
+                        &mut self.fault.gpu_dedup,
+                        report.done,
+                        &self.obs.tracer,
+                        "gpu-dedup latch close",
+                    );
                     self.report.gpu_index_queries += report.queries as u64;
                     self.report.gpu_index_hits += report.hits as u64;
                     for ((chunk, probe), p) in chunks.iter_mut().zip(probes).zip(plan.iter_mut()) {
@@ -1069,6 +1254,8 @@ impl Pipeline {
                         &mut self.fault.gpu_dedup,
                         at,
                         &self.obs.gpu_dedup_degraded,
+                        &self.obs.tracer,
+                        "gpu-dedup latch open",
                     );
                     self.obs.routing.to_cpu.add(chunks.len() as u64);
                     for chunk in chunks.iter_mut() {
@@ -1207,12 +1394,20 @@ impl Pipeline {
                     retry += 1;
                     self.fault.retries += 1;
                     self.obs.gpu_compress_retries.incr();
+                    self.obs.tracer.sim_instant(
+                        Track::Fault,
+                        "gpu-compress retry",
+                        at.as_nanos(),
+                        trace_args(&[("retry", retry as u64)]),
+                    );
                 }
                 Err(_) => {
                     Self::latch_failure(
                         &mut self.fault.gpu_compress,
                         at,
                         &self.obs.gpu_compress_degraded,
+                        &self.obs.tracer,
+                        "gpu-compress latch open",
                     );
                     // The time burnt attempting the GPU is the floor for
                     // the CPU fallback — degradation is never free.
@@ -1220,7 +1415,12 @@ impl Pipeline {
                 }
             }
         };
-        self.fault.gpu_compress.record_success(report.gpu_done);
+        Self::latch_success(
+            &mut self.fault.gpu_compress,
+            report.gpu_done,
+            &self.obs.tracer,
+            "gpu-compress latch close",
+        );
         self.report.gpu_comp_batches += 1;
         let per_chunk_raw = (report.raw_token_bytes as usize / unique.len()).max(1);
         unique

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use dr_des::{Grant, Resource, SimDuration, SimTime};
+use dr_obs::trace::{trace_args, Tracer, Track};
 use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
 use crate::error::SsdError;
@@ -35,6 +36,8 @@ struct SsdObs {
     write_ns: HistogramHandle,
     read_ns: HistogramHandle,
     faults_injected: CounterHandle,
+    /// Device events on the sim-time axis (the `Ssd` track).
+    tracer: Tracer,
 }
 
 impl SsdObs {
@@ -47,6 +50,7 @@ impl SsdObs {
             write_ns: obs.histogram("ssd.write_sim_ns"),
             read_ns: obs.histogram("ssd.read_sim_ns"),
             faults_injected: obs.counter("fault.ssd.injected"),
+            tracer: obs.tracer().clone(),
         }
     }
 }
@@ -247,6 +251,13 @@ impl SsdDevice {
         self.obs
             .write_ns
             .record(end.saturating_duration_since(front.start).as_nanos());
+        self.obs.tracer.sim_span(
+            Track::Ssd,
+            "write-page",
+            front.start.as_nanos(),
+            end.as_nanos(),
+            trace_args(&[("lpn", lpn)]),
+        );
         Ok(Grant {
             start: front.start,
             end,
@@ -289,6 +300,13 @@ impl SsdDevice {
         self.obs
             .read_ns
             .record(end.saturating_duration_since(front.start).as_nanos());
+        self.obs.tracer.sim_span(
+            Track::Ssd,
+            "read-page",
+            front.start.as_nanos(),
+            end.as_nanos(),
+            trace_args(&[("lpn", lpn)]),
+        );
         Ok((
             data,
             Grant {

@@ -7,12 +7,41 @@
 # Usage:
 #   scripts/bench.sh            # full-scale run
 #   DR_SCALE=0.1 scripts/bench.sh   # scaled-down smoke run (e.g. CI)
+#   scripts/bench.sh --compare BENCH_20260801.json
+#                               # run, then gate against a baseline
 #
 # The JSON records per-experiment wall-clock seconds plus environment
 # details, so successive runs (before/after a change) can be diffed.
+#
+# --compare: after the run, each experiment's wall time is compared to
+# the baseline file; any slowdown beyond DR_BENCH_REGRESSION_PCT percent
+# (default 10) fails the script with exit code 1 — the bench regression
+# gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+BASELINE=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --compare)
+            BASELINE="${2:?--compare needs a baseline BENCH_<date>.json}"
+            shift 2
+            ;;
+        --compare=*)
+            BASELINE="${1#--compare=}"
+            shift
+            ;;
+        *)
+            echo "error: unknown argument '$1'" >&2
+            exit 2
+            ;;
+    esac
+done
+if [ -n "${BASELINE}" ] && [ ! -r "${BASELINE}" ]; then
+    echo "error: baseline '${BASELINE}' is not readable" >&2
+    exit 2
+fi
 
 echo "==> cargo build --release -p dr-bench"
 cargo build --release -q -p dr-bench
@@ -50,3 +79,29 @@ done
 } > "${OUT}"
 
 echo "wrote ${OUT}"
+
+# Regression gate: compare this run's wall seconds to the baseline's.
+if [ -n "${BASELINE}" ]; then
+    THRESHOLD="${DR_BENCH_REGRESSION_PCT:-10}"
+    echo "==> compare against ${BASELINE} (threshold +${THRESHOLD}%)"
+    fail=0
+    for bench in "${BENCHES[@]}"; do
+        old=$(awk -v key="\"${bench}\":" '$1 == key { gsub(/,/, "", $2); print $2 }' "${BASELINE}")
+        if [ -z "${old}" ]; then
+            echo "    ${bench}: not in baseline, skipping"
+            continue
+        fi
+        new="${SECS[$bench]}"
+        verdict=$(awk -v old="$old" -v new="$new" -v pct="$THRESHOLD" 'BEGIN {
+            delta = (new - old) / old * 100.0
+            printf "%+.1f%% (%.3fs -> %.3fs)", delta, old, new
+            exit (delta > pct) ? 1 : 0
+        }') || { fail=1; verdict="${verdict}  REGRESSION"; }
+        echo "    ${bench}: ${verdict}"
+    done
+    if [ "${fail}" -ne 0 ]; then
+        echo "bench regression gate FAILED (threshold +${THRESHOLD}%)" >&2
+        exit 1
+    fi
+    echo "bench regression gate passed."
+fi

@@ -49,4 +49,28 @@ cargo run --release -q -p dr-bench --bin fault_matrix
 echo "==> dr-check smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes x 2 scenarios)"
 cargo run --release -q -p dr-check -- run --mode all --scenario both
 
+# Trace smoke: a traced bench run must exit cleanly, leave stdout
+# bit-identical to an untraced run (DESIGN.md §12), and write a
+# non-empty Chrome trace_event document.
+echo "==> trace smoke (e2 scaled down, traced vs untraced stdout diff)"
+TRACE_JSON="target/ci-trace.json"
+DR_SCALE=0.125 target/release/e2_dedup_throughput > target/ci-e2-plain.out
+DR_SCALE=0.125 target/release/e2_dedup_throughput --trace "${TRACE_JSON}" \
+    > target/ci-e2-traced.out 2> target/ci-e2-traced.err
+diff target/ci-e2-plain.out target/ci-e2-traced.out
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "${TRACE_JSON}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+assert any(e.get("ph") == "X" for e in events), "trace has no spans"
+print(f"    trace OK: {len(events)} events")
+EOF
+else
+    # No JSON parser available: at least require a non-empty document.
+    [ -s "${TRACE_JSON}" ] && grep -q '"traceEvents"' "${TRACE_JSON}"
+    echo "    trace OK (python3 unavailable; checked non-empty only)"
+fi
+
 echo "CI gate passed."

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! inline-dr run [--mb N] [--dedup R] [--comp R] [--mode M] [--verify] [--metrics]
+//!               [--trace FILE]
 //! inline-dr check run|replay ...
 //! inline-dr calibrate [--gpu hd7970|igpu|dgpu]
 //! inline-dr endurance [--mb N]
@@ -9,7 +10,7 @@
 //! ```
 
 use inline_dr::gpu_sim::GpuSpec;
-use inline_dr::obs::ObsHandle;
+use inline_dr::obs::{ObsHandle, Tracer};
 use inline_dr::reduction::{
     calibrate, compare_endurance, IntegrationMode, Pipeline, PipelineConfig,
 };
@@ -86,11 +87,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mode = parse_mode(args.get("mode").unwrap_or("gpu-compression"))?;
     let gpu_spec = parse_gpu(args.get("gpu").unwrap_or("hd7970"))?;
     let verify = args.get("verify").is_some();
+    let trace_path = args.get("trace").map(std::path::PathBuf::from);
+    let tracer = if trace_path.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
     let obs = if args.get("metrics").is_some() {
         ObsHandle::enabled("cli/run")
     } else {
         ObsHandle::disabled()
-    };
+    }
+    .with_tracer(tracer.clone());
 
     let generator = StreamGenerator::new(StreamConfig {
         total_bytes: (mb * (1 << 20) as f64) as u64,
@@ -110,6 +118,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("{report}");
     if let Some(snap) = obs.snapshot() {
         print!("\n{snap}");
+    }
+    if let Some(path) = trace_path {
+        let sink = tracer
+            .sink()
+            .expect("tracer is enabled when --trace is set");
+        let events = sink.drain();
+        let dropped = sink.dropped();
+        std::fs::write(&path, inline_dr::obs::chrome_trace_json(&events, dropped))
+            .map_err(|e| format!("--trace {}: {e}", path.display()))?;
+        eprint!("{}", inline_dr::obs::profile(&events, dropped));
+        eprintln!(
+            "trace: {} events -> {} (open in chrome://tracing or ui.perfetto.dev)",
+            events.len(),
+            path.display()
+        );
     }
     Ok(())
 }
@@ -185,6 +208,7 @@ fn usage() -> &'static str {
      commands:\n\
        run        run a synthetic stream through the pipeline\n\
                   [--mb N] [--dedup R] [--comp R] [--mode M] [--gpu G] [--verify] [--metrics]\n\
+                  [--trace FILE]  (Chrome trace JSON + profile on stderr)\n\
        check      model-based differential checker  (check run | check replay <file>)\n\
        calibrate  probe all integration modes with dummy I/O  [--gpu G]\n\
        endurance  compare inline / background / no reduction  [--mb N]\n\
