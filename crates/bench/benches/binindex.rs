@@ -63,12 +63,13 @@ fn bench_lookup(c: &mut Criterion) {
         widths.push(host);
     }
     for workers in widths {
+        // The caller participates in every batch, so `workers - 1` pool
+        // threads give the requested total width.
+        let pool = dr_pool::WorkerPool::new(workers - 1);
         group.bench_with_input(
             BenchmarkId::new("parallel-batch", workers),
             &workers,
-            |b, &workers| {
-                b.iter(|| black_box(index.lookup_batch_parallel(&queries, workers).len()))
-            },
+            |b, _| b.iter(|| black_box(index.lookup_batch_on(&pool, &queries).len())),
         );
     }
     group.finish();

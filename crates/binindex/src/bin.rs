@@ -1,8 +1,14 @@
-//! One bin: a small buffer of recent inserts in front of a bin tree.
-
-use std::collections::BTreeMap;
+//! One bin: a small buffer of recent inserts in front of a flushed store.
+//!
+//! Both halves are flat SoA [`EntryPage`]s (see [`crate::page`]): the
+//! buffer is append-ordered and probed newest-first, the flushed store is
+//! key-sorted with unique keys — the same observable behaviour as the
+//! previous buffer-plus-`BTreeMap` layout (sorted iteration, nth-key
+//! eviction, last-write-wins flush merges), but over contiguous columns
+//! that probes SWAR-scan and the GPU mirror copies without re-packing.
 
 use crate::entry::ChunkRef;
+use crate::page::EntryPage;
 
 /// The key a bin stores: the digest with its routed prefix zeroed.
 ///
@@ -35,13 +41,13 @@ impl FlushEvent {
     }
 }
 
-/// A single bin: append buffer + ordered tree.
+/// A single bin: append buffer + key-sorted flushed page.
 #[derive(Debug, Clone, Default)]
 pub struct Bin {
     /// Most-recent inserts, searched newest-first (temporal locality).
-    buffer: Vec<(BinKey, ChunkRef)>,
-    /// The main store for this bin.
-    tree: BTreeMap<BinKey, ChunkRef>,
+    buffer: EntryPage,
+    /// The main store for this bin: sorted by key, unique keys.
+    flushed: EntryPage,
 }
 
 impl Bin {
@@ -55,14 +61,14 @@ impl Bin {
         self.buffer.len()
     }
 
-    /// Entries in the tree.
+    /// Entries in the flushed (sorted) store.
     pub fn tree_len(&self) -> usize {
-        self.tree.len()
+        self.flushed.len()
     }
 
     /// Total entries in this bin.
     pub fn len(&self) -> usize {
-        self.buffer.len() + self.tree.len()
+        self.buffer.len() + self.flushed.len()
     }
 
     /// True when the bin holds no entries.
@@ -70,29 +76,26 @@ impl Bin {
         self.len() == 0
     }
 
-    /// Looks `key` up in the buffer (newest first), then the tree.
-    /// Returns where it was found for hit-path statistics.
+    /// Looks `key` up in the buffer (newest first), then the flushed
+    /// store. Returns where it was found for hit-path statistics.
+    /// Allocation-free: both probes walk the page columns in place.
     pub fn lookup(&self, key: &BinKey) -> Option<(ChunkRef, BinHit)> {
-        for (k, v) in self.buffer.iter().rev() {
-            if k == key {
-                return Some((*v, BinHit::Buffer));
-            }
+        if let Some(i) = self.buffer.rfind(key) {
+            return Some((self.buffer.ref_at(i), BinHit::Buffer));
         }
-        self.tree.get(key).map(|v| (*v, BinHit::Tree))
+        self.flushed
+            .find_sorted(key)
+            .map(|i| (self.flushed.ref_at(i), BinHit::Tree))
     }
 
     /// Looks `key` up in the buffer only — used when a GPU probe has
-    /// already settled the flushed (tree) portion of this bin.
+    /// already settled the flushed portion of this bin.
     pub fn lookup_buffer(&self, key: &BinKey) -> Option<ChunkRef> {
-        self.buffer
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| *v)
+        self.buffer.rfind(key).map(|i| self.buffer.ref_at(i))
     }
 
     /// Appends `key` to the buffer. When the buffer reaches `capacity`, it
-    /// is flushed into the tree and the flush is returned.
+    /// is flushed into the sorted store and the flush is returned.
     pub fn insert(
         &mut self,
         key: BinKey,
@@ -100,12 +103,10 @@ impl Bin {
         capacity: usize,
         bin_id: usize,
     ) -> Option<FlushEvent> {
-        self.buffer.push((key, r));
+        self.buffer.push(&key, r);
         if self.buffer.len() >= capacity {
-            let entries: Vec<(BinKey, ChunkRef)> = std::mem::take(&mut self.buffer);
-            for (k, v) in &entries {
-                self.tree.insert(*k, *v);
-            }
+            let entries = self.buffer.take_entries();
+            self.merge_flush(&entries);
             Some(FlushEvent {
                 bin: bin_id,
                 entries,
@@ -115,22 +116,71 @@ impl Bin {
         }
     }
 
-    /// Inserts directly into the bin tree, bypassing the buffer — the
+    /// Merges a flushed batch into the sorted store in one pass. Within
+    /// the batch the **last** occurrence of a duplicate key wins, and
+    /// batch entries overwrite existing keys — the same observable result
+    /// as inserting the batch into a map in append order.
+    fn merge_flush(&mut self, entries: &[(BinKey, ChunkRef)]) {
+        // Sort batch indices by key, stable, so equal keys keep append
+        // order; then keep only the last occurrence of each key.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| entries[a].0.cmp(&entries[b].0));
+        let mut batch: Vec<usize> = Vec::with_capacity(order.len());
+        for i in order {
+            match batch.last_mut() {
+                Some(last) if entries[*last].0 == entries[i].0 => *last = i,
+                _ => batch.push(i),
+            }
+        }
+
+        let old = std::mem::take(&mut self.flushed);
+        let mut merged = EntryPage::with_capacity(old.len() + batch.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old.len() && b < batch.len() {
+            let (bk, bv) = &entries[batch[b]];
+            match old.key_at(a).cmp(bk) {
+                std::cmp::Ordering::Less => {
+                    merged.push(old.key_at(a), old.ref_at(a));
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(bk, *bv);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(bk, *bv);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        while a < old.len() {
+            merged.push(old.key_at(a), old.ref_at(a));
+            a += 1;
+        }
+        while b < batch.len() {
+            let (bk, bv) = &entries[batch[b]];
+            merged.push(bk, *bv);
+            b += 1;
+        }
+        self.flushed = merged;
+    }
+
+    /// Inserts directly into the flushed store, bypassing the buffer — the
     /// snapshot-restore path (restored entries are "already flushed").
-    /// Returns true when the key was new to the tree.
+    /// Returns true when the key was new to the store.
     pub fn restore_entry(&mut self, key: BinKey, r: ChunkRef) -> bool {
-        self.tree.insert(key, r).is_none()
+        self.flushed.insert_sorted(&key, r)
     }
 
     /// Removes the entry at pseudo-random position `nonce` (random
-    /// replacement). Prefers evicting from the tree; falls back to the
-    /// buffer. Returns the evicted key, or `None` when the bin is empty.
+    /// replacement). Prefers evicting from the flushed store — the nth key
+    /// in sorted order, as the tree formulation evicted — and falls back
+    /// to the buffer. Returns the evicted key, or `None` when empty.
     pub fn evict_random(&mut self, nonce: u64) -> Option<BinKey> {
-        if !self.tree.is_empty() {
-            let idx = (nonce % self.tree.len() as u64) as usize;
-            let key = *self.tree.keys().nth(idx).expect("index in range");
-            self.tree.remove(&key);
-            Some(key)
+        if !self.flushed.is_empty() {
+            let idx = (nonce % self.flushed.len() as u64) as usize;
+            Some(self.flushed.remove(idx).0)
         } else if !self.buffer.is_empty() {
             let idx = (nonce % self.buffer.len() as u64) as usize;
             Some(self.buffer.swap_remove(idx).0)
@@ -139,18 +189,28 @@ impl Bin {
         }
     }
 
-    /// Iterates over every entry (tree then buffer), for GPU bin rebuilds.
+    /// Iterates over every entry (flushed then buffer), for GPU bin
+    /// rebuilds.
     pub fn iter(&self) -> impl Iterator<Item = (&BinKey, &ChunkRef)> {
-        self.tree
-            .iter()
-            .chain(self.buffer.iter().map(|(k, v)| (k, v)))
+        self.flushed.iter().chain(self.buffer.iter())
     }
 
-    /// Iterates over the tree (flushed) entries only — the portion the
-    /// GPU-resident linear bin mirrors; buffer entries reach the device
-    /// with the next flush.
+    /// Iterates over the flushed entries only (sorted by key) — the
+    /// portion the GPU-resident linear bin mirrors; buffer entries reach
+    /// the device with the next flush.
     pub fn iter_tree(&self) -> impl Iterator<Item = (&BinKey, &ChunkRef)> {
-        self.tree.iter()
+        self.flushed.iter()
+    }
+
+    /// The flushed store's page — the contiguous columns the GPU mirror
+    /// and columnar snapshot read directly.
+    pub fn flushed_page(&self) -> &EntryPage {
+        &self.flushed
+    }
+
+    /// The recent-insert buffer's page.
+    pub fn buffer_page(&self) -> &EntryPage {
+        &self.buffer
     }
 }
 

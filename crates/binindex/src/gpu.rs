@@ -24,6 +24,7 @@ use dr_hashes::ChunkDigest;
 
 use crate::bin::{BinKey, FlushEvent};
 use crate::entry::ChunkRef;
+use crate::page::EntryPage;
 use crate::router::BinRouter;
 
 /// Cycles a GPU lane spends per 20-byte key comparison (loads + compare).
@@ -139,8 +140,9 @@ pub struct GpuBinIndex {
     slot_of_bin: HashMap<usize, usize>,
     /// slot → bin id.
     bin_of_slot: Vec<Option<usize>>,
-    /// Host-side metadata, parallel to the device linear tables.
-    meta: Vec<Vec<(BinKey, ChunkRef)>>,
+    /// Host-side metadata, parallel to the device linear tables: one SoA
+    /// page per slot whose key column is byte-identical to the device copy.
+    meta: Vec<EntryPage>,
     /// Whether each slot mirrors its bin completely (authoritative misses).
     complete: Vec<bool>,
     /// Install sequence per slot (FIFO) and last-use tick (LRU).
@@ -171,7 +173,7 @@ impl GpuBinIndex {
             table,
             slot_of_bin: HashMap::new(),
             bin_of_slot: vec![None; config.bin_slots],
-            meta: vec![Vec::new(); config.bin_slots],
+            meta: vec![EntryPage::new(); config.bin_slots],
             complete: vec![false; config.bin_slots],
             installed_at: vec![0; config.bin_slots],
             used_at: vec![0; config.bin_slots],
@@ -237,15 +239,14 @@ impl GpuBinIndex {
         gpu: &mut GpuDevice,
         slot: usize,
     ) -> Result<SimTime, GpuError> {
-        let mut bytes = Vec::with_capacity(self.meta[slot].len() * 20);
-        for (key, _) in &self.meta[slot] {
-            bytes.extend_from_slice(key);
-        }
+        // The page's key column is already the device byte layout — the
+        // upload is one contiguous copy, no per-entry re-packing.
+        let bytes = self.meta[slot].key_bytes();
         if bytes.is_empty() {
             return Ok(now);
         }
         let offset = (slot * self.config.entries_per_bin * 20) as u64;
-        let grant = gpu.write_buffer(now, self.table, offset, &bytes)?;
+        let grant = gpu.write_buffer(now, self.table, offset, bytes)?;
         Ok(grant.end)
     }
 
@@ -279,7 +280,11 @@ impl GpuBinIndex {
         self.used_at[slot] = self.tick;
         let take = entries.len().min(self.config.entries_per_bin);
         // Keep the most recent entries when the bin exceeds table capacity.
-        self.meta[slot] = entries[entries.len() - take..].to_vec();
+        let page = &mut self.meta[slot];
+        page.clear();
+        for (key, r) in &entries[entries.len() - take..] {
+            page.push(key, *r);
+        }
         self.complete[slot] = take == entries.len();
         self.sync_slot(now, gpu, slot)
     }
@@ -303,17 +308,17 @@ impl GpuBinIndex {
         self.used_at[slot] = self.tick;
         for (key, r) in &flush.entries {
             if self.meta[slot].len() < self.config.entries_per_bin {
-                self.meta[slot].push((*key, *r));
+                self.meta[slot].push(key, *r);
             } else {
                 let victim = match self.config.policy {
                     ReplacementPolicy::Random => {
                         self.rng.next_below(self.config.entries_per_bin as u64) as usize
                     }
                     // Entry-level FIFO/LRU degrade to replacing the oldest
-                    // (front) entry; the vector is append-ordered.
+                    // (front) entry; the page is append-ordered.
                     ReplacementPolicy::Fifo | ReplacementPolicy::Lru => 0,
                 };
-                self.meta[slot][victim] = (*key, *r);
+                self.meta[slot].set_at(victim, key, *r);
                 // An entry was dropped: misses are no longer authoritative.
                 self.complete[slot] = false;
             }
@@ -366,9 +371,10 @@ impl GpuBinIndex {
                     resident_queries += 1;
                     self.used_at[slot] = self.tick;
                     let table = &self.meta[slot];
-                    // Functional search is layout-independent; the cost is
-                    // not.
-                    let found = table.iter().find(|(k, _)| *k == key).map(|(_, r)| *r);
+                    // Functional search is layout-independent (oldest
+                    // entry wins, as the device linear scan would report);
+                    // the cost model is not.
+                    let found = table.find(&key).map(|i| table.ref_at(i));
                     results.push(match found {
                         Some(r) => {
                             hits += 1;

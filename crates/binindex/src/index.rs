@@ -406,8 +406,13 @@ impl BinIndex {
     /// so every thread touches disjoint bins — the paper's lock-free
     /// parallel indexing. Results are in input order.
     ///
-    /// Builds a transient pool per call; prefer [`BinIndex::lookup_batch_on`]
-    /// with a long-lived pool on hot paths.
+    /// Spawns and tears down a whole `WorkerPool` per call, which costs
+    /// more than the probes it parallelizes; every production path routes
+    /// through [`BinIndex::lookup_batch_on`] (or
+    /// [`BinIndex::probe_batch_on`]) with a long-lived pool instead.
+    #[deprecated(
+        note = "builds a transient WorkerPool per call; use lookup_batch_on with a long-lived pool"
+    )]
     pub fn lookup_batch_parallel(
         &mut self,
         digests: &[ChunkDigest],
@@ -486,6 +491,79 @@ impl BinIndex {
         self.obs.misses.add(misses);
         results
     }
+
+    /// Stats-free batched probe over an existing pool, in input order.
+    ///
+    /// The pipeline's dedup stage owns its own hit accounting (simulated
+    /// per-chunk costs must be charged serially, in input order), so this
+    /// variant leaves [`IndexStats`] untouched and takes `&self` — probes
+    /// only read the bin pages. Queries are partitioned by bin shard like
+    /// [`BinIndex::lookup_batch_on`]; a zero-worker pool degrades to a
+    /// serial scan on the caller.
+    pub fn probe_batch_on(
+        &self,
+        pool: &WorkerPool,
+        queries: &[(ChunkDigest, ProbeKind)],
+    ) -> Vec<Option<(ChunkRef, BinHit)>> {
+        let mut results = vec![None; queries.len()];
+        if queries.is_empty() {
+            return results;
+        }
+        let shards = (pool.workers() + 1).min(queries.len());
+        let bins = &self.bins;
+        let router = self.router;
+        let prefix = self.config.prefix_bytes;
+
+        let probe_one = |d: &ChunkDigest, kind: ProbeKind| {
+            let bin = router.route(d);
+            let mut key = *d.as_bytes();
+            for b in key.iter_mut().take(prefix) {
+                *b = 0;
+            }
+            match kind {
+                ProbeKind::Full => bins[bin].lookup(&key),
+                ProbeKind::BufferOnly => bins[bin].lookup_buffer(&key).map(|r| (r, BinHit::Buffer)),
+            }
+        };
+
+        if shards == 1 {
+            for (slot, (d, kind)) in results.iter_mut().zip(queries) {
+                *slot = probe_one(d, *kind);
+            }
+            return results;
+        }
+
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, (d, _)) in queries.iter().enumerate() {
+            partitions[self.router.route(d) % shards].push(i);
+        }
+        type Probe = (usize, Option<(ChunkRef, BinHit)>);
+        let mut shard_out: Vec<Vec<Probe>> = vec![Vec::new(); shards];
+        pool.for_each_mut(&mut shard_out, |shard, local| {
+            let part = &partitions[shard];
+            local.reserve(part.len());
+            for &i in part {
+                let (d, kind) = &queries[i];
+                local.push((i, probe_one(d, *kind)));
+            }
+        });
+        for local in shard_out {
+            for (i, r) in local {
+                results[i] = r;
+            }
+        }
+        results
+    }
+}
+
+/// Which portions of a bin a batched CPU probe must search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Bin buffer (newest-first), then the flushed store.
+    Full,
+    /// Bin buffer only — the flushed portion is already settled, e.g. by
+    /// a GPU authoritative miss.
+    BufferOnly,
 }
 
 #[cfg(test)]
@@ -575,6 +653,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim keeps working until it is removed
     fn parallel_batch_matches_serial() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
         for i in 0..500 {
@@ -599,6 +678,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim keeps working until it is removed
     fn parallel_batch_updates_stats() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
         for i in 0..100 {
@@ -617,6 +697,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim keeps working until it is removed
     fn empty_batch() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
         assert!(idx.lookup_batch_parallel(&[], 4).is_empty());

@@ -47,6 +47,7 @@ pub mod entry;
 pub mod gpu;
 pub mod index;
 pub mod memory;
+pub mod page;
 pub mod router;
 pub mod snapshot;
 
@@ -57,7 +58,8 @@ pub use entry::ChunkRef;
 pub use gpu::{
     GpuBinIndex, GpuBinIndexConfig, GpuBinLayout, GpuLookupReport, GpuProbe, ReplacementPolicy,
 };
-pub use index::{BinIndex, BinIndexConfig, IndexStats};
+pub use index::{BinIndex, BinIndexConfig, IndexStats, ProbeKind};
 pub use memory::MemoryModel;
+pub use page::EntryPage;
 pub use router::{BinRouter, RoutingObs};
 pub use snapshot::{restore, snapshot, SnapshotError};

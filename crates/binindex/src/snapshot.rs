@@ -8,23 +8,36 @@
 //! landing directly in the bin trees (a restore is logically "everything
 //! already flushed").
 //!
-//! # Format (version 2)
+//! # Format (version 3, columnar)
 //!
 //! ```text
 //! bytes 0..4    magic "DRIX"
-//! byte  4       version (2)
+//! byte  4       version (3)
 //! byte  5       prefix_bytes
 //! bytes 6..10   bin_buffer_capacity, LE u32
 //! bytes 10..18  max_entries, LE u64
 //! bytes 18..26  rng seed, LE u64
-//! bytes 26..34  entry count, LE u64
-//! entries       bin id (prefix_bytes bytes, BE) + digest suffix
-//!               (20 − prefix_bytes bytes) + addr (LE u64) + len (LE u32)
+//! bytes 26..34  total entry count, LE u64
+//! per non-empty bin (ascending bin id):
+//!   bin id      LE u32
+//!   bin count   LE u32
+//!   suffix col  count × (20 − prefix_bytes) bytes (digest suffixes, in
+//!               bin order: flushed page sorted-by-key, then buffer page
+//!               in append order)
+//!   addr col    count × LE u64
+//!   len col     count × LE u32
 //! trailer       CRC-32C of every preceding byte, LE u32
 //! ```
 //!
-//! Version-1 blobs (identical, minus the trailer) are still accepted by
-//! [`restore`]; they simply skip the integrity check.
+//! The per-bin groups mirror the in-memory SoA pages ([`crate::page`]):
+//! each column is written with one sequential walk of the corresponding
+//! page column, and a restore refills the columns in the same order —
+//! ascending keys per bin, so the sorted-page insert path is a straight
+//! append.
+//!
+//! Version-2 blobs (interleaved `bin id + suffix + addr + len` records)
+//! and version-1 blobs (version 2 minus the integrity trailer) are still
+//! accepted by [`restore`].
 
 use std::error::Error;
 use std::fmt;
@@ -34,12 +47,15 @@ use dr_hashes::crc32c;
 use crate::bin::BinKey;
 use crate::entry::ChunkRef;
 use crate::index::{BinIndex, BinIndexConfig};
+use crate::page::KEY_BYTES;
 
 const MAGIC: &[u8; 4] = b"DRIX";
-/// First format revision: no integrity trailer.
+/// First format revision: interleaved records, no integrity trailer.
 const VERSION_V1: u8 = 1;
-/// Current revision: CRC-32C trailer over header + entries.
-const VERSION: u8 = 2;
+/// Second revision: interleaved records + CRC-32C trailer.
+const VERSION_V2: u8 = 2;
+/// Current revision: columnar per-bin groups + CRC-32C trailer.
+const VERSION: u8 = 3;
 const HEADER_LEN: usize = 34;
 const TRAILER_LEN: usize = 4;
 
@@ -96,25 +112,39 @@ pub fn snapshot(index: &BinIndex) -> Result<Vec<u8>, SnapshotError> {
         if bin.is_empty() {
             continue;
         }
-        for (key, r) in bin.iter() {
-            // Bin id occupies exactly the truncated prefix bytes.
-            for shift in (0..prefix).rev() {
-                out.push((bin_id >> (8 * shift)) as u8);
+        let count = u32::try_from(bin.len()).map_err(|_| SnapshotError::BadField("bin_count"))?;
+        out.extend_from_slice(&(bin_id as u32).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        let pages = [bin.flushed_page(), bin.buffer_page()];
+        // Each column is one sequential walk over the matching SoA page
+        // column; the routed prefix bytes (always zero in stored keys)
+        // are stripped on the way out.
+        for page in pages {
+            let keys = page.key_bytes();
+            for i in 0..page.len() {
+                out.extend_from_slice(&keys[i * KEY_BYTES + prefix..(i + 1) * KEY_BYTES]);
             }
-            out.extend_from_slice(&key[prefix..]);
-            out.extend_from_slice(&r.addr().to_le_bytes());
-            out.extend_from_slice(&r.stored_len().to_le_bytes());
+        }
+        for page in pages {
+            for i in 0..page.len() {
+                out.extend_from_slice(&page.ref_at(i).addr().to_le_bytes());
+            }
+        }
+        for page in pages {
+            for i in 0..page.len() {
+                out.extend_from_slice(&page.ref_at(i).stored_len().to_le_bytes());
+            }
         }
     }
     out.extend_from_slice(&crc32c(&out).to_le_bytes());
     Ok(out)
 }
 
-/// Rebuilds an index from a [`snapshot`] blob (version 1 or 2).
+/// Rebuilds an index from a [`snapshot`] blob (version 1, 2, or 3).
 ///
 /// The declared entry count is validated against the actual blob length —
 /// with overflow-checked arithmetic — *before* any allocation is sized
-/// from it, and version-2 blobs must pass their CRC-32C integrity check
+/// from it, and version-2+ blobs must pass their CRC-32C integrity check
 /// before a single entry is trusted.
 ///
 /// # Errors
@@ -128,10 +158,10 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
         return Err(SnapshotError::BadHeader);
     }
     let version = bytes[4];
-    if version != VERSION_V1 && version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 && version != VERSION {
         return Err(SnapshotError::BadHeader);
     }
-    let body_end = if version >= VERSION {
+    let body_end = if version >= VERSION_V2 {
         // The trailer protects header + entries against bit rot.
         let Some(crc_start) = bytes.len().checked_sub(TRAILER_LEN) else {
             return Err(SnapshotError::Truncated);
@@ -161,9 +191,14 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
 
     // Validate the declared count against what the blob actually holds
     // before sizing anything from it: a corrupted count must fail cleanly,
-    // never drive an allocation.
+    // never drive an allocation. Columnar blobs drop the per-entry bin-id
+    // prefix, so the minimum bytes per entry is version-dependent.
     let suffix_len = 20 - prefix;
-    let entry_len = prefix + suffix_len + 12;
+    let entry_len = if version == VERSION {
+        suffix_len + 12
+    } else {
+        prefix + suffix_len + 12
+    };
     let count = usize::try_from(count).map_err(|_| SnapshotError::BadField("entry_count"))?;
     let need = count
         .checked_mul(entry_len)
@@ -184,6 +219,77 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
         ..BinIndexConfig::default()
     });
 
+    if version == VERSION {
+        restore_columnar(&mut index, body, prefix, count)?;
+    } else {
+        restore_interleaved(&mut index, body, prefix, count, entry_len);
+    }
+    Ok(index)
+}
+
+/// Parses the version-3 columnar body: per-bin `(id, count)` headers
+/// followed by suffix / addr / len columns.
+fn restore_columnar(
+    index: &mut BinIndex,
+    body: &[u8],
+    prefix: usize,
+    declared: usize,
+) -> Result<(), SnapshotError> {
+    let suffix_len = 20 - prefix;
+    let per_entry = suffix_len + 12;
+    let bin_count = index.router().bin_count();
+    let mut cursor = 0usize;
+    let mut seen = 0usize;
+    while cursor < body.len() {
+        if body.len() - cursor < 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let bin_id =
+            u32::from_le_bytes(body[cursor..cursor + 4].try_into().expect("4 bytes")) as usize;
+        let n =
+            u32::from_le_bytes(body[cursor + 4..cursor + 8].try_into().expect("4 bytes")) as usize;
+        cursor += 8;
+        if bin_id >= bin_count {
+            return Err(SnapshotError::BadField("bin_id"));
+        }
+        let group = n
+            .checked_mul(per_entry)
+            .ok_or(SnapshotError::BadField("bin_count"))?;
+        if body.len() - cursor < group {
+            return Err(SnapshotError::Truncated);
+        }
+        seen = seen
+            .checked_add(n)
+            .filter(|&s| s <= declared)
+            .ok_or(SnapshotError::BadField("entry_count"))?;
+        let suffixes = &body[cursor..cursor + n * suffix_len];
+        let addrs = &body[cursor + n * suffix_len..cursor + n * (suffix_len + 8)];
+        let lens = &body[cursor + n * (suffix_len + 8)..cursor + group];
+        for i in 0..n {
+            let mut key: BinKey = [0u8; 20];
+            key[prefix..].copy_from_slice(&suffixes[i * suffix_len..(i + 1) * suffix_len]);
+            let addr = u64::from_le_bytes(addrs[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(lens[i * 4..(i + 1) * 4].try_into().expect("4 bytes"));
+            index.restore_entry(bin_id, key, ChunkRef::new(addr, len));
+        }
+        cursor += group;
+    }
+    if seen != declared {
+        return Err(SnapshotError::BadField("entry_count"));
+    }
+    Ok(())
+}
+
+/// Parses the version-1/2 interleaved body: one `bin id + suffix + addr +
+/// len` record per entry.
+fn restore_interleaved(
+    index: &mut BinIndex,
+    body: &[u8],
+    prefix: usize,
+    count: usize,
+    entry_len: usize,
+) {
+    let suffix_len = 20 - prefix;
     for record in body.chunks_exact(entry_len).take(count) {
         let mut bin_id = 0usize;
         for &b in &record[..prefix] {
@@ -203,7 +309,6 @@ pub fn restore(bytes: &[u8]) -> Result<BinIndex, SnapshotError> {
         );
         index.restore_entry(bin_id, key, ChunkRef::new(addr, len));
     }
-    Ok(index)
 }
 
 #[cfg(test)]
@@ -222,11 +327,47 @@ mod tests {
         index
     }
 
-    /// A v1 blob for back-compat tests: strip the trailer, stamp version 1.
+    /// The retired version-2 writer (interleaved records + trailer), kept
+    /// verbatim so back-compat restores are tested against real blobs.
+    fn snapshot_v2(index: &BinIndex) -> Vec<u8> {
+        let config = index.config();
+        let prefix = config.prefix_bytes;
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION_V2);
+        out.push(prefix as u8);
+        out.extend_from_slice(&(config.bin_buffer_capacity as u32).to_le_bytes());
+        out.extend_from_slice(&config.max_entries.to_le_bytes());
+        out.extend_from_slice(&config.seed.to_le_bytes());
+        out.extend_from_slice(&index.len().to_le_bytes());
+        for bin_id in 0..index.router().bin_count() {
+            for (key, r) in index.bin(bin_id).iter() {
+                for shift in (0..prefix).rev() {
+                    out.push((bin_id >> (8 * shift)) as u8);
+                }
+                out.extend_from_slice(&key[prefix..]);
+                out.extend_from_slice(&r.addr().to_le_bytes());
+                out.extend_from_slice(&r.stored_len().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&crc32c(&out).to_le_bytes());
+        out
+    }
+
+    /// A v1 blob for back-compat tests: strip the v2 trailer, stamp
+    /// version 1.
     fn as_v1(mut blob: Vec<u8>) -> Vec<u8> {
         blob.truncate(blob.len() - TRAILER_LEN);
         blob[4] = VERSION_V1;
         blob
+    }
+
+    /// Re-stamps the CRC-32C trailer after a deliberate body edit, so a
+    /// test can reach the semantic validators behind the integrity check.
+    fn fix_crc(blob: &mut [u8]) {
+        let crc_start = blob.len() - TRAILER_LEN;
+        let crc = crc32c(&blob[..crc_start]);
+        blob[crc_start..].copy_from_slice(&crc.to_le_bytes());
     }
 
     #[test]
@@ -285,7 +426,7 @@ mod tests {
 
     #[test]
     fn bad_prefix_detected() {
-        let mut blob = as_v1(snapshot(&populated(1)).unwrap());
+        let mut blob = as_v1(snapshot_v2(&populated(1)));
         blob[5] = 9;
         assert!(matches!(
             restore(&blob),
@@ -317,7 +458,7 @@ mod tests {
 
     #[test]
     fn inflated_count_is_rejected_before_any_entry_is_read() {
-        let mut blob = snapshot(&populated(8)).unwrap();
+        let mut blob = snapshot_v2(&populated(8));
         // Claim u64::MAX entries; the checked size math must refuse it (on
         // a v1 blob, so the CRC does not mask the count validation).
         blob[26..34].copy_from_slice(&u64::MAX.to_le_bytes());
@@ -331,11 +472,46 @@ mod tests {
     #[test]
     fn v1_blobs_still_restore() {
         let index = populated(200);
-        let blob = as_v1(snapshot(&index).unwrap());
+        let blob = as_v1(snapshot_v2(&index));
         let mut restored = restore(&blob).expect("v1 restore");
         assert_eq!(restored.len(), index.len());
         let d = sha1_digest(&7u64.to_le_bytes());
         assert_eq!(restored.lookup(&d), Some(ChunkRef::new(7 * 4096, 4096)));
+    }
+
+    #[test]
+    fn v2_blobs_still_restore() {
+        let index = populated(200);
+        let mut restored = restore(&snapshot_v2(&index)).expect("v2 restore");
+        assert_eq!(restored.len(), index.len());
+        for i in 0..200u64 {
+            let d = sha1_digest(&i.to_le_bytes());
+            assert_eq!(restored.lookup(&d), Some(ChunkRef::new(i * 4096, 4096)));
+        }
+    }
+
+    #[test]
+    fn v3_out_of_range_bin_id_is_rejected() {
+        let mut blob = snapshot(&populated(1)).unwrap();
+        // First group header starts right after the fixed header.
+        blob[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fix_crc(&mut blob);
+        assert!(matches!(
+            restore(&blob),
+            Err(SnapshotError::BadField("bin_id"))
+        ));
+    }
+
+    #[test]
+    fn v3_group_sum_must_match_declared_count() {
+        let mut blob = snapshot(&populated(8)).unwrap();
+        let declared = u64::from_le_bytes(blob[26..34].try_into().unwrap());
+        blob[26..34].copy_from_slice(&(declared + 1).to_le_bytes());
+        fix_crc(&mut blob);
+        assert!(matches!(
+            restore(&blob),
+            Err(SnapshotError::BadField("entry_count")) | Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]

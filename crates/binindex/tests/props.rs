@@ -1,9 +1,10 @@
 //! Randomized tests: the bin index behaves like a map, in every
 //! configuration, and snapshots are faithful.
 
-use dr_binindex::{restore, snapshot, BinIndex, BinIndexConfig, ChunkRef};
+use dr_binindex::{restore, snapshot, BinIndex, BinIndexConfig, ChunkRef, ProbeKind};
 use dr_des::testkit::{self, Cases};
 use dr_hashes::sha1_digest;
+use dr_pool::WorkerPool;
 use std::collections::{HashMap, HashSet};
 
 fn digest_of(i: u64) -> dr_hashes::ChunkDigest {
@@ -64,7 +65,55 @@ fn parallel_lookup_matches_serial() {
         }
         let digests: Vec<_> = queries.iter().map(|q| digest_of(*q)).collect();
         let expect: Vec<Option<ChunkRef>> = digests.iter().map(|d| index.lookup(d)).collect();
-        assert_eq!(index.lookup_batch_parallel(&digests, workers), expect);
+        let pool = dr_pool::WorkerPool::new(workers - 1);
+        assert_eq!(index.lookup_batch_on(&pool, &digests), expect);
+    });
+}
+
+/// Batched stats-free probes (the pipeline path) return bit-identical
+/// results for every pool width, and `Full` probes agree with plain
+/// serial lookups.
+#[test]
+fn batched_probes_match_serial_across_widths() {
+    Cases::new("batched_probes_match_serial_across_widths", 0xB14_0004).run(48, |rng| {
+        let present: Vec<u64> = (0..testkit::usize_in(rng, 0, 99))
+            .map(|_| testkit::u64_in(rng, 0, 99))
+            .collect();
+        let mut index = BinIndex::new(BinIndexConfig {
+            bin_buffer_capacity: testkit::usize_in(rng, 1, 7),
+            ..BinIndexConfig::default()
+        });
+        for k in &present {
+            index.insert(digest_of(*k), ChunkRef::new(*k, 1));
+        }
+        let queries: Vec<(dr_hashes::ChunkDigest, ProbeKind)> = (0..testkit::usize_in(rng, 0, 149))
+            .map(|_| {
+                let d = digest_of(testkit::u64_in(rng, 0, 149));
+                let kind = if testkit::u64_in(rng, 0, 1) == 0 {
+                    ProbeKind::Full
+                } else {
+                    ProbeKind::BufferOnly
+                };
+                (d, kind)
+            })
+            .collect();
+        // Width 1 takes the serial path; wider pools shard. All must agree.
+        let reference = index.probe_batch_on(&WorkerPool::new(0), &queries);
+        for extra_workers in 1..4usize {
+            let pool = WorkerPool::new(extra_workers);
+            assert_eq!(
+                index.probe_batch_on(&pool, &queries),
+                reference,
+                "width {} diverged from serial",
+                extra_workers + 1
+            );
+        }
+        // Full probes agree with the serial stats-tracking lookup.
+        for ((d, kind), got) in queries.iter().zip(&reference) {
+            if *kind == ProbeKind::Full {
+                assert_eq!(index.lookup(d), got.map(|(r, _)| r));
+            }
+        }
     });
 }
 

@@ -10,11 +10,15 @@ use dr_hashes::mix64;
 
 use crate::error::CodecError;
 use crate::frame;
+use crate::scan::match_len;
 use crate::token::{emit_literals, emit_match, Token, MAX_OFFSET, MIN_MATCH};
 use crate::Codec;
 
 /// Number of slots in the direct-mapped match table (power of two).
 const TABLE_SIZE: usize = 1 << 12;
+
+/// Upper bound on the candidate-bucket width (see [`FastLz::with_probes`]).
+pub const MAX_PROBES: u8 = 4;
 
 /// The fast single-pass codec.
 ///
@@ -25,22 +29,48 @@ const TABLE_SIZE: usize = 1 << 12;
 /// assert!(packed.len() < 128);
 /// assert_eq!(codec.decompress(&packed).unwrap(), vec![0u8; 4096]);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FastLz;
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastLz {
+    /// Candidates examined per table slot (1 = classic direct-mapped).
+    probes: u8,
+}
+
+impl Default for FastLz {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl FastLz {
-    /// Creates the codec (stateless).
+    /// Creates the codec with the classic single-candidate table.
     pub fn new() -> Self {
-        FastLz
+        FastLz { probes: 1 }
     }
 
-    fn hash(window: &[u8]) -> usize {
-        let key = u32::from_le_bytes([window[0], window[1], window[2], 0]) as u64;
-        (mix64(key | 0x0100_0000) as usize) & (TABLE_SIZE - 1)
+    /// A codec whose match table keeps `probes` recent candidates per slot
+    /// (a 4-ary set-associative table at the maximum). More probes buy
+    /// ratio on hash-collision-heavy data for a proportional scan cost;
+    /// `probes == 1` is byte-identical to [`FastLz::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes` is zero or exceeds [`MAX_PROBES`].
+    pub fn with_probes(probes: u8) -> Self {
+        assert!(
+            (1..=MAX_PROBES).contains(&probes),
+            "probes must be in 1..={MAX_PROBES}"
+        );
+        FastLz { probes }
+    }
+
+    /// The configured candidates-per-slot count.
+    pub fn probes(&self) -> u8 {
+        self.probes
     }
 
     /// Tokenizes `input` with a greedy single-pass matcher. Public so the
     /// GPU sub-chunk compressor can reuse the exact matcher per region.
+    /// Always single-probe, matching [`FastLz::new`].
     pub fn tokenize(input: &[u8]) -> Vec<Token> {
         tokenize_region(input, 0, input.len(), input.len())
     }
@@ -52,11 +82,12 @@ impl FastLz {
     /// produced frame is byte-identical to [`Codec::compress`].
     pub fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
         frame::seal_with(input, out, |original, payload| {
-            scan_region(
+            scan_region_dispatch(
                 original,
                 0,
                 original.len(),
                 original.len(),
+                self.probes,
                 &mut WireSink(payload),
             );
         });
@@ -108,46 +139,142 @@ pub(crate) fn tokenize_region(input: &[u8], start: usize, end: usize, window: us
 /// [`FastLz::compress_into`]; match decisions are identical regardless of
 /// the sink, so both paths produce the same token sequence.
 fn scan_region(input: &[u8], start: usize, end: usize, window: usize, sink: &mut dyn TokenSink) {
+    scan_region_probed::<1>(input, start, end, window, sink);
+}
+
+/// Monomorphizes the probe width: the table is a stack array, so its size
+/// must be a compile-time constant per variant.
+fn scan_region_dispatch(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    window: usize,
+    probes: u8,
+    sink: &mut dyn TokenSink,
+) {
+    match probes {
+        1 => scan_region_probed::<1>(input, start, end, window, sink),
+        2 => scan_region_probed::<2>(input, start, end, window, sink),
+        3 => scan_region_probed::<3>(input, start, end, window, sink),
+        _ => scan_region_probed::<4>(input, start, end, window, sink),
+    }
+}
+
+/// The 3-byte match key at `at`, as a little-endian word — both the hash
+/// input and the candidate prefilter word.
+#[inline]
+fn three_bytes(input: &[u8], at: usize) -> u32 {
+    // One unaligned 4-byte load beats three byte loads; the tail guard
+    // keeps the read in bounds on the last position of the buffer.
+    if at + 4 <= input.len() {
+        u32::from_le_bytes(input[at..at + 4].try_into().unwrap()) & 0x00FF_FFFF
+    } else {
+        u32::from_le_bytes([input[at], input[at + 1], input[at + 2], 0])
+    }
+}
+
+#[inline]
+fn hash_key(key: u32) -> usize {
+    (mix64(key as u64 | 0x0100_0000) as usize) & (TABLE_SIZE - 1)
+}
+
+/// Absent-slot sentinel. Positions are stored as `u32` so the table stays
+/// half the size (and cache footprint) of a `usize` table; the frame
+/// format's u32 length field already bounds inputs below `u32::MAX`.
+const EMPTY: u32 = u32::MAX;
+
+/// Pushes `pos` as the newest candidate in its bucket, aging out the
+/// oldest. With `PROBES == 1` this is exactly the direct-mapped overwrite.
+#[inline]
+fn bucket_push<const PROBES: usize>(
+    table: &mut [[u32; PROBES]; TABLE_SIZE],
+    slot: usize,
+    pos: usize,
+) {
+    let bucket = &mut table[slot];
+    for i in (1..PROBES).rev() {
+        bucket[i] = bucket[i - 1];
+    }
+    bucket[0] = pos as u32;
+}
+
+/// Greedy single-pass scan over a `PROBES`-way set-associative match
+/// table. Candidates are probed newest-first; the longest match wins, with
+/// ties going to the most recent (smallest-offset) candidate. Extension is
+/// SWAR ([`match_len`]) — decision-identical to the byte-at-a-time loop,
+/// so `PROBES == 1` reproduces the historical output byte for byte.
+fn scan_region_probed<const PROBES: usize>(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    window: usize,
+    sink: &mut dyn TokenSink,
+) {
     debug_assert!(start <= end && end <= input.len());
-    let mut table = [usize::MAX; TABLE_SIZE];
+    let mut table = [[EMPTY; PROBES]; TABLE_SIZE];
     // Seed the table with positions from the visible history window so the
     // first bytes of the region can match backwards into it.
     let hist_start = start.saturating_sub(window);
     if end >= MIN_MATCH {
         for pos in hist_start..start.min(end - MIN_MATCH + 1) {
-            table[FastLz::hash(&input[pos..])] = pos;
+            bucket_push(&mut table, hash_key(three_bytes(input, pos)), pos);
         }
     }
 
     let mut literal_start = start;
     let mut pos = start;
     while pos + MIN_MATCH <= end {
-        let slot = FastLz::hash(&input[pos..]);
-        let candidate = table[slot];
-        table[slot] = pos;
+        let here = three_bytes(input, pos);
+        let slot = hash_key(here);
 
         let mut matched = 0usize;
-        if candidate != usize::MAX && candidate < pos {
-            let distance = pos - candidate;
-            if distance <= MAX_OFFSET && distance <= window && candidate >= hist_start {
+        let mut best = usize::MAX;
+        let limit = end - pos;
+        for &candidate in &table[slot] {
+            // Reject empty, future, and out-of-window slots without
+            // branching: `EMPTY as usize` is `u32::MAX` (never below a
+            // valid position — the frame format bounds inputs under
+            // `u32::MAX`), and `wrapping_sub` turns a future candidate
+            // into a huge distance both range checks refuse. Eager `&`
+            // instead of `&&` keeps this a flag computation — a fresh
+            // table makes slot occupancy a coin flip for most of a 4 KiB
+            // chunk, and a data-dependent branch here mispredicts its
+            // way to ~2x the scan cost.
+            let candidate = candidate as usize;
+            let distance = pos.wrapping_sub(candidate);
+            let in_range = (candidate < pos)
+                & (distance <= MAX_OFFSET)
+                & (distance <= window)
+                & (candidate >= hist_start);
+            // A candidate disagreeing in the first MIN_MATCH bytes can
+            // never reach MIN_MATCH, and sub-minimum lengths never emit —
+            // the word prefilter is decision-identical and avoids the
+            // slice setup of a doomed extension. Rejected candidates load
+            // from `pos` (always in bounds) so the load itself needs no
+            // branch; the flag keeps them out of the accept path.
+            let probe_at = if in_range { candidate } else { pos };
+            let accept = in_range & (three_bytes(input, probe_at) == here);
+            if accept {
                 // Extend the match greedily, bounded by the region end.
-                let limit = end - pos;
-                while matched < limit && input[candidate + matched] == input[pos + matched] {
-                    matched += 1;
+                let len = match_len(&input[candidate..candidate + limit], &input[pos..end]);
+                if len > matched {
+                    matched = len;
+                    best = candidate;
                 }
             }
         }
+        bucket_push(&mut table, slot, pos);
 
         if matched >= MIN_MATCH {
             if literal_start < pos {
                 sink.literals(&input[literal_start..pos]);
             }
-            sink.matched(pos - candidate, matched);
+            sink.matched(pos - best, matched);
             // Insert a few positions inside the match so later data can
             // reference it (bounded to keep the pass single-speed).
             let insert_end = (pos + matched).min(end.saturating_sub(MIN_MATCH - 1));
             for p in (pos + 1..insert_end).take(8) {
-                table[FastLz::hash(&input[p..])] = p;
+                bucket_push(&mut table, hash_key(three_bytes(input, p)), p);
             }
             pos += matched;
             literal_start = pos;
@@ -278,6 +405,40 @@ mod tests {
             assert_eq!(out.capacity(), cap, "steady state must not reallocate");
         }
         assert_eq!(codec.decompress(&out).unwrap(), big);
+    }
+
+    #[test]
+    fn single_probe_codec_matches_default() {
+        // `with_probes(1)` must be byte-identical to `new()` — the default
+        // dispatch arm the pipeline relies on for reproducible output.
+        let data = include_str!("fastlz.rs").as_bytes().repeat(2);
+        assert_eq!(
+            FastLz::with_probes(1).compress(&data),
+            FastLz::new().compress(&data)
+        );
+    }
+
+    #[test]
+    fn deeper_probing_round_trips_and_does_not_hurt_ratio() {
+        let data = include_str!("token.rs").as_bytes().repeat(2);
+        let base = FastLz::new().compress(&data);
+        for probes in 2..=MAX_PROBES {
+            let codec = FastLz::with_probes(probes);
+            let packed = codec.compress(&data);
+            assert!(
+                packed.len() <= base.len(),
+                "probes {probes}: {} vs {}",
+                packed.len(),
+                base.len()
+            );
+            assert_eq!(codec.decompress(&packed).unwrap(), data, "probes {probes}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probes must be")]
+    fn zero_probes_rejected() {
+        FastLz::with_probes(0);
     }
 
     #[test]

@@ -49,12 +49,20 @@ pub enum Frame {
 /// Panics when `original` exceeds the format's u32 length field.
 pub fn seal(original: &[u8], tokens: &[Token]) -> Vec<u8> {
     let header_len = header_len_of(original);
-    let encoded = encode_tokens(tokens);
-    let mut out = Vec::with_capacity(HEADER_LEN + encoded.len().min(original.len()));
-    if encoded.len() < original.len() {
+    // Size the payload without encoding it: when stored-raw wins (every
+    // low-ratio chunk), the whole token encode would be thrown away.
+    let encoded_len = crate::token::encoded_len(tokens);
+    let mut out = Vec::with_capacity(HEADER_LEN + encoded_len.min(original.len()));
+    if encoded_len < original.len() {
         out.push(METHOD_LZ);
         out.extend_from_slice(&header_len);
-        out.extend_from_slice(&encoded);
+        for token in tokens {
+            match token {
+                Token::Literals(bytes) => crate::token::emit_literals(&mut out, bytes),
+                &Token::Match { offset, len } => crate::token::emit_match(&mut out, offset, len),
+            }
+        }
+        debug_assert_eq!(out.len(), HEADER_LEN + encoded_len);
     } else {
         out.push(METHOD_RAW);
         out.extend_from_slice(&header_len);

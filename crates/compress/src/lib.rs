@@ -38,6 +38,7 @@ pub mod huffman;
 pub mod lz77;
 pub mod lzhuf;
 pub mod parallel;
+pub mod scan;
 pub mod token;
 
 pub use error::CodecError;

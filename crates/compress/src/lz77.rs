@@ -10,6 +10,7 @@ use dr_hashes::mix64;
 
 use crate::error::CodecError;
 use crate::frame;
+use crate::scan::match_len;
 use crate::token::{Token, MAX_OFFSET, MIN_MATCH};
 use crate::Codec;
 
@@ -98,10 +99,8 @@ impl Lz77 {
                 if distance > self.window {
                     break; // chains are position-ordered; the rest is older
                 }
-                let mut l = 0usize;
-                while l < limit && input[candidate + l] == input[pos + l] {
-                    l += 1;
-                }
+                // SWAR extension; decision-identical to byte-at-a-time.
+                let l = match_len(&input[candidate..candidate + limit], &input[pos..n]);
                 if l > best_len {
                     best_len = l;
                     best_pos = candidate;

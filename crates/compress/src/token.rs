@@ -88,6 +88,33 @@ pub fn emit_match(out: &mut Vec<u8>, offset: usize, len: usize) {
     }
 }
 
+/// Exact wire length of `tokens` under [`encode_tokens`], without
+/// materializing the stream — the frame sealers use it to pick stored-raw
+/// frames before paying for an encode that would only be discarded.
+pub fn encoded_len(tokens: &[Token]) -> usize {
+    let mut total = 0;
+    for token in tokens {
+        match token {
+            Token::Literals(bytes) => {
+                total += bytes.len() + bytes.len().div_ceil(MAX_LITERAL_RUN);
+            }
+            &Token::Match { len, .. } => {
+                // Mirror `emit_match`'s piece split: 3 wire bytes apiece.
+                let mut remaining = len;
+                while remaining > 0 {
+                    let mut piece = remaining.min(MAX_MATCH);
+                    if remaining - piece != 0 && remaining - piece < MIN_MATCH {
+                        piece = remaining - MIN_MATCH;
+                    }
+                    total += 3;
+                    remaining -= piece;
+                }
+            }
+        }
+    }
+    total
+}
+
 /// Serializes `tokens` to the wire encoding, splitting over-long runs and
 /// matches as needed.
 ///

@@ -54,9 +54,16 @@ impl SplitMix64 {
 
     /// Fills `buf` with pseudo-random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        for chunk in buf.chunks_mut(8) {
+        // Exact 8-byte chunks keep the copy length constant so each chunk
+        // compiles to a single unaligned store instead of a memcpy call.
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
             let v = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
+            rem.copy_from_slice(&v[..rem.len()]);
         }
     }
 }

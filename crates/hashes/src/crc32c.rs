@@ -1,17 +1,36 @@
-//! CRC-32C (Castagnoli), table-driven.
+//! CRC-32C (Castagnoli), table-driven with SWAR/SIMD fast paths.
 //!
 //! Storage systems checksum what they destage; CRC-32C is the industry
 //! polynomial (iSCSI, ext4, Btrfs). Used by the destage path's integrity
-//! option and available standalone.
+//! option, the snapshot trailer, and available standalone.
+//!
+//! Three implementation arms, all bit-identical:
+//!
+//! * **hardware** — x86_64 SSE4.2 `crc32` (the instruction natively
+//!   implements the reflected Castagnoli polynomial, 8 bytes/op), or the
+//!   aarch64 CRC extension's `crc32cd`;
+//! * **slicing-by-8** — the scalar fast path: eight compile-time tables
+//!   fold one `u64` per iteration instead of one byte;
+//! * **bytewise** — the single-table reference, kept as the differential
+//!   baseline the other arms are pinned against.
+//!
+//! Dispatch follows [`crate::simd`]: detected once, `DR_SIMD=scalar`
+//! forces slicing-by-8 (still scalar code, no `std::arch`).
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use crate::simd;
 
 /// The Castagnoli polynomial, reflected.
 const POLY: u32 = 0x82F6_3B78;
 
-/// Lookup table for byte-at-a-time processing, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing tables: `TABLES[0]` is the classic byte-at-a-time table;
+/// `TABLES[k]` advances a byte through `k` additional zero bytes, so the
+/// eight tables jointly fold a whole little-endian `u64` into the CRC in
+/// one step.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -24,10 +43,20 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
 /// One-shot CRC-32C of `data`.
@@ -71,17 +100,92 @@ impl Crc32c {
 
     /// Absorbs `data`.
     pub fn update(&mut self, data: &[u8]) {
-        let mut crc = self.state;
-        for &b in data {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        if simd::crc32c_hw() {
+            // SAFETY: crc32c_hw() verified the CPU feature at runtime.
+            self.state = unsafe { update_hw(self.state, data) };
+            return;
         }
-        self.state = crc;
+        self.state = update_slice8(self.state, data);
     }
 
     /// Returns the checksum.
     pub fn finalize(self) -> u32 {
         !self.state
     }
+}
+
+/// Bytewise reference arm (single table). Exposed for differential tests.
+#[doc(hidden)]
+pub fn update_bytewise(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Slicing-by-8 scalar arm: folds one `u64` per iteration through eight
+/// tables. Exposed for differential tests.
+#[doc(hidden)]
+pub fn update_slice8(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap()) ^ crc as u64;
+        crc = TABLES[7][(word & 0xFF) as usize]
+            ^ TABLES[6][((word >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((word >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((word >> 24) & 0xFF) as usize]
+            ^ TABLES[3][((word >> 32) & 0xFF) as usize]
+            ^ TABLES[2][((word >> 40) & 0xFF) as usize]
+            ^ TABLES[1][((word >> 48) & 0xFF) as usize]
+            ^ TABLES[0][((word >> 56) & 0xFF) as usize];
+    }
+    update_bytewise(crc, chunks.remainder())
+}
+
+/// Hardware arm: the `crc32` instruction implements reflected Castagnoli
+/// directly, so the running state feeds it with no bit reversal.
+/// Exposed for differential tests.
+///
+/// # Safety
+/// Caller must ensure the CPU supports SSE4.2 (x86_64) or the CRC
+/// extension (aarch64).
+#[cfg(target_arch = "x86_64")]
+#[doc(hidden)]
+#[target_feature(enable = "sse4.2")]
+pub unsafe fn update_hw(mut crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut state = crc as u64;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap());
+        state = _mm_crc32_u64(state, word);
+    }
+    crc = state as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+/// See the x86_64 variant.
+///
+/// # Safety
+/// Caller must ensure the CPU supports the aarch64 CRC extension.
+#[cfg(target_arch = "aarch64")]
+#[doc(hidden)]
+#[target_feature(enable = "crc")]
+pub unsafe fn update_hw(mut crc: u32, data: &[u8]) -> u32 {
+    use std::arch::aarch64::{__crc32cb, __crc32cd};
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap());
+        crc = __crc32cd(crc, word);
+    }
+    for &b in chunks.remainder() {
+        crc = __crc32cb(crc, b);
+    }
+    crc
 }
 
 #[cfg(test)]
@@ -146,5 +250,34 @@ mod tests {
     #[test]
     fn empty_input() {
         assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn slice8_matches_bytewise() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(31) % 256) as u8)
+            .collect();
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, 4096] {
+            assert_eq!(
+                update_slice8(0xFFFF_FFFF, &data[..len]),
+                update_bytewise(0xFFFF_FFFF, &data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    #[test]
+    fn hardware_matches_bytewise() {
+        if !simd::crc32c_hw() {
+            return; // no hardware CRC on this host (or DR_SIMD=scalar)
+        }
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(131) % 256) as u8)
+            .collect();
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, 4096] {
+            let hw = unsafe { update_hw(0xFFFF_FFFF, &data[..len]) };
+            assert_eq!(hw, update_bytewise(0xFFFF_FFFF, &data[..len]), "len {len}");
+        }
     }
 }

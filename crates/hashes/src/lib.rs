@@ -31,6 +31,7 @@ pub mod fast;
 pub mod parallel;
 pub mod sha1;
 pub mod sha256;
+pub mod simd;
 
 pub use crc32c::{crc32c, Crc32c};
 pub use digest::ChunkDigest;

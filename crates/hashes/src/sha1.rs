@@ -7,6 +7,8 @@
 //! provided for collision-hardened configurations.
 
 use crate::digest::ChunkDigest;
+#[cfg(target_arch = "x86_64")]
+use crate::simd;
 
 const H0: [u32; 5] = [
     0x6745_2301,
@@ -66,7 +68,7 @@ impl Sha1 {
             input = &input[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buf_len = 0;
             } else {
                 // The input ran out before filling the block; the stash
@@ -75,13 +77,12 @@ impl Sha1 {
                 return;
             }
         }
-        // Whole blocks straight from the input.
-        let mut chunks = input.chunks_exact(64);
-        for block in &mut chunks {
-            self.compress(block.try_into().expect("64-byte chunk"));
-        }
+        // Whole blocks straight from the input, in one multi-block run so
+        // the hardware arm amortizes its state load/store.
+        let whole = input.len() - input.len() % 64;
+        compress_blocks(&mut self.state, &input[..whole]);
         // Stash the tail.
-        let rem = chunks.remainder();
+        let rem = &input[whole..];
         self.buf[..rem.len()].copy_from_slice(rem);
         self.buf_len = rem.len();
     }
@@ -106,8 +107,30 @@ impl Sha1 {
         }
         ChunkDigest::new(out)
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
+/// Compresses a run of whole 64-byte blocks into `state`, dispatching to
+/// the x86_64 SHA-extension arm when available (see [`crate::simd`]).
+///
+/// `blocks.len()` must be a multiple of 64.
+fn compress_blocks(state: &mut [u32; 5], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    if blocks.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if simd::sha1_hw() {
+        // SAFETY: sha1_hw() verified sha/sse2/ssse3/sse4.1 at runtime.
+        unsafe { compress_blocks_shani(state, blocks) };
+        return;
+    }
+    compress_blocks_scalar(state, blocks);
+}
+
+/// Portable scalar arm. Exposed for differential tests.
+#[doc(hidden)]
+pub fn compress_blocks_scalar(state: &mut [u32; 5], blocks: &[u8]) {
+    for block in blocks.chunks_exact(64) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
@@ -116,7 +139,7 @@ impl Sha1 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
         // Four specialized 20-round loops instead of one 80-round loop with
         // a per-round `match`: this is the hottest loop in the whole
         // pipeline (every ingested byte passes through it), and selecting
@@ -143,12 +166,204 @@ impl Sha1 {
         rounds!(40..60, 0x8F1B_BCDCu32, (b & c) | (b & d) | (c & d));
         rounds!(60..80, 0xCA62_C1D6u32, b ^ c ^ d);
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
     }
+}
+
+/// x86_64 SHA-extension arm: four message-schedule lanes live in XMM
+/// registers and `sha1rnds4` retires four rounds per instruction.
+/// Exposed for differential tests.
+///
+/// # Safety
+/// Caller must ensure the CPU supports the `sha`, `sse2`, `ssse3`, and
+/// `sse4.1` features. `blocks.len()` must be a multiple of 64.
+#[cfg(target_arch = "x86_64")]
+#[doc(hidden)]
+#[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+pub unsafe fn compress_blocks_shani(state: &mut [u32; 5], blocks: &[u8]) {
+    use std::arch::x86_64::*;
+
+    // Word-reversal shuffle: loads are little-endian, the schedule wants
+    // big-endian words with w[0] in the high lane.
+    let mask = _mm_set_epi64x(
+        0x0001_0203_0405_0607u64 as i64,
+        0x0809_0a0b_0c0d_0e0fu64 as i64,
+    );
+    let mut abcd = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+    let mut e0 = _mm_set_epi32(state[4] as i32, 0, 0, 0);
+    abcd = _mm_shuffle_epi32::<0x1B>(abcd);
+    let mut e1;
+
+    for block in blocks.chunks_exact(64) {
+        let abcd_save = abcd;
+        let e0_save = e0;
+        let p = block.as_ptr() as *const __m128i;
+
+        let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+        let mut msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+        let mut msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+        let mut msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+
+        // Rounds 0-3
+        e0 = _mm_add_epi32(e0, msg0);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+
+        // Rounds 4-7
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+
+        // Rounds 8-11
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+
+        // Rounds 12-15
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+
+        // Rounds 16-19
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+
+        // Rounds 20-23
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+
+        // Rounds 24-27
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+
+        // Rounds 28-31
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+
+        // Rounds 32-35
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+
+        // Rounds 36-39
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+
+        // Rounds 40-43
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+
+        // Rounds 44-47
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+
+        // Rounds 48-51
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+
+        // Rounds 52-55
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+
+        // Rounds 56-59
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+
+        // Rounds 60-63
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+
+        // Rounds 64-67
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+
+        // Rounds 68-71
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+
+        // Rounds 72-75
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e0);
+
+        // Rounds 76-79
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+
+        // Fold this block into the running state.
+        e0 = _mm_sha1nexte_epu32(e0, e0_save);
+        abcd = _mm_add_epi32(abcd, abcd_save);
+    }
+
+    abcd = _mm_shuffle_epi32::<0x1B>(abcd);
+    _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, abcd);
+    state[4] = _mm_extract_epi32::<3>(e0) as u32;
 }
 
 /// One-shot SHA-1 of `data`.
@@ -235,5 +450,31 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         assert_ne!(sha1_digest(b"chunk-a"), sha1_digest(b"chunk-b"));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn shani_matches_scalar_across_block_counts() {
+        if !simd::sha1_hw() {
+            return; // no SHA extensions on this host (or DR_SIMD=scalar)
+        }
+        let data: Vec<u8> = (0..64 * 16u32)
+            .map(|i| (i.wrapping_mul(37) % 256) as u8)
+            .collect();
+        for blocks in [1usize, 2, 3, 7, 16] {
+            let mut scalar = H0;
+            let mut hw = H0;
+            compress_blocks_scalar(&mut scalar, &data[..blocks * 64]);
+            unsafe { compress_blocks_shani(&mut hw, &data[..blocks * 64]) };
+            assert_eq!(scalar, hw, "blocks {blocks}");
+        }
+        // Chained calls must carry state identically.
+        let mut scalar = H0;
+        let mut hw = H0;
+        for piece in data.chunks(64 * 3) {
+            compress_blocks_scalar(&mut scalar, piece);
+            unsafe { compress_blocks_shani(&mut hw, piece) };
+        }
+        assert_eq!(scalar, hw);
     }
 }

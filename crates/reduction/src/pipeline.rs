@@ -2,7 +2,7 @@
 
 use dr_binindex::{
     BinHit, BinIndex, BinIndexConfig, ChunkRef, GpuBinIndex, GpuBinIndexConfig, GpuProbe,
-    RoutingObs,
+    ProbeKind, RoutingObs,
 };
 use dr_chunking::{Chunker, FixedChunker};
 use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
@@ -1266,6 +1266,20 @@ impl Pipeline {
         }
 
         // CPU path: bin buffer first, then (when unsettled) the bin tree.
+        // The memory probes fan out over the persistent pool against the
+        // flat bin pages (disjoint bin shards, no locking); the simulated
+        // cost accounting below stays serial and in input order, so pool
+        // scheduling never affects simulated results.
+        let queries: Vec<(ChunkDigest, ProbeKind)> = chunks
+            .iter()
+            .zip(plan.iter())
+            .filter_map(|(chunk, p)| match p {
+                CpuProbe::Full => Some((chunk.digest, ProbeKind::Full)),
+                CpuProbe::BufferOnly => Some((chunk.digest, ProbeKind::BufferOnly)),
+                CpuProbe::None => None,
+            })
+            .collect();
+        let mut probed = self.index.probe_batch_on(&self.pool, &queries).into_iter();
         for (i, chunk) in chunks.iter_mut().enumerate() {
             let found = match plan[i] {
                 CpuProbe::None => {
@@ -1275,9 +1289,10 @@ impl Pipeline {
                     continue;
                 }
                 CpuProbe::BufferOnly => {
-                    let bin = self.index.router().route(&chunk.digest);
-                    let key = self.index.key_of(&chunk.digest);
-                    let found = self.index.bin(bin).lookup_buffer(&key);
+                    let found = probed
+                        .next()
+                        .expect("one probe per planned chunk")
+                        .map(|(r, _)| r);
                     self.obs
                         .index_probe
                         .record_sim_ns(cpu_model.buffer_probe_cost().as_nanos());
@@ -1291,9 +1306,7 @@ impl Pipeline {
                     found
                 }
                 CpuProbe::Full => {
-                    let bin = self.index.router().route(&chunk.digest);
-                    let key = self.index.key_of(&chunk.digest);
-                    let found = self.index.bin(bin).lookup(&key);
+                    let found = probed.next().expect("one probe per planned chunk");
                     let cost = match found {
                         Some((_, BinHit::Buffer)) => cpu_model.buffer_probe_cost(),
                         // Tree probes always pay the buffer scan first.

@@ -42,9 +42,14 @@ pub fn synthesize_block(seed: u64, block_bytes: usize, compression_ratio: f64) -
     if random_len < block_bytes {
         let mut pattern = [0u8; 16];
         rng.fill_bytes(&mut pattern);
-        for (i, b) in block[random_len..].iter_mut().enumerate() {
-            *b = pattern[i % 16];
+        let tail = &mut block[random_len..];
+        let mut chunks = tail.chunks_exact_mut(16);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&pattern);
         }
+        let rem = chunks.into_remainder();
+        let n = rem.len();
+        rem.copy_from_slice(&pattern[..n]);
     }
     block
 }

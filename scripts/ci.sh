@@ -73,4 +73,16 @@ else
     echo "    trace OK (python3 unavailable; checked non-empty only)"
 fi
 
+# Scalar-fallback leg: DR_SIMD=scalar forces every SWAR/SIMD dispatch in
+# dr-hashes and dr-compress onto its portable fallback (DESIGN.md §13).
+# The differential tests must still pass, and a forced-scalar bench run
+# must leave simulated stdout bit-identical to the hardware-path run
+# above — the accelerated paths are pure speedups, never behaviour.
+echo "==> scalar-fallback leg (DR_SIMD=scalar)"
+DR_SIMD=scalar cargo test -q -p dr-hashes -p dr-compress
+DR_SCALE=0.125 DR_SIMD=scalar target/release/e2_dedup_throughput \
+    > target/ci-e2-scalar.out
+diff target/ci-e2-plain.out target/ci-e2-scalar.out
+echo "    scalar arm OK (stdout bit-identical)"
+
 echo "CI gate passed."

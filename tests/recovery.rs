@@ -57,10 +57,14 @@ fn snapshot_size_tracks_the_memory_model() {
         }
     }
     let blob = snapshot(&index).expect("snapshot");
-    // Per-entry cost: 2-byte bin id + 18-byte suffix + 12-byte metadata =
-    // the paper's truncated 32-byte entry — plus a fixed header and the
-    // 4-byte CRC-32C trailer.
-    let expected = 34 + index.len() as usize * 32 + 4;
+    // Columnar (v3) cost: per entry an 18-byte suffix + 12-byte metadata
+    // (the paper's truncated entry, bin id hoisted out), per *occupied
+    // bin* an 8-byte group header, plus the fixed header and the 4-byte
+    // CRC-32C trailer.
+    let occupied_bins = (0..index.router().bin_count())
+        .filter(|&b| !index.bin(b).is_empty())
+        .count();
+    let expected = 34 + occupied_bins * 8 + index.len() as usize * 30 + 4;
     assert_eq!(blob.len(), expected);
 }
 
