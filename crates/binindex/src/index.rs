@@ -402,28 +402,6 @@ impl BinIndex {
         flushes
     }
 
-    /// Batch lookup across worker threads: digests are partitioned by bin
-    /// so every thread touches disjoint bins — the paper's lock-free
-    /// parallel indexing. Results are in input order.
-    ///
-    /// Spawns and tears down a whole `WorkerPool` per call, which costs
-    /// more than the probes it parallelizes; every production path routes
-    /// through [`BinIndex::lookup_batch_on`] (or
-    /// [`BinIndex::probe_batch_on`]) with a long-lived pool instead.
-    #[deprecated(
-        note = "builds a transient WorkerPool per call; use lookup_batch_on with a long-lived pool"
-    )]
-    pub fn lookup_batch_parallel(
-        &mut self,
-        digests: &[ChunkDigest],
-        workers: usize,
-    ) -> Vec<Option<ChunkRef>> {
-        assert!(workers > 0, "worker count must be positive");
-        // The caller participates in every batch, so `workers - 1` pool
-        // threads give `workers` concurrent probers.
-        self.lookup_batch_on(&WorkerPool::new(workers - 1), digests)
-    }
-
     /// Batch lookup over an existing worker pool. Digests are partitioned
     /// by bin shard (bin id modulo shard count) so every participant owns
     /// a disjoint bin set and no locking is needed. Results are in input
@@ -653,7 +631,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim keeps working until it is removed
     fn parallel_batch_matches_serial() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
         for i in 0..500 {
@@ -668,9 +645,11 @@ mod tests {
                 idx.bin(bin).lookup(&key).map(|(r, _)| r)
             })
             .collect();
-        for workers in [1, 2, 4, 8] {
+        // The caller participates in every batch, so `workers - 1` pool
+        // threads give `workers` concurrent probers.
+        for workers in [1usize, 2, 4, 8] {
             assert_eq!(
-                idx.lookup_batch_parallel(&queries, workers),
+                idx.lookup_batch_on(&WorkerPool::new(workers - 1), &queries),
                 expect,
                 "workers = {workers}"
             );
@@ -678,7 +657,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim keeps working until it is removed
     fn parallel_batch_updates_stats() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
         for i in 0..100 {
@@ -686,7 +664,7 @@ mod tests {
         }
         let queries: Vec<ChunkDigest> = (0..200).map(digest).collect();
         let before = idx.stats();
-        idx.lookup_batch_parallel(&queries, 4);
+        idx.lookup_batch_on(&WorkerPool::new(3), &queries);
         let after = idx.stats();
         assert_eq!(after.lookups - before.lookups, 200);
         assert_eq!(
@@ -697,10 +675,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim keeps working until it is removed
     fn empty_batch() {
         let mut idx = BinIndex::new(BinIndexConfig::default());
-        assert!(idx.lookup_batch_parallel(&[], 4).is_empty());
+        assert!(idx.lookup_batch_on(&WorkerPool::new(3), &[]).is_empty());
     }
 
     #[test]

@@ -161,6 +161,13 @@ fn op_to_json(op: &Op) -> String {
         Op::Read { vol, block } => {
             format!("{{\"op\": {tag}, \"vol\": {vol}, \"block\": {block}}}")
         }
+        Op::ReadBatch {
+            vol,
+            block,
+            nblocks,
+        } => {
+            format!("{{\"op\": {tag}, \"vol\": {vol}, \"block\": {block}, \"nblocks\": {nblocks}}}")
+        }
         Op::ZipfBurst {
             vol,
             count,
@@ -218,6 +225,11 @@ fn op_from_json(v: &Value) -> Result<Op, String> {
         "read" => Ok(Op::Read {
             vol: vol(v)?,
             block: field_u64(v, "block")?,
+        }),
+        "read-batch" => Ok(Op::ReadBatch {
+            vol: vol(v)?,
+            block: field_u64(v, "block")?,
+            nblocks: field_u64(v, "nblocks")?,
         }),
         "zipf-burst" => Ok(Op::ZipfBurst {
             vol: vol(v)?,
@@ -290,6 +302,11 @@ mod tests {
                 ratio_milli: 1500,
             },
             Op::Read { vol: 2, block: 1 },
+            Op::ReadBatch {
+                vol: 1,
+                block: 4,
+                nblocks: 6,
+            },
             Op::ZipfBurst {
                 vol: 3,
                 count: 5,

@@ -54,6 +54,17 @@ pub enum Op {
         /// Block to read.
         block: u64,
     },
+    /// Read `nblocks` consecutive blocks in one batched call and compare
+    /// every block against the oracle (and the error kind, when the range
+    /// includes an invalid block).
+    ReadBatch {
+        /// Volume index.
+        vol: u8,
+        /// First block to read.
+        block: u64,
+        /// Number of consecutive blocks.
+        nblocks: u64,
+    },
     /// `count` single-block writes at Zipf-skewed offsets — the hot/cold
     /// overwrite pattern that stresses recipe remapping.
     ZipfBurst {
@@ -114,6 +125,7 @@ impl Op {
             Op::CreateVolume { .. } => "create-volume",
             Op::Write { .. } => "write",
             Op::Read { .. } => "read",
+            Op::ReadBatch { .. } => "read-batch",
             Op::ZipfBurst { .. } => "zipf-burst",
             Op::StreamBurst { .. } => "stream-burst",
             Op::SetSsdFaults { .. } => "set-ssd-faults",
@@ -188,9 +200,14 @@ pub fn generate(seed: u64, count: usize, scenario: Scenario) -> Vec<Op> {
                 seed: rng.next_u64() % 1024,
                 ratio_milli: 1000 + 500 * rng.next_below(5),
             },
-            38..=62 => Op::Read {
+            38..=54 => Op::Read {
                 vol,
                 block: rng.next_below(MAX_VOLUME_BLOCKS),
+            },
+            55..=62 => Op::ReadBatch {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+                nblocks: 1 + rng.next_below(8),
             },
             63..=70 => Op::ZipfBurst {
                 vol,

@@ -96,6 +96,7 @@ struct Exec {
     obs: ObsHandle,
     last_reduction_end: dr_des::SimTime,
     last_ssd_end: dr_des::SimTime,
+    last_read_end: dr_des::SimTime,
 }
 
 impl Exec {
@@ -114,6 +115,7 @@ impl Exec {
             obs,
             last_reduction_end: dr_des::SimTime::ZERO,
             last_ssd_end: dr_des::SimTime::ZERO,
+            last_read_end: dr_des::SimTime::ZERO,
         }
     }
 
@@ -208,6 +210,103 @@ impl Exec {
         }
     }
 
+    /// Reads a consecutive block range through the batched read path and
+    /// cross-checks it block-for-block against the oracle.
+    ///
+    /// When every block is readable on the oracle side the batched call
+    /// must return exactly the oracle's bytes (transient device faults are
+    /// re-issued, like single reads). When the range contains an invalid
+    /// block, `read_batch` validates before any device work and must fail
+    /// with the kind of the *first* invalid block — and the same range read
+    /// serially must mirror block-for-block too.
+    fn check_read_batch(&mut self, idx: usize, name: &str, blocks: &[u64]) -> Result<(), Failure> {
+        let wants: Vec<Result<Vec<u8>, ModelError>> = blocks
+            .iter()
+            .map(|&b| self.oracle.read(name, b).map(<[u8]>::to_vec))
+            .collect();
+        if let Some(first_err) = wants.iter().find_map(|w| w.as_ref().err().copied()) {
+            match self.system.read_batch(name, blocks) {
+                Ok(got) => {
+                    return Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!(
+                            "read-batch {name}{blocks:?}: system Ok({} blocks), \
+                             oracle predicts {first_err}",
+                            got.len()
+                        ),
+                    ))
+                }
+                Err(e) if kind_of(&e) == Some(first_err) => {}
+                Err(e) => {
+                    return Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!(
+                            "read-batch {name}{blocks:?}: system Err({e}), \
+                             oracle predicts {first_err}"
+                        ),
+                    ))
+                }
+            }
+            // The serial path over the same range must mirror per block.
+            for &b in blocks {
+                self.check_read(idx, name, b)?;
+            }
+            return Ok(());
+        }
+        let mut got = self.system.read_batch(name, blocks);
+        let mut retries = 0;
+        while let Err(e) = &got {
+            if !is_transient(e) || retries >= TRANSIENT_RETRIES {
+                break;
+            }
+            retries += 1;
+            got = self.system.read_batch(name, blocks);
+        }
+        match got {
+            Ok(chunks) => {
+                if chunks.len() != blocks.len() {
+                    return Err(fail(
+                        idx,
+                        "byte-identity",
+                        format!(
+                            "read-batch {name}{blocks:?}: {} blocks back for {} requested",
+                            chunks.len(),
+                            blocks.len()
+                        ),
+                    ));
+                }
+                for (i, (chunk, want)) in chunks.iter().zip(&wants).enumerate() {
+                    let want = want.as_ref().expect("all-readable branch");
+                    if chunk != want {
+                        return Err(fail(
+                            idx,
+                            "byte-identity",
+                            format!(
+                                "read-batch {name}{blocks:?}: block {} diverged from \
+                                 oracle ({} bytes vs {})",
+                                blocks[i],
+                                chunk.len(),
+                                want.len()
+                            ),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(fail(
+                idx,
+                "error-mirror",
+                format!(
+                    "read-batch {name}{blocks:?}: system Err({e}), oracle predicts \
+                     {} readable blocks",
+                    blocks.len()
+                ),
+            )),
+        }
+    }
+
     /// Invariants 3–5, evaluated after every op.
     fn check_report(&mut self, idx: usize) -> Result<(), Failure> {
         let r: Report = self.system.report().clone();
@@ -256,18 +355,28 @@ impl Exec {
                 ),
             ));
         }
-        if r.reduction_end < self.last_reduction_end || r.ssd_end < self.last_ssd_end {
+        if r.reduction_end < self.last_reduction_end
+            || r.ssd_end < self.last_ssd_end
+            || r.read_end < self.last_read_end
+        {
             return Err(fail(
                 idx,
                 "time-monotonic",
                 format!(
-                    "clock moved backwards: reduction {:?} -> {:?}, ssd {:?} -> {:?}",
-                    self.last_reduction_end, r.reduction_end, self.last_ssd_end, r.ssd_end
+                    "clock moved backwards: reduction {:?} -> {:?}, ssd {:?} -> {:?}, \
+                     read {:?} -> {:?}",
+                    self.last_reduction_end,
+                    r.reduction_end,
+                    self.last_ssd_end,
+                    r.ssd_end,
+                    self.last_read_end,
+                    r.read_end
                 ),
             ));
         }
         self.last_reduction_end = r.reduction_end;
         self.last_ssd_end = r.ssd_end;
+        self.last_read_end = r.read_end;
         Ok(())
     }
 
@@ -304,6 +413,15 @@ impl Exec {
             Op::Read { vol, block } => {
                 let name = vol_name(*vol);
                 self.check_read(idx, &name, *block)
+            }
+            Op::ReadBatch {
+                vol,
+                block,
+                nblocks,
+            } => {
+                let name = vol_name(*vol);
+                let blocks: Vec<u64> = (*block..block.saturating_add(*nblocks)).collect();
+                self.check_read_batch(idx, &name, &blocks)
             }
             Op::ZipfBurst {
                 vol,
@@ -519,6 +637,50 @@ mod tests {
             !tracer.sink().unwrap().drain().is_empty(),
             "the pipeline emits trace events under the checker"
         );
+    }
+
+    #[test]
+    fn batched_reads_cross_check_against_the_oracle() {
+        let ops = vec![
+            Op::CreateVolume { vol: 0, blocks: 16 },
+            Op::Write {
+                vol: 0,
+                block: 0,
+                nblocks: 8,
+                seed: 3,
+                ratio_milli: 2000,
+            },
+            // Fully readable ranges, including a repeat that hits the cache.
+            Op::ReadBatch {
+                vol: 0,
+                block: 0,
+                nblocks: 8,
+            },
+            Op::ReadBatch {
+                vol: 0,
+                block: 2,
+                nblocks: 4,
+            },
+            // Ranges crossing into unwritten / out-of-range / missing-volume
+            // territory must mirror the oracle's error kind.
+            Op::ReadBatch {
+                vol: 0,
+                block: 6,
+                nblocks: 6,
+            },
+            Op::ReadBatch {
+                vol: 0,
+                block: 14,
+                nblocks: 4,
+            },
+            Op::ReadBatch {
+                vol: 1,
+                block: 0,
+                nblocks: 2,
+            },
+        ];
+        run_ops(IntegrationMode::CpuOnly, &ops).expect("cpu routing arm");
+        run_ops(IntegrationMode::GpuForCompression, &ops).expect("gpu routing arm");
     }
 
     #[test]

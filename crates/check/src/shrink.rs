@@ -171,6 +171,30 @@ fn simpler(op: &Op) -> Vec<Op> {
                 });
             }
         }
+        Op::ReadBatch {
+            vol,
+            block,
+            nblocks,
+        } => {
+            if *nblocks > 1 {
+                out.push(Op::Read {
+                    vol: *vol,
+                    block: *block,
+                });
+                out.push(Op::ReadBatch {
+                    vol: *vol,
+                    block: *block,
+                    nblocks: nblocks / 2,
+                });
+            }
+            if *block > 0 {
+                out.push(Op::ReadBatch {
+                    vol: *vol,
+                    block: 0,
+                    nblocks: *nblocks,
+                });
+            }
+        }
         Op::ZipfBurst { vol, seed, .. } => {
             out.push(Op::Write {
                 vol: *vol,

@@ -205,6 +205,73 @@ pub fn open(block: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
 }
 
+/// Token-level shape of a decoded frame — what a GPU decompression kernel
+/// would see after its token-split phase, so the simulator can price the
+/// two phases (Sitaridi-style split + sub-block copy) per chunk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Stored frame size, header included.
+    pub frame_bytes: usize,
+    /// Decompressed output size.
+    pub output_bytes: usize,
+    /// Control tokens in the wire payload (1 for a raw frame).
+    pub tokens: usize,
+    /// Output bytes produced by literal runs (coalesced copies).
+    pub literal_bytes: usize,
+    /// Output bytes produced by back-reference matches (gather copies).
+    pub match_bytes: usize,
+}
+
+/// [`open`], additionally returning the token-level [`FrameStats`] the
+/// GPU decompression model prices. The decoded bytes are byte-identical
+/// to [`open`]'s on every input.
+///
+/// # Errors
+///
+/// Exactly the errors [`open`] reports.
+pub fn open_with_stats(block: &[u8]) -> Result<(Vec<u8>, FrameStats), CodecError> {
+    let (method, original_len) = inspect(block)?;
+    let out = open(block)?;
+    let mut stats = FrameStats {
+        frame_bytes: block.len(),
+        output_bytes: out.len(),
+        ..FrameStats::default()
+    };
+    match method {
+        Frame::Raw => {
+            stats.tokens = 1;
+            stats.literal_bytes = out.len();
+        }
+        Frame::Lz => scan_token_stats(&block[HEADER_LEN..], &mut stats),
+        Frame::LzHuffman => {
+            let tokens = crate::huffman::huffman_decode(&block[HEADER_LEN..])?;
+            scan_token_stats(&tokens, &mut stats);
+        }
+    }
+    debug_assert_eq!(stats.literal_bytes + stats.match_bytes, original_len);
+    Ok((out, stats))
+}
+
+/// Walks an LZ wire payload counting tokens and literal/match output
+/// bytes. The stream already decoded cleanly via [`open`], so control
+/// bytes are trusted here.
+fn scan_token_stats(payload: &[u8], stats: &mut FrameStats) {
+    let mut i = 0;
+    while i < payload.len() {
+        let control = payload[i];
+        stats.tokens += 1;
+        if control & 0x80 == 0 {
+            let run = control as usize + 1;
+            stats.literal_bytes += run;
+            i += 1 + run;
+        } else {
+            let len = (control & 0x7F) as usize + crate::token::MIN_MATCH;
+            stats.match_bytes += len;
+            i += 3;
+        }
+    }
+}
+
 /// `original / compressed` size ratio of a sealed block; > 1 means the
 /// block shrank. Matches the paper's "compression ratio 2.0" convention.
 pub fn compression_ratio(original_len: usize, block: &[u8]) -> f64 {
@@ -346,6 +413,55 @@ mod tests {
             verify_and_strip(&[1, 2, 3]),
             Err(CodecError::Truncated)
         ));
+    }
+
+    #[test]
+    fn open_with_stats_matches_open_and_accounts_every_byte() {
+        let original = b"abcabcabcabcabcabcabcabcabc";
+        let tokens = vec![
+            Token::Literals(b"abc".to_vec()),
+            Token::Match {
+                offset: 3,
+                len: original.len() - 3,
+            },
+        ];
+        let block = seal(original, &tokens);
+        let (out, stats) = open_with_stats(&block).unwrap();
+        assert_eq!(out, open(&block).unwrap());
+        assert_eq!(stats.frame_bytes, block.len());
+        assert_eq!(stats.output_bytes, original.len());
+        assert_eq!(stats.tokens, 2);
+        assert_eq!(stats.literal_bytes, 3);
+        assert_eq!(stats.match_bytes, original.len() - 3);
+    }
+
+    #[test]
+    fn open_with_stats_on_raw_frame_is_one_literal_token() {
+        let block = seal_raw(b"plain bytes");
+        let (out, stats) = open_with_stats(&block).unwrap();
+        assert_eq!(out, b"plain bytes");
+        assert_eq!(stats.tokens, 1);
+        assert_eq!(stats.literal_bytes, 11);
+        assert_eq!(stats.match_bytes, 0);
+    }
+
+    #[test]
+    fn open_with_stats_handles_entropy_frames() {
+        // Force an LZH frame: highly repetitive tokens compress under
+        // Huffman too.
+        let original: Vec<u8> = b"aaaabbbb".repeat(64);
+        let tokens = vec![
+            Token::Literals(original[..8].to_vec()),
+            Token::Match {
+                offset: 8,
+                len: original.len() - 8,
+            },
+        ];
+        let block = seal_entropy(&original, &tokens);
+        let (out, stats) = open_with_stats(&block).unwrap();
+        assert_eq!(out, original);
+        assert_eq!(stats.literal_bytes + stats.match_bytes, original.len());
+        assert!(stats.tokens >= 2);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod error;
 pub mod fastlz;
 pub mod frame;
 pub mod gpu;
+pub mod gpu_decomp;
 pub mod huffman;
 pub mod lz77;
 pub mod lzhuf;
@@ -43,8 +44,9 @@ pub mod token;
 
 pub use error::CodecError;
 pub use fastlz::FastLz;
-pub use frame::{compression_ratio, Frame};
+pub use frame::{compression_ratio, Frame, FrameStats};
 pub use gpu::{GpuCompressor, GpuCompressorConfig};
+pub use gpu_decomp::{GpuDecompReport, GpuDecompressor, GpuDecompressorConfig};
 pub use huffman::{huffman_decode, huffman_encode};
 pub use lz77::Lz77;
 pub use lzhuf::LzHuf;

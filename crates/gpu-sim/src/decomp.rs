@@ -1,0 +1,148 @@
+//! Work-item cost builders for a two-phase GPU decompression kernel.
+//!
+//! Sitaridi et al. ("Massively-Parallel Lossless Data Decompression")
+//! split GPU decompression into two phases so the inherently serial token
+//! walk does not serialize the copy work:
+//!
+//! 1. **Token split** — each chunk's compressed stream is scanned once to
+//!    find token boundaries; tokens are dealt out round-robin to
+//!    sub-blocks. Sequential, branch-light, coalesced reads.
+//! 2. **Sub-block copy** — each sub-block replays its tokens: literal
+//!    runs are coalesced copies from the compressed stream, match copies
+//!    gather from earlier output at unpredictable offsets (uncoalesced).
+//!
+//! This module turns per-chunk token shapes into [`WorkItemCost`] lists
+//! for those two launches; the functional decode lives with the codec
+//! (`dr-compress`), mirroring how `dr-binindex`/`dr-compress` own their
+//! forward kernels.
+
+use crate::timing::{MemAccess, WorkItemCost};
+
+/// ALU cycles per compressed byte scanned by the token-split pass.
+const SPLIT_CYCLES_PER_BYTE: u64 = 4;
+/// Fixed cycles per token for sub-block copy dispatch (decode control
+/// byte, bounds math, branch).
+const COPY_CYCLES_PER_TOKEN: u64 = 8;
+/// ALU cycles per output byte materialized by the copy pass.
+const COPY_CYCLES_PER_BYTE: u64 = 1;
+
+/// Token-level shape of one compressed chunk, as seen after the split
+/// phase. Plain numbers so any codec can describe itself to the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecompChunkShape {
+    /// Stored (compressed) size in bytes.
+    pub frame_bytes: u64,
+    /// Decompressed output size in bytes.
+    pub output_bytes: u64,
+    /// Tokens in the stream.
+    pub tokens: u64,
+    /// Output bytes produced by literal runs (coalesced copies).
+    pub literal_bytes: u64,
+    /// Output bytes produced by back-references (gather copies).
+    pub match_bytes: u64,
+}
+
+/// Phase-1 work items: one per chunk, scanning its compressed stream and
+/// writing one small boundary descriptor per token.
+pub fn token_split_items(shapes: &[DecompChunkShape]) -> Vec<WorkItemCost> {
+    shapes
+        .iter()
+        .map(|s| WorkItemCost {
+            cycles: s.frame_bytes * SPLIT_CYCLES_PER_BYTE,
+            mem: MemAccess {
+                // Sequential read of the stream + 4-byte descriptor per
+                // token written out.
+                coalesced_bytes: s.frame_bytes + s.tokens * 4,
+                uncoalesced_bytes: 0,
+            },
+        })
+        .collect()
+}
+
+/// Phase-2 work items: `subblocks` per chunk, each replaying its
+/// round-robin share of the tokens. Literal copies stay coalesced; match
+/// copies gather from earlier output and are charged uncoalesced.
+///
+/// # Panics
+///
+/// Panics if `subblocks == 0`.
+pub fn subblock_copy_items(shapes: &[DecompChunkShape], subblocks: usize) -> Vec<WorkItemCost> {
+    assert!(subblocks > 0, "need at least one sub-block per chunk");
+    let sb = subblocks as u64;
+    let mut items = Vec::with_capacity(shapes.len() * subblocks);
+    for s in shapes {
+        // Round-robin dealing spreads tokens (and the bytes behind them)
+        // near-evenly; the model charges each sub-block the ceiling share
+        // so a ragged last token still costs its lane.
+        let tokens = s.tokens.div_ceil(sb);
+        let literal = s.literal_bytes.div_ceil(sb);
+        let matched = s.match_bytes.div_ceil(sb);
+        for _ in 0..subblocks {
+            items.push(WorkItemCost {
+                cycles: tokens * COPY_CYCLES_PER_TOKEN + (literal + matched) * COPY_CYCLES_PER_BYTE,
+                mem: MemAccess {
+                    // Literal bytes read from the stream + every output
+                    // byte written back coalesced.
+                    coalesced_bytes: literal + s.output_bytes.div_ceil(sb),
+                    // Match sources gather from scattered history.
+                    uncoalesced_bytes: matched,
+                },
+            });
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> DecompChunkShape {
+        DecompChunkShape {
+            frame_bytes: 1024,
+            output_bytes: 4096,
+            tokens: 96,
+            literal_bytes: 512,
+            match_bytes: 3584,
+        }
+    }
+
+    #[test]
+    fn split_emits_one_item_per_chunk() {
+        let items = token_split_items(&[shape(), shape(), shape()]);
+        assert_eq!(items.len(), 3);
+        assert!(items[0].cycles > 0);
+        assert_eq!(items[0].mem.uncoalesced_bytes, 0, "split reads coalesced");
+    }
+
+    #[test]
+    fn copy_emits_subblocks_per_chunk_and_shrinks_with_width() {
+        let narrow = subblock_copy_items(&[shape()], 2);
+        let wide = subblock_copy_items(&[shape()], 8);
+        assert_eq!(narrow.len(), 2);
+        assert_eq!(wide.len(), 8);
+        assert!(
+            wide[0].cycles < narrow[0].cycles,
+            "more sub-blocks means less work per item"
+        );
+    }
+
+    #[test]
+    fn matches_are_charged_uncoalesced() {
+        let items = subblock_copy_items(&[shape()], 4);
+        assert!(items[0].mem.uncoalesced_bytes > 0);
+        let literal_only = DecompChunkShape {
+            match_bytes: 0,
+            literal_bytes: 4096,
+            ..shape()
+        };
+        let items = subblock_copy_items(&[literal_only], 4);
+        assert_eq!(items[0].mem.uncoalesced_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-block")]
+    fn zero_subblocks_rejected() {
+        subblock_copy_items(&[shape()], 0);
+    }
+}

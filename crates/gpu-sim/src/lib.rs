@@ -41,6 +41,7 @@
 //! assert!(report.grant.end > grant.end);
 //! ```
 
+pub mod decomp;
 pub mod device;
 pub mod error;
 pub mod memory;
@@ -48,6 +49,7 @@ pub mod occupancy;
 pub mod spec;
 pub mod timing;
 
+pub use decomp::{subblock_copy_items, token_split_items, DecompChunkShape};
 pub use device::{GpuDevice, GpuStats, LaunchConfig, LaunchReport};
 pub use error::GpuError;
 pub use memory::BufferId;

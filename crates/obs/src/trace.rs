@@ -72,6 +72,8 @@ pub enum Track {
     Destage,
     /// Degrade-latch transitions and fault retries (sim axis).
     Fault,
+    /// Read-path batches (sim axis).
+    Read,
     /// GPU compute queue occupancy (sim axis).
     GpuCompute,
     /// GPU copy-engine occupancy (sim axis).
@@ -98,7 +100,8 @@ impl Track {
             | Track::Route
             | Track::Compress
             | Track::Destage
-            | Track::Fault => PIPELINE_PID,
+            | Track::Fault
+            | Track::Read => PIPELINE_PID,
             Track::GpuCompute | Track::GpuCopy | Track::Ssd => DEVICE_PID,
         }
     }
@@ -115,6 +118,7 @@ impl Track {
             Track::Compress => 4,
             Track::Destage => 5,
             Track::Fault => 6,
+            Track::Read => 7,
             Track::GpuCompute => 0,
             Track::GpuCopy => 1,
             Track::Ssd => 2,
@@ -148,6 +152,7 @@ impl Track {
             Track::Compress => Cow::Borrowed("compress"),
             Track::Destage => Cow::Borrowed("destage"),
             Track::Fault => Cow::Borrowed("fault"),
+            Track::Read => Cow::Borrowed("read"),
             Track::GpuCompute => Cow::Borrowed("gpu-compute"),
             Track::GpuCopy => Cow::Borrowed("gpu-copy"),
             Track::Ssd => Cow::Borrowed("ssd"),
@@ -631,6 +636,7 @@ mod tests {
             Track::Compress,
             Track::Destage,
             Track::Fault,
+            Track::Read,
         ] {
             assert!(t.is_sim());
             assert_eq!(t.pid(), PIPELINE_PID);

@@ -45,6 +45,16 @@ pub struct CpuModel {
     pub post_process_fixed_ns: u64,
     /// Per-byte cost of merging raw GPU token streams.
     pub post_process_ns_per_byte: f64,
+    /// CPU decompression cost per *output* byte: single-pass token copy,
+    /// markedly cheaper than match-finding on the compress side.
+    pub decompress_ns_per_byte: f64,
+    /// Fixed cost of decoding one frame header + integrity trailer and
+    /// dispatching the decompress (read-side analogue of
+    /// `chunk_overhead_ns`).
+    pub frame_decode_fixed_ns: u64,
+    /// Cost of serving one read from the decompressed-chunk cache
+    /// (lookup + memcpy of a 4 KB chunk).
+    pub read_hit_ns: u64,
 }
 
 impl Default for CpuModel {
@@ -61,6 +71,9 @@ impl Default for CpuModel {
             compress_ratio_floor: 0.6,
             post_process_fixed_ns: 40_000,
             post_process_ns_per_byte: 8.0,
+            decompress_ns_per_byte: 8.0,
+            frame_decode_fixed_ns: 3_000,
+            read_hit_ns: 1_500,
         }
     }
 }
@@ -77,6 +90,10 @@ impl CpuModel {
         assert!(
             (0.0..=1.0).contains(&self.compress_ratio_floor),
             "ratio floor must be in [0,1]"
+        );
+        assert!(
+            self.decompress_ns_per_byte >= 0.0,
+            "decompress cost must be non-negative"
         );
     }
 
@@ -125,6 +142,20 @@ impl CpuModel {
             self.post_process_fixed_ns
                 + (raw_token_bytes as f64 * self.post_process_ns_per_byte).round() as u64,
         )
+    }
+
+    /// Cost of CPU-decompressing a frame that expands to `out_bytes`
+    /// (frame decode + single-pass token copy).
+    pub fn decompress_cost(&self, out_bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            self.frame_decode_fixed_ns
+                + (out_bytes as f64 * self.decompress_ns_per_byte).round() as u64,
+        )
+    }
+
+    /// Cost of serving one read from the decompressed-chunk cache.
+    pub fn read_hit_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.read_hit_ns)
     }
 }
 
@@ -187,6 +218,21 @@ mod tests {
             + m.insert_cost() / 2;
         let iops = m.workers as f64 / per_chunk.as_secs_f64();
         assert!(iops > 230_000.0, "dedup-stage IOPS {iops}");
+    }
+
+    #[test]
+    fn calibration_decompress_is_cheaper_than_compress() {
+        // Read-side decode is a single-pass token copy: it must undercut
+        // ratio-1.0 compression by a wide margin, and a cache hit must
+        // undercut even that.
+        let m = CpuModel::default();
+        let decomp = m.decompress_cost(4096);
+        let comp = m.compress_cost(4096, 1.0);
+        assert!(
+            decomp.as_nanos() * 3 < comp.as_nanos(),
+            "decompress {decomp:?} vs compress {comp:?}"
+        );
+        assert!(m.read_hit_cost() < decomp);
     }
 
     #[test]

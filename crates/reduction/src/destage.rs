@@ -153,18 +153,20 @@ impl Destager {
         }
     }
 
-    /// [`write_page_retrying`](Self::write_page_retrying) for reads.
+    /// [`write_page_retrying`](Self::write_page_retrying) for reads. The
+    /// returned grant starts at the *final* (successful) attempt, so retry
+    /// backoff is visible in the read's simulated latency.
     fn read_page_retrying(
         &mut self,
         now: SimTime,
         ssd: &mut SsdDevice,
         lpn: u64,
-    ) -> Result<Vec<u8>, SsdError> {
+    ) -> Result<(Vec<u8>, Grant), SsdError> {
         let mut at = now;
         let mut retry = 0u32;
         loop {
             match ssd.read_page(at, lpn) {
-                Ok((page, _)) => return Ok(page),
+                Ok((page, g)) => return Ok((page, g)),
                 Err(e) if e.is_transient() && retry < self.backoff.max_retries => {
                     at += self.backoff.delay(retry);
                     retry += 1;
@@ -341,7 +343,9 @@ impl Destager {
     }
 
     /// Reads a chunk's frame back. The open partial page is flushed first
-    /// if the chunk's tail still sits in it.
+    /// if the chunk's tail still sits in it; page reads are issued
+    /// serially, each starting when the previous one completes, so
+    /// multi-page frames pay real device queueing on the simulated clock.
     ///
     /// # Errors
     ///
@@ -351,24 +355,46 @@ impl Destager {
         now: SimTime,
         ssd: &mut SsdDevice,
         r: ChunkRef,
-    ) -> Result<Vec<u8>, SsdError> {
+    ) -> Result<ChunkRead, SsdError> {
         let start = r.addr();
         let end = start + r.stored_len() as u64;
         let written_end = self.next_data_lpn * self.page_bytes as u64;
+        let mut flush = None;
+        let mut at = now;
         if end > written_end {
-            self.flush(now, ssd)?;
+            flush = self.flush(now, ssd)?;
+            if let Some(g) = &flush {
+                at = g.end;
+            }
         }
         let first_page = start / self.page_bytes as u64;
         let last_page = (end - 1) / self.page_bytes as u64;
         let mut bytes =
             Vec::with_capacity(((last_page - first_page + 1) as usize) * self.page_bytes);
         for lpn in first_page..=last_page {
-            let page = self.read_page_retrying(now, ssd, lpn)?;
+            let (page, g) = self.read_page_retrying(at, ssd, lpn)?;
             bytes.extend_from_slice(&page);
+            at = g.end;
         }
         let offset = (start - first_page * self.page_bytes as u64) as usize;
-        Ok(bytes[offset..offset + r.stored_len() as usize].to_vec())
+        Ok(ChunkRead {
+            bytes: bytes[offset..offset + r.stored_len() as usize].to_vec(),
+            done: at,
+            flush,
+        })
     }
+}
+
+/// One chunk read back from the log, with its simulated completion time.
+#[derive(Debug, Clone)]
+pub struct ChunkRead {
+    /// The chunk's stored frame bytes.
+    pub bytes: Vec<u8>,
+    /// When the last page read completed on the simulated clock.
+    pub done: SimTime,
+    /// Grant of the partial-page flush this read forced, if any — the
+    /// caller folds it into the destage clock (`ssd_end`).
+    pub flush: Option<Grant>,
 }
 
 #[cfg(test)]
@@ -418,12 +444,35 @@ mod tests {
         let (ra, _) = log.append(SimTime::ZERO, &mut dev, &frame_a).unwrap();
         let (rb, _) = log.append(SimTime::ZERO, &mut dev, &frame_b).unwrap();
         assert_eq!(
-            log.read_chunk(SimTime::ZERO, &mut dev, ra).unwrap(),
+            log.read_chunk(SimTime::ZERO, &mut dev, ra).unwrap().bytes,
             frame_a
         );
         assert_eq!(
-            log.read_chunk(SimTime::ZERO, &mut dev, rb).unwrap(),
+            log.read_chunk(SimTime::ZERO, &mut dev, rb).unwrap().bytes,
             frame_b
+        );
+    }
+
+    #[test]
+    fn reads_take_simulated_time_and_chain_across_pages() {
+        let mut dev = ssd();
+        let mut log = Destager::new(&dev);
+        let frame: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        let (r, _) = log.append(SimTime::ZERO, &mut dev, &frame).unwrap();
+        let read = log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap();
+        assert_eq!(read.bytes, frame);
+        assert!(read.done > SimTime::ZERO, "page reads must cost sim time");
+        // The frame spans 3 pages read serially (plus the tail-forced
+        // flush), so the total elapsed time must exceed two pure page-read
+        // service times — impossible for a single parallel-issued read.
+        // The probe is issued at `read.done` (device idle) so its grant
+        // start/end bracket the service time alone, free of queueing.
+        let (one_page, g) = dev.read_page(read.done, 0).unwrap();
+        assert_eq!(one_page.len(), 4096);
+        let service = g.end.saturating_duration_since(g.start).as_nanos();
+        assert!(
+            read.done.as_nanos() > 2 * service,
+            "multi-page reads chain serially"
         );
     }
 
@@ -434,7 +483,8 @@ mod tests {
         let (r, grants) = log.append(SimTime::ZERO, &mut dev, b"small frame").unwrap();
         assert!(grants.is_empty());
         let back = log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap();
-        assert_eq!(back, b"small frame");
+        assert_eq!(back.bytes, b"small frame");
+        assert!(back.flush.is_some(), "reading the open page flushes it");
     }
 
     #[test]
@@ -586,7 +636,10 @@ mod tests {
         // Every data page survives intact.
         for lpn in 0..top {
             let r = ChunkRef::new(lpn * 4096, 4096);
-            assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap(), frame);
+            assert_eq!(
+                log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap().bytes,
+                frame
+            );
         }
     }
 
@@ -639,7 +692,10 @@ mod tests {
         );
         assert!(dev.stats().faults_injected > 0);
         for r in refs {
-            assert_eq!(log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap(), frame);
+            assert_eq!(
+                log.read_chunk(SimTime::ZERO, &mut dev, r).unwrap().bytes,
+                frame
+            );
         }
     }
 

@@ -64,6 +64,7 @@ pub mod degrade;
 pub mod destage;
 pub mod error;
 pub mod pipeline;
+pub mod read;
 pub mod report;
 pub mod volume;
 
@@ -74,8 +75,9 @@ pub use background::{
 pub use calibrate::{calibrate, CalibrationOutcome};
 pub use cpu_model::CpuModel;
 pub use degrade::{ComponentLatch, DegradePolicy};
-pub use destage::Destager;
+pub use destage::{ChunkRead, Destager};
 pub use error::ReadError;
 pub use pipeline::{IntegrationMode, Pipeline, PipelineConfig};
+pub use read::ReadConfig;
 pub use report::Report;
 pub use volume::{VolumeError, VolumeManager};

@@ -5,12 +5,15 @@ use dr_binindex::{
     ProbeKind, RoutingObs,
 };
 use dr_chunking::{Chunker, FixedChunker};
-use dr_compress::{frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig};
+use dr_compress::{
+    frame, Codec, FastLz, GpuCompressor, GpuCompressorConfig, GpuDecompressor,
+    GpuDecompressorConfig,
+};
 use dr_des::{Grant, Resource, SimTime};
 use dr_gpu_sim::{GpuDevice, GpuSpec};
 use dr_hashes::{hash_chunks_pooled, ChunkDigest};
 use dr_obs::trace::{trace_args, Tracer, Track};
-use dr_obs::{CounterHandle, GaugeHandle, ObsHandle, StageObs};
+use dr_obs::{CounterHandle, GaugeHandle, HistogramHandle, ObsHandle, StageObs};
 use dr_pool::{JobHandle, WorkerPool};
 use dr_ssd_sim::{SsdDevice, SsdSpec};
 use std::sync::Arc;
@@ -20,6 +23,7 @@ use crate::cpu_model::CpuModel;
 use crate::degrade::{ComponentLatch, DegradePolicy};
 use crate::destage::Destager;
 use crate::error::ReadError;
+use crate::read::{ReadCache, ReadConfig};
 use crate::report::Report;
 
 /// Which data reduction operations the GPU is assigned to — the paper's
@@ -123,6 +127,11 @@ pub struct PipelineConfig {
     pub gpu_index: GpuBinIndexConfig,
     /// GPU compression kernel configuration.
     pub gpu_compressor: GpuCompressorConfig,
+    /// GPU decompression kernel configuration (read path).
+    pub gpu_decompressor: GpuDecompressorConfig,
+    /// Read-path configuration: decompressed-chunk cache capacity and the
+    /// CPU/GPU routing threshold for cold batches.
+    pub read: ReadConfig,
     /// GPU hardware profile.
     pub gpu_spec: GpuSpec,
     /// SSD hardware profile.
@@ -162,6 +171,8 @@ impl Default for PipelineConfig {
             index: BinIndexConfig::default(),
             gpu_index: GpuBinIndexConfig::default(),
             gpu_compressor: GpuCompressorConfig::default(),
+            gpu_decompressor: GpuDecompressorConfig::default(),
+            read: ReadConfig::default(),
             gpu_spec: GpuSpec::radeon_hd_7970(),
             ssd_spec: SsdSpec::samsung_830_256g(),
             dedup_enabled: true,
@@ -202,7 +213,18 @@ struct PipelineObs {
     gpu_dedup_degraded: CounterHandle,
     gpu_compress_retries: CounterHandle,
     gpu_compress_degraded: CounterHandle,
+    gpu_decompress_retries: CounterHandle,
+    gpu_decompress_degraded: CounterHandle,
     ssd_write_degraded: CounterHandle,
+    /// Read-path metrics (`read.*`): batch/hit/miss counters, cache
+    /// occupancy gauge, per-request simulated latency histogram.
+    read_batches: CounterHandle,
+    read_cache_hits: CounterHandle,
+    read_cache_misses: CounterHandle,
+    read_cache_evictions: CounterHandle,
+    read_cache_entries: GaugeHandle,
+    read_gpu_batches: CounterHandle,
+    read_latency: HistogramHandle,
     /// Event tracer (disabled unless the handle carries one): per-batch
     /// sim-time spans on the pipeline stage tracks, fault instants.
     tracer: Tracer,
@@ -226,7 +248,16 @@ impl PipelineObs {
             gpu_dedup_degraded: obs.counter("fault.gpu_dedup.degraded_transitions"),
             gpu_compress_retries: obs.counter("fault.gpu_compress.retries"),
             gpu_compress_degraded: obs.counter("fault.gpu_compress.degraded_transitions"),
+            gpu_decompress_retries: obs.counter("fault.gpu_decompress.retries"),
+            gpu_decompress_degraded: obs.counter("fault.gpu_decompress.degraded_transitions"),
             ssd_write_degraded: obs.counter("fault.ssd_write.degraded_transitions"),
+            read_batches: obs.counter("read.batches"),
+            read_cache_hits: obs.counter("read.cache_hits"),
+            read_cache_misses: obs.counter("read.cache_misses"),
+            read_cache_evictions: obs.counter("read.cache_evictions"),
+            read_cache_entries: obs.gauge("read.cache_entries"),
+            read_gpu_batches: obs.counter("read.gpu_batches"),
+            read_latency: obs.histogram("read.latency_sim_ns"),
             tracer: obs.tracer().clone(),
         }
     }
@@ -246,6 +277,7 @@ fn widen(win: &mut Option<(u64, u64)>, start: u64, end: u64) {
 struct FaultState {
     gpu_dedup: ComponentLatch,
     gpu_compress: ComponentLatch,
+    gpu_decompress: ComponentLatch,
     ssd_write: ComponentLatch,
     retries: u64,
 }
@@ -255,6 +287,7 @@ impl FaultState {
         FaultState {
             gpu_dedup: ComponentLatch::new(policy),
             gpu_compress: ComponentLatch::new(policy),
+            gpu_decompress: ComponentLatch::new(policy),
             ssd_write: ComponentLatch::new(policy),
             retries: 0,
         }
@@ -263,6 +296,7 @@ impl FaultState {
     fn transitions(&self) -> u64 {
         self.gpu_dedup.transitions()
             + self.gpu_compress.transitions()
+            + self.gpu_decompress.transitions()
             + self.ssd_write.transitions()
     }
 }
@@ -377,6 +411,9 @@ pub struct Pipeline {
     gpu: GpuDevice,
     gpu_index: Option<GpuBinIndex>,
     gpu_comp: GpuCompressor,
+    gpu_decomp: GpuDecompressor,
+    /// Capacity-bounded LRU of decompressed chunks (read path).
+    read_cache: ReadCache,
     codec: FastLz,
     ssd: SsdDevice,
     destage: Destager,
@@ -436,11 +473,15 @@ impl Pipeline {
         index.set_obs(&config.obs);
         let mut gpu_comp = GpuCompressor::new(config.gpu_compressor);
         gpu_comp.set_obs(&config.obs);
+        let mut gpu_decomp = GpuDecompressor::new(config.gpu_decompressor);
+        gpu_decomp.set_obs(&config.obs);
         let report = Report::new(config.mode);
         Pipeline {
             cpu: Resource::new("cpu-workers", config.cpu.workers),
             index,
             gpu_comp,
+            gpu_decomp,
+            read_cache: ReadCache::new(config.read.cache_chunks),
             codec: FastLz::new(),
             gpu,
             gpu_index,
@@ -556,22 +597,242 @@ impl Pipeline {
         self.ssd.ftl_stats()
     }
 
-    /// Reads a stored chunk back from the SSD and unseals it — the read
-    /// path, used by verification and the examples.
+    /// Reads a stored chunk back from the SSD and unseals it — the
+    /// single-request form of [`Pipeline::read_chunks`].
     ///
     /// # Errors
     ///
     /// [`ReadError::Device`] when the device read fails after retries,
     /// [`ReadError::Frame`] when the frame decode or integrity check fails.
     pub fn read_chunk(&mut self, r: ChunkRef) -> Result<Vec<u8>, ReadError> {
-        let now = self.report.reduction_end;
-        let block = self.destage.read_chunk(now, &mut self.ssd, r)?;
-        let frame_bytes = if self.config.integrity {
-            frame::verify_and_strip(&block)?
+        let mut out = self.read_chunks(&[r])?;
+        Ok(out.pop().expect("one result per request"))
+    }
+
+    /// Reads a batch of stored chunks — the read pipeline.
+    ///
+    /// Requests are grouped by stored frame (deduplicated blocks resolve
+    /// to one fetch and one decompression), served from the
+    /// decompressed-chunk cache when resident; cold frames decompress on
+    /// the CPU, or — for cold batches of at least
+    /// [`ReadConfig::gpu_min_batch`] frames under a GPU-compression mode —
+    /// through the modeled two-phase GPU decompression kernel, with
+    /// transient faults retried and hard faults degrading to the CPU path
+    /// through the `gpu_decompress` latch.
+    ///
+    /// Every read advances the simulated clock: the batch issues at
+    /// `max(read_end, reduction_end)` and [`Report::read_end`] records
+    /// when its last request completed. Returned bytes are bit-identical
+    /// to looping over [`Pipeline::read_chunk`], whichever way the batch
+    /// was routed.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request aborts the batch: [`ReadError::Device`]
+    /// when a device read fails after retries, [`ReadError::Frame`] when a
+    /// frame decode or integrity check fails.
+    pub fn read_chunks(&mut self, refs: &[ChunkRef]) -> Result<Vec<Vec<u8>>, ReadError> {
+        if refs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cpu_model = self.config.cpu;
+        let now = self.report.read_end.max(self.report.reduction_end);
+        self.obs.read_batches.incr();
+
+        // Group requests by stored frame, in first-appearance order, and
+        // capture cache hits *now* — the batch's own fresh inserts may
+        // evict them before delivery. Each distinct cold frame is fetched
+        // and decompressed exactly once.
+        let mut seen = std::collections::HashSet::new();
+        let mut hits: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+        let mut misses: Vec<ChunkRef> = Vec::new();
+        for r in refs {
+            if !seen.insert(r.addr()) {
+                continue;
+            }
+            match self.read_cache.get(r.addr()) {
+                Some(bytes) => {
+                    hits.insert(r.addr(), bytes);
+                }
+                None => misses.push(*r),
+            }
+        }
+
+        // Fetch cold frames serially through the destager (page reads
+        // chain on the device clock) and strip the integrity envelope.
+        let mut at = now;
+        let mut fetched: Vec<(u64, Vec<u8>, SimTime)> = Vec::with_capacity(misses.len());
+        for r in &misses {
+            let read = self.destage.read_chunk(at, &mut self.ssd, *r)?;
+            if let Some(g) = read.flush {
+                self.report.ssd_end = self.report.ssd_end.max(g.end);
+            }
+            at = read.done;
+            let frame_bytes = if self.config.integrity {
+                frame::verify_and_strip(&read.bytes)?.to_vec()
+            } else {
+                read.bytes
+            };
+            fetched.push((r.addr(), frame_bytes, read.done));
+        }
+
+        // Route the cold batch: GPU for bulk cold reads when compression
+        // is GPU-assigned and the decompress latch is closed; CPU
+        // otherwise (a small batch cannot amortize a kernel launch).
+        let use_gpu = self.config.mode.gpu_compression()
+            && fetched.len() >= self.config.read.gpu_min_batch
+            && self.fault.gpu_decompress.allow_attempt(at);
+        let decoded = if use_gpu {
+            self.gpu_decompress_reads(&fetched, at)?
         } else {
-            &block[..]
+            self.cpu_decompress_reads(&fetched, SimTime::ZERO)?
         };
-        Ok(frame::open(frame_bytes)?)
+
+        // Fresh decodes enter the cache — successful ones only, so a
+        // corrupt frame is re-detected on every re-read.
+        let mut fresh: std::collections::HashMap<u64, (Vec<u8>, SimTime)> =
+            std::collections::HashMap::with_capacity(decoded.len());
+        for (addr, bytes, ready) in decoded {
+            if self.config.read.cache_chunks > 0 {
+                let evicted = self.read_cache.insert(addr, bytes.clone());
+                if evicted > 0 {
+                    self.obs.read_cache_evictions.add(evicted);
+                }
+            }
+            fresh.insert(addr, (bytes, ready));
+        }
+        self.obs
+            .read_cache_entries
+            .set(self.read_cache.len() as i64);
+
+        // Assemble per-request outputs: fresh frames deliver at their
+        // decode-ready instant; cached frames charge the cache-hit copy
+        // cost on a simulated CPU worker.
+        let mut out = Vec::with_capacity(refs.len());
+        let mut read_end = now;
+        for r in refs {
+            let (bytes, ready) = match fresh.get(&r.addr()) {
+                Some((bytes, ready)) => {
+                    self.obs.read_cache_misses.incr();
+                    (bytes.clone(), *ready)
+                }
+                None => {
+                    let bytes = hits
+                        .get(&r.addr())
+                        .expect("request is fresh or was cached at batch issue")
+                        .clone();
+                    let g = self.cpu.acquire(now, cpu_model.read_hit_cost());
+                    self.report.read_cache_hits += 1;
+                    self.obs.read_cache_hits.incr();
+                    (bytes, g.end)
+                }
+            };
+            self.obs
+                .read_latency
+                .record(ready.saturating_duration_since(now).as_nanos());
+            self.report.reads += 1;
+            self.report.read_bytes += bytes.len() as u64;
+            read_end = read_end.max(ready);
+            out.push(bytes);
+        }
+        self.report.read_end = self.report.read_end.max(read_end);
+        self.sync_fault_counters();
+        self.obs.tracer.sim_span(
+            Track::Read,
+            "read-batch",
+            now.as_nanos(),
+            read_end.as_nanos(),
+            trace_args(&[("reads", refs.len() as u64), ("cold", misses.len() as u64)]),
+        );
+        Ok(out)
+    }
+
+    /// CPU decompression of fetched cold frames: each frame decodes on a
+    /// simulated CPU worker at its fetch-ready instant (or `floor`, when a
+    /// failed GPU attempt handed the batch over — degradation is never
+    /// free).
+    fn cpu_decompress_reads(
+        &mut self,
+        fetched: &[(u64, Vec<u8>, SimTime)],
+        floor: SimTime,
+    ) -> Result<Vec<(u64, Vec<u8>, SimTime)>, ReadError> {
+        let cpu_model = self.config.cpu;
+        let mut out = Vec::with_capacity(fetched.len());
+        for (addr, frame_bytes, fetched_at) in fetched {
+            let chunk = frame::open(frame_bytes)?;
+            let g = self.cpu.acquire(
+                (*fetched_at).max(floor),
+                cpu_model.decompress_cost(chunk.len()),
+            );
+            out.push((*addr, chunk, g.end));
+        }
+        Ok(out)
+    }
+
+    /// GPU decompression of a cold batch: one two-phase kernel pair
+    /// (token split + sub-block copy), then per-chunk host frame assembly.
+    /// Transient launch faults retry with backoff; exhausted retries or a
+    /// hard fault open the `gpu_decompress` latch and the batch falls back
+    /// to [`Pipeline::cpu_decompress_reads`] with the burnt time as floor.
+    fn gpu_decompress_reads(
+        &mut self,
+        fetched: &[(u64, Vec<u8>, SimTime)],
+        batch_ready: SimTime,
+    ) -> Result<Vec<(u64, Vec<u8>, SimTime)>, ReadError> {
+        let cpu_model = self.config.cpu;
+        let views: Vec<&[u8]> = fetched.iter().map(|(_, f, _)| f.as_slice()).collect();
+        let backoff = self.config.degrade.backoff();
+        let mut at = batch_ready;
+        let mut retry = 0u32;
+        let (chunks, report) = loop {
+            match self.gpu_decomp.decompress_batch(at, &mut self.gpu, &views) {
+                Ok(out) => break out,
+                Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                    at += backoff.delay(retry);
+                    retry += 1;
+                    self.fault.retries += 1;
+                    self.obs.gpu_decompress_retries.incr();
+                    self.obs.tracer.sim_instant(
+                        Track::Fault,
+                        "gpu-decompress retry",
+                        at.as_nanos(),
+                        trace_args(&[("retry", retry as u64)]),
+                    );
+                }
+                Err(_) => {
+                    Self::latch_failure(
+                        &mut self.fault.gpu_decompress,
+                        at,
+                        &self.obs.gpu_decompress_degraded,
+                        &self.obs.tracer,
+                        "gpu-decompress latch open",
+                    );
+                    // Time burnt on the GPU attempts floors the CPU
+                    // fallback — degradation is never free.
+                    return self.cpu_decompress_reads(fetched, at);
+                }
+            }
+        };
+        Self::latch_success(
+            &mut self.fault.gpu_decompress,
+            report.gpu_done,
+            &self.obs.tracer,
+            "gpu-decompress latch close",
+        );
+        self.report.gpu_decomp_batches += 1;
+        self.obs.read_gpu_batches.incr();
+        let mut out = Vec::with_capacity(fetched.len());
+        for ((addr, _, _), chunk) in fetched.iter().zip(chunks) {
+            let chunk = chunk?;
+            // Host-side frame assembly once the kernels and the D2H copy
+            // are done: the fixed decode overhead only — the byte work
+            // happened on the device.
+            let g = self
+                .cpu
+                .acquire(report.gpu_done, cpu_model.decompress_cost(0));
+            out.push((*addr, chunk, g.end));
+        }
+        Ok(out)
     }
 
     /// Number of chunks ingested so far (the recipe length).
@@ -580,18 +841,37 @@ impl Pipeline {
     }
 
     /// Reads back the `index`-th ingested chunk through the logical map —
-    /// duplicates resolve to their shared stored copy.
+    /// the single-request form of [`Pipeline::read_blocks`].
     ///
     /// # Errors
     ///
     /// [`ReadError::UnknownBlock`] when `index` is out of range, otherwise
-    /// whatever [`Pipeline::read_chunk`] reports.
+    /// whatever [`Pipeline::read_chunks`] reports.
     pub fn read_block(&mut self, index: usize) -> Result<Vec<u8>, ReadError> {
-        let r = *self
-            .recipe
-            .get(index)
-            .ok_or(ReadError::UnknownBlock { index })?;
-        self.read_chunk(r)
+        let mut out = self.read_blocks(&[index])?;
+        Ok(out.pop().expect("one result per request"))
+    }
+
+    /// Reads back a batch of ingested chunks through the logical map in
+    /// one read-pipeline pass — duplicates resolve to their shared stored
+    /// copy, so a dedup-heavy batch fetches far fewer frames than blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::UnknownBlock`] when any index is out of range (checked
+    /// before any device work is issued), otherwise whatever
+    /// [`Pipeline::read_chunks`] reports.
+    pub fn read_blocks(&mut self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ReadError> {
+        let refs = indices
+            .iter()
+            .map(|&index| {
+                self.recipe
+                    .get(index)
+                    .copied()
+                    .ok_or(ReadError::UnknownBlock { index })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.read_chunks(&refs)
     }
 
     /// Runs a byte stream through the pipeline (chunked at
@@ -713,11 +993,18 @@ impl Pipeline {
         self.report.gpu_kernels = self.gpu.stats().kernels;
         self.report.gpu_busy = self.gpu.stats().kernel_busy;
         self.report.cpu_busy = self.cpu.total_busy_time();
+        self.sync_fault_counters();
+        self.report.clone()
+    }
+
+    /// Folds the device and latch fault tallies into the report — called
+    /// when a run closes out and after every read batch, so read-time
+    /// retries and latch transitions are visible without another write.
+    fn sync_fault_counters(&mut self) {
         self.report.faults_injected =
             self.ssd.stats().faults_injected + self.gpu.stats().faults_injected;
         self.report.fault_retries = self.fault.retries + self.destage.fault_retries();
         self.report.degraded_transitions = self.fault.transitions();
-        self.report.clone()
     }
 
     /// Records an operation-level failure on a latch, bumping the matching
@@ -1625,6 +1912,124 @@ mod tests {
             }
         }
         assert!(detected > 0, "no corruption was ever detected");
+    }
+
+    #[test]
+    fn batched_reads_are_bit_identical_to_serial_reads_in_both_routing_arms() {
+        let data = stream();
+        let all: Vec<usize> = (0..128).collect();
+        for mode in [IntegrationMode::CpuOnly, IntegrationMode::GpuForCompression] {
+            // Batched pass over everything: 32 distinct cold frames, which
+            // crosses the default gpu_min_batch and exercises the GPU arm
+            // under a GPU-compression mode.
+            let mut batched = Pipeline::new(small_config(mode));
+            batched.run(&data);
+            let got = batched.read_blocks(&all).expect("batched read");
+            if mode.gpu_compression() {
+                assert!(
+                    batched.report().gpu_decomp_batches > 0,
+                    "bulk cold batch must route to the GPU in mode {mode}"
+                );
+            } else {
+                assert_eq!(batched.report().gpu_decomp_batches, 0);
+            }
+            // Serial loop on a fresh pipeline: same bytes, whatever the arm.
+            let mut serial = Pipeline::new(small_config(mode));
+            serial.run(&data);
+            for (&i, batch_bytes) in all.iter().zip(&got) {
+                let serial_bytes = serial.read_block(i).expect("serial read");
+                assert_eq!(batch_bytes, &serial_bytes, "block {i} in mode {mode}");
+                assert_eq!(batch_bytes, &data[i * 4096..(i + 1) * 4096]);
+            }
+            assert_eq!(serial.report().gpu_decomp_batches, 0, "singles stay CPU");
+        }
+    }
+
+    #[test]
+    fn reads_advance_the_simulated_clock_monotonically() {
+        let mut p = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        p.run(&stream());
+        assert_eq!(p.report().read_end, SimTime::ZERO, "no reads yet");
+        let mut last = p.report().reduction_end;
+        for i in 0..8 {
+            p.read_block(i).expect("read");
+            let read_end = p.report().read_end;
+            assert!(
+                read_end > last,
+                "read {i} did not advance the clock: {read_end:?} vs {last:?}"
+            );
+            last = read_end;
+        }
+        assert_eq!(p.report().reads, 8);
+        assert_eq!(p.report().read_bytes, 8 * 4096);
+    }
+
+    #[test]
+    fn read_cache_absorbs_repeats_and_can_be_disabled() {
+        let data = stream();
+        let mut cached = Pipeline::new(small_config(IntegrationMode::CpuOnly));
+        cached.run(&data);
+        // Blocks 0 and 32 share one stored frame (same pattern tag): the
+        // first read warms the cache, everything after hits it.
+        for _ in 0..3 {
+            cached.read_block(0).unwrap();
+            cached.read_block(32).unwrap();
+        }
+        assert_eq!(cached.report().read_cache_hits, 5);
+
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.read.cache_chunks = 0;
+        let mut cold = Pipeline::new(cfg);
+        cold.run(&data);
+        for _ in 0..3 {
+            cold.read_block(0).unwrap();
+        }
+        assert_eq!(cold.report().read_cache_hits, 0, "cache disabled");
+        assert_eq!(cold.read_block(0).unwrap(), &data[..4096]);
+    }
+
+    #[test]
+    fn batch_hit_survives_eviction_by_its_own_fresh_inserts() {
+        // A request that is cached when the batch issues can be evicted by
+        // the batch's own cold decodes before delivery; its bytes must be
+        // captured at issue, not re-fetched from the cache.
+        let data = stream();
+        let mut cfg = small_config(IntegrationMode::CpuOnly);
+        cfg.read.cache_chunks = 4;
+        let mut p = Pipeline::new(cfg);
+        p.run(&data);
+        p.read_block(0).unwrap(); // warm the cache with block 0's frame
+        let batch = p.read_blocks(&[0, 1, 2, 3, 4, 5]).expect("batched read");
+        for (i, got) in batch.iter().enumerate() {
+            assert_eq!(got, &data[i * 4096..][..4096], "block {i}");
+        }
+        assert_eq!(
+            p.report().read_cache_hits,
+            1,
+            "block 0 was a capture-time hit"
+        );
+    }
+
+    #[test]
+    fn pool_width_does_not_change_read_results() {
+        let data = stream();
+        let all: Vec<usize> = (0..128).collect();
+        let mut baseline: Option<(SimTime, Vec<Vec<u8>>)> = None;
+        for pool_workers in [1usize, 2, 4] {
+            let mut cfg = small_config(IntegrationMode::GpuForCompression);
+            cfg.pool_workers = pool_workers;
+            let mut p = Pipeline::new(cfg);
+            p.run(&data);
+            let got = p.read_blocks(&all).expect("batched read");
+            let key = (p.report().read_end, got);
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => {
+                    assert_eq!(b.0, key.0, "pool_workers={pool_workers} shifted read_end");
+                    assert_eq!(b.1, key.1, "pool_workers={pool_workers} changed bytes");
+                }
+            }
+        }
     }
 
     #[test]

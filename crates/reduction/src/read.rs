@@ -1,0 +1,159 @@
+//! Read-path support: configuration and the decompressed-chunk cache.
+//!
+//! The batched read pipeline itself lives in
+//! [`Pipeline::read_chunks`](crate::pipeline::Pipeline::read_chunks); this
+//! module holds the pieces it composes — the tuning knobs and a small
+//! capacity-bounded LRU over decompressed chunks, keyed by the chunk's
+//! destage-log address. Because deduplication makes many logical blocks
+//! resolve to one stored frame, even a modest cache absorbs the re-read
+//! traffic of hot working sets (the VDI boot storm the paper targets).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Read-path tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadConfig {
+    /// Capacity of the decompressed-chunk cache, in chunks. `0` disables
+    /// caching: every read fetches and decompresses its frame.
+    pub cache_chunks: usize,
+    /// Minimum number of *cold* (uncached, distinct) frames in one batch
+    /// before decompression routes to the GPU, when the integration mode
+    /// assigns compression there. Smaller batches decompress on the CPU —
+    /// a kernel launch cannot amortize over a handful of chunks, the same
+    /// asymmetry that makes CPU indexing beat GPU indexing for small
+    /// batches on the write path.
+    pub gpu_min_batch: usize,
+}
+
+impl Default for ReadConfig {
+    fn default() -> Self {
+        ReadConfig {
+            cache_chunks: 256,
+            gpu_min_batch: 16,
+        }
+    }
+}
+
+/// A capacity-bounded LRU of decompressed chunks, keyed by stored-frame
+/// address. Purely functional state: cache contents never affect *what*
+/// bytes a read returns, only how much simulated work serving them costs.
+#[derive(Debug, Default)]
+pub(crate) struct ReadCache {
+    cap: usize,
+    map: HashMap<u64, Vec<u8>>,
+    /// Recency order, least-recent at the front.
+    lru: VecDeque<u64>,
+}
+
+impl ReadCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        ReadCache {
+            cap,
+            map: HashMap::with_capacity(cap),
+            lru: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Cached chunks currently resident.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when `addr` is resident (does not touch recency).
+    #[cfg(test)]
+    fn contains(&self, addr: u64) -> bool {
+        self.map.contains_key(&addr)
+    }
+
+    /// Returns a copy of the cached chunk and promotes it to
+    /// most-recently-used.
+    pub(crate) fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
+        let bytes = self.map.get(&addr)?.clone();
+        if let Some(pos) = self.lru.iter().position(|&a| a == addr) {
+            self.lru.remove(pos);
+            self.lru.push_back(addr);
+        }
+        Some(bytes)
+    }
+
+    /// Inserts (or refreshes) a decompressed chunk, evicting from the LRU
+    /// end to stay within capacity. Returns the number of evictions.
+    pub(crate) fn insert(&mut self, addr: u64, bytes: Vec<u8>) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        if self.map.insert(addr, bytes).is_some() {
+            // Refresh: promote without growing.
+            if let Some(pos) = self.lru.iter().position(|&a| a == addr) {
+                self.lru.remove(pos);
+            }
+            self.lru.push_back(addr);
+            return 0;
+        }
+        self.lru.push_back(addr);
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            if let Some(old) = self.lru.pop_front() {
+                self.map.remove(&old);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_cache_and_gpu_routing() {
+        let c = ReadConfig::default();
+        assert!(c.cache_chunks > 0);
+        assert!(c.gpu_min_batch > 1);
+    }
+
+    #[test]
+    fn insert_get_round_trips_and_bounds_capacity() {
+        let mut cache = ReadCache::new(2);
+        assert_eq!(cache.insert(10, vec![1]), 0);
+        assert_eq!(cache.insert(20, vec![2]), 0);
+        assert_eq!(cache.len(), 2);
+        // Third insert evicts the least-recently-used (addr 10).
+        assert_eq!(cache.insert(30, vec![3]), 1);
+        assert!(!cache.contains(10));
+        assert_eq!(cache.get(20), Some(vec![2]));
+        assert_eq!(cache.get(30), Some(vec![3]));
+    }
+
+    #[test]
+    fn get_promotes_recency() {
+        let mut cache = ReadCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        // Touch 1, so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, vec![3]);
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+    }
+
+    #[test]
+    fn refresh_does_not_evict() {
+        let mut cache = ReadCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        assert_eq!(cache.insert(1, vec![9]), 0, "refresh is not an insert");
+        assert_eq!(cache.get(1), Some(vec![9]));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ReadCache::new(0);
+        assert_eq!(cache.insert(1, vec![1]), 0);
+        assert!(!cache.contains(1));
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -36,6 +36,18 @@ pub struct Report {
     pub reduction_end: SimTime,
     /// When the SSD finished the last destage write.
     pub ssd_end: SimTime,
+    /// When the last read completed ([`SimTime::ZERO`] when nothing was
+    /// read). Reads run on the same simulated clock as writes, so this is
+    /// always ≥ the `reduction_end` in effect when the read was issued.
+    pub read_end: SimTime,
+    /// Chunk reads served by the read path (batched or single).
+    pub reads: u64,
+    /// Decompressed bytes returned to readers.
+    pub read_bytes: u64,
+    /// Reads served from the decompressed-chunk cache.
+    pub read_cache_hits: u64,
+    /// GPU decompression batches launched on the read path.
+    pub gpu_decomp_batches: u64,
     /// When the last GPU bin mirror finished syncing.
     pub gpu_index_sync_end: SimTime,
     /// GPU index queries issued.
@@ -83,6 +95,11 @@ impl Report {
             stored_bytes: 0,
             reduction_end: SimTime::ZERO,
             ssd_end: SimTime::ZERO,
+            read_end: SimTime::ZERO,
+            reads: 0,
+            read_bytes: 0,
+            read_cache_hits: 0,
+            gpu_decomp_batches: 0,
             gpu_index_sync_end: SimTime::ZERO,
             gpu_index_queries: 0,
             gpu_index_hits: 0,
@@ -181,6 +198,20 @@ impl std::fmt::Display for Report {
             self.gpu_busy,
             self.cpu_busy,
         )?;
+        // Printed only when the run actually read, so write-only runs
+        // produce byte-identical output to builds without the read path.
+        if self.reads > 0 {
+            write!(
+                f,
+                "\n  reads: {} ({:.1} MB), {} cache hits, {} gpu decomp batches, \
+                 read_end {:.3} sim-s",
+                self.reads,
+                self.read_bytes as f64 / 1e6,
+                self.read_cache_hits,
+                self.gpu_decomp_batches,
+                self.read_end.as_secs_f64(),
+            )?;
+        }
         // Printed only when something actually faulted, so fault-free runs
         // produce byte-identical output to builds without the fault layer.
         if self.faults_injected > 0 || self.fault_retries > 0 || self.degraded_transitions > 0 {
@@ -241,6 +272,18 @@ mod tests {
         assert!(r
             .to_string()
             .contains("faults: 3 injected, 2 retries, 0 degraded transitions"));
+    }
+
+    #[test]
+    fn read_line_appears_only_when_reads_happened() {
+        let mut r = Report::new(IntegrationMode::CpuOnly);
+        assert!(!r.to_string().contains("reads:"));
+        r.reads = 5;
+        r.read_bytes = 5 * 4096;
+        r.read_cache_hits = 2;
+        assert!(r
+            .to_string()
+            .contains("reads: 5 (0.0 MB), 2 cache hits, 0 gpu decomp batches"));
     }
 
     #[test]

@@ -215,6 +215,41 @@ impl VolumeManager {
             .read_block(recipe_idx)
             .map_err(VolumeError::ReadFailed)
     }
+
+    /// Reads a batch of blocks in one read-pipeline pass: requests are
+    /// grouped by stored frame, served from the decompressed-chunk cache
+    /// when resident, and cold frames route to the CPU or GPU
+    /// decompression path. Bytes are identical to looping over
+    /// [`VolumeManager::read`].
+    ///
+    /// Every index is validated *before* any device work is issued, so a
+    /// bad request fails typed without advancing the simulated clock.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::UnknownVolume`] / [`VolumeError::OutOfRange`] /
+    /// [`VolumeError::Unwritten`] / [`VolumeError::ReadFailed`].
+    pub fn read_batch(&mut self, name: &str, blocks: &[u64]) -> Result<Vec<Vec<u8>>, VolumeError> {
+        let recipe_idxs = {
+            let volume = self
+                .volumes
+                .get(name)
+                .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+            let size = volume.blocks.len() as u64;
+            blocks
+                .iter()
+                .map(|&block| {
+                    if block >= size {
+                        return Err(VolumeError::OutOfRange { block, size });
+                    }
+                    volume.blocks[block as usize].ok_or(VolumeError::Unwritten { block })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        self.pipeline
+            .read_blocks(&recipe_idxs)
+            .map_err(VolumeError::ReadFailed)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +342,49 @@ mod tests {
             m.read("nope", 0),
             Err(VolumeError::UnknownVolume(_))
         ));
+    }
+
+    #[test]
+    fn batched_reads_match_serial_reads() {
+        let mut m = manager();
+        m.create_volume("v", 8).unwrap();
+        let mut data = Vec::new();
+        for tag in 0..6u8 {
+            data.extend_from_slice(&block(tag % 3)); // duplicates across blocks
+        }
+        m.write("v", 0, &data).unwrap();
+        let blocks: Vec<u64> = vec![0, 1, 2, 3, 4, 5, 0, 2];
+        let batch = m.read_batch("v", &blocks).unwrap();
+        for (got, &b) in batch.iter().zip(&blocks) {
+            let serial = m.read("v", b).unwrap();
+            assert_eq!(got, &serial, "block {b}");
+        }
+    }
+
+    #[test]
+    fn batched_read_errors_are_typed_and_precede_device_work() {
+        let mut m = manager();
+        m.create_volume("v", 4).unwrap();
+        m.write("v", 0, &block(1)).unwrap();
+        let read_end_before = m.report().read_end;
+        assert!(matches!(
+            m.read_batch("v", &[0, 9]),
+            Err(VolumeError::OutOfRange { block: 9, .. })
+        ));
+        assert!(matches!(
+            m.read_batch("v", &[0, 2]),
+            Err(VolumeError::Unwritten { block: 2 })
+        ));
+        assert!(matches!(
+            m.read_batch("nope", &[0]),
+            Err(VolumeError::UnknownVolume(_))
+        ));
+        assert_eq!(
+            m.report().read_end,
+            read_end_before,
+            "failed validation must not advance the read clock"
+        );
+        assert_eq!(m.read_batch("v", &[0]).unwrap(), vec![block(1)]);
     }
 
     #[test]

@@ -73,6 +73,13 @@ else
     echo "    trace OK (python3 unavailable; checked non-empty only)"
 fi
 
+# Read-path parity smoke: batched reads must return bit-identical bytes
+# to a serial read loop, for every pool width and both decompression
+# routing arms, with a pool-width-independent read clock (DESIGN.md §14).
+# The bin exits non-zero on any divergence.
+echo "==> read-path parity smoke (batched vs serial, pool widths, cpu+gpu)"
+target/release/e8_read_path --parity-check
+
 # Scalar-fallback leg: DR_SIMD=scalar forces every SWAR/SIMD dispatch in
 # dr-hashes and dr-compress onto its portable fallback (DESIGN.md §13).
 # The differential tests must still pass, and a forced-scalar bench run

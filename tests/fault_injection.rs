@@ -229,6 +229,68 @@ fn faults_cost_simulated_time() {
 }
 
 #[test]
+fn gpu_decompress_faults_latch_open_and_batched_reads_fall_back_to_cpu() {
+    // Write fault-free so the stored state is clean, then break the GPU
+    // before reading: the first cold batch attempts the decompression
+    // kernel, burns its retries, latches the component degraded, and
+    // finishes on the CPU — bytes must still match, and while the latch
+    // is open later batches must not touch the GPU at all.
+    let data = stream();
+    let mut p = Pipeline::new(config(IntegrationMode::GpuForCompression));
+    p.run(&data);
+    p.set_gpu_faults(GpuFaultSpec {
+        launch_failure_rate: 1.0,
+        seed: 7,
+        ..GpuFaultSpec::default()
+    });
+    let all: Vec<usize> = (0..p.ingested_chunks()).collect();
+    let blocks = p.read_blocks(&all).expect("degraded batch read");
+    for (i, original) in data.chunks(4096).enumerate() {
+        assert_eq!(blocks[i], original, "block {i} diverged under fallback");
+    }
+    let report = p.report();
+    assert_eq!(
+        report.gpu_decomp_batches, 0,
+        "no GPU decompression batch can complete at failure rate 1.0"
+    );
+    assert!(report.fault_retries > 0, "no decompress retries attempted");
+    assert!(
+        report.degraded_transitions >= 1,
+        "the gpu-decompress latch never opened"
+    );
+    // Latch open: the next batch skips the GPU attempt (no new retries)
+    // and still serves correct bytes.
+    let retries_after_first = report.fault_retries;
+    let again = p.read_blocks(&all).expect("read with latch open");
+    assert_eq!(again, blocks, "latched reads diverged");
+    assert_eq!(
+        p.report().fault_retries,
+        retries_after_first,
+        "a latched-open component must not be re-attempted immediately"
+    );
+}
+
+#[test]
+fn transient_ssd_read_errors_are_absorbed_by_retries() {
+    let data = stream();
+    let mut p = Pipeline::new(config(IntegrationMode::CpuOnly));
+    p.run(&data);
+    p.set_ssd_faults(SsdFaultSpec {
+        read_error_rate: 0.2,
+        seed: 21,
+        ..SsdFaultSpec::default()
+    });
+    let all: Vec<usize> = (0..p.ingested_chunks()).collect();
+    let blocks = p.read_blocks(&all).expect("faulted batch read");
+    for (i, original) in data.chunks(4096).enumerate() {
+        assert_eq!(blocks[i], original, "block {i} diverged under read faults");
+    }
+    let report = p.report();
+    assert!(report.faults_injected > 0, "no read faults were drawn");
+    assert!(report.fault_retries > 0, "no read retries were charged");
+}
+
+#[test]
 fn zero_fault_config_is_bit_identical_to_default() {
     // The fault layer must be invisible when disabled: explicitly zeroed
     // fault specs take the exact same code paths (no RNG draws, no timer

@@ -61,6 +61,42 @@ fn traced_runs_are_bit_identical_across_pool_widths() {
     }
 }
 
+/// Batched reads are trace-invariant too, emit spans on the read track,
+/// and visibly advance the simulated read clock batch over batch.
+#[test]
+fn batched_reads_are_trace_invariant_and_advance_the_clock() {
+    let read_back = |tracer: Tracer| {
+        let obs = ObsHandle::enabled("trace-invariance").with_tracer(tracer);
+        let mut pipeline = Pipeline::new(PipelineConfig {
+            mode: IntegrationMode::GpuForCompression,
+            obs,
+            ..PipelineConfig::default()
+        });
+        pipeline.run_blocks(blocks(11));
+        let total = pipeline.ingested_chunks();
+        let mut ends = Vec::new();
+        for start in (0..total).step_by(64) {
+            let batch: Vec<usize> = (start..(start + 64).min(total)).collect();
+            pipeline.read_blocks(&batch).expect("batched read");
+            ends.push(pipeline.report().read_end);
+        }
+        (format!("{:?}", pipeline.report()), ends)
+    };
+    let (baseline, ends) = read_back(Tracer::disabled());
+    let tracer = Tracer::enabled();
+    let (traced, _) = read_back(tracer.clone());
+    assert_eq!(traced, baseline, "tracing changed the read-path report");
+    let events = tracer.sink().unwrap().drain();
+    assert!(
+        events.iter().any(|e| e.track == Track::Read),
+        "no read spans recorded"
+    );
+    // Each batch costs simulated time: the read frontier strictly climbs.
+    for pair in ends.windows(2) {
+        assert!(pair[0] < pair[1], "read clock stalled: {pair:?}");
+    }
+}
+
 /// Every integration mode stays invariant under tracing, and each mode's
 /// trace covers the tracks its data path actually exercises.
 #[test]
