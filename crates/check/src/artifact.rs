@@ -11,7 +11,8 @@
 //! *string* so the integer-only artifact parser never has to read the
 //! float-bearing snapshot dialect) and `trace_path` (where the Chrome
 //! trace of the failing sequence was written, when tracing was on).
-//! Version-1 documents parse unchanged — both fields read back as `None`.
+//! Version 3 adds the `crash` op and the `crash` scenario for power-cut
+//! sequences. Version-1 and version-2 documents parse unchanged.
 
 use crate::json::{self, quote, Value};
 use crate::ops::{Op, Scenario};
@@ -19,7 +20,7 @@ use crate::runner::Failure;
 use dr_reduction::IntegrationMode;
 
 /// Artifact schema version.
-pub const VERSION: u64 = 2;
+pub const VERSION: u64 = 3;
 
 /// One recorded failure: seed, environment, minimized ops, observed
 /// failure.
@@ -84,8 +85,9 @@ impl Artifact {
     pub fn from_json(text: &str) -> Result<Artifact, String> {
         let v = json::parse(text)?;
         let version = field_u64(&v, "version")?;
-        // Version 1 lacks the optional post-mortem fields but is otherwise
-        // identical — replaying old artifacts must keep working.
+        // Older versions lack optional post-mortem fields / newer op kinds
+        // but are otherwise identical — replaying old artifacts must keep
+        // working.
         if !(1..=VERSION).contains(&version) {
             return Err(format!("unsupported artifact version {version}"));
         }
@@ -203,6 +205,7 @@ fn op_to_json(op: &Op) -> String {
             "{{\"op\": {tag}, \"launch_milli\": {launch_milli}, \
              \"timeout_milli\": {timeout_milli}, \"seed\": {seed}}}"
         ),
+        Op::Crash { seed } => format!("{{\"op\": {tag}, \"seed\": {seed}}}"),
         Op::ClearFaults | Op::Flush | Op::SnapshotRestore => format!("{{\"op\": {tag}}}"),
     }
 }
@@ -257,6 +260,9 @@ fn op_from_json(v: &Value) -> Result<Op, String> {
         "clear-faults" => Ok(Op::ClearFaults),
         "flush" => Ok(Op::Flush),
         "snapshot-restore" => Ok(Op::SnapshotRestore),
+        "crash" => Ok(Op::Crash {
+            seed: field_u64(v, "seed")?,
+        }),
         other => Err(format!("unknown op tag '{other}'")),
     }
 }
@@ -333,6 +339,7 @@ mod tests {
             Op::ClearFaults,
             Op::Flush,
             Op::SnapshotRestore,
+            Op::Crash { seed: 77 },
         ];
         let artifact = Artifact {
             seed: 1,

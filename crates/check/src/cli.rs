@@ -14,7 +14,8 @@ const USAGE: &str = "usage: dr-check <command> [flags]\n\
      commands:\n\
        run     sweep seeds x integration modes x scenarios\n\
                [--seeds N] [--seed-start S] [--ops N] [--mode M|all]\n\
-               [--scenario fault-free|faulted|both] [--artifact-dir DIR]\n\
+               [--scenario fault-free|faulted|crash|both]\n\
+               [--artifact-dir DIR]\n\
                [--trace-dir DIR]  (Chrome trace of the shrunk failure)\n\
        replay  re-execute a recorded failure artifact  <artifact.json>\n\
      \n\

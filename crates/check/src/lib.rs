@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! dr-check run [--seeds N] [--seed-start S] [--ops N]
-//!              [--mode M|all] [--scenario fault-free|faulted|both]
+//!              [--mode M|all] [--scenario fault-free|faulted|crash|both]
 //!              [--artifact-dir DIR]
 //! dr-check replay <artifact.json>
 //! ```

@@ -116,6 +116,14 @@ pub enum Op {
     /// Snapshot the bin index, restore it, and verify the round trip is a
     /// fixed point; the restored index replaces the live one.
     SnapshotRestore,
+    /// Cut power at a seeded instant within the acknowledged horizon,
+    /// recover from the metadata journal, and verify durability: every
+    /// acknowledged operation survives, unacknowledged ones are atomically
+    /// absent, and the recovered state keeps serving correct bytes.
+    Crash {
+        /// Seed for the cut instant and the torn-page split points.
+        seed: u64,
+    },
 }
 
 impl Op {
@@ -133,6 +141,7 @@ impl Op {
             Op::ClearFaults => "clear-faults",
             Op::Flush => "flush",
             Op::SnapshotRestore => "snapshot-restore",
+            Op::Crash { .. } => "crash",
         }
     }
 }
@@ -146,10 +155,16 @@ pub enum Scenario {
     /// below the level where the pipeline's *designed* abort (destage
     /// failure after a degraded rest) becomes reachable.
     Faulted,
+    /// Power-cut ops are in the alphabet (alongside fault toggles): the
+    /// pipeline runs with the metadata journal enabled and the runner
+    /// checks crash durability after every cut. Not part of
+    /// [`Scenario::ALL`]: crash runs flip the journal on, so they sweep
+    /// separately from the bit-identity-pinned default matrix.
+    Crash,
 }
 
 impl Scenario {
-    /// All scenarios, for matrix runs.
+    /// Default scenarios for matrix runs ([`Scenario::Crash`] is opt-in).
     pub const ALL: [Scenario; 2] = [Scenario::FaultFree, Scenario::Faulted];
 
     /// Canonical CLI / artifact name.
@@ -157,6 +172,7 @@ impl Scenario {
         match self {
             Scenario::FaultFree => "fault-free",
             Scenario::Faulted => "faulted",
+            Scenario::Crash => "crash",
         }
     }
 
@@ -169,7 +185,10 @@ impl Scenario {
         match s {
             "fault-free" => Ok(Scenario::FaultFree),
             "faulted" => Ok(Scenario::Faulted),
-            other => Err(format!("unknown scenario '{other}' (fault-free | faulted)")),
+            "crash" => Ok(Scenario::Crash),
+            other => Err(format!(
+                "unknown scenario '{other}' (fault-free | faulted | crash)"
+            )),
         }
     }
 }
@@ -229,6 +248,12 @@ pub fn generate(seed: u64, count: usize, scenario: Scenario) -> Vec<Op> {
                 vol,
                 block: rng.next_below(MAX_VOLUME_BLOCKS),
             },
+            // Crash scenarios carve power cuts out of the fault band
+            // (guarded arm, so the faulted band below is untouched for the
+            // other scenarios — sequences stay bit-identical).
+            90..=92 if scenario == Scenario::Crash => Op::Crash {
+                seed: rng.next_u64(),
+            },
             90..=93 => Op::SetSsdFaults {
                 write_milli: 30 * rng.next_below(5), // ≤ 0.12
                 busy_milli: 25 * rng.next_below(5),  // ≤ 0.10
@@ -276,6 +301,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crash_band_is_guarded_so_other_scenarios_are_unchanged() {
+        // The crash arm must not perturb the sequences the pinned
+        // (fault-free / faulted) matrix cells generate.
+        for seed in 0..20 {
+            for scenario in Scenario::ALL {
+                for op in generate(seed, 80, scenario) {
+                    assert!(
+                        !matches!(op, Op::Crash { .. }),
+                        "crash op outside the crash scenario (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_sequences_contain_crash_ops() {
+        let crashes: usize = (0..20)
+            .map(|seed| {
+                generate(seed, 80, Scenario::Crash)
+                    .iter()
+                    .filter(|op| matches!(op, Op::Crash { .. }))
+                    .count()
+            })
+            .sum();
+        assert!(crashes > 10, "crash band too cold: {crashes} in 20 seeds");
     }
 
     #[test]

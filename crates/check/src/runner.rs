@@ -21,12 +21,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use dr_des::{SimTime, SplitMix64};
 use dr_gpu_sim::GpuFaultSpec;
 use dr_obs::{ObsHandle, Tracer};
 use dr_reduction::{
-    IntegrationMode, PipelineConfig, ReadError, Report, VolumeError, VolumeManager,
+    IntegrationMode, PipelineConfig, ReadError, Report, VolumeError, VolumeManager, VolumeRecord,
 };
-use dr_ssd_sim::SsdFaultSpec;
+use dr_ssd_sim::{CrashSpec, SsdFaultSpec};
 use dr_workload::{synthesize_block, StreamConfig, StreamGenerator, ZipfSampler};
 
 use crate::model::{ModelError, Oracle};
@@ -42,6 +43,11 @@ const FRAME_OVERHEAD_BYTES: u64 = 64;
 /// Transient device errors surviving the pipeline's internal retries are
 /// re-issued this many times at the op level before counting as real.
 const TRANSIENT_RETRIES: usize = 10;
+
+/// Journal region size for crash-scenario runs (top of the logical space).
+/// Sequences without [`Op::Crash`] run with the journal disabled, so their
+/// simulated results stay bit-identical to the pre-journal checker.
+const JOURNAL_PAGES: u64 = 1024;
 
 /// One invariant violation, pinned to the op that exposed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +96,21 @@ fn is_transient(e: &VolumeError) -> bool {
     matches!(e, VolumeError::ReadFailed(ReadError::Device(d)) if d.is_transient())
 }
 
+/// One successfully acknowledged state-changing operation, logged in
+/// crash-scenario runs so the durable prefix after a power cut can be
+/// cross-checked record-for-record and the oracle rebuilt from it.
+enum Action {
+    Create {
+        name: String,
+        blocks: u64,
+    },
+    Write {
+        name: String,
+        block: u64,
+        data: Vec<u8>,
+    },
+}
+
 struct Exec {
     system: VolumeManager,
     oracle: Oracle,
@@ -97,16 +118,29 @@ struct Exec {
     last_reduction_end: dr_des::SimTime,
     last_ssd_end: dr_des::SimTime,
     last_read_end: dr_des::SimTime,
+    /// Journal enabled (crash-scenario run)?
+    journaled: bool,
+    /// Acknowledged state changes with their ack instants, in journal
+    /// order. Only populated when `journaled`.
+    actions: Vec<(Action, SimTime)>,
+    /// `destage.appends` obs-counter value at the last recovery. The obs
+    /// registry survives a crash (counters are cumulative across power
+    /// cycles) while the recovered report counts only durable work, so
+    /// conservation is checked on deltas from the last recovery point.
+    appends_base: u64,
+    /// `report.unique_chunks` as recovery rebuilt it.
+    unique_base: u64,
 }
 
 impl Exec {
-    fn new(mode: IntegrationMode, tracer: Tracer) -> Self {
+    fn new(mode: IntegrationMode, tracer: Tracer, journaled: bool) -> Self {
         let obs = ObsHandle::enabled("dr-check").with_tracer(tracer);
         let config = PipelineConfig {
             mode,
             batch_chunks: 8,
             integrity: true,
             obs: obs.clone(),
+            journal_pages: if journaled { JOURNAL_PAGES } else { 0 },
             ..PipelineConfig::default()
         };
         Exec {
@@ -116,6 +150,10 @@ impl Exec {
             last_reduction_end: dr_des::SimTime::ZERO,
             last_ssd_end: dr_des::SimTime::ZERO,
             last_read_end: dr_des::SimTime::ZERO,
+            journaled,
+            actions: Vec::new(),
+            appends_base: 0,
+            unique_base: 0,
         }
     }
 
@@ -142,7 +180,19 @@ impl Exec {
         let got = self.system.write(name, block, data);
         let want = self.oracle.write(name, block, data);
         match (got, want) {
-            (Ok(()), Ok(())) => Ok(()),
+            (Ok(()), Ok(())) => {
+                if self.journaled {
+                    self.actions.push((
+                        Action::Write {
+                            name: name.to_owned(),
+                            block,
+                            data: data.to_vec(),
+                        },
+                        self.system.last_ack(),
+                    ));
+                }
+                Ok(())
+            }
             (Err(e), Err(k)) if kind_of(&e) == Some(k) => Ok(()),
             (got, want) => Err(fail(
                 idx,
@@ -320,14 +370,15 @@ impl Exec {
                 ),
             ));
         }
-        let appends = self.counter("destage.appends");
-        if appends != r.unique_chunks {
+        let appends = self.counter("destage.appends") - self.appends_base;
+        if appends != r.unique_chunks - self.unique_base {
             return Err(fail(
                 idx,
                 "conservation",
                 format!(
-                    "obs destage.appends {appends} != report unique_chunks {}",
-                    r.unique_chunks
+                    "obs destage.appends {appends} (since recovery) != report \
+                     unique_chunks {} - recovered base {}",
+                    r.unique_chunks, self.unique_base
                 ),
             ));
         }
@@ -387,7 +438,18 @@ impl Exec {
                 let got = self.system.create_volume(&name, *blocks);
                 let want = self.oracle.create_volume(&name, *blocks);
                 match (got, want) {
-                    (Ok(()), Ok(())) => Ok(()),
+                    (Ok(()), Ok(())) => {
+                        if self.journaled {
+                            self.actions.push((
+                                Action::Create {
+                                    name,
+                                    blocks: *blocks,
+                                },
+                                self.system.last_ack(),
+                            ));
+                        }
+                        Ok(())
+                    }
                     (Err(e), Err(k)) if kind_of(&e) == Some(k) => Ok(()),
                     (got, want) => Err(fail(
                         idx,
@@ -497,7 +559,7 @@ impl Exec {
                 let mut retries = 0;
                 loop {
                     match self.system.pipeline_mut().flush() {
-                        Ok(()) => return Ok(()),
+                        Ok(()) => break,
                         Err(ReadError::Device(d))
                             if d.is_transient() && retries < TRANSIENT_RETRIES =>
                         {
@@ -508,6 +570,16 @@ impl Exec {
                         }
                     }
                 }
+                // Crash runs also cut a journal checkpoint here, so
+                // recovery exercises the snapshot-restore replay path, not
+                // just record-by-record rebuilds.
+                if self.journaled {
+                    self.system
+                        .pipeline_mut()
+                        .journal_checkpoint()
+                        .map_err(|e| fail(idx, "flush", format!("journal checkpoint: {e}")))?;
+                }
+                Ok(())
             }
             Op::SnapshotRestore => {
                 let p = self.system.pipeline_mut();
@@ -538,7 +610,117 @@ impl Exec {
                 }
                 Ok(())
             }
+            Op::Crash { seed } => self.check_crash(idx, *seed),
         }
+    }
+
+    /// The crash oracle: pick a seeded cut instant within the acknowledged
+    /// horizon, cut power, recover, and verify the durable prefix.
+    ///
+    /// What must hold after recovery:
+    ///
+    /// 1. Every operation acknowledged at or before the cut survives (the
+    ///    journal's durable-prefix guarantee), and recovery never produces
+    ///    *more* records than operations happened.
+    /// 2. The surviving records match the action log record-for-record —
+    ///    same kind, target, and extent, in the same order.
+    /// 3. The oracle rebuilt from the surviving prefix agrees with the
+    ///    recovered system byte-for-byte (checked by every later read and
+    ///    the final sweep).
+    fn check_crash(&mut self, idx: usize, seed: u64) -> Result<(), Failure> {
+        let mut rng = SplitMix64::new(seed);
+        let at = SimTime::from_nanos(rng.next_below(self.system.last_ack().as_nanos() + 1));
+        let acked = self.actions.iter().filter(|(_, ack)| *ack <= at).count();
+        let outcome = self
+            .system
+            .crash_and_recover(CrashSpec {
+                at,
+                torn_seed: seed,
+            })
+            .map_err(|e| fail(idx, "recovery", format!("recovery failed: {e}")))?;
+        let survived = outcome.volume_records.len();
+        if survived < acked {
+            return Err(fail(
+                idx,
+                "durability",
+                format!(
+                    "cut at {:?}: {acked} of {} operations were acknowledged \
+                     but only {survived} survived recovery",
+                    at,
+                    self.actions.len()
+                ),
+            ));
+        }
+        if survived > self.actions.len() {
+            return Err(fail(
+                idx,
+                "durability",
+                format!(
+                    "recovery produced {survived} records for {} operations",
+                    self.actions.len()
+                ),
+            ));
+        }
+        for (i, record) in outcome.volume_records.iter().enumerate() {
+            let (action, _) = &self.actions[i];
+            let agrees = match (action, record) {
+                (
+                    Action::Create { name, blocks },
+                    VolumeRecord::Create {
+                        name: r_name,
+                        blocks: r_blocks,
+                    },
+                ) => name == r_name && blocks == r_blocks,
+                (
+                    Action::Write { name, block, data },
+                    VolumeRecord::Map {
+                        name: r_name,
+                        start_block,
+                        nblocks,
+                        ..
+                    },
+                ) => {
+                    name == r_name
+                        && block == start_block
+                        && *nblocks == (data.len() / CHUNK_BYTES) as u64
+                }
+                _ => false,
+            };
+            if !agrees {
+                return Err(fail(
+                    idx,
+                    "replay-divergence",
+                    format!("recovered record {i} does not match the {i}th acknowledged op"),
+                ));
+            }
+        }
+        // Both sides now agree the tail is gone: truncate the action log
+        // and rebuild the oracle from the surviving prefix.
+        self.actions.truncate(survived);
+        self.oracle = Oracle::new(CHUNK_BYTES);
+        for (action, _) in &self.actions {
+            let replayed = match action {
+                Action::Create { name, blocks } => self.oracle.create_volume(name, *blocks),
+                Action::Write { name, block, data } => self.oracle.write(name, *block, data),
+            };
+            if let Err(e) = replayed {
+                return Err(fail(
+                    idx,
+                    "replay-divergence",
+                    format!("oracle replay of a surviving op failed: {e}"),
+                ));
+            }
+        }
+        // Recovery starts a fresh report (clocks restart at the replay
+        // horizon, read clock at zero) and only durable work is counted;
+        // re-anchor the monotonicity watermarks and conservation bases.
+        let r = self.system.report();
+        self.last_reduction_end = r.reduction_end;
+        self.last_ssd_end = r.ssd_end;
+        self.last_read_end = r.read_end;
+        self.unique_base = r.unique_chunks;
+        self.appends_base = self.counter("destage.appends");
+        Ok(())
     }
 
     /// Reads back every oracle-written block — the end-of-sequence sweep
@@ -556,6 +738,13 @@ impl Exec {
     }
 }
 
+/// True when `ops` needs the pipeline's metadata journal: the journal is
+/// enabled exactly when the sequence can cut power, so journal-free
+/// sequences keep producing bit-identical simulated results.
+fn needs_journal(ops: &[Op]) -> bool {
+    ops.iter().any(|op| matches!(op, Op::Crash { .. }))
+}
+
 /// Executes `ops` differentially in `mode`; `Err` carries the first
 /// invariant violation (pipeline panics included).
 ///
@@ -563,7 +752,10 @@ impl Exec {
 ///
 /// The [`Failure`] that stopped the run.
 pub fn run_ops(mode: IntegrationMode, ops: &[Op]) -> Result<(), Failure> {
-    drive(&mut Exec::new(mode, Tracer::disabled()), ops)
+    drive(
+        &mut Exec::new(mode, Tracer::disabled(), needs_journal(ops)),
+        ops,
+    )
 }
 
 /// Like [`run_ops`], with `tracer` attached to the pipeline's obs handle,
@@ -576,7 +768,7 @@ pub fn run_ops_observed(
     ops: &[Op],
     tracer: Tracer,
 ) -> (Result<(), Failure>, String) {
-    let mut exec = Exec::new(mode, tracer);
+    let mut exec = Exec::new(mode, tracer, needs_journal(ops));
     let result = drive(&mut exec, ops);
     let obs_json = exec.obs.snapshot().map(|s| s.to_json()).unwrap_or_default();
     (result, obs_json)
@@ -689,6 +881,87 @@ mod tests {
         let a = run_ops(IntegrationMode::GpuForCompression, &ops);
         let b = run_ops(IntegrationMode::GpuForCompression, &ops);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_scenario_seeds_pass_in_every_mode() {
+        for mode in IntegrationMode::ALL {
+            for seed in 0..3 {
+                let ops = generate(seed, 40, Scenario::Crash);
+                run_ops(mode, &ops).expect("crash seed must pass");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let ops = generate(11, 40, Scenario::Crash);
+        assert!(
+            ops.iter().any(|op| matches!(op, Op::Crash { .. })),
+            "seed 11 must actually crash for this test to bite"
+        );
+        let a = run_ops(IntegrationMode::GpuForBoth, &ops);
+        let b = run_ops(IntegrationMode::GpuForBoth, &ops);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_crash_right_after_writes_keeps_them_readable() {
+        // A hand-built sequence where every write is acknowledged well
+        // before the cut instant can land (seed 0 → cut at t=0 is possible,
+        // so crash twice with different seeds to cover both extremes).
+        let ops = vec![
+            Op::CreateVolume { vol: 0, blocks: 16 },
+            Op::Write {
+                vol: 0,
+                block: 0,
+                nblocks: 4,
+                seed: 5,
+                ratio_milli: 2000,
+            },
+            Op::Crash { seed: 1 },
+            Op::Read { vol: 0, block: 0 },
+            Op::Write {
+                vol: 0,
+                block: 4,
+                nblocks: 2,
+                seed: 9,
+                ratio_milli: 1500,
+            },
+            Op::Flush,
+            Op::Crash { seed: 2 },
+            Op::ReadBatch {
+                vol: 0,
+                block: 0,
+                nblocks: 6,
+            },
+        ];
+        run_ops(IntegrationMode::CpuOnly, &ops).expect("crash oracle must hold");
+        run_ops(IntegrationMode::GpuForCompression, &ops).expect("gpu arm too");
+    }
+
+    #[test]
+    fn crash_with_fault_schedules_active_still_recovers() {
+        let ops = vec![
+            Op::CreateVolume { vol: 0, blocks: 16 },
+            Op::SetSsdFaults {
+                write_milli: 120,
+                busy_milli: 100,
+                read_milli: 100,
+                seed: 77,
+            },
+            Op::Write {
+                vol: 0,
+                block: 0,
+                nblocks: 4,
+                seed: 3,
+                ratio_milli: 2000,
+            },
+            Op::Crash { seed: 13 },
+            Op::Read { vol: 0, block: 0 },
+            Op::Flush,
+        ];
+        run_ops(IntegrationMode::GpuForBoth, &ops).expect("faulted crash run");
     }
 
     #[test]

@@ -254,7 +254,10 @@ fn simpler(op: &Op) -> Vec<Op> {
                 }
             }
         }
-        Op::ClearFaults | Op::Flush | Op::SnapshotRestore => {}
+        // A crash op's seed pins both the cut instant and the torn-page
+        // pattern — there is no "simpler" crash that reproduces the same
+        // durable prefix, so only ddmin removal applies.
+        Op::Crash { .. } | Op::ClearFaults | Op::Flush | Op::SnapshotRestore => {}
     }
     out
 }

@@ -32,10 +32,16 @@ pub struct ExponentialBackoff {
     pub factor: u64,
     /// Retries allowed after the initial attempt.
     pub max_retries: u32,
+    /// Total sim-time the schedule may spend waiting across one
+    /// operation's retries; `None` = bounded only by `max_retries`. A
+    /// budget caps pathological schedules (a latched-open device under a
+    /// crash loop) that a pure retry count cannot: see
+    /// [`ExponentialBackoff::permits`].
+    pub budget: Option<SimDuration>,
 }
 
 impl ExponentialBackoff {
-    /// Creates a schedule.
+    /// Creates a schedule with no sim-time budget.
     ///
     /// # Panics
     ///
@@ -46,6 +52,15 @@ impl ExponentialBackoff {
             base,
             factor,
             max_retries,
+            budget: None,
+        }
+    }
+
+    /// Adds a total sim-time budget to the schedule.
+    pub fn with_budget(self, budget: SimDuration) -> Self {
+        ExponentialBackoff {
+            budget: Some(budget),
+            ..self
         }
     }
 
@@ -71,6 +86,35 @@ impl ExponentialBackoff {
             total = total.saturating_add(self.delay(retry).as_nanos());
         }
         SimDuration::from_nanos(total)
+    }
+
+    /// Cumulative wait charged once retry number `retry` is taken:
+    /// `delay(0) + … + delay(retry)`, saturating.
+    pub fn spent_through(&self, retry: u32) -> SimDuration {
+        let mut total: u64 = 0;
+        for r in 0..=retry {
+            total = total.saturating_add(self.delay(r).as_nanos());
+        }
+        SimDuration::from_nanos(total)
+    }
+
+    /// True when retry number `retry` (zero-based) is allowed: it is
+    /// within `max_retries` *and* taking it would not push the cumulative
+    /// wait past the budget. Retry loops should gate on this instead of
+    /// comparing against `max_retries` directly.
+    pub fn permits(&self, retry: u32) -> bool {
+        retry < self.max_retries
+            && match self.budget {
+                None => true,
+                Some(budget) => self.spent_through(retry) <= budget,
+            }
+    }
+
+    /// True when `retry` was refused *because of the budget* — the retry
+    /// count still had room. Callers use this to count budget exhaustion
+    /// separately from ordinary retry exhaustion.
+    pub fn budget_exhausted(&self, retry: u32) -> bool {
+        retry < self.max_retries && !self.permits(retry)
     }
 }
 
@@ -110,5 +154,46 @@ mod tests {
     #[should_panic(expected = "factor")]
     fn zero_factor_rejected() {
         ExponentialBackoff::new(SimDuration::from_micros(1), 0, 1);
+    }
+
+    #[test]
+    fn unbudgeted_schedule_permits_every_retry() {
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 2, 3);
+        assert!(b.permits(0));
+        assert!(b.permits(2));
+        assert!(!b.permits(3), "retry count still bounds");
+        assert!(
+            !b.budget_exhausted(3),
+            "count exhaustion is not budget exhaustion"
+        );
+    }
+
+    #[test]
+    fn budget_cuts_the_schedule_short() {
+        // Delays 10, 20, 40us; a 25us budget allows retry 0 (10us spent)
+        // but not retry 1 (30us would exceed it).
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 2, 3)
+            .with_budget(SimDuration::from_micros(25));
+        assert!(b.permits(0));
+        assert!(!b.permits(1));
+        assert!(b.budget_exhausted(1));
+        assert!(!b.budget_exhausted(0));
+    }
+
+    #[test]
+    fn budget_larger_than_total_delay_never_binds() {
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 2, 3);
+        let capped = b.with_budget(b.total_delay());
+        for retry in 0..4 {
+            assert_eq!(b.permits(retry), capped.permits(retry));
+            assert!(!capped.budget_exhausted(retry));
+        }
+    }
+
+    #[test]
+    fn spent_through_accumulates_delays() {
+        let b = ExponentialBackoff::new(SimDuration::from_micros(10), 2, 3);
+        assert_eq!(b.spent_through(0), SimDuration::from_micros(10));
+        assert_eq!(b.spent_through(2), SimDuration::from_micros(70));
     }
 }

@@ -74,6 +74,9 @@ pub enum Track {
     Fault,
     /// Read-path batches (sim axis).
     Read,
+    /// Metadata-journal appends, checkpoints, and recovery replay (sim
+    /// axis).
+    Journal,
     /// GPU compute queue occupancy (sim axis).
     GpuCompute,
     /// GPU copy-engine occupancy (sim axis).
@@ -101,7 +104,8 @@ impl Track {
             | Track::Compress
             | Track::Destage
             | Track::Fault
-            | Track::Read => PIPELINE_PID,
+            | Track::Read
+            | Track::Journal => PIPELINE_PID,
             Track::GpuCompute | Track::GpuCopy | Track::Ssd => DEVICE_PID,
         }
     }
@@ -119,6 +123,7 @@ impl Track {
             Track::Destage => 5,
             Track::Fault => 6,
             Track::Read => 7,
+            Track::Journal => 8,
             Track::GpuCompute => 0,
             Track::GpuCopy => 1,
             Track::Ssd => 2,
@@ -153,6 +158,7 @@ impl Track {
             Track::Destage => Cow::Borrowed("destage"),
             Track::Fault => Cow::Borrowed("fault"),
             Track::Read => Cow::Borrowed("read"),
+            Track::Journal => Cow::Borrowed("journal"),
             Track::GpuCompute => Cow::Borrowed("gpu-compute"),
             Track::GpuCopy => Cow::Borrowed("gpu-copy"),
             Track::Ssd => Cow::Borrowed("ssd"),
@@ -637,6 +643,7 @@ mod tests {
             Track::Destage,
             Track::Fault,
             Track::Read,
+            Track::Journal,
         ] {
             assert!(t.is_sim());
             assert_eq!(t.pid(), PIPELINE_PID);

@@ -25,11 +25,19 @@ pub struct DegradePolicy {
     /// Consecutive probe successes required to close the latch again
     /// (hysteresis: one lucky probe must not flap the pipeline back).
     pub reprobe_successes: u32,
+    /// Total sim-time one operation may spend waiting across its
+    /// retries. A second bound on top of `max_retries`: under a
+    /// crash-loop a latched-open device is re-probed forever, and each
+    /// probe runs a fresh retry schedule — the budget caps the wait even
+    /// if the count limit is raised. The default (10 ms) never binds the
+    /// default schedule (350 µs total), so it changes no simulated
+    /// results; refusals are counted as `fault.retry_budget_exhausted`.
+    pub retry_budget: SimDuration,
 }
 
 impl Default for DegradePolicy {
     /// Three retries at 50 µs doubling, 10 ms rest, two clean probes to
-    /// recover.
+    /// recover, 10 ms retry budget (non-binding for that schedule).
     fn default() -> Self {
         DegradePolicy {
             max_retries: 3,
@@ -37,6 +45,7 @@ impl Default for DegradePolicy {
             backoff_factor: 2,
             reprobe_interval: SimDuration::from_millis(10),
             reprobe_successes: 2,
+            retry_budget: SimDuration::from_millis(10),
         }
     }
 }
@@ -45,6 +54,7 @@ impl DegradePolicy {
     /// The retry schedule this policy prescribes.
     pub fn backoff(&self) -> ExponentialBackoff {
         ExponentialBackoff::new(self.backoff_base, self.backoff_factor, self.max_retries)
+            .with_budget(self.retry_budget)
     }
 }
 
@@ -220,5 +230,31 @@ mod tests {
         assert_eq!(b.base, SimDuration::from_micros(50));
         assert_eq!(b.delay(1), SimDuration::from_micros(100));
         assert_eq!(b.max_attempts(), 4);
+    }
+
+    #[test]
+    fn default_retry_budget_never_binds_the_default_schedule() {
+        let b = DegradePolicy::default().backoff();
+        assert_eq!(b.budget, Some(SimDuration::from_millis(10)));
+        for retry in 0..4 {
+            assert!(
+                !b.budget_exhausted(retry),
+                "default budget must not change existing retry behavior"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_retry_budget_cuts_the_schedule() {
+        let p = DegradePolicy {
+            retry_budget: SimDuration::from_micros(60),
+            ..DegradePolicy::default()
+        };
+        let b = p.backoff();
+        // Delays are 50, 100, 200 µs; a 60 µs budget permits only the
+        // first retry.
+        assert!(b.permits(0));
+        assert!(!b.permits(1));
+        assert!(b.budget_exhausted(1));
     }
 }

@@ -29,6 +29,8 @@ struct DestageObs {
     stage: StageObs,
     /// Retries charged against transient SSD faults.
     write_retries: CounterHandle,
+    /// Retry loops cut short by the backoff's sim-time budget.
+    budget_exhausted: CounterHandle,
     /// Fault-track retry instants, on the simulated timeline.
     tracer: Tracer,
 }
@@ -43,6 +45,7 @@ impl DestageObs {
             partial_flushes: obs.counter("destage.partial_flushes"),
             stage: obs.stage("destage"),
             write_retries: obs.counter("fault.ssd_write.retries"),
+            budget_exhausted: obs.counter("fault.retry_budget_exhausted"),
             tracer: obs.tracer().clone(),
         }
     }
@@ -99,6 +102,58 @@ impl Destager {
         self.backoff = backoff;
     }
 
+    /// Reserves `pages` at the very top of the device (above the index
+    /// region) for someone else — the metadata journal. The index frontier
+    /// starts just below the reservation instead of at the top LPN. Must
+    /// be called before anything is destaged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reservation would not leave at least one index
+    /// page, or when destaging has already started.
+    pub fn reserve_top_pages(&mut self, pages: u64) {
+        assert!(
+            self.next_data_lpn == 0 && self.buf.is_empty() && self.appended_bytes == 0,
+            "reserve_top_pages must precede all destaging"
+        );
+        assert!(
+            pages < self.next_index_lpn,
+            "journal reservation would swallow the index region"
+        );
+        self.next_index_lpn -= pages;
+    }
+
+    /// The current log frontiers `(next_data_lpn, next_index_lpn)` — what
+    /// a journal batch-commit record carries so recovery can restore them.
+    pub fn frontiers(&self) -> (u64, u64) {
+        (self.next_data_lpn, self.next_index_lpn)
+    }
+
+    /// The buffered (not yet written) tail of the open data page. A
+    /// power cut loses these bytes with the rest of RAM; the journal
+    /// carries a copy so recovery can restore them.
+    pub fn tail(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Restores the log to a journaled state: frontiers, appended-byte
+    /// count, and the buffered tail of the open page. Used only by crash
+    /// recovery — the device's pages below the frontiers are assumed to
+    /// hold the journaled data already.
+    pub fn restore_state(
+        &mut self,
+        next_data_lpn: u64,
+        next_index_lpn: u64,
+        appended_bytes: u64,
+        tail: &[u8],
+    ) {
+        self.next_data_lpn = next_data_lpn;
+        self.next_index_lpn = next_index_lpn;
+        self.appended_bytes = appended_bytes;
+        self.buf.clear();
+        self.buf.extend_from_slice(tail);
+    }
+
     /// Total frame bytes appended so far (excludes page padding).
     pub fn appended_bytes(&self) -> u64 {
         self.appended_bytes
@@ -136,7 +191,7 @@ impl Destager {
         loop {
             match ssd.write_page(at, lpn, page) {
                 Ok(g) => return Ok(g),
-                Err(e) if e.is_transient() && retry < self.backoff.max_retries => {
+                Err(e) if e.is_transient() && self.backoff.permits(retry) => {
                     at += self.backoff.delay(retry);
                     retry += 1;
                     self.write_retries += 1;
@@ -148,7 +203,12 @@ impl Destager {
                         trace_args(&[("retry", retry as u64)]),
                     );
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if e.is_transient() && self.backoff.budget_exhausted(retry) {
+                        self.obs.budget_exhausted.incr();
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -167,7 +227,7 @@ impl Destager {
         loop {
             match ssd.read_page(at, lpn) {
                 Ok((page, g)) => return Ok((page, g)),
-                Err(e) if e.is_transient() && retry < self.backoff.max_retries => {
+                Err(e) if e.is_transient() && self.backoff.permits(retry) => {
                     at += self.backoff.delay(retry);
                     retry += 1;
                     self.write_retries += 1;
@@ -179,7 +239,12 @@ impl Destager {
                         trace_args(&[("retry", retry as u64)]),
                     );
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if e.is_transient() && self.backoff.budget_exhausted(retry) {
+                        self.obs.budget_exhausted.incr();
+                    }
+                    return Err(e);
+                }
             }
         }
     }

@@ -1,0 +1,947 @@
+//! Write-ahead metadata journal for crash consistency.
+//!
+//! The paper's pipeline acknowledges a host write once reduction output
+//! is staged; nothing in the original design survives a power cut,
+//! because the bin index, the volume maps, and the destage frontier all
+//! live in host memory. This module adds the classic fix: a write-ahead
+//! journal in a reserved region at the top of the device's LPN space.
+//! Every state transition that a recovery must reproduce — volume
+//! creation, volume-map extension, a batch of reduced chunks committed
+//! to the destage log, an index checkpoint — is serialized as a
+//! CRC-framed record and appended to the journal *on the simulated
+//! device*, charging real program latency. A write is acknowledged only
+//! at the grant end of its journal record, which by construction is
+//! after the data frames it describes became durable (the batch-commit
+//! append is scheduled at the max of the batch's data-write grant ends).
+//!
+//! # On-device layout
+//!
+//! The journal is a byte stream laid over `pages` logical pages starting
+//! at `region_start`. Records are packed back to back and may span page
+//! boundaries (an index checkpoint is much larger than one page). Each
+//! append rewrites the open tail page — append-only *content* within a
+//! page — so a torn rewrite of the tail page can only damage bytes past
+//! the previously durable prefix: the old records survive byte for byte
+//! whether the page tears or reverts.
+//!
+//! Each record frame is:
+//!
+//! ```text
+//! magic "DRJL" (u32 LE) | kind (u8) | len (u32 LE) | payload | crc32c (u32 LE)
+//! ```
+//!
+//! with the CRC covering `kind | len | payload`. Replay parses the
+//! region from the start and stops at the first frame that fails to
+//! validate: four zero bytes where a magic should be mean a clean end
+//! (NAND reads back erased/unwritten space as zeros); anything else —
+//! bad magic, a frame running past the written log, a CRC mismatch, a
+//! payload that does not decode — marks a torn tail, which recovery
+//! discards. This is the same durable-prefix contract as jbd2: a record
+//! is replayed only when every record before it validated.
+//!
+//! Appends are chained (`at = max(now, last append end)`), so journal
+//! grants are strictly ordered and a power cut can never produce a
+//! durable record *after* a torn one.
+
+use dr_des::{ExponentialBackoff, Grant, SimDuration, SimTime};
+use dr_hashes::{crc32c, ChunkDigest};
+use dr_obs::trace::{trace_args, Tracer, Track};
+use dr_obs::{CounterHandle, ObsHandle};
+use dr_ssd_sim::{SsdDevice, SsdError};
+use std::error::Error;
+use std::fmt;
+
+/// Record-frame magic: `b"DRJL"` little-endian.
+const MAGIC: u32 = u32::from_le_bytes(*b"DRJL");
+/// Frame overhead: magic + kind + len before the payload, CRC after.
+const FRAME_HEAD: usize = 4 + 1 + 4;
+const FRAME_TAIL: usize = 4;
+
+const KIND_VOLUME_CREATE: u8 = 1;
+const KIND_MAP_UPDATE: u8 = 2;
+const KIND_BATCH_COMMIT: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+
+/// Destage-log state carried by state-bearing records, sufficient to
+/// restore [`crate::destage::Destager`] frontiers after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// Next data page to be written (grows up from 0).
+    pub next_data_lpn: u64,
+    /// Next index page to be written (grows down from the top, minus the
+    /// journal reservation).
+    pub next_index_lpn: u64,
+    /// Total bytes appended to the destage log.
+    pub appended_bytes: u64,
+    /// Contents of the open, not-yet-flushed data page.
+    pub tail: Vec<u8>,
+}
+
+/// One chunk of a committed batch: enough to rebuild the recipe entry
+/// and (for unique chunks) the bin-index insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkCommit {
+    /// SHA-1 digest of the original chunk contents.
+    pub digest: ChunkDigest,
+    /// True when the chunk deduplicated against an existing entry.
+    pub dup: bool,
+    /// Byte address of the stored frame in the destage log.
+    pub addr: u64,
+    /// Stored (post-compression) frame length.
+    pub stored_len: u32,
+    /// Original chunk length before reduction.
+    pub orig_len: u32,
+}
+
+/// A batch of reduced chunks whose data frames are durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCommit {
+    /// Destage frontier *after* the batch.
+    pub frontier: Frontier,
+    /// Per-chunk commits in recipe order.
+    pub chunks: Vec<ChunkCommit>,
+}
+
+/// A bin-index snapshot embedded in the journal so recovery can skip
+/// re-inserting every pre-checkpoint chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Destage frontier at the checkpoint.
+    pub frontier: Frontier,
+    /// Serialized index snapshot (`dr_binindex::snapshot` format).
+    pub snapshot: Vec<u8>,
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A volume came into existence.
+    VolumeCreate {
+        /// Volume name.
+        name: String,
+        /// Volume capacity in blocks.
+        blocks: u64,
+    },
+    /// A host write mapped `nblocks` volume blocks to recipe entries
+    /// `first_recipe..first_recipe + nblocks`.
+    MapUpdate {
+        /// Volume name.
+        name: String,
+        /// First volume block written.
+        start_block: u64,
+        /// Number of blocks written.
+        nblocks: u64,
+        /// Recipe index of the first block's chunk.
+        first_recipe: u64,
+    },
+    /// A reduced batch is durable on the destage log.
+    BatchCommit(BatchCommit),
+    /// An index snapshot is embedded at this point of the log.
+    Checkpoint(Checkpoint),
+}
+
+impl Record {
+    /// Short name for traces and error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::VolumeCreate { .. } => "volume-create",
+            Record::MapUpdate { .. } => "map-update",
+            Record::BatchCommit(_) => "batch-commit",
+            Record::Checkpoint(_) => "checkpoint",
+        }
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            Record::VolumeCreate { .. } => KIND_VOLUME_CREATE,
+            Record::MapUpdate { .. } => KIND_MAP_UPDATE,
+            Record::BatchCommit(_) => KIND_BATCH_COMMIT,
+            Record::Checkpoint(_) => KIND_CHECKPOINT,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    assert!(name.len() <= u16::MAX as usize, "volume name too long");
+    put_u16(out, name.len() as u16);
+    out.extend_from_slice(name.as_bytes());
+}
+
+fn put_frontier(out: &mut Vec<u8>, f: &Frontier) {
+    put_u64(out, f.next_data_lpn);
+    put_u64(out, f.next_index_lpn);
+    put_u64(out, f.appended_bytes);
+    put_u32(out, f.tail.len() as u32);
+    out.extend_from_slice(&f.tail);
+}
+
+fn encode_payload(record: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        Record::VolumeCreate { name, blocks } => {
+            put_name(&mut out, name);
+            put_u64(&mut out, *blocks);
+        }
+        Record::MapUpdate {
+            name,
+            start_block,
+            nblocks,
+            first_recipe,
+        } => {
+            put_name(&mut out, name);
+            put_u64(&mut out, *start_block);
+            put_u64(&mut out, *nblocks);
+            put_u64(&mut out, *first_recipe);
+        }
+        Record::BatchCommit(batch) => {
+            put_frontier(&mut out, &batch.frontier);
+            put_u32(&mut out, batch.chunks.len() as u32);
+            for c in &batch.chunks {
+                out.extend_from_slice(c.digest.as_bytes());
+                out.push(c.dup as u8);
+                put_u64(&mut out, c.addr);
+                put_u32(&mut out, c.stored_len);
+                put_u32(&mut out, c.orig_len);
+            }
+        }
+        Record::Checkpoint(cp) => {
+            put_frontier(&mut out, &cp.frontier);
+            put_u32(&mut out, cp.snapshot.len() as u32);
+            out.extend_from_slice(&cp.snapshot);
+        }
+    }
+    out
+}
+
+/// Serializes one record with its CRC frame.
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let mut out = Vec::with_capacity(FRAME_HEAD + payload.len() + FRAME_TAIL);
+    put_u32(&mut out, MAGIC);
+    out.push(record.kind());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32c(&out[4..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        })
+    }
+
+    fn name(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn frontier(&mut self) -> Option<Frontier> {
+        let next_data_lpn = self.u64()?;
+        let next_index_lpn = self.u64()?;
+        let appended_bytes = self.u64()?;
+        let tail_len = self.u32()? as usize;
+        let tail = self.take(tail_len)?.to_vec();
+        Some(Frontier {
+            next_data_lpn,
+            next_index_lpn,
+            appended_bytes,
+            tail,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Option<Record> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let record = match kind {
+        KIND_VOLUME_CREATE => Record::VolumeCreate {
+            name: r.name()?,
+            blocks: r.u64()?,
+        },
+        KIND_MAP_UPDATE => Record::MapUpdate {
+            name: r.name()?,
+            start_block: r.u64()?,
+            nblocks: r.u64()?,
+            first_recipe: r.u64()?,
+        },
+        KIND_BATCH_COMMIT => {
+            let frontier = r.frontier()?;
+            let n = r.u32()? as usize;
+            let mut chunks = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let digest_bytes = r.take(ChunkDigest::LEN)?;
+                let mut d = [0u8; ChunkDigest::LEN];
+                d.copy_from_slice(digest_bytes);
+                let dup = match r.take(1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                chunks.push(ChunkCommit {
+                    digest: ChunkDigest::new(d),
+                    dup,
+                    addr: r.u64()?,
+                    stored_len: r.u32()?,
+                    orig_len: r.u32()?,
+                });
+            }
+            Record::BatchCommit(BatchCommit { frontier, chunks })
+        }
+        KIND_CHECKPOINT => {
+            let frontier = r.frontier()?;
+            let snap_len = r.u32()? as usize;
+            let snapshot = r.take(snap_len)?.to_vec();
+            Record::Checkpoint(Checkpoint { frontier, snapshot })
+        }
+        _ => return None,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(record)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// How the parsed log ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The log ended at erased (all-zero) space: nothing was lost.
+    Clean,
+    /// A frame at `offset` failed to validate — a torn or corrupt tail
+    /// that recovery discards.
+    Corrupt {
+        /// Byte offset of the first invalid frame.
+        offset: usize,
+    },
+}
+
+/// The durable prefix of a journal region.
+#[derive(Debug, Clone)]
+pub struct ParsedLog {
+    /// Every record that validated, in append order.
+    pub records: Vec<Record>,
+    /// Bytes of the region covered by `records`; appends resume here.
+    pub valid_bytes: usize,
+    /// Whether anything past the valid prefix was discarded.
+    pub tail: TailState,
+}
+
+/// Parses a journal region image into its durable record prefix.
+///
+/// Never panics on arbitrary input: any framing violation — bad magic,
+/// frame running past the buffer, CRC mismatch, undecodable payload —
+/// stops the parse and reports [`TailState::Corrupt`] at that offset.
+pub fn parse_log(buf: &[u8]) -> ParsedLog {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    let tail = loop {
+        let rest = &buf[off..];
+        if rest.iter().all(|&b| b == 0) {
+            break TailState::Clean;
+        }
+        let frame_ok = (|| {
+            if rest.len() < FRAME_HEAD + FRAME_TAIL {
+                return None;
+            }
+            let magic = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+            if magic != MAGIC {
+                return None;
+            }
+            let kind = rest[4];
+            let len = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
+            let total = FRAME_HEAD.checked_add(len)?.checked_add(FRAME_TAIL)?;
+            if rest.len() < total {
+                return None;
+            }
+            let stored = u32::from_le_bytes([
+                rest[FRAME_HEAD + len],
+                rest[FRAME_HEAD + len + 1],
+                rest[FRAME_HEAD + len + 2],
+                rest[FRAME_HEAD + len + 3],
+            ]);
+            if crc32c(&rest[4..FRAME_HEAD + len]) != stored {
+                return None;
+            }
+            let record = decode_payload(kind, &rest[FRAME_HEAD..FRAME_HEAD + len])?;
+            Some((record, total))
+        })();
+        match frame_ok {
+            Some((record, total)) => {
+                records.push(record);
+                off += total;
+            }
+            None => break TailState::Corrupt { offset: off },
+        }
+    };
+    ParsedLog {
+        records,
+        valid_bytes: off,
+        tail,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// Journal append/replay failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The record does not fit in the reserved region. The journal is
+    /// never compacted, so this is a sizing error: raise
+    /// `journal_pages`.
+    Full {
+        /// Bytes the log would need after the append.
+        needed: u64,
+        /// Bytes the reserved region holds.
+        capacity: u64,
+    },
+    /// The device refused the journal I/O even after retries.
+    Ssd(SsdError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Full { needed, capacity } => write!(
+                f,
+                "journal full: log needs {needed} bytes but the region holds \
+                 {capacity} (raise journal_pages)"
+            ),
+            JournalError::Ssd(e) => write!(f, "journal I/O failed: {e}"),
+        }
+    }
+}
+
+impl Error for JournalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JournalError::Ssd(e) => Some(e),
+            JournalError::Full { .. } => None,
+        }
+    }
+}
+
+impl From<SsdError> for JournalError {
+    fn from(e: SsdError) -> Self {
+        JournalError::Ssd(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal
+
+#[derive(Debug)]
+struct JournalObs {
+    appends: CounterHandle,
+    bytes: CounterHandle,
+    pages_written: CounterHandle,
+    checkpoints: CounterHandle,
+    retries: CounterHandle,
+    recoveries: CounterHandle,
+    torn_discards: CounterHandle,
+    tracer: Tracer,
+}
+
+impl JournalObs {
+    fn new(obs: &ObsHandle) -> Self {
+        JournalObs {
+            appends: obs.counter("journal.appends"),
+            bytes: obs.counter("journal.bytes"),
+            pages_written: obs.counter("journal.pages_written"),
+            checkpoints: obs.counter("journal.checkpoints"),
+            retries: obs.counter("journal.write_retries"),
+            recoveries: obs.counter("journal.recoveries"),
+            torn_discards: obs.counter("journal.torn_discards"),
+            tracer: obs.tracer().clone(),
+        }
+    }
+}
+
+/// What [`Journal::replay`] recovered from the device.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The durable record prefix, in append order.
+    pub records: Vec<Record>,
+    /// True when a torn/corrupt tail was discarded.
+    pub torn: bool,
+    /// Sim time when the recovery reads finished.
+    pub done: SimTime,
+}
+
+/// The write-ahead journal: owns the reserved LPN region and the append
+/// cursor, and charges every append to the simulated device.
+#[derive(Debug)]
+pub struct Journal {
+    region_start: u64,
+    pages: u64,
+    page_bytes: usize,
+    /// Valid log bytes (everything before this offset is framed records).
+    written: u64,
+    /// Bytes of the open tail page already part of the log.
+    tail: Vec<u8>,
+    /// Grant end of the latest append: the ack point, and the floor for
+    /// the next append (appends are chained, never reordered).
+    end: SimTime,
+    backoff: ExponentialBackoff,
+    obs: JournalObs,
+}
+
+impl Journal {
+    /// A journal over the top `pages` logical pages of a device with
+    /// `logical_pages` pages of `page_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pages` is zero or does not leave room below it.
+    pub fn new(logical_pages: u64, page_bytes: u32, pages: u64) -> Self {
+        assert!(pages > 0, "journal needs at least one page");
+        assert!(
+            pages < logical_pages,
+            "journal of {pages} pages does not fit a {logical_pages}-page device"
+        );
+        Journal {
+            region_start: logical_pages - pages,
+            pages,
+            page_bytes: page_bytes as usize,
+            written: 0,
+            tail: Vec::new(),
+            end: SimTime::ZERO,
+            backoff: ExponentialBackoff::new(SimDuration::from_micros(50), 2, 8),
+            obs: JournalObs::new(&ObsHandle::disabled()),
+        }
+    }
+
+    /// Routes journal counters and spans to `obs`.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = JournalObs::new(obs);
+    }
+
+    /// Overrides the retry schedule for journal I/O.
+    pub fn set_backoff(&mut self, backoff: ExponentialBackoff) {
+        self.backoff = backoff;
+    }
+
+    /// Pages reserved for the journal.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// First LPN of the reserved region.
+    pub fn region_start(&self) -> u64 {
+        self.region_start
+    }
+
+    /// Bytes the reserved region can hold.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.pages * self.page_bytes as u64
+    }
+
+    /// Valid log bytes appended so far.
+    pub fn written_bytes(&self) -> u64 {
+        self.written
+    }
+
+    /// Grant end of the latest append: the acknowledgement point of the
+    /// most recent journaled operation.
+    pub fn ack_end(&self) -> SimTime {
+        self.end
+    }
+
+    fn write_retrying(
+        &mut self,
+        at: SimTime,
+        ssd: &mut SsdDevice,
+        lpn: u64,
+        page: &[u8],
+    ) -> Result<Grant, SsdError> {
+        let mut now = at;
+        let mut retry = 0u32;
+        loop {
+            match ssd.write_page(now, lpn, page) {
+                Ok(grant) => return Ok(grant),
+                Err(e) if e.is_transient() && self.backoff.permits(retry) => {
+                    now += self.backoff.delay(retry);
+                    retry += 1;
+                    self.obs.retries.incr();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Appends one record, charging serial page programs on `ssd`.
+    /// Returns the grant covering the whole append; its `end` is the
+    /// record's durability (acknowledgement) point.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Full`] when the region cannot hold the record;
+    /// [`JournalError::Ssd`] when the device fails past the retry
+    /// schedule. Journal state is not rolled back on I/O failure — the
+    /// caller owns that policy (the pipeline treats it as fatal, like a
+    /// failed destage).
+    pub fn append(
+        &mut self,
+        now: SimTime,
+        ssd: &mut SsdDevice,
+        record: &Record,
+    ) -> Result<Grant, JournalError> {
+        let bytes = encode_record(record);
+        let needed = self.written + bytes.len() as u64;
+        if needed > self.capacity_bytes() {
+            return Err(JournalError::Full {
+                needed,
+                capacity: self.capacity_bytes(),
+            });
+        }
+        let start = if now > self.end { now } else { self.end };
+        let mut at = start;
+        let mut lpn = self.region_start + self.written / self.page_bytes as u64;
+        self.tail.extend_from_slice(&bytes);
+        self.written = needed;
+        while self.tail.len() >= self.page_bytes {
+            let page: Vec<u8> = self.tail.drain(..self.page_bytes).collect();
+            at = self.write_retrying(at, ssd, lpn, &page)?.end;
+            lpn += 1;
+            self.obs.pages_written.incr();
+        }
+        if !self.tail.is_empty() {
+            let mut page = self.tail.clone();
+            page.resize(self.page_bytes, 0);
+            at = self.write_retrying(at, ssd, lpn, &page)?.end;
+            self.obs.pages_written.incr();
+        }
+        self.end = at;
+        self.obs.appends.incr();
+        self.obs.bytes.add(bytes.len() as u64);
+        if matches!(record, Record::Checkpoint(_)) {
+            self.obs.checkpoints.incr();
+        }
+        self.obs.tracer.sim_span(
+            Track::Journal,
+            record.kind_name(),
+            start.as_nanos(),
+            at.as_nanos(),
+            trace_args(&[("bytes", bytes.len() as u64)]),
+        );
+        Ok(Grant { start, end: at })
+    }
+
+    /// Reads the region back page by page (serial, retried) and parses
+    /// the durable record prefix, resetting the append cursor to the end
+    /// of that prefix so post-recovery appends overwrite any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError`] when a region read fails past the retry schedule.
+    /// Never-written pages terminate the scan cleanly; pages whose only
+    /// write was reverted by the power cut read back as zeros and
+    /// terminate the parse instead.
+    pub fn replay(&mut self, now: SimTime, ssd: &mut SsdDevice) -> Result<Replay, SsdError> {
+        let start = now;
+        let mut at = now;
+        let mut image: Vec<u8> = Vec::new();
+        for page_idx in 0..self.pages {
+            let lpn = self.region_start + page_idx;
+            let mut retry = 0u32;
+            let read = loop {
+                match ssd.read_page(at, lpn) {
+                    Ok((data, grant)) => break Some((data, grant)),
+                    Err(SsdError::Unwritten { .. }) => break None,
+                    Err(e) if e.is_transient() && self.backoff.permits(retry) => {
+                        at += self.backoff.delay(retry);
+                        retry += 1;
+                        self.obs.retries.incr();
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            match read {
+                Some((data, grant)) => {
+                    at = grant.end;
+                    image.extend_from_slice(&data);
+                }
+                None => break,
+            }
+        }
+        let parsed = parse_log(&image);
+        self.written = parsed.valid_bytes as u64;
+        let page_floor = parsed.valid_bytes - parsed.valid_bytes % self.page_bytes;
+        self.tail.clear();
+        self.tail
+            .extend_from_slice(&image[page_floor..parsed.valid_bytes]);
+        self.end = at;
+        self.obs.recoveries.incr();
+        let torn = matches!(parsed.tail, TailState::Corrupt { .. });
+        if torn {
+            self.obs.torn_discards.incr();
+        }
+        self.obs.tracer.sim_span(
+            Track::Journal,
+            "recovery-replay",
+            start.as_nanos(),
+            at.as_nanos(),
+            trace_args(&[
+                ("records", parsed.records.len() as u64),
+                ("torn", torn as u64),
+            ]),
+        );
+        Ok(Replay {
+            records: parsed.records,
+            torn,
+            done: at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_ssd_sim::SsdSpec;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::VolumeCreate {
+                name: "vol0".to_owned(),
+                blocks: 48,
+            },
+            Record::MapUpdate {
+                name: "vol0".to_owned(),
+                start_block: 3,
+                nblocks: 2,
+                first_recipe: 17,
+            },
+            Record::BatchCommit(BatchCommit {
+                frontier: Frontier {
+                    next_data_lpn: 2,
+                    next_index_lpn: 9_000,
+                    appended_bytes: 8_192,
+                    tail: vec![0xAB; 77],
+                },
+                chunks: vec![
+                    ChunkCommit {
+                        digest: ChunkDigest::new([1; 20]),
+                        dup: false,
+                        addr: 0,
+                        stored_len: 4096,
+                        orig_len: 4096,
+                    },
+                    ChunkCommit {
+                        digest: ChunkDigest::new([2; 20]),
+                        dup: true,
+                        addr: 0,
+                        stored_len: 4096,
+                        orig_len: 4096,
+                    },
+                ],
+            }),
+            Record::Checkpoint(Checkpoint {
+                frontier: Frontier {
+                    next_data_lpn: 2,
+                    next_index_lpn: 9_000,
+                    appended_bytes: 8_192,
+                    tail: Vec::new(),
+                },
+                snapshot: (0u16..2_500).flat_map(|v| v.to_le_bytes()).collect(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame() {
+        let mut log = Vec::new();
+        let records = sample_records();
+        for r in &records {
+            log.extend_from_slice(&encode_record(r));
+        }
+        log.extend_from_slice(&[0; 64]); // erased space after the log
+        let parsed = parse_log(&log);
+        assert_eq!(parsed.tail, TailState::Clean);
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.valid_bytes, log.len() - 64);
+    }
+
+    #[test]
+    fn empty_and_all_zero_logs_parse_clean() {
+        for log in [&[][..], &[0u8; 4096][..]] {
+            let parsed = parse_log(log);
+            assert!(parsed.records.is_empty());
+            assert_eq!(parsed.tail, TailState::Clean);
+            assert_eq!(parsed.valid_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn any_bit_flip_stops_at_a_valid_prefix_without_panicking() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&encode_record(r));
+        }
+        let first_len = encode_record(&records[0]).len();
+        // Flip one bit at a sweep of offsets, including every byte of
+        // the first record's frame.
+        for pos in 0..log.len() {
+            let mut corrupt = log.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            let parsed = parse_log(&corrupt);
+            assert!(
+                parsed.records.len() < records.len(),
+                "flip at {pos} should invalidate at least one record"
+            );
+            // Whatever survived must be a true prefix of the originals.
+            assert_eq!(parsed.records[..], records[..parsed.records.len()]);
+            if pos < first_len {
+                assert_eq!(parsed.records.len(), 0);
+                assert_eq!(parsed.tail, TailState::Corrupt { offset: 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_discards_only_the_torn_record() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        for r in &records[..2] {
+            log.extend_from_slice(&encode_record(r));
+        }
+        let keep = log.len();
+        log.extend_from_slice(&encode_record(&records[2]));
+        // Simulate a torn page: the last record is cut mid-frame and the
+        // rest reads back as zeros.
+        log.truncate(keep + 7);
+        log.resize(keep + 4096, 0);
+        let parsed = parse_log(&log);
+        assert_eq!(parsed.records[..], records[..2]);
+        assert_eq!(parsed.tail, TailState::Corrupt { offset: keep });
+        assert_eq!(parsed.valid_bytes, keep);
+    }
+
+    fn small_ssd() -> SsdDevice {
+        SsdDevice::new(SsdSpec {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 64,
+            pages_per_block: 16,
+            ..SsdSpec::samsung_830_256g()
+        })
+    }
+
+    #[test]
+    fn append_and_replay_round_trip_on_a_device() {
+        let mut ssd = small_ssd();
+        let pages = 16;
+        let mut journal = Journal::new(ssd.logical_pages(), ssd.spec().page_bytes, pages);
+        let records = sample_records();
+        let mut last_end = SimTime::ZERO;
+        for r in &records {
+            let g = journal.append(SimTime::ZERO, &mut ssd, r).unwrap();
+            assert!(g.end > last_end, "appends must be strictly ordered");
+            last_end = g.end;
+        }
+        assert_eq!(journal.ack_end(), last_end);
+
+        // A fresh journal over the same region replays everything.
+        let mut fresh = Journal::new(ssd.logical_pages(), ssd.spec().page_bytes, pages);
+        let replay = fresh.replay(SimTime::ZERO, &mut ssd).unwrap();
+        assert_eq!(replay.records, records);
+        assert!(!replay.torn);
+        assert!(replay.done > SimTime::ZERO, "recovery reads charge time");
+        assert_eq!(fresh.written_bytes(), journal.written_bytes());
+
+        // And appends keep working after a replay.
+        let extra = Record::VolumeCreate {
+            name: "post".to_owned(),
+            blocks: 1,
+        };
+        fresh.append(replay.done, &mut ssd, &extra).unwrap();
+        let mut again = Journal::new(ssd.logical_pages(), ssd.spec().page_bytes, pages);
+        let replay2 = again.replay(SimTime::ZERO, &mut ssd).unwrap();
+        assert_eq!(replay2.records.len(), records.len() + 1);
+        assert_eq!(*replay2.records.last().unwrap(), extra);
+    }
+
+    #[test]
+    fn journal_full_is_reported_not_panicked() {
+        let mut ssd = small_ssd();
+        let mut journal = Journal::new(ssd.logical_pages(), ssd.spec().page_bytes, 1);
+        let big = Record::Checkpoint(Checkpoint {
+            frontier: Frontier {
+                next_data_lpn: 0,
+                next_index_lpn: 0,
+                appended_bytes: 0,
+                tail: Vec::new(),
+            },
+            snapshot: vec![7; 8_192],
+        });
+        match journal.append(SimTime::ZERO, &mut ssd, &big) {
+            Err(JournalError::Full { needed, capacity }) => {
+                assert!(needed > capacity);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_of_an_untouched_region_is_empty_and_clean() {
+        let mut ssd = small_ssd();
+        let mut journal = Journal::new(ssd.logical_pages(), ssd.spec().page_bytes, 8);
+        let replay = journal.replay(SimTime::ZERO, &mut ssd).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn);
+        assert_eq!(journal.written_bytes(), 0);
+    }
+}

@@ -63,6 +63,7 @@ pub mod cpu_model;
 pub mod degrade;
 pub mod destage;
 pub mod error;
+pub mod journal;
 pub mod pipeline;
 pub mod read;
 pub mod report;
@@ -77,7 +78,10 @@ pub use cpu_model::CpuModel;
 pub use degrade::{ComponentLatch, DegradePolicy};
 pub use destage::{ChunkRead, Destager};
 pub use error::ReadError;
-pub use pipeline::{IntegrationMode, Pipeline, PipelineConfig};
+pub use journal::{Journal, JournalError, Record};
+pub use pipeline::{
+    IntegrationMode, Pipeline, PipelineConfig, RecoverError, RecoveryOutcome, VolumeRecord,
+};
 pub use read::ReadConfig;
 pub use report::Report;
 pub use volume::{VolumeError, VolumeManager};

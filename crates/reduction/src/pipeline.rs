@@ -15,7 +15,7 @@ use dr_hashes::{hash_chunks_pooled, ChunkDigest};
 use dr_obs::trace::{trace_args, Tracer, Track};
 use dr_obs::{CounterHandle, GaugeHandle, HistogramHandle, ObsHandle, StageObs};
 use dr_pool::{JobHandle, WorkerPool};
-use dr_ssd_sim::{SsdDevice, SsdSpec};
+use dr_ssd_sim::{CrashReport, CrashSpec, SsdDevice, SsdSpec};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +23,9 @@ use crate::cpu_model::CpuModel;
 use crate::degrade::{ComponentLatch, DegradePolicy};
 use crate::destage::Destager;
 use crate::error::ReadError;
+use crate::journal::{
+    BatchCommit, Checkpoint, ChunkCommit, Frontier, Journal, JournalError, Record,
+};
 use crate::read::{ReadCache, ReadConfig};
 use crate::report::Report;
 
@@ -152,6 +155,15 @@ pub struct PipelineConfig {
     /// faults) or shed reduction effort (SSD write faults), with a
     /// sim-time re-probe timer. Inert while no faults are injected.
     pub degrade: DegradePolicy,
+    /// Pages reserved at the top of the LPN space for the write-ahead
+    /// metadata journal (see [`crate::journal`]). Zero (the default)
+    /// disables journaling entirely — no reservation, no extra device
+    /// writes — so unjournaled runs stay bit-identical to builds that
+    /// predate the journal. Non-zero enables crash consistency: every
+    /// committed batch and volume-map update is journaled before it is
+    /// acknowledged, and [`Pipeline::power_cut_and_recover`] can replay
+    /// the log after a simulated power failure.
+    pub journal_pages: u64,
     /// Observability sink. The default handle is disabled, which makes
     /// every instrumentation point a no-op; pass
     /// [`ObsHandle::enabled`]/[`ObsHandle::with_registry`] to record
@@ -180,6 +192,7 @@ impl Default for PipelineConfig {
             verify: false,
             integrity: false,
             degrade: DegradePolicy::default(),
+            journal_pages: 0,
             obs: ObsHandle::disabled(),
         }
     }
@@ -216,6 +229,10 @@ struct PipelineObs {
     gpu_decompress_retries: CounterHandle,
     gpu_decompress_degraded: CounterHandle,
     ssd_write_degraded: CounterHandle,
+    /// Retries refused by the backoff's sim-time budget rather than its
+    /// count limit (`fault.retry_budget_exhausted`, shared with the
+    /// destager's write/read paths).
+    retry_budget_exhausted: CounterHandle,
     /// Read-path metrics (`read.*`): batch/hit/miss counters, cache
     /// occupancy gauge, per-request simulated latency histogram.
     read_batches: CounterHandle,
@@ -251,6 +268,7 @@ impl PipelineObs {
             gpu_decompress_retries: obs.counter("fault.gpu_decompress.retries"),
             gpu_decompress_degraded: obs.counter("fault.gpu_decompress.degraded_transitions"),
             ssd_write_degraded: obs.counter("fault.ssd_write.degraded_transitions"),
+            retry_budget_exhausted: obs.counter("fault.retry_budget_exhausted"),
             read_batches: obs.counter("read.batches"),
             read_cache_hits: obs.counter("read.cache_hits"),
             read_cache_misses: obs.counter("read.cache_misses"),
@@ -400,6 +418,70 @@ impl FrameArena {
     }
 }
 
+/// A volume-visible journal record surfaced by [`Pipeline::recover`], in
+/// append order, so the volume layer can rebuild its block maps from the
+/// same durable prefix the pipeline recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolumeRecord {
+    /// A volume existed when its create record became durable.
+    Create {
+        /// Volume name.
+        name: String,
+        /// Volume capacity in blocks.
+        blocks: u64,
+    },
+    /// An acknowledged host write: `nblocks` blocks at `start_block` map
+    /// to recipe entries `first_recipe..first_recipe + nblocks`.
+    Map {
+        /// Volume name.
+        name: String,
+        /// First volume block written.
+        start_block: u64,
+        /// Number of blocks written.
+        nblocks: u64,
+        /// Recipe index of the first block's chunk.
+        first_recipe: u64,
+    },
+}
+
+/// What [`Pipeline::recover`] rebuilt from the journal.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// What the power cut did to in-flight device writes (zeroed when
+    /// [`Pipeline::recover`] is called without a cut).
+    pub crash: CrashReport,
+    /// Journal records replayed (the durable prefix).
+    pub records_replayed: u64,
+    /// True when a torn/corrupt journal tail was discarded.
+    pub torn_discarded: bool,
+    /// Recipe entries (stored-chunk references) reconstructed.
+    pub chunks_recovered: u64,
+    /// Volume create/map records, in append order.
+    pub volume_records: Vec<VolumeRecord>,
+    /// Sim time when recovery finished (the journal region re-read).
+    pub recovered_end: SimTime,
+}
+
+/// Crash-recovery failures.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The journal's embedded index checkpoint did not restore.
+    Checkpoint(dr_binindex::SnapshotError),
+    /// A journal-region read failed past the retry schedule.
+    Device(dr_ssd_sim::SsdError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Checkpoint(e) => write!(f, "journal checkpoint corrupt: {e}"),
+            RecoverError::Device(e) => write!(f, "journal region unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
 /// The integrated inline data reduction pipeline.
 ///
 /// See the [crate docs](crate) for the workflow and an example.
@@ -417,6 +499,8 @@ pub struct Pipeline {
     codec: FastLz,
     ssd: SsdDevice,
     destage: Destager,
+    /// Write-ahead metadata journal; `None` when `journal_pages` is 0.
+    journal: Option<Journal>,
     /// Persistent host execution pool: created once, reused by every
     /// batch for hashing and CPU compression, and for overlapping batch
     /// N+1's fingerprinting with batch N's downstream stages.
@@ -469,6 +553,21 @@ impl Pipeline {
         let mut destage = Destager::new(&ssd);
         destage.set_obs(&config.obs);
         destage.set_backoff(config.degrade.backoff());
+        let journal = if config.journal_pages > 0 {
+            let mut journal = Journal::new(
+                ssd.logical_pages(),
+                config.ssd_spec.page_bytes,
+                config.journal_pages,
+            );
+            journal.set_obs(&config.obs);
+            destage.reserve_top_pages(config.journal_pages);
+            // Journaled pipelines are crash-consistent by contract, so the
+            // device must be able to model the power cut.
+            ssd.arm_crash_capture();
+            Some(journal)
+        } else {
+            None
+        };
         let mut index = BinIndex::new(config.index);
         index.set_obs(&config.obs);
         let mut gpu_comp = GpuCompressor::new(config.gpu_compressor);
@@ -487,6 +586,7 @@ impl Pipeline {
             gpu_index,
             ssd,
             destage,
+            journal,
             pool,
             arena: FrameArena::new(config.batch_chunks),
             fault: FaultState::new(config.degrade),
@@ -563,7 +663,10 @@ impl Pipeline {
     /// re-wiring observability. Stored chunks, the recipe, and the destage
     /// log are untouched — only the dedup lookup structure is swapped, so
     /// subsequent reads validate that the restored index still resolves
-    /// every prior chunk.
+    /// every prior chunk. The decompressed-chunk cache is dropped: cached
+    /// bytes were produced under the old index's view of the store, and a
+    /// restore is exactly the moment that view may have changed, so
+    /// post-restore reads must re-charge the device and re-verify frames.
     ///
     /// # Errors
     ///
@@ -573,7 +676,255 @@ impl Pipeline {
         let mut index = dr_binindex::restore(bytes)?;
         index.set_obs(&self.config.obs);
         self.index = index;
+        self.read_cache.clear();
+        self.obs.read_cache_entries.set(0);
         Ok(())
+    }
+
+    /// True when this pipeline journals metadata
+    /// ([`PipelineConfig::journal_pages`] > 0).
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The acknowledgement point of the most recent journaled operation:
+    /// the grant end of its journal record. For an unjournaled pipeline
+    /// this falls back to [`Report::reduction_end`] — the pre-journal ack
+    /// semantics, where a write was "done" when reduction finished.
+    pub fn last_ack(&self) -> SimTime {
+        match &self.journal {
+            Some(journal) => journal.ack_end(),
+            None => self.report.reduction_end,
+        }
+    }
+
+    /// Appends a volume-level record to the journal (no-op when
+    /// journaling is disabled) and returns its durability grant.
+    pub(crate) fn journal_record(&mut self, record: Record) -> Option<Grant> {
+        self.journal.as_mut()?;
+        let at = self.report.reduction_end;
+        let journal = self.journal.as_mut().expect("checked above");
+        let g = journal
+            .append(at, &mut self.ssd, &record)
+            .unwrap_or_else(|e| panic!("journal {} append failed: {e}", record.kind_name()));
+        self.report.ssd_end = self.report.ssd_end.max(g.end);
+        Some(g)
+    }
+
+    /// Embeds an index checkpoint in the journal, so a later recovery can
+    /// restore the bin index from the snapshot and skip re-inserting
+    /// every pre-checkpoint chunk. A no-op when journaling is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Full`] when the region cannot hold the snapshot,
+    /// [`JournalError::Ssd`] when the device fails past retries.
+    pub fn journal_checkpoint(&mut self) -> Result<(), JournalError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let snapshot = self
+            .snapshot_index()
+            .expect("snapshotting a live index cannot fail");
+        let (next_data_lpn, next_index_lpn) = self.destage.frontiers();
+        let record = Record::Checkpoint(Checkpoint {
+            frontier: Frontier {
+                next_data_lpn,
+                next_index_lpn,
+                appended_bytes: self.destage.appended_bytes(),
+                tail: self.destage.tail().to_vec(),
+            },
+            snapshot,
+        });
+        let at = self.report.reduction_end;
+        let journal = self.journal.as_mut().expect("checked above");
+        let g = journal.append(at, &mut self.ssd, &record)?;
+        self.report.ssd_end = self.report.ssd_end.max(g.end);
+        Ok(())
+    }
+
+    /// Cuts power at `spec.at` — tearing or reverting device writes in
+    /// flight at that instant — then runs [`Pipeline::recover`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::recover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when journaling is disabled (there is nothing to recover
+    /// from; an unjournaled pipeline does not model crashes).
+    pub fn power_cut_and_recover(
+        &mut self,
+        spec: CrashSpec,
+    ) -> Result<RecoveryOutcome, RecoverError> {
+        assert!(
+            self.journal.is_some(),
+            "power_cut_and_recover needs journal_pages > 0"
+        );
+        let crash = self.ssd.power_cut(spec);
+        let mut outcome = self.recover(spec.at)?;
+        outcome.crash = crash;
+        Ok(outcome)
+    }
+
+    /// Rebuilds all volatile pipeline state from the on-device journal,
+    /// as a restart after a power failure would: every in-memory
+    /// structure (bin index, recipe, read cache, degradation latches, GPU
+    /// state, destage frontier, report counters) is discarded and
+    /// reconstructed from the journal's durable record prefix.
+    ///
+    /// The journal region is re-read page by page on the simulated
+    /// device (charged, retried); a torn tail is discarded, so exactly
+    /// the acknowledged prefix survives. The restored GPU index mirror
+    /// starts empty — a power cycle clears device memory — which is
+    /// miss-safe because the CPU bins are authoritative.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Device`] when the journal region cannot be read,
+    /// [`RecoverError::Checkpoint`] when an embedded index snapshot is
+    /// corrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics when journaling is disabled.
+    pub fn recover(&mut self, now: SimTime) -> Result<RecoveryOutcome, RecoverError> {
+        assert!(self.journal.is_some(), "recover needs journal_pages > 0");
+        let replay = {
+            let journal = self.journal.as_mut().expect("checked above");
+            journal
+                .replay(now, &mut self.ssd)
+                .map_err(RecoverError::Device)?
+        };
+
+        // Restore the index: from the last embedded checkpoint when one
+        // exists, else empty. Replay then re-inserts only the unique
+        // chunks committed *after* that checkpoint.
+        let last_cp = replay
+            .records
+            .iter()
+            .rposition(|r| matches!(r, Record::Checkpoint(_)));
+        let mut index = match last_cp {
+            Some(pos) => match &replay.records[pos] {
+                Record::Checkpoint(cp) => {
+                    dr_binindex::restore(&cp.snapshot).map_err(RecoverError::Checkpoint)?
+                }
+                _ => unreachable!("rposition matched a checkpoint"),
+            },
+            None => BinIndex::new(self.config.index),
+        };
+        index.set_obs(&self.config.obs);
+
+        let mut report = Report::new(self.config.mode);
+        let mut recipe: Vec<ChunkRef> = Vec::new();
+        let mut volume_records = Vec::new();
+        let mut frontier: Option<Frontier> = None;
+        for (pos, record) in replay.records.iter().enumerate() {
+            match record {
+                Record::VolumeCreate { name, blocks } => {
+                    volume_records.push(VolumeRecord::Create {
+                        name: name.clone(),
+                        blocks: *blocks,
+                    });
+                }
+                Record::MapUpdate {
+                    name,
+                    start_block,
+                    nblocks,
+                    first_recipe,
+                } => {
+                    volume_records.push(VolumeRecord::Map {
+                        name: name.clone(),
+                        start_block: *start_block,
+                        nblocks: *nblocks,
+                        first_recipe: *first_recipe,
+                    });
+                }
+                Record::BatchCommit(batch) => {
+                    frontier = Some(batch.frontier.clone());
+                    let past_checkpoint = match last_cp {
+                        Some(cp) => pos > cp,
+                        None => true,
+                    };
+                    for c in &batch.chunks {
+                        report.chunks += 1;
+                        report.bytes_in += c.orig_len as u64;
+                        let r = ChunkRef::new(c.addr, c.stored_len);
+                        recipe.push(r);
+                        if c.dup {
+                            report.dedup_hits += 1;
+                            report.bytes_deduped += c.orig_len as u64;
+                        } else {
+                            report.unique_chunks += 1;
+                            report.stored_bytes += c.stored_len as u64;
+                            if past_checkpoint
+                                && self.config.dedup_enabled
+                                && index.insert(c.digest, r).is_some()
+                            {
+                                // Replay never re-writes index spills to
+                                // the device: the journal already made
+                                // the inserts durable, and the frontiers
+                                // below restore the device-side cursor.
+                                report.bin_flushes += 1;
+                            }
+                        }
+                    }
+                }
+                Record::Checkpoint(cp) => {
+                    frontier = Some(cp.frontier.clone());
+                }
+            }
+        }
+
+        // Destage frontier: from the last state-bearing record, else the
+        // empty-log initial state (below the journal reservation).
+        match &frontier {
+            Some(f) => self.destage.restore_state(
+                f.next_data_lpn,
+                f.next_index_lpn,
+                f.appended_bytes,
+                &f.tail,
+            ),
+            None => {
+                let top = self.ssd.logical_pages() - 1 - self.config.journal_pages;
+                self.destage.restore_state(0, top, 0, &[]);
+            }
+        }
+
+        // Every other volatile structure restarts fresh, exactly as a
+        // reboot would leave it: cold read cache, closed latches, empty
+        // frame arena, a power-cycled GPU with an empty index mirror.
+        self.read_cache.clear();
+        self.obs.read_cache_entries.set(0);
+        self.fault = FaultState::new(self.config.degrade);
+        self.arena = FrameArena::new(self.config.batch_chunks);
+        self.gpu = GpuDevice::new(self.config.gpu_spec.clone());
+        self.gpu.set_obs(&self.config.obs);
+        self.gpu_index = if self.config.mode.gpu_dedup() && self.config.dedup_enabled {
+            let mut cfg = self.config.gpu_index;
+            cfg.prefix_bytes = self.config.index.prefix_bytes;
+            Some(GpuBinIndex::new(&mut self.gpu, cfg).expect("GPU index must fit in device memory"))
+        } else {
+            None
+        };
+
+        report.reduction_end = replay.done;
+        report.ssd_end = replay.done;
+        self.index = index;
+        self.report = report;
+        let chunks_recovered = recipe.len() as u64;
+        self.recipe = recipe;
+        self.sync_fault_counters();
+
+        Ok(RecoveryOutcome {
+            crash: CrashReport::default(),
+            records_replayed: replay.records.len() as u64,
+            torn_discarded: replay.torn,
+            chunks_recovered,
+            volume_records,
+            recovered_end: replay.done,
+        })
     }
 
     /// Replaces the SSD transient-fault schedule mid-run (checker
@@ -787,7 +1138,7 @@ impl Pipeline {
         let (chunks, report) = loop {
             match self.gpu_decomp.decompress_batch(at, &mut self.gpu, &views) {
                 Ok(out) => break out,
-                Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                Err(e) if e.is_transient() && backoff.permits(retry) => {
                     at += backoff.delay(retry);
                     retry += 1;
                     self.fault.retries += 1;
@@ -799,7 +1150,10 @@ impl Pipeline {
                         trace_args(&[("retry", retry as u64)]),
                     );
                 }
-                Err(_) => {
+                Err(e) => {
+                    if e.is_transient() && backoff.budget_exhausted(retry) {
+                        self.obs.retry_budget_exhausted.incr();
+                    }
                     Self::latch_failure(
                         &mut self.fault.gpu_decompress,
                         at,
@@ -1306,6 +1660,9 @@ impl Pipeline {
         }
 
         let mut destage_win: Option<(u64, u64)> = None;
+        // When the batch's last data frame became durable on the device —
+        // the floor for this batch's journal commit record.
+        let mut data_end = SimTime::ZERO;
         for (i, frame_bytes, ready) in frames {
             if self.config.verify {
                 let back = frame::open(&frame_bytes).expect("self-check: frame must decode");
@@ -1323,6 +1680,7 @@ impl Pipeline {
             refs[i] = Some(chunk_ref);
             for g in grants {
                 self.report.ssd_end = self.report.ssd_end.max(g.end);
+                data_end = data_end.max(g.end);
                 if tracing {
                     widen(&mut destage_win, g.start.as_nanos(), g.end.as_nanos());
                 }
@@ -1436,6 +1794,44 @@ impl Pipeline {
         for c in &chunks {
             self.report.reduction_end = self.report.reduction_end.max(c.ready_at);
         }
+
+        // Journal the batch commit. The append is scheduled no earlier
+        // than `data_end`, so its record becoming durable implies every
+        // data frame it describes is durable too (write-ahead for the
+        // *metadata*, write-behind for the data it points at). The grant
+        // end is the batch's acknowledgement point.
+        if let Some(journal) = self.journal.as_mut() {
+            let base = self.recipe.len() - chunks.len();
+            let commits: Vec<ChunkCommit> = chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let r = self.recipe[base + i];
+                    ChunkCommit {
+                        digest: c.digest,
+                        dup: !matches!(c.outcome, DedupOutcome::Unique),
+                        addr: r.addr(),
+                        stored_len: r.stored_len(),
+                        orig_len: payload.view(i).len() as u32,
+                    }
+                })
+                .collect();
+            let (next_data_lpn, next_index_lpn) = self.destage.frontiers();
+            let record = Record::BatchCommit(BatchCommit {
+                frontier: Frontier {
+                    next_data_lpn,
+                    next_index_lpn,
+                    appended_bytes: self.destage.appended_bytes(),
+                    tail: self.destage.tail().to_vec(),
+                },
+                chunks: commits,
+            });
+            let at = self.report.reduction_end.max(data_end);
+            let g = journal
+                .append(at, &mut self.ssd, &record)
+                .unwrap_or_else(|e| panic!("journal batch-commit append failed: {e}"));
+            self.report.ssd_end = self.report.ssd_end.max(g.end);
+        }
     }
 
     /// Dedup stage: optional GPU probe pass, then the CPU bin-buffer /
@@ -1484,7 +1880,7 @@ impl Pipeline {
             let outcome = loop {
                 match gpu_index.lookup_batch(at, &mut self.gpu, &digests) {
                     Ok(out) => break Some(out),
-                    Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                    Err(e) if e.is_transient() && backoff.permits(retry) => {
                         at += backoff.delay(retry);
                         retry += 1;
                         self.fault.retries += 1;
@@ -1496,7 +1892,12 @@ impl Pipeline {
                             trace_args(&[("retry", retry as u64)]),
                         );
                     }
-                    Err(_) => break None,
+                    Err(e) => {
+                        if e.is_transient() && backoff.budget_exhausted(retry) {
+                            self.obs.retry_budget_exhausted.incr();
+                        }
+                        break None;
+                    }
                 }
             };
             match outcome {
@@ -1689,7 +2090,7 @@ impl Pipeline {
         let (frames, report) = loop {
             match self.gpu_comp.compress_batch(at, &mut self.gpu, &views) {
                 Ok(out) => break out,
-                Err(e) if e.is_transient() && retry < backoff.max_retries => {
+                Err(e) if e.is_transient() && backoff.permits(retry) => {
                     at += backoff.delay(retry);
                     retry += 1;
                     self.fault.retries += 1;
@@ -1701,7 +2102,10 @@ impl Pipeline {
                         trace_args(&[("retry", retry as u64)]),
                     );
                 }
-                Err(_) => {
+                Err(e) => {
+                    if e.is_transient() && backoff.budget_exhausted(retry) {
+                        self.obs.retry_budget_exhausted.incr();
+                    }
                     Self::latch_failure(
                         &mut self.fault.gpu_compress,
                         at,

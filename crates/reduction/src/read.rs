@@ -76,6 +76,14 @@ impl ReadCache {
         Some(bytes)
     }
 
+    /// Drops every cached chunk. Called when the stored frames the cache
+    /// shadows may have changed under it — an index restore or a crash
+    /// recovery — so stale decompressed bytes can never satisfy a read.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+    }
+
     /// Inserts (or refreshes) a decompressed chunk, evicting from the LRU
     /// end to stay within capacity. Returns the number of evictions.
     pub(crate) fn insert(&mut self, addr: u64, bytes: Vec<u8>) -> u64 {
@@ -146,6 +154,19 @@ mod tests {
         assert_eq!(cache.insert(1, vec![9]), 0, "refresh is not an insert");
         assert_eq!(cache.get(1), Some(vec![9]));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_map_and_recency_queue() {
+        let mut cache = ReadCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(1), None);
+        // Post-clear inserts behave like a fresh cache.
+        cache.insert(3, vec![3]);
+        assert!(cache.contains(3));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Power-cut modeling: capture in-flight writes, then tear or revert them.
+//!
+//! A real power cut freezes the device mid-command: pages whose program
+//! finished are durable, pages whose program never started are simply
+//! lost, and the page being programmed at the instant of the cut may be
+//! *torn* — a prefix of the new data spliced onto the stale remainder.
+//! (Consumer SSDs without power-loss capacitors exhibit exactly this;
+//! enterprise devices hide it, which is why crash-consistent systems
+//! cannot assume page atomicity.)
+//!
+//! The model is a capture log: once [`SsdDevice::arm_crash_capture`]
+//! (see [`crate::SsdDevice`]) is called, every accepted page write
+//! records its LPN, its service grant `[start, end)`, and the page's
+//! *previous* contents. [`SsdDevice::power_cut`] then replays the log
+//! backwards against the functional store, classifying each write
+//! against the cut instant `T`:
+//!
+//! * `grant.end <= T` — the program completed: **durable**, left as is.
+//! * `grant.start >= T` — the command never reached the NAND: **reverted**
+//!   to the previous contents (or erased, for a first write).
+//! * otherwise — in flight at `T`: **torn**. A seeded split point `s`
+//!   keeps the first `s` bytes of the new data and the old bytes (or
+//!   zeros) beyond it.
+//!
+//! Walking the log backwards makes overwrite chains unwind correctly:
+//! undoing the latest write to an LPN first leaves the store holding
+//! exactly what the next-older capture saw as "new" data.
+//!
+//! Timing is untouched — a cut changes *contents*, never grants — so a
+//! run that arms capture but never cuts is bit-identical to one that
+//! does neither.
+
+use dr_des::{Grant, SimTime, SplitMix64};
+
+/// When and how to cut power. `torn_seed` drives the split points of
+/// torn pages, so a crash experiment replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The sim-time instant the power fails.
+    pub at: SimTime,
+    /// Seed for torn-page split points.
+    pub torn_seed: u64,
+}
+
+/// What a [`SsdDevice::power_cut`](crate::SsdDevice::power_cut) did to
+/// the captured writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Captured writes whose program completed before the cut.
+    pub durable: u64,
+    /// Writes in flight at the cut, left with spliced contents.
+    pub torn: u64,
+    /// Writes that never reached the NAND, rolled back entirely.
+    pub reverted: u64,
+}
+
+/// One armed-capture record: enough to undo or tear the write later.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteCapture {
+    pub(crate) lpn: u64,
+    pub(crate) grant: Grant,
+    /// Page contents before this write (`None`: first write to the LPN).
+    pub(crate) prev: Option<Vec<u8>>,
+}
+
+/// Applies `spec` to a capture log, mutating `store` in place.
+pub(crate) fn apply_power_cut(
+    store: &mut std::collections::HashMap<u64, Vec<u8>>,
+    log: Vec<WriteCapture>,
+    page_bytes: usize,
+    spec: CrashSpec,
+) -> CrashReport {
+    let mut rng = SplitMix64::new(spec.torn_seed);
+    let mut report = CrashReport::default();
+    for cap in log.into_iter().rev() {
+        if cap.grant.end <= spec.at {
+            report.durable += 1;
+        } else if cap.grant.start >= spec.at {
+            match cap.prev {
+                Some(prev) => {
+                    store.insert(cap.lpn, prev);
+                }
+                None => {
+                    store.remove(&cap.lpn);
+                }
+            }
+            report.reverted += 1;
+        } else {
+            // Torn: prefix of the new data, stale (or erased) suffix. The
+            // store holds the new data here because every later write to
+            // this LPN has already been unwound.
+            let split = rng.next_below(page_bytes as u64 + 1) as usize;
+            let mut torn = match store.get(&cap.lpn) {
+                Some(new) => new[..split].to_vec(),
+                None => vec![0; split],
+            };
+            match &cap.prev {
+                Some(prev) => torn.extend_from_slice(&prev[split..]),
+                None => torn.resize(page_bytes, 0),
+            }
+            store.insert(cap.lpn, torn);
+            report.torn += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn grant(start_us: u64, end_us: u64) -> Grant {
+        Grant {
+            start: SimTime::ZERO + dr_des::SimDuration::from_micros(start_us),
+            end: SimTime::ZERO + dr_des::SimDuration::from_micros(end_us),
+        }
+    }
+
+    fn cut_at(us: u64) -> CrashSpec {
+        CrashSpec {
+            at: SimTime::ZERO + dr_des::SimDuration::from_micros(us),
+            torn_seed: 7,
+        }
+    }
+
+    #[test]
+    fn durable_reverted_and_torn_classify_by_grant() {
+        let mut store = HashMap::new();
+        store.insert(0, vec![1u8; 8]);
+        store.insert(1, vec![2u8; 8]);
+        store.insert(2, vec![3u8; 8]);
+        let log = vec![
+            WriteCapture {
+                lpn: 0,
+                grant: grant(0, 10),
+                prev: None,
+            },
+            WriteCapture {
+                lpn: 1,
+                grant: grant(10, 30),
+                prev: Some(vec![9u8; 8]),
+            },
+            WriteCapture {
+                lpn: 2,
+                grant: grant(40, 50),
+                prev: None,
+            },
+        ];
+        let report = apply_power_cut(&mut store, log, 8, cut_at(20));
+        assert_eq!(
+            report,
+            CrashReport {
+                durable: 1,
+                torn: 1,
+                reverted: 1
+            }
+        );
+        // lpn 0 completed before the cut.
+        assert_eq!(store.get(&0), Some(&vec![1u8; 8]));
+        // lpn 1 was in flight: a prefix of 2s, a suffix of 9s.
+        let torn = store.get(&1).unwrap();
+        assert_eq!(torn.len(), 8);
+        let split = torn.iter().take_while(|&&b| b == 2).count();
+        assert!(torn[split..].iter().all(|&b| b == 9), "torn page {torn:?}");
+        // lpn 2 never started: first write, so the page vanishes.
+        assert!(!store.contains_key(&2));
+    }
+
+    #[test]
+    fn overwrite_chains_unwind_in_reverse() {
+        let mut store = HashMap::new();
+        store.insert(5, vec![3u8; 4]);
+        // Three generations on one LPN: 1s (durable), 2s (durable), 3s
+        // (reverted). The survivor must be the 2s.
+        let log = vec![
+            WriteCapture {
+                lpn: 5,
+                grant: grant(0, 10),
+                prev: None,
+            },
+            WriteCapture {
+                lpn: 5,
+                grant: grant(10, 20),
+                prev: Some(vec![1u8; 4]),
+            },
+            WriteCapture {
+                lpn: 5,
+                grant: grant(100, 110),
+                prev: Some(vec![2u8; 4]),
+            },
+        ];
+        let report = apply_power_cut(&mut store, log, 4, cut_at(50));
+        assert_eq!(report.durable, 2);
+        assert_eq!(report.reverted, 1);
+        assert_eq!(store.get(&5), Some(&vec![2u8; 4]));
+    }
+
+    #[test]
+    fn torn_split_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut store = HashMap::new();
+            store.insert(0, vec![0xAAu8; 64]);
+            let log = vec![WriteCapture {
+                lpn: 0,
+                grant: grant(0, 100),
+                prev: Some(vec![0x55u8; 64]),
+            }];
+            apply_power_cut(
+                &mut store,
+                log,
+                64,
+                CrashSpec {
+                    at: SimTime::ZERO + dr_des::SimDuration::from_micros(50),
+                    torn_seed: seed,
+                },
+            );
+            store.remove(&0).unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should tear differently");
+    }
+
+    #[test]
+    fn cut_before_everything_reverts_everything() {
+        let mut store = HashMap::new();
+        store.insert(0, vec![1u8; 4]);
+        let log = vec![WriteCapture {
+            lpn: 0,
+            grant: grant(10, 20),
+            prev: None,
+        }];
+        let report = apply_power_cut(&mut store, log, 4, cut_at(0));
+        assert_eq!(report.reverted, 1);
+        assert!(store.is_empty());
+    }
+}

@@ -6,6 +6,7 @@ use dr_des::{Grant, Resource, SimDuration, SimTime};
 use dr_obs::trace::{trace_args, Tracer, Track};
 use dr_obs::{CounterHandle, HistogramHandle, ObsHandle};
 
+use crate::crash::{apply_power_cut, CrashReport, CrashSpec, WriteCapture};
 use crate::error::SsdError;
 use crate::ftl::{Ftl, FtlStats, NandOp};
 use crate::spec::SsdSpec;
@@ -91,6 +92,9 @@ pub struct SsdDevice {
     /// kept separate from `fault_rng` so enabling one class of faults does
     /// not perturb the other's schedule.
     transient_rng: dr_des::SplitMix64,
+    /// Armed power-cut capture: every accepted write is recorded so
+    /// [`SsdDevice::power_cut`] can tear or revert it. `None` = disarmed.
+    crash_log: Option<Vec<WriteCapture>>,
     stats: SsdStats,
     obs: SsdObs,
 }
@@ -115,6 +119,7 @@ impl SsdDevice {
             dies,
             controller,
             store,
+            crash_log: None,
             stats: SsdStats::default(),
             obs: SsdObs::default(),
         }
@@ -139,6 +144,51 @@ impl SsdDevice {
     pub fn set_faults(&mut self, faults: crate::spec::SsdFaultSpec) {
         self.transient_rng = dr_des::SplitMix64::new(faults.seed);
         self.ftl.set_faults(faults);
+    }
+
+    /// Arms power-cut capture: from now on every accepted page write is
+    /// recorded so a later [`SsdDevice::power_cut`] can classify it as
+    /// durable, torn, or lost. Capture changes no timing and no contents;
+    /// an armed device that never cuts behaves bit-identically to a
+    /// disarmed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device was built without `store_data` — there is
+    /// no functional store to tear.
+    pub fn arm_crash_capture(&mut self) {
+        assert!(
+            self.store.is_some(),
+            "crash capture needs a device with store_data"
+        );
+        self.crash_log = Some(Vec::new());
+    }
+
+    /// Cuts power at `spec.at`: rolls back captured writes that never
+    /// reached the NAND, splices torn contents into pages in flight at
+    /// the cut, and leaves completed writes durable. The capture log is
+    /// re-armed (emptied) so the survivor can crash again.
+    ///
+    /// The FTL mapping is deliberately *not* rewound: a page-mapped FTL
+    /// keeps its translation in NAND spare areas and rebuilds it on power
+    /// up, so post-crash reads of a torn or lost page return the spliced
+    /// or zero contents rather than failing — exactly what recovery code
+    /// must defend against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SsdDevice::arm_crash_capture`] was never called.
+    pub fn power_cut(&mut self, spec: CrashSpec) -> CrashReport {
+        let log = self
+            .crash_log
+            .replace(Vec::new())
+            .expect("power_cut without arm_crash_capture");
+        let page_bytes = self.ftl.spec().page_bytes as usize;
+        let store = self
+            .store
+            .as_mut()
+            .expect("crash capture armed without a store");
+        apply_power_cut(store, log, page_bytes, spec)
     }
 
     /// Host-side statistics.
@@ -242,6 +292,16 @@ impl SsdDevice {
         let front = self.controller.acquire(now, t_ctrl);
         let end = self.run_ops(front.end, &ops);
         if let Some(store) = &mut self.store {
+            if let Some(log) = &mut self.crash_log {
+                log.push(WriteCapture {
+                    lpn,
+                    grant: Grant {
+                        start: front.start,
+                        end,
+                    },
+                    prev: store.get(&lpn).cloned(),
+                });
+            }
             store.insert(lpn, data.to_vec());
         }
         self.stats.writes += 1;
@@ -524,6 +584,83 @@ mod tests {
         // than the ~85K-IOPS write ceiling (queueing skew across the die
         // array keeps sustained reads below the 400K analytic bound).
         assert!(read_iops > 150_000.0, "read IOPS {read_iops}");
+    }
+
+    #[test]
+    fn power_cut_reverts_unstarted_and_keeps_durable_pages() {
+        let mut ssd = small_device();
+        ssd.arm_crash_capture();
+        let old = vec![0x11u8; 4096];
+        let new = vec![0x22u8; 4096];
+        let g0 = ssd.write_page(SimTime::ZERO, 0, &old).unwrap();
+        // Overwrite lpn 0 and first-write lpn 1 after the durable window.
+        let g1 = ssd.write_page(g0.end, 0, &new).unwrap();
+        ssd.write_page(g0.end, 1, &new).unwrap();
+        // Cut right after the first write completed: the overwrite and
+        // the first write to lpn 1 had not started service yet... unless
+        // queueing overlapped. Use the grant to pick a safe cut point.
+        let report = ssd.power_cut(CrashSpec {
+            at: g1.start,
+            torn_seed: 3,
+        });
+        assert_eq!(report.durable, 1);
+        assert_eq!(report.torn, 0);
+        assert_eq!(report.reverted, 2);
+        let (back, _) = ssd.read_page(g1.end, 0).unwrap();
+        assert_eq!(back, old, "reverted overwrite must expose old contents");
+        let (gone, _) = ssd.read_page(g1.end, 1).unwrap();
+        assert_eq!(gone, vec![0u8; 4096], "lost first write reads as zeros");
+    }
+
+    #[test]
+    fn power_cut_tears_the_page_in_flight() {
+        let mut ssd = small_device();
+        ssd.arm_crash_capture();
+        let old = vec![0x11u8; 4096];
+        let new = vec![0x22u8; 4096];
+        let g0 = ssd.write_page(SimTime::ZERO, 9, &old).unwrap();
+        let g1 = ssd.write_page(g0.end, 9, &new).unwrap();
+        let mid = g1.start + g1.end.saturating_duration_since(g1.start) / 2;
+        let report = ssd.power_cut(CrashSpec {
+            at: mid,
+            torn_seed: 99,
+        });
+        assert_eq!(report.durable, 1);
+        assert_eq!(report.torn, 1);
+        let (back, _) = ssd.read_page(g1.end, 9).unwrap();
+        let split = back.iter().take_while(|&&b| b == 0x22).count();
+        assert!(
+            back[split..].iter().all(|&b| b == 0x11),
+            "torn page must be new-prefix + old-suffix"
+        );
+    }
+
+    #[test]
+    fn armed_capture_changes_no_grants() {
+        let run = |arm: bool| {
+            let mut ssd = small_device();
+            if arm {
+                ssd.arm_crash_capture();
+            }
+            let page = vec![5u8; 4096];
+            let mut at = SimTime::ZERO;
+            let mut ends = Vec::new();
+            for lpn in 0..16 {
+                let g = ssd.write_page(at, lpn, &page).unwrap();
+                at = g.end;
+                ends.push(g.end);
+            }
+            ends
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "store_data")]
+    fn arming_without_a_store_panics() {
+        let mut spec = SsdSpec::samsung_830_256g();
+        spec.store_data = false;
+        SsdDevice::new(spec).arm_crash_capture();
     }
 
     #[test]

@@ -29,11 +29,13 @@
 //! assert_eq!(data, vec![7u8; 4096]);
 //! ```
 
+pub mod crash;
 pub mod device;
 pub mod error;
 pub mod ftl;
 pub mod spec;
 
+pub use crash::{CrashReport, CrashSpec};
 pub use device::{SsdDevice, SsdStats};
 pub use error::SsdError;
 pub use ftl::{Ftl, FtlStats};

@@ -49,6 +49,13 @@ cargo run --release -q -p dr-bench --bin fault_matrix
 echo "==> dr-check smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes x 2 scenarios)"
 cargo run --release -q -p dr-check -- run --mode all --scenario both
 
+# Crash-consistency smoke: seeded sequences with power-cut ops, run with
+# the metadata journal enabled. After every cut the runner recovers from
+# the journal and verifies the durable prefix: acknowledged ops survive,
+# unacknowledged ones are atomically absent (DESIGN.md §15).
+echo "==> dr-check crash smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes)"
+cargo run --release -q -p dr-check -- run --mode all --scenario crash
+
 # Trace smoke: a traced bench run must exit cleanly, leave stdout
 # bit-identical to an untraced run (DESIGN.md §12), and write a
 # non-empty Chrome trace_event document.

@@ -1,5 +1,6 @@
 //! Crash-recovery integration: snapshot the dedup index, rebuild it, and
-//! keep deduplicating against data stored before the "crash".
+//! keep deduplicating against data stored before the "crash" — plus the
+//! full journaled power-cut path: cut, replay, verify the durable prefix.
 
 use inline_dr::binindex::{restore, snapshot, BinIndex, BinIndexConfig, ChunkRef};
 use inline_dr::hashes::sha1_digest;
@@ -101,4 +102,113 @@ fn index_snapshotted_after_a_faulty_run_still_recovers() {
         let back = pipeline.read_chunk(r).expect("read path");
         assert_eq!(back, block, "chunk {i} corrupted");
     }
+}
+
+/// Regression for the snapshot-restore / read-cache interaction: restoring
+/// the index must drop every cached decompressed chunk, so a post-restore
+/// read re-charges the device instead of serving bytes whose backing
+/// frames the restore may no longer vouch for.
+#[test]
+fn restore_index_clears_the_read_cache() {
+    use inline_dr::obs::ObsHandle;
+    use inline_dr::reduction::{IntegrationMode, Pipeline, PipelineConfig};
+
+    let obs = ObsHandle::enabled("recovery-test");
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        mode: IntegrationMode::CpuOnly,
+        obs: obs.clone(),
+        ..PipelineConfig::default()
+    });
+    let data: Vec<u8> = blocks().into_iter().flatten().collect();
+    pipeline.run(&data);
+
+    let gauge = |obs: &ObsHandle| {
+        obs.snapshot()
+            .map(|s| {
+                s.gauges
+                    .iter()
+                    .find(|(n, _)| n == "read.cache_entries")
+                    .map_or(0, |(_, v)| *v)
+            })
+            .unwrap_or(0)
+    };
+
+    let first = pipeline.read_block(0).expect("read");
+    assert!(gauge(&obs) > 0, "the read must have populated the cache");
+    // A cached re-read is cheap: remember how cheap.
+    let before_cached = pipeline.report().read_end;
+    pipeline.read_block(0).expect("cached re-read");
+    let cached_cost = pipeline.report().read_end - before_cached;
+
+    let blob = pipeline.snapshot_index().expect("snapshot");
+    pipeline.restore_index(&blob).expect("restore");
+    assert_eq!(gauge(&obs), 0, "restore must clear the read cache");
+
+    // The post-restore read serves identical bytes but pays the device
+    // again — strictly more than the cached re-read did.
+    let before_cold = pipeline.report().read_end;
+    let after_restore = pipeline.read_block(0).expect("post-restore read");
+    let cold_cost = pipeline.report().read_end - before_cold;
+    assert_eq!(after_restore, first);
+    assert!(
+        cold_cost > cached_cost,
+        "post-restore read must re-charge the device ({cold_cost} vs cached {cached_cost})"
+    );
+}
+
+/// End-to-end journaled power cut through the volume layer: cut at an
+/// instant strictly between two acknowledgements and verify the durable
+/// prefix — the first write survives byte-identically, the second is
+/// atomically absent, and the array keeps working afterwards.
+#[test]
+fn power_cut_between_acks_keeps_the_durable_prefix() {
+    use inline_dr::des::SimTime;
+    use inline_dr::reduction::{IntegrationMode, PipelineConfig, VolumeError, VolumeManager};
+    use inline_dr::ssd_sim::CrashSpec;
+
+    let mut array = VolumeManager::new(PipelineConfig {
+        mode: IntegrationMode::GpuForCompression,
+        journal_pages: 256,
+        ..PipelineConfig::default()
+    });
+    array.create_volume("vm", 32).unwrap();
+    let gen = |seed: u64| -> Vec<u8> {
+        StreamGenerator::new(StreamConfig {
+            total_bytes: 4 * 4096,
+            seed,
+            ..StreamConfig::default()
+        })
+        .blocks()
+        .flatten()
+        .collect()
+    };
+    let first = gen(1);
+    array.write("vm", 0, &first).unwrap();
+    let first_ack = array.last_ack();
+    array.write("vm", 8, &gen(2)).unwrap();
+    let second_ack = array.last_ack();
+    assert!(second_ack > first_ack, "acks must be strictly ordered");
+
+    // Cut one nanosecond after the first ack: the first write is durable
+    // by the ack contract, the second cannot be.
+    let at = SimTime::from_nanos(first_ack.as_nanos() + 1);
+    let outcome = array
+        .crash_and_recover(CrashSpec { at, torn_seed: 99 })
+        .expect("recovery");
+    assert!(outcome.chunks_recovered >= 4);
+
+    for (i, chunk) in first.chunks(4096).enumerate() {
+        assert_eq!(
+            array.read("vm", i as u64).expect("durable block"),
+            chunk,
+            "acked block {i} must survive byte-identically"
+        );
+    }
+    assert!(
+        matches!(array.read("vm", 8), Err(VolumeError::Unwritten { .. })),
+        "the unacknowledged write must be atomically absent"
+    );
+    // The recovered array accepts new writes on the same region.
+    array.write("vm", 8, &gen(3)).unwrap();
+    assert_eq!(array.read("vm", 8).expect("rewritten"), &gen(3)[..4096]);
 }
