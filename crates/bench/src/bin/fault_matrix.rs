@@ -10,6 +10,7 @@
 //! Exits non-zero when any scenario diverges — or injects no faults at
 //! all, since a fault-free "fault run" would prove nothing.
 
+use dr_cluster::{Cluster, ClusterConfig};
 use dr_gpu_sim::GpuFaultSpec;
 use dr_hashes::sha1_digest;
 use dr_reduction::{IntegrationMode, Pipeline, PipelineConfig};
@@ -136,6 +137,111 @@ fn run(mode: IntegrationMode, ssd: SsdFaultSpec, gpu: GpuFaultSpec) -> (Pipeline
     (p, injected)
 }
 
+/// The cluster column's workload: small enough that three full node
+/// stacks stay gate-friendly, shaped like the e2/e4 stream.
+fn cluster_stream() -> Vec<u8> {
+    StreamGenerator::new(StreamConfig {
+        total_bytes: 2 << 20,
+        dedup_ratio: 2.0,
+        compression_ratio: 2.0,
+        ..StreamConfig::default()
+    })
+    .blocks()
+    .flatten()
+    .collect()
+}
+
+/// SHA-1 over the per-block digests of one logical cluster volume.
+fn cluster_digest(c: &mut Cluster, name: &str, blocks: u64) -> dr_hashes::ChunkDigest {
+    let mut acc = Vec::new();
+    for b in 0..blocks {
+        let block = c.read(name, b).expect("logical cluster read");
+        acc.extend_from_slice(sha1_digest(&block).as_bytes());
+    }
+    sha1_digest(&acc)
+}
+
+/// Cluster column: a 3-node sharded cluster with per-node seeded SSD
+/// faults and one mid-run power-cut node must converge — after the
+/// upper-layer resync a real system would run — to byte-identical
+/// logical contents with the fault-free cluster run of the same mode.
+fn cluster_column(mode: IntegrationMode, failures: &mut u32) {
+    let data = cluster_stream();
+    let blocks = (data.len() / 4096) as u64;
+    let config = |journal: u64| ClusterConfig {
+        nodes: 3,
+        node: PipelineConfig {
+            mode,
+            batch_chunks: 32,
+            journal_pages: journal,
+            ..PipelineConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+
+    let mut clean = Cluster::new(config(0));
+    clean.create_volume("cm", blocks).unwrap();
+    clean.write("cm", 0, &data).unwrap();
+    let want = cluster_digest(&mut clean, "cm", blocks);
+
+    // Faulted run: every node draws its own seeded transient-fault
+    // stream (seed 7 ^ node id), and one member is power-cut mid-run.
+    let mut faulted = Cluster::new(config(1024));
+    for id in faulted.node_ids() {
+        let node = faulted.node_mut(id).expect("member");
+        node.vm.pipeline_mut().set_ssd_faults(SsdFaultSpec {
+            write_error_rate: 0.05,
+            busy_rate: 0.05,
+            seed: 7 ^ u64::from(id),
+            ..SsdFaultSpec::default()
+        });
+    }
+    faulted.create_volume("cm", blocks).unwrap();
+    let half = (blocks / 2) as usize * 4096;
+    faulted.write("cm", 0, &data[..half]).unwrap();
+    let victim = faulted.node_ids()[1];
+    let recovery = match faulted.crash_node(victim, 7) {
+        Ok(r) => r,
+        Err(e) => {
+            *failures += 1;
+            println!("  {mode:<16} cluster-node-faults    RECOVERY FAILED: {e}");
+            return;
+        }
+    };
+    faulted.write("cm", blocks / 2, &data[half..]).unwrap();
+    // Upper-layer resync: rewrite the whole stream; dedup makes the
+    // surviving blocks cheap and the lost/reverted ones come back.
+    faulted.write("cm", 0, &data).unwrap();
+
+    let injected: u64 = faulted
+        .report()
+        .nodes
+        .iter()
+        .map(|(_, r)| r.faults_injected)
+        .sum();
+    let got = cluster_digest(&mut faulted, "cm", blocks);
+    let verdict = if injected == 0 {
+        *failures += 1;
+        "NO FAULTS INJECTED"
+    } else if got != want {
+        *failures += 1;
+        "DIGEST MISMATCH"
+    } else if let Err(e) = faulted.check_integrity() {
+        *failures += 1;
+        println!("    integrity: {e}");
+        "INTEGRITY VIOLATION"
+    } else {
+        "ok"
+    };
+    let mode_name = mode.to_string();
+    println!(
+        "  {mode_name:<16} {:<22} injected={injected:<6} cut-lost={:<4} cut-reverted={:<3} {verdict}",
+        "cluster-node-faults",
+        recovery.lost.len(),
+        recovery.reverted.len(),
+    );
+}
+
 fn main() -> ExitCode {
     println!("Fault matrix: logical-volume digest, faulted vs fault-free\n");
     let mut failures = 0u32;
@@ -209,6 +315,7 @@ fn main() -> ExitCode {
                 println!("  {mode:<16} power-cut-replay       RECOVERY FAILED: {e}");
             }
         }
+        cluster_column(mode, &mut failures);
     }
     if failures > 0 {
         println!("\nfault matrix FAILED: {failures} scenario(s) diverged");

@@ -261,6 +261,17 @@ impl BinIndex {
         }
     }
 
+    /// Whether a digest is present, without touching lookup statistics,
+    /// the bloom front, or obs counters. This is a metadata audit probe
+    /// (cluster shard directories cross-check their contents against node
+    /// indexes with it); the hot path must keep using
+    /// [`BinIndex::lookup`] so hit/miss accounting stays truthful.
+    pub fn contains(&self, digest: &ChunkDigest) -> bool {
+        let bin = self.router.route(digest);
+        let key = self.key_of(digest);
+        self.bins[bin].lookup(&key).is_some()
+    }
+
     /// Inserts a digest → location mapping. Returns a [`FlushEvent`] when
     /// this insert filled the bin's buffer.
     pub fn insert(&mut self, digest: ChunkDigest, r: ChunkRef) -> Option<FlushEvent> {
@@ -564,6 +575,17 @@ mod tests {
         }
         assert_eq!(idx.lookup(&digest(999)), None);
         assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn contains_probe_leaves_stats_untouched() {
+        let mut idx = BinIndex::new(BinIndexConfig::default());
+        idx.insert(digest(1), ChunkRef::new(1, 4096));
+        let before = idx.stats();
+        assert!(idx.contains(&digest(1)));
+        assert!(!idx.contains(&digest(2)));
+        assert_eq!(idx.stats(), before, "audit probe must not perturb stats");
+        assert_eq!(idx.lookup(&digest(1)), Some(ChunkRef::new(1, 4096)));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! float-bearing snapshot dialect) and `trace_path` (where the Chrome
 //! trace of the failing sequence was written, when tracing was on).
 //! Version 3 adds the `crash` op and the `crash` scenario for power-cut
-//! sequences. Version-1 and version-2 documents parse unchanged.
+//! sequences. Version 4 adds the `cluster` scenario and its membership
+//! ops (`node-join`, `node-leave`, `node-crash`). Older documents parse
+//! unchanged.
 
 use crate::json::{self, quote, Value};
 use crate::ops::{Op, Scenario};
@@ -20,7 +22,7 @@ use crate::runner::Failure;
 use dr_reduction::IntegrationMode;
 
 /// Artifact schema version.
-pub const VERSION: u64 = 3;
+pub const VERSION: u64 = 4;
 
 /// One recorded failure: seed, environment, minimized ops, observed
 /// failure.
@@ -206,7 +208,13 @@ fn op_to_json(op: &Op) -> String {
              \"timeout_milli\": {timeout_milli}, \"seed\": {seed}}}"
         ),
         Op::Crash { seed } => format!("{{\"op\": {tag}, \"seed\": {seed}}}"),
-        Op::ClearFaults | Op::Flush | Op::SnapshotRestore => format!("{{\"op\": {tag}}}"),
+        Op::NodeLeave { node } => format!("{{\"op\": {tag}, \"node\": {node}}}"),
+        Op::NodeCrash { node, seed } => {
+            format!("{{\"op\": {tag}, \"node\": {node}, \"seed\": {seed}}}")
+        }
+        Op::ClearFaults | Op::Flush | Op::SnapshotRestore | Op::NodeJoin => {
+            format!("{{\"op\": {tag}}}")
+        }
     }
 }
 
@@ -261,6 +269,14 @@ fn op_from_json(v: &Value) -> Result<Op, String> {
         "flush" => Ok(Op::Flush),
         "snapshot-restore" => Ok(Op::SnapshotRestore),
         "crash" => Ok(Op::Crash {
+            seed: field_u64(v, "seed")?,
+        }),
+        "node-join" => Ok(Op::NodeJoin),
+        "node-leave" => Ok(Op::NodeLeave {
+            node: field_u64(v, "node")? as u8,
+        }),
+        "node-crash" => Ok(Op::NodeCrash {
+            node: field_u64(v, "node")? as u8,
             seed: field_u64(v, "seed")?,
         }),
         other => Err(format!("unknown op tag '{other}'")),
@@ -340,6 +356,9 @@ mod tests {
             Op::Flush,
             Op::SnapshotRestore,
             Op::Crash { seed: 77 },
+            Op::NodeJoin,
+            Op::NodeLeave { node: 2 },
+            Op::NodeCrash { node: 1, seed: 99 },
         ];
         let artifact = Artifact {
             seed: 1,

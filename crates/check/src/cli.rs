@@ -14,13 +14,14 @@ const USAGE: &str = "usage: dr-check <command> [flags]\n\
      commands:\n\
        run     sweep seeds x integration modes x scenarios\n\
                [--seeds N] [--seed-start S] [--ops N] [--mode M|all]\n\
-               [--scenario fault-free|faulted|crash|both]\n\
+               [--scenario fault-free|faulted|crash|cluster|both]\n\
                [--artifact-dir DIR]\n\
                [--trace-dir DIR]  (Chrome trace of the shrunk failure)\n\
        replay  re-execute a recorded failure artifact  <artifact.json>\n\
      \n\
      modes: cpu-only | gpu-dedup | gpu-compression | gpu-both | all\n\
-     seeds default: $DR_CHECK_SEEDS, else 25";
+     seeds default: $DR_CHECK_SEEDS, else 25\n\
+     scenario 'both' = fault-free + faulted; crash and cluster are opt-in";
 
 /// Runs the dr-check CLI over `args` (without the program name).
 /// Exit codes: 0 = clean (or reproduced, for replay), 1 = failure found

@@ -1,0 +1,408 @@
+//! The cluster oracle: one logical volume namespace, membership mirror,
+//! and per-node durable version histories.
+//!
+//! The byte/error model is the single-node [`Oracle`](crate::model)
+//! story again — a map from `(volume, block)` to bytes with the same
+//! validation order — plus the two things a cluster adds:
+//!
+//! 1. **Membership**: a sorted member list and a never-reused next-id
+//!    counter, mirrored against [`Cluster::node_ids`](dr_cluster::Cluster)
+//!    after every membership op.
+//! 2. **Crash envelopes**: for every block, the versions that were ever
+//!    written *through each node*, with their acknowledgement instants.
+//!    When node X power-cuts at `cut`, the block's fate is bounded by its
+//!    history on X: the latest version acked at or before `cut` **must**
+//!    survive (so the block may only be `lost` when nothing was acked),
+//!    and a `reverted` block must come back as some version at or after
+//!    that latest-acked index — the journal keeps a record *prefix*, so
+//!    recovery can overshoot acked work but never undershoot it, and can
+//!    never fabricate bytes that were not durably written through X.
+//!
+//! Histories are per `(block, node)` and append-only across placement
+//! changes, because migration does not erase the source node's journal
+//! records: a block that lived on X years ago, moved away, and moved
+//! back can legitimately revert to the *ancient* X version when X's cut
+//! lands before the re-placement record.
+
+use std::collections::BTreeMap;
+
+use dr_des::SimTime;
+
+use crate::model::ModelError;
+
+/// A cluster node id, as the model tracks it (mirrors
+/// [`dr_cluster::NodeId`]).
+pub type NodeId = u32;
+
+/// One durable-candidate version of a block on one node.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// The block's bytes at this version.
+    pub data: Vec<u8>,
+    /// When the node acknowledged the write (journal grant end).
+    pub ack: SimTime,
+}
+
+/// Per-block state: current bytes, current home, and the per-node
+/// version histories that bound crash outcomes.
+#[derive(Debug, Clone, Default)]
+struct BlockState {
+    /// Current logical bytes (`None` = unwritten, e.g. after a loss).
+    current: Option<Vec<u8>>,
+    /// Node the placement map points at.
+    home: Option<NodeId>,
+    /// Versions ever written through each node, in write order.
+    history: BTreeMap<NodeId, Vec<Version>>,
+}
+
+/// What the model says may happen to one block when its home node
+/// power-cuts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashFate {
+    /// The latest version was acked before the cut: the block must
+    /// survive with exactly its current bytes.
+    MustSurvive,
+    /// Older acked versions exist: the block must survive, but may
+    /// revert to any version from the latest-acked one onward.
+    MayRevert {
+        /// First allowed index into the node's version history.
+        from_index: usize,
+    },
+    /// Nothing was acked through this node: the block may be lost
+    /// entirely (or survive as any durable version, prefix rules
+    /// permitting).
+    MayBeLost,
+}
+
+/// The reference cluster: logical bytes, membership, and crash envelopes.
+#[derive(Debug)]
+pub struct ClusterModel {
+    chunk_bytes: usize,
+    max_nodes: usize,
+    /// Sorted live member ids.
+    members: Vec<NodeId>,
+    /// Next id a joiner receives; never reused.
+    next_node: NodeId,
+    /// Volume name → size in blocks.
+    sizes: BTreeMap<String, u64>,
+    blocks: BTreeMap<(String, u64), BlockState>,
+    /// Chunks ingested through the front-end (conservation mirror for
+    /// [`ClusterReport::chunks`](dr_cluster::ClusterReport)).
+    pub chunks: u64,
+}
+
+impl ClusterModel {
+    /// A fresh model matching a cluster built with `nodes` initial
+    /// members (ids `0..nodes`) and a `max_nodes` join cap.
+    pub fn new(chunk_bytes: usize, nodes: usize, max_nodes: usize) -> Self {
+        ClusterModel {
+            chunk_bytes,
+            max_nodes,
+            members: (0..nodes as NodeId).collect(),
+            next_node: nodes as NodeId,
+            sizes: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            chunks: 0,
+        }
+    }
+
+    /// Live members, sorted ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Resolves a generated member *selector* to a live id
+    /// (`members[sel % len]`) — the same resolution the runner applies to
+    /// the system, so both sides always target the same node.
+    pub fn resolve_member(&self, selector: u8) -> NodeId {
+        self.members[selector as usize % self.members.len()]
+    }
+
+    /// Mirrors a join. Returns the id the cluster must have assigned, or
+    /// `None` when the cluster is full (the system must error).
+    pub fn join(&mut self) -> Option<NodeId> {
+        if self.members.len() >= self.max_nodes {
+            return None;
+        }
+        let id = self.next_node;
+        self.next_node += 1;
+        self.members.push(id);
+        self.members.sort_unstable();
+        Some(id)
+    }
+
+    /// Mirrors a leave. Returns `false` when `id` is the last member
+    /// (the system must refuse).
+    pub fn leave(&mut self, id: NodeId) -> bool {
+        if self.members.len() == 1 {
+            return false;
+        }
+        self.members.retain(|&n| n != id);
+        true
+    }
+
+    /// Mirrors `create_volume`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::AlreadyExists`].
+    pub fn create_volume(&mut self, name: &str, blocks: u64) -> Result<(), ModelError> {
+        if self.sizes.contains_key(name) {
+            return Err(ModelError::AlreadyExists);
+        }
+        self.sizes.insert(name.to_owned(), blocks);
+        Ok(())
+    }
+
+    /// Validates a write exactly like the cluster front-end (alignment,
+    /// existence, range) and stores the bytes. Placement is recorded
+    /// separately via [`ClusterModel::record_run`] once the system
+    /// reports where each run landed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Misaligned`] / [`ModelError::UnknownVolume`] /
+    /// [`ModelError::OutOfRange`].
+    pub fn write(&mut self, name: &str, start_block: u64, data: &[u8]) -> Result<(), ModelError> {
+        if data.is_empty() || !data.len().is_multiple_of(self.chunk_bytes) {
+            return Err(ModelError::Misaligned);
+        }
+        let n = (data.len() / self.chunk_bytes) as u64;
+        let size = *self.sizes.get(name).ok_or(ModelError::UnknownVolume)?;
+        if start_block + n > size {
+            return Err(ModelError::OutOfRange);
+        }
+        for (i, chunk) in data.chunks(self.chunk_bytes).enumerate() {
+            let state = self
+                .blocks
+                .entry((name.to_owned(), start_block + i as u64))
+                .or_default();
+            state.current = Some(chunk.to_vec());
+        }
+        self.chunks += n;
+        Ok(())
+    }
+
+    /// Records where one node-contiguous run of a successful write
+    /// landed: each block's current bytes become a version in `node`'s
+    /// history with the run's shared `ack` (one journal record covers
+    /// the whole run, so its blocks live or die together — a shared ack
+    /// is exact, not an approximation).
+    pub fn record_run(
+        &mut self,
+        name: &str,
+        start_block: u64,
+        nblocks: u64,
+        node: NodeId,
+        ack: SimTime,
+    ) {
+        for block in start_block..start_block + nblocks {
+            let state = self
+                .blocks
+                .get_mut(&(name.to_owned(), block))
+                .expect("recording a run for bytes just written");
+            let data = state.current.clone().expect("written block has bytes");
+            state.home = Some(node);
+            state
+                .history
+                .entry(node)
+                .or_default()
+                .push(Version { data, ack });
+        }
+    }
+
+    /// Records one migration: the block's bytes are re-written through
+    /// `to` (fresh journal record, fresh ack) and the placement flips.
+    pub fn record_move(&mut self, name: &str, block: u64, to: NodeId, ack: SimTime) {
+        let state = self
+            .blocks
+            .get_mut(&(name.to_owned(), block))
+            .expect("moving a written block");
+        let data = state.current.clone().expect("moving a written block");
+        state.home = Some(to);
+        state
+            .history
+            .entry(to)
+            .or_default()
+            .push(Version { data, ack });
+    }
+
+    /// Mirrors a read.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownVolume`] / [`ModelError::OutOfRange`] /
+    /// [`ModelError::Unwritten`].
+    pub fn read(&self, name: &str, block: u64) -> Result<&[u8], ModelError> {
+        let size = *self.sizes.get(name).ok_or(ModelError::UnknownVolume)?;
+        if block >= size {
+            return Err(ModelError::OutOfRange);
+        }
+        self.blocks
+            .get(&(name.to_owned(), block))
+            .and_then(|s| s.current.as_deref())
+            .ok_or(ModelError::Unwritten)
+    }
+
+    /// Size of `name` in blocks, if it exists.
+    pub fn volume_size(&self, name: &str) -> Option<u64> {
+        self.sizes.get(name).copied()
+    }
+
+    /// Current home of a written block.
+    pub fn home(&self, name: &str, block: u64) -> Option<NodeId> {
+        self.blocks
+            .get(&(name.to_owned(), block))
+            .and_then(|s| s.home)
+    }
+
+    /// Every currently written `(volume, block)`, in deterministic order.
+    pub fn written_blocks(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.blocks
+            .iter()
+            .filter(|(_, s)| s.current.is_some())
+            .map(|((name, block), _)| (name.as_str(), *block))
+    }
+
+    /// Blocks currently homed on `node`.
+    pub fn blocks_on(&self, node: NodeId) -> Vec<(String, u64)> {
+        self.blocks
+            .iter()
+            .filter(|(_, s)| s.current.is_some() && s.home == Some(node))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// What may happen to `(name, block)` when its home `node` cuts
+    /// power at `cut` — the crash envelope derived from the block's
+    /// version history on that node.
+    pub fn crash_fate(&self, name: &str, block: u64, node: NodeId, cut: SimTime) -> CrashFate {
+        let versions = self
+            .blocks
+            .get(&(name.to_owned(), block))
+            .and_then(|s| s.history.get(&node))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let latest_acked = versions.iter().rposition(|v| v.ack <= cut);
+        match latest_acked {
+            None => CrashFate::MayBeLost,
+            Some(i) if i + 1 == versions.len() => CrashFate::MustSurvive,
+            Some(i) => CrashFate::MayRevert { from_index: i },
+        }
+    }
+
+    /// The versions `(name, block)` ever wrote through `node`.
+    pub fn versions_on(&self, name: &str, block: u64, node: NodeId) -> &[Version] {
+        self.blocks
+            .get(&(name.to_owned(), block))
+            .and_then(|s| s.history.get(&node))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Applies a validated loss: the block becomes unwritten and `node`'s
+    /// journal no longer holds any record of it (every version was torn).
+    pub fn apply_loss(&mut self, name: &str, block: u64, node: NodeId) {
+        let state = self
+            .blocks
+            .get_mut(&(name.to_owned(), block))
+            .expect("losing a tracked block");
+        state.current = None;
+        state.home = None;
+        state.history.remove(&node);
+    }
+
+    /// Applies a validated revert: the block's bytes roll back to
+    /// `node`'s version at `index`, and the history truncates there —
+    /// recovery rebuilt the journal from the surviving prefix, so later
+    /// records are gone for good.
+    pub fn apply_revert(&mut self, name: &str, block: u64, node: NodeId, index: usize) {
+        let state = self
+            .blocks
+            .get_mut(&(name.to_owned(), block))
+            .expect("reverting a tracked block");
+        let versions = state.history.get_mut(&node).expect("revert needs history");
+        versions.truncate(index + 1);
+        state.current = Some(versions[index].data.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_des::SimTime;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn membership_mirror_assigns_fresh_ids_and_caps() {
+        let mut m = ClusterModel::new(4, 2, 3);
+        assert_eq!(m.members(), &[0, 1]);
+        assert_eq!(m.join(), Some(2));
+        assert_eq!(m.join(), None, "at the cap");
+        assert!(m.leave(1));
+        assert_eq!(m.members(), &[0, 2]);
+        assert_eq!(m.join(), Some(3), "ids are never reused");
+        assert_eq!(m.resolve_member(7), m.members()[7 % 3]);
+    }
+
+    #[test]
+    fn crash_fates_follow_the_ack_horizon() {
+        let mut m = ClusterModel::new(4, 2, 4);
+        m.create_volume("v", 8).unwrap();
+        m.write("v", 0, &[1u8; 4]).unwrap();
+        m.record_run("v", 0, 1, 0, t(100));
+        m.write("v", 0, &[2u8; 4]).unwrap();
+        m.record_run("v", 0, 1, 0, t(200));
+        // Cut after both acks: the latest version is pinned.
+        assert_eq!(m.crash_fate("v", 0, 0, t(200)), CrashFate::MustSurvive);
+        // Cut between the acks: may revert to version 0, not below.
+        assert_eq!(
+            m.crash_fate("v", 0, 0, t(150)),
+            CrashFate::MayRevert { from_index: 0 }
+        );
+        // Cut before everything: the block may vanish.
+        assert_eq!(m.crash_fate("v", 0, 0, t(50)), CrashFate::MayBeLost);
+        // A node the block never touched has no durable claim on it.
+        assert_eq!(m.crash_fate("v", 0, 1, t(500)), CrashFate::MayBeLost);
+    }
+
+    #[test]
+    fn histories_survive_placement_changes() {
+        // v1 through node 0, then the block moves to node 1, then back:
+        // node 0's history must keep both residencies' versions.
+        let mut m = ClusterModel::new(4, 2, 4);
+        m.create_volume("v", 8).unwrap();
+        m.write("v", 3, &[1u8; 4]).unwrap();
+        m.record_run("v", 3, 1, 0, t(10));
+        m.record_move("v", 3, 1, t(20));
+        assert_eq!(m.home("v", 3), Some(1));
+        m.record_move("v", 3, 0, t(30));
+        assert_eq!(m.versions_on("v", 3, 0).len(), 2);
+        // Cut at t=15: the re-placement record is torn but the original
+        // write survives — a revert to index 0 is legal.
+        assert_eq!(
+            m.crash_fate("v", 3, 0, t(15)),
+            CrashFate::MayRevert { from_index: 0 }
+        );
+    }
+
+    #[test]
+    fn loss_and_revert_update_bytes_and_histories() {
+        let mut m = ClusterModel::new(4, 2, 4);
+        m.create_volume("v", 8).unwrap();
+        m.write("v", 0, &[1u8; 4]).unwrap();
+        m.record_run("v", 0, 1, 0, t(10));
+        m.write("v", 0, &[2u8; 4]).unwrap();
+        m.record_run("v", 0, 1, 0, t(20));
+        m.apply_revert("v", 0, 0, 0);
+        assert_eq!(m.read("v", 0).unwrap(), &[1u8; 4]);
+        assert_eq!(m.versions_on("v", 0, 0).len(), 1);
+        m.apply_loss("v", 0, 0);
+        assert_eq!(m.read("v", 0), Err(ModelError::Unwritten));
+        assert!(m.versions_on("v", 0, 0).is_empty());
+        assert_eq!(m.written_blocks().count(), 0);
+    }
+}

@@ -1,0 +1,751 @@
+//! Lockstep differential execution against the multi-node cluster.
+//!
+//! The cluster scenario drives a real [`Cluster`] and the
+//! [`ClusterModel`] through the same op sequence — one logical volume
+//! namespace, whatever the node count underneath — and fails on the
+//! first divergence:
+//!
+//! 1. **Byte identity** — every read returns the model's bytes, across
+//!    any routing history (joins, leaves, crashes, migrations).
+//! 2. **Error mirroring** — same error *kinds* on both sides, including
+//!    the membership errors (last-node leave, full-cluster join).
+//! 3. **Membership mirror** — the cluster's member list and id
+//!    assignment match the model after every membership op.
+//! 4. **Rebalance custody** — every reported migration starts from the
+//!    block's modeled home and lands on a live member; after a leave the
+//!    departed node holds nothing.
+//! 5. **Crash envelopes** — a power-cut node may only lose blocks that
+//!    had nothing acknowledged and may only revert a block to bytes it
+//!    durably wrote, never below the latest acknowledged version.
+//! 6. **Structural integrity** — [`Cluster::check_integrity`] (placement
+//!    map ↔ ring ↔ shard directories ↔ node indexes ↔ per-node destage
+//!    conservation) and chunk conservation against the model, after
+//!    every op.
+//!
+//! Membership ops are rare and violent, so each one is followed by a
+//! full read-back sweep of every written block — rebalancing bugs that a
+//! later random read might miss surface immediately, pinned to the op
+//! that caused them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dr_cluster::{Cluster, ClusterConfig, ClusterError, RebalanceOutcome};
+use dr_obs::ObsHandle;
+use dr_reduction::{IntegrationMode, PipelineConfig};
+use dr_workload::{synthesize_block, StreamConfig, StreamGenerator, ZipfSampler};
+
+use crate::cluster_model::{ClusterModel, CrashFate};
+use crate::model::ModelError;
+use crate::ops::{vol_name, Op, MAX_VOLUME_BLOCKS};
+use crate::runner::{fail, kind_of, panic_message, Failure, CHUNK_BYTES, JOURNAL_PAGES};
+
+/// Initial member count for checker clusters. Two nodes, not one: the
+/// routing, shard-mirror, and migration machinery must all be live from
+/// op zero.
+pub const CLUSTER_NODES: usize = 2;
+
+/// Join cap for checker clusters — small enough that generated
+/// sequences actually hit the full-cluster error path.
+pub const CLUSTER_MAX_NODES: usize = 5;
+
+/// Maps a cluster error to the model's kind space (`None` for the kinds
+/// the model never predicts, e.g. device failures or handoff faults).
+fn cluster_kind_of(e: &ClusterError) -> Option<ModelError> {
+    match e {
+        ClusterError::Volume(v) => kind_of(v),
+        _ => None,
+    }
+}
+
+struct ClusterExec {
+    system: Cluster,
+    model: ClusterModel,
+}
+
+impl ClusterExec {
+    fn new(mode: IntegrationMode) -> Self {
+        let config = ClusterConfig {
+            nodes: CLUSTER_NODES,
+            max_nodes: CLUSTER_MAX_NODES,
+            node: PipelineConfig {
+                mode,
+                batch_chunks: 8,
+                integrity: true,
+                // One worker per node: N nodes already multiply the
+                // simulated stacks, and checker throughput comes from
+                // sequence count, not per-node parallel grind.
+                pool_workers: 1,
+                // Always journaled — node power cuts are in the alphabet
+                // and recovery without a journal is a panic by design.
+                journal_pages: JOURNAL_PAGES,
+                obs: ObsHandle::enabled("dr-check"),
+                ..PipelineConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        ClusterExec {
+            system: Cluster::new(config),
+            model: ClusterModel::new(CHUNK_BYTES, CLUSTER_NODES, CLUSTER_MAX_NODES),
+        }
+    }
+
+    /// Writes on both sides and, on success, feeds the system's reported
+    /// placement (runs and their acks) back into the model's histories.
+    fn check_write(
+        &mut self,
+        idx: usize,
+        name: &str,
+        block: u64,
+        data: &[u8],
+    ) -> Result<(), Failure> {
+        let got = self.system.write(name, block, data);
+        let want = self.model.write(name, block, data);
+        match (got, want) {
+            (Ok(outcome), Ok(())) => {
+                for run in &outcome.runs {
+                    self.model
+                        .record_run(name, run.start_block, run.nblocks, run.node, run.ack);
+                }
+                Ok(())
+            }
+            (Err(e), Err(k)) if cluster_kind_of(&e) == Some(k) => Ok(()),
+            (got, want) => Err(fail(
+                idx,
+                "error-mirror",
+                format!(
+                    "cluster write {name}/{block}: system {}, model {want:?}",
+                    match &got {
+                        Ok(o) => format!("Ok({} runs)", o.runs.len()),
+                        Err(e) => format!("Err({e})"),
+                    }
+                ),
+            )),
+        }
+    }
+
+    fn check_read(&mut self, idx: usize, name: &str, block: u64) -> Result<(), Failure> {
+        let want = self.model.read(name, block).map(<[u8]>::to_vec);
+        let got = self.system.read(name, block);
+        match (got, want) {
+            (Ok(bytes), Ok(expect)) => {
+                if bytes == expect {
+                    Ok(())
+                } else {
+                    Err(fail(
+                        idx,
+                        "byte-identity",
+                        format!(
+                            "cluster read {name}/{block} (homed on {:?}): {} bytes \
+                             diverged from model",
+                            self.model.home(name, block),
+                            bytes.len()
+                        ),
+                    ))
+                }
+            }
+            (Err(e), Err(k)) if cluster_kind_of(&e) == Some(k) => Ok(()),
+            (got, want) => Err(fail(
+                idx,
+                "error-mirror",
+                format!(
+                    "cluster read {name}/{block}: system {}, model {}",
+                    match &got {
+                        Ok(b) => format!("Ok({} bytes)", b.len()),
+                        Err(e) => format!("Err({e})"),
+                    },
+                    match &want {
+                        Ok(b) => format!("Ok({} bytes)", b.len()),
+                        Err(k) => format!("Err({k})"),
+                    }
+                ),
+            )),
+        }
+    }
+
+    fn check_read_batch(&mut self, idx: usize, name: &str, blocks: &[u64]) -> Result<(), Failure> {
+        let wants: Vec<Result<Vec<u8>, ModelError>> = blocks
+            .iter()
+            .map(|&b| self.model.read(name, b).map(<[u8]>::to_vec))
+            .collect();
+        if let Some(first_err) = wants.iter().find_map(|w| w.as_ref().err().copied()) {
+            match self.system.read_batch(name, blocks) {
+                Ok(got) => {
+                    return Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!(
+                            "cluster read-batch {name}{blocks:?}: system Ok({} blocks), \
+                             model predicts {first_err}",
+                            got.len()
+                        ),
+                    ))
+                }
+                Err(e) if cluster_kind_of(&e) == Some(first_err) => {}
+                Err(e) => {
+                    return Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!(
+                            "cluster read-batch {name}{blocks:?}: system Err({e}), \
+                             model predicts {first_err}"
+                        ),
+                    ))
+                }
+            }
+            // The serial path over the same range must mirror per block.
+            for &b in blocks {
+                self.check_read(idx, name, b)?;
+            }
+            return Ok(());
+        }
+        match self.system.read_batch(name, blocks) {
+            Ok(chunks) => {
+                if chunks.len() != blocks.len() {
+                    return Err(fail(
+                        idx,
+                        "byte-identity",
+                        format!(
+                            "cluster read-batch {name}{blocks:?}: {} blocks back for \
+                             {} requested",
+                            chunks.len(),
+                            blocks.len()
+                        ),
+                    ));
+                }
+                for (i, (chunk, want)) in chunks.iter().zip(&wants).enumerate() {
+                    if chunk != want.as_ref().expect("all-readable branch") {
+                        return Err(fail(
+                            idx,
+                            "byte-identity",
+                            format!(
+                                "cluster read-batch {name}{blocks:?}: block {} diverged \
+                                 from model",
+                                blocks[i]
+                            ),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(fail(
+                idx,
+                "error-mirror",
+                format!(
+                    "cluster read-batch {name}{blocks:?}: system Err({e}), model \
+                     predicts {} readable blocks",
+                    blocks.len()
+                ),
+            )),
+        }
+    }
+
+    /// Mirrors a reported migration list into the model, verifying each
+    /// move's custody chain first.
+    fn apply_moves(&mut self, idx: usize, reb: &RebalanceOutcome) -> Result<(), Failure> {
+        for m in &reb.moves {
+            let home = self.model.home(&m.name, m.block);
+            if home != Some(m.from) {
+                return Err(fail(
+                    idx,
+                    "rebalance-mirror",
+                    format!(
+                        "move of {}/{} claims source node {} but the model places \
+                         it on {home:?}",
+                        m.name, m.block, m.from
+                    ),
+                ));
+            }
+            if !self.model.members().contains(&m.to) {
+                return Err(fail(
+                    idx,
+                    "rebalance-mirror",
+                    format!(
+                        "move of {}/{} targets node {}, which is not a member",
+                        m.name, m.block, m.to
+                    ),
+                ));
+            }
+            self.model.record_move(&m.name, m.block, m.to, m.ack);
+        }
+        Ok(())
+    }
+
+    fn check_membership(&self, idx: usize) -> Result<(), Failure> {
+        let got = self.system.node_ids();
+        if got != self.model.members() {
+            return Err(fail(
+                idx,
+                "membership-mirror",
+                format!(
+                    "cluster members {got:?} != model members {:?}",
+                    self.model.members()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_join(&mut self, idx: usize) -> Result<(), Failure> {
+        match self.model.join() {
+            None => match self.system.join() {
+                Err(ClusterError::Full { .. }) => Ok(()),
+                other => Err(fail(
+                    idx,
+                    "membership-mirror",
+                    format!(
+                        "join at the {CLUSTER_MAX_NODES}-node cap: system {}, model \
+                         refuses",
+                        match &other {
+                            Ok((id, _)) => format!("admitted node {id}"),
+                            Err(e) => format!("Err({e})"),
+                        }
+                    ),
+                )),
+            },
+            Some(expect) => match self.system.join() {
+                Ok((id, reb)) => {
+                    if id != expect {
+                        return Err(fail(
+                            idx,
+                            "membership-mirror",
+                            format!("join assigned id {id}, model expected {expect}"),
+                        ));
+                    }
+                    self.apply_moves(idx, &reb)?;
+                    self.check_membership(idx)?;
+                    self.sweep(idx)
+                }
+                Err(e) => Err(fail(idx, "membership-mirror", format!("join failed: {e}"))),
+            },
+        }
+    }
+
+    fn check_leave(&mut self, idx: usize, selector: u8) -> Result<(), Failure> {
+        let id = self.model.resolve_member(selector);
+        if !self.model.leave(id) {
+            return match self.system.leave(id) {
+                Err(ClusterError::LastNode) => Ok(()),
+                other => Err(fail(
+                    idx,
+                    "membership-mirror",
+                    format!(
+                        "leave of last node {id}: system {}, model refuses",
+                        match &other {
+                            Ok(_) => "allowed it".to_owned(),
+                            Err(e) => format!("Err({e})"),
+                        }
+                    ),
+                )),
+            };
+        }
+        match self.system.leave(id) {
+            Ok(reb) => {
+                self.apply_moves(idx, &reb)?;
+                let stranded = self.model.blocks_on(id);
+                if !stranded.is_empty() {
+                    return Err(fail(
+                        idx,
+                        "rebalance-mirror",
+                        format!(
+                            "node {id} left but the model still places {} block(s) \
+                             on it (first: {:?})",
+                            stranded.len(),
+                            stranded[0]
+                        ),
+                    ));
+                }
+                self.check_membership(idx)?;
+                self.sweep(idx)
+            }
+            Err(e) => Err(fail(
+                idx,
+                "membership-mirror",
+                format!("leave of node {id} failed: {e}"),
+            )),
+        }
+    }
+
+    fn check_node_crash(&mut self, idx: usize, selector: u8, seed: u64) -> Result<(), Failure> {
+        let id = self.model.resolve_member(selector);
+        let recovery = self
+            .system
+            .crash_node(id, seed)
+            .map_err(|e| fail(idx, "recovery", format!("node {id} recovery failed: {e}")))?;
+        let on_node = self.model.blocks_on(id);
+        // Reconciliation may only touch blocks homed on the crashed node,
+        // and each fate must fit the model's crash envelope.
+        for (name, block) in recovery.lost.iter().chain(&recovery.reverted) {
+            if !on_node.contains(&(name.clone(), *block)) {
+                return Err(fail(
+                    idx,
+                    "durability",
+                    format!(
+                        "node {id} crash reconciled {name}/{block}, which the model \
+                         does not place on it"
+                    ),
+                ));
+            }
+        }
+        for (name, block) in &on_node {
+            let fate = self.model.crash_fate(name, *block, id, recovery.cut);
+            let is_lost = recovery.lost.contains(&(name.clone(), *block));
+            let is_reverted = recovery.reverted.contains(&(name.clone(), *block));
+            match fate {
+                CrashFate::MustSurvive => {
+                    if is_lost || is_reverted {
+                        return Err(fail(
+                            idx,
+                            "durability",
+                            format!(
+                                "{name}/{block} was acknowledged before the cut at \
+                                 {:?} but node {id} {} it",
+                                recovery.cut,
+                                if is_lost { "lost" } else { "reverted" }
+                            ),
+                        ));
+                    }
+                }
+                CrashFate::MayRevert { .. } => {
+                    if is_lost {
+                        return Err(fail(
+                            idx,
+                            "durability",
+                            format!(
+                                "{name}/{block} had an acknowledged version before \
+                                 the cut at {:?} but node {id} lost it",
+                                recovery.cut
+                            ),
+                        ));
+                    }
+                }
+                CrashFate::MayBeLost => {}
+            }
+        }
+        for (name, block) in &recovery.lost {
+            self.model.apply_loss(name, *block, id);
+        }
+        // Every reverted block must have come back as bytes the node
+        // durably wrote, at or after the latest acknowledged version.
+        for (name, block) in &recovery.reverted {
+            let bytes = self.system.read(name, *block).map_err(|e| {
+                fail(
+                    idx,
+                    "durability",
+                    format!("reverted block {name}/{block} is unreadable: {e}"),
+                )
+            })?;
+            let from = match self.model.crash_fate(name, *block, id, recovery.cut) {
+                CrashFate::MayRevert { from_index } => from_index,
+                // MustSurvive reverts were rejected above; an unacked
+                // block may revert to any durable version.
+                _ => 0,
+            };
+            let versions = self.model.versions_on(name, *block, id);
+            let index = (from..versions.len())
+                .rev()
+                .find(|&i| versions[i].data == bytes);
+            match index {
+                Some(i) => self.model.apply_revert(name, *block, id, i),
+                None => {
+                    return Err(fail(
+                        idx,
+                        "durability",
+                        format!(
+                            "{name}/{block} reverted to {} bytes that match none of \
+                             the {} durable version(s) node {id} holds at or above \
+                             the acked horizon",
+                            bytes.len(),
+                            versions.len() - from
+                        ),
+                    ))
+                }
+            }
+        }
+        // Reverted digests may re-home; mirror the recovery's own
+        // rebalance pass, then sweep — membership itself is unchanged.
+        self.apply_moves(idx, &recovery.rebalance)?;
+        self.check_membership(idx)?;
+        self.sweep(idx)
+    }
+
+    /// Cluster-wide structural invariants, evaluated after every op.
+    fn check_cluster(&self, idx: usize) -> Result<(), Failure> {
+        self.system
+            .check_integrity()
+            .map_err(|detail| fail(idx, "cluster-integrity", detail))?;
+        let report = self.system.report();
+        if report.chunks != self.model.chunks {
+            return Err(fail(
+                idx,
+                "conservation",
+                format!(
+                    "cluster ingested {} chunks, model counted {} — migrations or \
+                     recovery leaked into front-end accounting",
+                    report.chunks, self.model.chunks
+                ),
+            ));
+        }
+        self.check_membership(idx)
+    }
+
+    /// Reads back every written block — run after every membership op
+    /// and at the end of the sequence.
+    fn sweep(&mut self, idx: usize) -> Result<(), Failure> {
+        let targets: Vec<(String, u64)> = self
+            .model
+            .written_blocks()
+            .map(|(name, block)| (name.to_owned(), block))
+            .collect();
+        for (name, block) in targets {
+            self.check_read(idx, &name, block)?;
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, idx: usize, op: &Op) -> Result<(), Failure> {
+        match op {
+            Op::CreateVolume { vol, blocks } => {
+                let name = vol_name(*vol);
+                let got = self.system.create_volume(&name, *blocks);
+                let want = self.model.create_volume(&name, *blocks);
+                match (got, want) {
+                    (Ok(()), Ok(())) => Ok(()),
+                    (Err(e), Err(k)) if cluster_kind_of(&e) == Some(k) => Ok(()),
+                    (got, want) => Err(fail(
+                        idx,
+                        "error-mirror",
+                        format!("cluster create {name}: system {got:?}, model {want:?}"),
+                    )),
+                }
+            }
+            Op::Write {
+                vol,
+                block,
+                nblocks,
+                seed,
+                ratio_milli,
+            } => {
+                let name = vol_name(*vol);
+                let ratio = *ratio_milli as f64 / 1000.0;
+                let data: Vec<u8> = (0..*nblocks)
+                    .flat_map(|i| synthesize_block(seed + i, CHUNK_BYTES, ratio))
+                    .collect();
+                self.check_write(idx, &name, *block, &data)
+            }
+            Op::Read { vol, block } => self.check_read(idx, &vol_name(*vol), *block),
+            Op::ReadBatch {
+                vol,
+                block,
+                nblocks,
+            } => {
+                let name = vol_name(*vol);
+                let blocks: Vec<u64> = (*block..block.saturating_add(*nblocks)).collect();
+                self.check_read_batch(idx, &name, &blocks)
+            }
+            Op::ZipfBurst {
+                vol,
+                count,
+                theta_milli,
+                seed,
+            } => {
+                let name = vol_name(*vol);
+                let range = self
+                    .model
+                    .volume_size(&name)
+                    .unwrap_or(MAX_VOLUME_BLOCKS)
+                    .max(1);
+                let theta = *theta_milli as f64 / 1000.0;
+                let mut sampler = ZipfSampler::new(range as usize, theta, *seed);
+                for k in 0..*count {
+                    let block = sampler.sample() as u64;
+                    let data = synthesize_block(seed + k, CHUNK_BYTES, 2.0);
+                    self.check_write(idx, &name, block, &data)?;
+                }
+                Ok(())
+            }
+            Op::StreamBurst {
+                vol,
+                block,
+                nblocks,
+                seed,
+            } => {
+                let name = vol_name(*vol);
+                let generator = StreamGenerator::new(StreamConfig {
+                    total_bytes: nblocks * CHUNK_BYTES as u64,
+                    block_bytes: CHUNK_BYTES,
+                    seed: *seed,
+                    ..StreamConfig::default()
+                });
+                let data: Vec<u8> = generator.blocks().flatten().collect();
+                self.check_write(idx, &name, *block, &data)
+            }
+            Op::Flush => self
+                .system
+                .flush()
+                .map_err(|e| fail(idx, "flush", format!("cluster flush failed: {e}"))),
+            Op::NodeJoin => self.check_join(idx),
+            Op::NodeLeave { node } => self.check_leave(idx, *node),
+            Op::NodeCrash { node, seed } => self.check_node_crash(idx, *node, *seed),
+            // Single-node-only ops: the generator never emits them for
+            // the cluster scenario, but shrunk/hand-written sequences may
+            // carry them; treat as no-ops so subsets stay valid.
+            Op::SetSsdFaults { .. }
+            | Op::SetGpuFaults { .. }
+            | Op::ClearFaults
+            | Op::SnapshotRestore
+            | Op::Crash { .. } => Ok(()),
+        }
+    }
+}
+
+/// Executes `ops` against the cluster differentially in `mode`; `Err`
+/// carries the first invariant violation (panics included).
+///
+/// # Errors
+///
+/// The [`Failure`] that stopped the run.
+pub fn run_cluster_ops(mode: IntegrationMode, ops: &[Op]) -> Result<(), Failure> {
+    drive(&mut ClusterExec::new(mode), ops)
+}
+
+/// Like [`run_cluster_ops`], also returning the final cluster-wide obs
+/// rollup as JSON — the post-mortem state a replay artifact embeds.
+pub fn run_cluster_ops_observed(
+    mode: IntegrationMode,
+    ops: &[Op],
+) -> (Result<(), Failure>, String) {
+    let mut exec = ClusterExec::new(mode);
+    let result = drive(&mut exec, ops);
+    (result, exec.system.rollup().to_json())
+}
+
+fn drive(exec: &mut ClusterExec, ops: &[Op]) -> Result<(), Failure> {
+    for (idx, op) in ops.iter().enumerate() {
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            exec.apply(idx, op)?;
+            exec.check_cluster(idx)
+        }));
+        match step {
+            Ok(Ok(())) => {}
+            Ok(Err(failure)) => return Err(failure),
+            Err(payload) => return Err(fail(idx, "panic", panic_message(&payload))),
+        }
+    }
+    let idx = ops.len();
+    match catch_unwind(AssertUnwindSafe(|| exec.sweep(idx))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(failure)) => Err(failure),
+        Err(payload) => Err(fail(idx, "panic", panic_message(&payload))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{generate, Scenario};
+
+    #[test]
+    fn a_handful_of_cluster_seeds_pass_in_cpu_mode() {
+        for seed in 0..3 {
+            let ops = generate(seed, 30, Scenario::Cluster);
+            run_cluster_ops(IntegrationMode::CpuOnly, &ops).expect("cluster seed must pass");
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let ops = generate(5, 40, Scenario::Cluster);
+        let a = run_cluster_ops(IntegrationMode::GpuForCompression, &ops);
+        let b = run_cluster_ops(IntegrationMode::GpuForCompression, &ops);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn membership_churn_with_live_data_passes() {
+        // A hand-built torture sequence: data in place before every kind
+        // of membership event, reads interleaved throughout.
+        let ops = vec![
+            Op::CreateVolume { vol: 0, blocks: 24 },
+            Op::Write {
+                vol: 0,
+                block: 0,
+                nblocks: 4,
+                seed: 11,
+                ratio_milli: 2000,
+            },
+            Op::NodeJoin,
+            Op::Read { vol: 0, block: 0 },
+            Op::Write {
+                vol: 0,
+                block: 8,
+                nblocks: 4,
+                seed: 12,
+                ratio_milli: 1500,
+            },
+            Op::NodeJoin,
+            Op::NodeLeave { node: 0 },
+            Op::ReadBatch {
+                vol: 0,
+                block: 0,
+                nblocks: 12,
+            },
+            Op::Flush,
+            Op::NodeCrash { node: 1, seed: 9 },
+            Op::Read { vol: 0, block: 8 },
+        ];
+        run_cluster_ops(IntegrationMode::CpuOnly, &ops).expect("membership churn");
+        run_cluster_ops(IntegrationMode::GpuForBoth, &ops).expect("gpu arm too");
+    }
+
+    #[test]
+    fn leaving_the_last_node_is_refused_on_both_sides() {
+        let ops = vec![
+            Op::CreateVolume { vol: 0, blocks: 8 },
+            Op::Write {
+                vol: 0,
+                block: 0,
+                nblocks: 2,
+                seed: 1,
+                ratio_milli: 2000,
+            },
+            // Two members at start: drain to one, then try again.
+            Op::NodeLeave { node: 0 },
+            Op::NodeLeave { node: 0 },
+            Op::Read { vol: 0, block: 0 },
+        ];
+        run_cluster_ops(IntegrationMode::CpuOnly, &ops).expect("last-node refusal mirrors");
+    }
+
+    #[test]
+    fn joining_past_the_cap_is_refused_on_both_sides() {
+        let mut ops = vec![Op::CreateVolume { vol: 0, blocks: 8 }];
+        // 2 initial + 3 joins = cap; the 4th join must mirror Full.
+        for _ in 0..4 {
+            ops.push(Op::NodeJoin);
+        }
+        ops.push(Op::Write {
+            vol: 0,
+            block: 0,
+            nblocks: 4,
+            seed: 3,
+            ratio_milli: 2000,
+        });
+        ops.push(Op::ReadBatch {
+            vol: 0,
+            block: 0,
+            nblocks: 4,
+        });
+        run_cluster_ops(IntegrationMode::CpuOnly, &ops).expect("full-cluster refusal mirrors");
+    }
+
+    #[test]
+    fn observed_cluster_runs_capture_the_rollup() {
+        let ops = generate(1, 25, Scenario::Cluster);
+        let (result, rollup) = run_cluster_ops_observed(IntegrationMode::CpuOnly, &ops);
+        assert_eq!(result, Ok(()));
+        assert!(
+            rollup.contains("cluster."),
+            "rollup must carry cluster-wide aggregates"
+        );
+    }
+}

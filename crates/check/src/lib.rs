@@ -18,6 +18,8 @@
 //! ```
 
 pub mod artifact;
+pub mod cluster_model;
+pub mod cluster_runner;
 pub mod json;
 pub mod model;
 pub mod ops;
@@ -28,6 +30,8 @@ mod cli;
 
 pub use artifact::Artifact;
 pub use cli::cli;
+pub use cluster_model::{ClusterModel, CrashFate};
+pub use cluster_runner::{run_cluster_ops, run_cluster_ops_observed};
 pub use model::{ModelError, Oracle};
 pub use ops::{generate, Op, Scenario};
 pub use runner::{run_ops, run_ops_observed, Failure};
@@ -36,6 +40,25 @@ pub use shrink::{shrink, Shrunk};
 use dr_obs::Tracer;
 use dr_reduction::IntegrationMode;
 use std::path::PathBuf;
+
+/// Runs `ops` against the system under test `scenario` selects: the
+/// multi-node [`Cluster`](dr_cluster::Cluster) for [`Scenario::Cluster`],
+/// the single-node [`VolumeManager`](dr_reduction::VolumeManager) for
+/// everything else.
+///
+/// # Errors
+///
+/// The first [`Failure`] the selected runner hit.
+pub fn run_scenario_ops(
+    mode: IntegrationMode,
+    scenario: Scenario,
+    ops: &[Op],
+) -> Result<(), Failure> {
+    match scenario {
+        Scenario::Cluster => run_cluster_ops(mode, ops),
+        _ => run_ops(mode, ops),
+    }
+}
 
 /// What to sweep in [`run_matrix`].
 #[derive(Debug, Clone)]
@@ -118,22 +141,30 @@ fn run_matrix_inner(opts: &MatrixOptions) -> MatrixOutcome {
             for seed in opts.seed_start..opts.seed_start + opts.seeds {
                 cases_run += 1;
                 let ops = generate(seed, opts.ops, *scenario);
-                if run_ops(*mode, &ops).is_err() {
-                    let shrunk = shrink(*mode, &ops, opts.shrink_budget);
+                if run_scenario_ops(*mode, *scenario, &ops).is_err() {
+                    let shrunk = shrink(*mode, *scenario, &ops, opts.shrink_budget);
                     // One deterministic re-run of the shrunk sequence
                     // captures its final metric state (and, when a trace
                     // directory is configured, its event trace) for the
-                    // artifact's post-mortem fields.
-                    let tracer = if opts.trace_dir.is_some() {
-                        Tracer::enabled()
+                    // artifact's post-mortem fields. Cluster runs embed the
+                    // cluster-wide obs rollup instead and carry no trace —
+                    // events do not flow through the per-node registries.
+                    let (obs_json, trace_path) = if *scenario == Scenario::Cluster {
+                        let (_, rollup) = run_cluster_ops_observed(*mode, &shrunk.ops);
+                        (rollup, None)
                     } else {
-                        Tracer::disabled()
+                        let tracer = if opts.trace_dir.is_some() {
+                            Tracer::enabled()
+                        } else {
+                            Tracer::disabled()
+                        };
+                        let (_, obs_json) = run_ops_observed(*mode, &shrunk.ops, tracer.clone());
+                        let trace_path = opts
+                            .trace_dir
+                            .as_ref()
+                            .and_then(|dir| write_trace(dir, seed, *mode, *scenario, &tracer));
+                        (obs_json, trace_path)
                     };
-                    let (_, obs_json) = run_ops_observed(*mode, &shrunk.ops, tracer.clone());
-                    let trace_path = opts
-                        .trace_dir
-                        .as_ref()
-                        .and_then(|dir| write_trace(dir, seed, *mode, *scenario, &tracer));
                     let artifact = Artifact {
                         seed,
                         mode: *mode,
@@ -222,9 +253,10 @@ pub enum ReplayOutcome {
     Passed,
 }
 
-/// Re-executes `artifact` deterministically.
+/// Re-executes `artifact` deterministically against the runner its
+/// scenario selects.
 pub fn replay(artifact: &Artifact) -> ReplayOutcome {
-    match run_ops(artifact.mode, &artifact.ops) {
+    match run_scenario_ops(artifact.mode, artifact.scenario, &artifact.ops) {
         Ok(()) => ReplayOutcome::Passed,
         Err(observed) if observed == artifact.failure => ReplayOutcome::Reproduced(observed),
         Err(observed) => ReplayOutcome::Diverged {

@@ -124,6 +124,28 @@ pub enum Op {
         /// Seed for the cut instant and the torn-page split points.
         seed: u64,
     },
+    /// Cluster scenario only: add a node and verify rebalancing moved
+    /// every re-homed block intact.
+    NodeJoin,
+    /// Cluster scenario only: remove a member and verify it drained
+    /// completely. `node` is a *selector*, resolved against the live
+    /// member list (`members[node % len]`), so the op stays valid in any
+    /// subset the shrinker produces.
+    NodeLeave {
+        /// Member selector (index into the sorted live member list).
+        node: u8,
+    },
+    /// Cluster scenario only: power-cut one member at a seeded instant
+    /// within its acked horizon, recover it from its journal, and verify
+    /// the cluster-wide crash contract (acked blocks survive, reverted
+    /// blocks match an older durable version, lost blocks had nothing
+    /// acked).
+    NodeCrash {
+        /// Member selector, as in [`Op::NodeLeave`].
+        node: u8,
+        /// Seed for the cut instant and torn-page split points.
+        seed: u64,
+    },
 }
 
 impl Op {
@@ -142,6 +164,9 @@ impl Op {
             Op::Flush => "flush",
             Op::SnapshotRestore => "snapshot-restore",
             Op::Crash { .. } => "crash",
+            Op::NodeJoin => "node-join",
+            Op::NodeLeave { .. } => "node-leave",
+            Op::NodeCrash { .. } => "node-crash",
         }
     }
 }
@@ -161,10 +186,18 @@ pub enum Scenario {
     /// [`Scenario::ALL`]: crash runs flip the journal on, so they sweep
     /// separately from the bit-identity-pinned default matrix.
     Crash,
+    /// Membership ops ([`Op::NodeJoin`] / [`Op::NodeLeave`] /
+    /// [`Op::NodeCrash`]) are in the alphabet and the sequence runs
+    /// against a multi-node [`Cluster`](dr_cluster::Cluster) instead of a
+    /// bare volume manager, checked by the cluster oracle. Not part of
+    /// [`Scenario::ALL`] for the same reason as [`Scenario::Crash`]: the
+    /// cluster runs journaled and on a different system under test.
+    Cluster,
 }
 
 impl Scenario {
-    /// Default scenarios for matrix runs ([`Scenario::Crash`] is opt-in).
+    /// Default scenarios for matrix runs ([`Scenario::Crash`] and
+    /// [`Scenario::Cluster`] are opt-in).
     pub const ALL: [Scenario; 2] = [Scenario::FaultFree, Scenario::Faulted];
 
     /// Canonical CLI / artifact name.
@@ -173,6 +206,7 @@ impl Scenario {
             Scenario::FaultFree => "fault-free",
             Scenario::Faulted => "faulted",
             Scenario::Crash => "crash",
+            Scenario::Cluster => "cluster",
         }
     }
 
@@ -186,8 +220,9 @@ impl Scenario {
             "fault-free" => Ok(Scenario::FaultFree),
             "faulted" => Ok(Scenario::Faulted),
             "crash" => Ok(Scenario::Crash),
+            "cluster" => Ok(Scenario::Cluster),
             other => Err(format!(
-                "unknown scenario '{other}' (fault-free | faulted | crash)"
+                "unknown scenario '{other}' (fault-free | faulted | crash | cluster)"
             )),
         }
     }
@@ -241,7 +276,32 @@ pub fn generate(seed: u64, count: usize, scenario: Scenario) -> Vec<Op> {
                 seed: rng.next_u64() % 1024,
             },
             79..=84 => Op::Flush,
+            // Cluster sequences spend the snapshot band on membership
+            // churn instead (the cluster front-end has no index-snapshot
+            // surface). Join-biased 2:1 so clusters grow from their
+            // 2-node start and leaves have members to remove. Guarded
+            // arm, so the other scenarios stay bit-identical.
+            85..=89 if scenario == Scenario::Cluster => {
+                if rng.next_below(3) == 0 {
+                    Op::NodeLeave {
+                        node: rng.next_below(8) as u8,
+                    }
+                } else {
+                    Op::NodeJoin
+                }
+            }
             85..=89 => Op::SnapshotRestore,
+            // Cluster sequences carve per-node power cuts out of the
+            // fault band and fold the rest into reads: fault schedules
+            // are per-node knobs the cluster front-end does not expose.
+            90..=92 if scenario == Scenario::Cluster => Op::NodeCrash {
+                node: rng.next_below(8) as u8,
+                seed: rng.next_u64(),
+            },
+            _ if scenario == Scenario::Cluster => Op::Read {
+                vol,
+                block: rng.next_below(MAX_VOLUME_BLOCKS),
+            },
             // The fault band: in fault-free scenarios fold it back into
             // reads so both scenarios see comparable op mixes.
             _ if scenario == Scenario::FaultFree => Op::Read {
@@ -305,18 +365,66 @@ mod tests {
 
     #[test]
     fn crash_band_is_guarded_so_other_scenarios_are_unchanged() {
-        // The crash arm must not perturb the sequences the pinned
-        // (fault-free / faulted) matrix cells generate.
+        // The crash and cluster arms must not perturb the sequences the
+        // pinned (fault-free / faulted) matrix cells generate.
         for seed in 0..20 {
             for scenario in Scenario::ALL {
                 for op in generate(seed, 80, scenario) {
                     assert!(
-                        !matches!(op, Op::Crash { .. }),
-                        "crash op outside the crash scenario (seed {seed})"
+                        !matches!(
+                            op,
+                            Op::Crash { .. }
+                                | Op::NodeJoin
+                                | Op::NodeLeave { .. }
+                                | Op::NodeCrash { .. }
+                        ),
+                        "membership/crash op outside its scenario (seed {seed})"
                     );
                 }
             }
         }
+    }
+
+    #[test]
+    fn cluster_sequences_stay_inside_the_cluster_alphabet() {
+        // No single-node-only ops (snapshot-restore, whole-array crash,
+        // fault toggles) may appear in a cluster sequence.
+        for seed in 0..20 {
+            for op in generate(seed, 80, Scenario::Cluster) {
+                assert!(
+                    !matches!(
+                        op,
+                        Op::SnapshotRestore
+                            | Op::Crash { .. }
+                            | Op::SetSsdFaults { .. }
+                            | Op::SetGpuFaults { .. }
+                            | Op::ClearFaults
+                    ),
+                    "single-node op in cluster sequence (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_smoke_seed_range_exercises_join_leave_and_node_crash() {
+        // The CI smoke runs seeds 0..25 at the default 40 ops; those
+        // cells must collectively cover all three membership events or
+        // the smoke proves less than it claims.
+        let (mut joins, mut leaves, mut crashes) = (0usize, 0usize, 0usize);
+        for seed in 0..25 {
+            for op in generate(seed, 40, Scenario::Cluster) {
+                match op {
+                    Op::NodeJoin => joins += 1,
+                    Op::NodeLeave { .. } => leaves += 1,
+                    Op::NodeCrash { .. } => crashes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(joins > 0, "no node-join in the smoke seed range");
+        assert!(leaves > 0, "no node-leave in the smoke seed range");
+        assert!(crashes > 0, "no node-crash in the smoke seed range");
     }
 
     #[test]

@@ -47,7 +47,8 @@ const TRANSIENT_RETRIES: usize = 10;
 /// Journal region size for crash-scenario runs (top of the logical space).
 /// Sequences without [`Op::Crash`] run with the journal disabled, so their
 /// simulated results stay bit-identical to the pre-journal checker.
-const JOURNAL_PAGES: u64 = 1024;
+/// Cluster runs (`cluster_runner`) always journal with the same size.
+pub(crate) const JOURNAL_PAGES: u64 = 1024;
 
 /// One invariant violation, pinned to the op that exposed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +71,7 @@ impl std::fmt::Display for Failure {
     }
 }
 
-fn fail(op_index: usize, invariant: &str, detail: String) -> Failure {
+pub(crate) fn fail(op_index: usize, invariant: &str, detail: String) -> Failure {
     Failure {
         op_index,
         invariant: invariant.to_owned(),
@@ -80,7 +81,7 @@ fn fail(op_index: usize, invariant: &str, detail: String) -> Failure {
 
 /// Maps a system error to the oracle's kind space; `None` for
 /// `ReadFailed`, which the model never predicts.
-fn kind_of(e: &VolumeError) -> Option<ModelError> {
+pub(crate) fn kind_of(e: &VolumeError) -> Option<ModelError> {
     match e {
         VolumeError::UnknownVolume(_) => Some(ModelError::UnknownVolume),
         VolumeError::AlreadyExists(_) => Some(ModelError::AlreadyExists),
@@ -611,6 +612,10 @@ impl Exec {
                 Ok(())
             }
             Op::Crash { seed } => self.check_crash(idx, *seed),
+            // Cluster-only ops: generated sequences never carry them into
+            // this runner, but hand-written or replayed ones may; a bare
+            // volume manager has no membership, so they are no-ops.
+            Op::NodeJoin | Op::NodeLeave { .. } | Op::NodeCrash { .. } => Ok(()),
         }
     }
 
@@ -794,7 +799,7 @@ fn drive(exec: &mut Exec, ops: &[Op]) -> Result<(), Failure> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

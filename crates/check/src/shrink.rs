@@ -16,8 +16,8 @@
 
 use dr_reduction::IntegrationMode;
 
-use crate::ops::Op;
-use crate::runner::{run_ops, Failure};
+use crate::ops::{Op, Scenario};
+use crate::runner::Failure;
 
 /// Upper bound on candidate executions across both passes.
 pub const DEFAULT_BUDGET: usize = 400;
@@ -35,6 +35,7 @@ pub struct Shrunk {
 
 struct Budget {
     left: usize,
+    scenario: Scenario,
 }
 
 impl Budget {
@@ -43,21 +44,27 @@ impl Budget {
             return None;
         }
         self.left -= 1;
-        run_ops(mode, ops).err()
+        crate::run_scenario_ops(mode, self.scenario, ops).err()
     }
 }
 
-/// Minimizes `ops` (which must fail under `mode`) and returns the reduced
-/// sequence together with its failure.
+/// Minimizes `ops` (which must fail under `mode` × `scenario` — cluster
+/// sequences shrink against the cluster oracle, everything else against
+/// the single-node runner) and returns the reduced sequence together with
+/// its failure.
 ///
 /// # Panics
 ///
 /// Panics if `ops` does not fail — shrinking a passing sequence is a
 /// harness bug, not a checkable state.
-pub fn shrink(mode: IntegrationMode, ops: &[Op], budget: usize) -> Shrunk {
-    let initial = run_ops(mode, ops).expect_err("shrink requires a failing sequence");
+pub fn shrink(mode: IntegrationMode, scenario: Scenario, ops: &[Op], budget: usize) -> Shrunk {
+    let initial = crate::run_scenario_ops(mode, scenario, ops)
+        .expect_err("shrink requires a failing sequence");
     let total = budget;
-    let mut budget = Budget { left: budget };
+    let mut budget = Budget {
+        left: budget,
+        scenario,
+    };
     let mut current = ops.to_vec();
     let mut failure = initial;
 
@@ -254,10 +261,26 @@ fn simpler(op: &Op) -> Vec<Op> {
                 }
             }
         }
+        // Member selectors resolve mod the live member list, so selector 0
+        // (the lowest live id) is the canonical simplest target.
+        Op::NodeLeave { node } => {
+            if *node > 0 {
+                out.push(Op::NodeLeave { node: 0 });
+            }
+        }
+        Op::NodeCrash { node, seed } => {
+            if *node > 0 {
+                out.push(Op::NodeCrash {
+                    node: 0,
+                    seed: *seed,
+                });
+            }
+        }
         // A crash op's seed pins both the cut instant and the torn-page
         // pattern — there is no "simpler" crash that reproduces the same
-        // durable prefix, so only ddmin removal applies.
-        Op::Crash { .. } | Op::ClearFaults | Op::Flush | Op::SnapshotRestore => {}
+        // durable prefix, so only ddmin removal applies. Joins carry no
+        // payload at all.
+        Op::Crash { .. } | Op::ClearFaults | Op::Flush | Op::SnapshotRestore | Op::NodeJoin => {}
     }
     out
 }

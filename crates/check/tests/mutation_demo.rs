@@ -43,7 +43,7 @@ fn off_by_one_in_destage_is_caught_and_shrunk() {
         .expect("mutation not detected — is the destage `+ 1` patch applied?");
     // run_matrix already shrinks; re-shrink from the minimized sequence to
     // assert the bound holds even from a cold start.
-    let shrunk = shrink(artifact.mode, &artifact.ops, 400);
+    let shrunk = shrink(artifact.mode, artifact.scenario, &artifact.ops, 400);
     assert!(
         shrunk.ops.len() <= 10,
         "reproducer did not shrink to <= 10 ops: got {} ({:?})",

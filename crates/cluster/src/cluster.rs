@@ -1,0 +1,978 @@
+//! The sharded multi-node cluster: content-routed placement, membership
+//! with incremental rebalancing, per-node crash recovery with placement
+//! reconciliation, and cluster-wide dedup accounting.
+//!
+//! # Placement
+//!
+//! A write is split into chunks; each chunk's SHA-1 routes to a bin
+//! (digest prefix, exactly the single-node [`BinRouter`] convention) and
+//! the bin rendezvous-routes to its home node ([`Ring`]). Routing by
+//! *content* rather than by address is what makes per-node dedup
+//! cluster-wide for free: two clients writing the same bytes anywhere in
+//! the namespace land on the same node's dedup domain. The cluster keeps
+//! an authoritative placement map (`(volume, block) → node`) and a
+//! refcounted per-bin digest directory ([`ShardSet`]) that answers the
+//! cluster-level dedup question and counts each stored chunk exactly
+//! once, no matter which node's pipeline physically admitted it.
+//!
+//! # Membership
+//!
+//! Join and leave trigger incremental rebalancing: entries whose bin
+//! re-homed are migrated in bounded batches — source read (charging the
+//! source node's simulated clock), CRC-32C sealed handoff validated at
+//! the destination (re-sent on mismatch, bounded retries), destination
+//! write (charging the destination's clock and journaling the update),
+//! then the placement-map flip. The modeled network transfer cost is
+//! accounted in sim-nanoseconds on the cluster's own obs registry, since
+//! a node's private clock only advances through its own pipeline.
+//! Rebalancing never touches the cluster dedup counters.
+//!
+//! # Node crash
+//!
+//! One node power-cuts and recovers from its journal while the rest of
+//! the cluster keeps serving. The cluster map is cluster-level metadata
+//! (it does not crash); reconciliation walks the crashed node's entries
+//! and keeps what the node durably holds — possibly an *older* version
+//! of a block, when the newer map record missed the durable prefix —
+//! and drops what it lost. Shards homed on the crashed node rebuild
+//! from their mirrors plus the surviving map.
+
+use std::collections::BTreeMap;
+
+use dr_binindex::BinRouter;
+use dr_des::{SimTime, SplitMix64};
+use dr_hashes::{crc32c, sha1_digest, ChunkDigest};
+use dr_obs::{merge_snapshots, ObsHandle, Snapshot};
+use dr_reduction::{PipelineConfig, RecoveryOutcome, Report, VolumeError};
+use dr_ssd_sim::CrashSpec;
+
+use crate::node::Node;
+use crate::ring::{NodeId, Ring};
+use crate::shard::ShardSet;
+
+/// Transient read failures (seeded device/GPU faults) are retried this
+/// many times during migration and reconciliation, matching the checker's
+/// tolerance on the ordinary read path.
+const TRANSIENT_RETRIES: usize = 10;
+
+/// Cluster construction and tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Initial node count.
+    pub nodes: usize,
+    /// Join cap; [`Cluster::join`] refuses beyond this.
+    pub max_nodes: usize,
+    /// Per-node pipeline template. The `obs` handle's enabled/disabled
+    /// state is inherited, but each node gets its own registry named
+    /// `node{id}`.
+    pub node: PipelineConfig,
+    /// Digest-prefix width for bin ids (the single-node convention; 2
+    /// bytes = 65 536 bins).
+    pub prefix_bytes: usize,
+    /// Maximum migrations in flight per rebalance round — the bound on
+    /// incremental rebalancing.
+    pub rebalance_batch: usize,
+    /// Modeled network cost of a migrated byte, accounted on the
+    /// `router` obs registry as `rebalance.transfer_sim_ns`.
+    pub transfer_ns_per_byte: u64,
+    /// Re-send attempts when a handoff fails destination CRC validation.
+    pub crc_retries: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            max_nodes: 8,
+            node: PipelineConfig::default(),
+            prefix_bytes: 2,
+            rebalance_batch: 8,
+            transfer_ns_per_byte: 1,
+            crc_retries: 3,
+        }
+    }
+}
+
+/// Errors from cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A volume-level error, same kinds as the single-node array.
+    Volume(VolumeError),
+    /// No node with that id is a member.
+    UnknownNode(NodeId),
+    /// The last member cannot leave.
+    LastNode,
+    /// The cluster is at `max_nodes`.
+    Full {
+        /// The configured cap.
+        max: usize,
+    },
+    /// A migrated block failed destination CRC validation past retries.
+    Handoff {
+        /// Volume name.
+        name: String,
+        /// Block index.
+        block: u64,
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A node's journal recovery failed.
+    Recovery(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Volume(e) => write!(f, "{e}"),
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::LastNode => write!(f, "refusing to remove the last node"),
+            ClusterError::Full { max } => write!(f, "cluster is at its {max}-node cap"),
+            ClusterError::Handoff {
+                name,
+                block,
+                from,
+                to,
+            } => write!(
+                f,
+                "handoff of {name}/{block} from node {from} to node {to} \
+                 failed CRC validation past retries"
+            ),
+            ClusterError::Recovery(e) => write!(f, "node recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<VolumeError> for ClusterError {
+    fn from(e: VolumeError) -> Self {
+        ClusterError::Volume(e)
+    }
+}
+
+/// One placement-map entry: where a logical block lives and what it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEntry {
+    /// Home node (always the ring home of `bin` between operations).
+    pub node: NodeId,
+    /// Bin id of `digest`.
+    pub bin: u64,
+    /// Digest of the block's content.
+    pub digest: ChunkDigest,
+}
+
+/// One contiguous slice of a write as placed on a single node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedRun {
+    /// First block of the run.
+    pub start_block: u64,
+    /// Blocks in the run.
+    pub nblocks: u64,
+    /// Node the run was written through.
+    pub node: NodeId,
+    /// The node's acknowledgement point after the run (journal grant end
+    /// when journaled).
+    pub ack: SimTime,
+}
+
+/// What a write did: which nodes got which slices.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOutcome {
+    /// Node-contiguous runs in block order.
+    pub runs: Vec<PlacedRun>,
+}
+
+/// One completed migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovedBlock {
+    /// Volume name.
+    pub name: String,
+    /// Block index.
+    pub block: u64,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Destination acknowledgement point for the re-written block.
+    pub ack: SimTime,
+}
+
+/// What a rebalance pass did.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceOutcome {
+    /// Completed migrations, in placement-map order.
+    pub moves: Vec<MovedBlock>,
+    /// Bounded-batch rounds the pass took.
+    pub rounds: u64,
+    /// Handoffs that needed a CRC re-send.
+    pub crc_resends: u64,
+}
+
+/// What a node crash-and-recover did to the cluster.
+#[derive(Debug, Clone)]
+pub struct NodeRecovery {
+    /// The crashed node.
+    pub node: NodeId,
+    /// The seeded power-cut instant (within the node's acked horizon).
+    pub cut: SimTime,
+    /// The node's own journal-recovery outcome.
+    pub outcome: RecoveryOutcome,
+    /// Placement entries the node lost entirely (now unwritten).
+    pub lost: Vec<(String, u64)>,
+    /// Placement entries that reverted to an older durable version
+    /// (current digest after recovery differs from the map's).
+    pub reverted: Vec<(String, u64)>,
+    /// The re-homing pass for reverted entries whose new digest routes
+    /// elsewhere.
+    pub rebalance: RebalanceOutcome,
+}
+
+/// Cluster-wide accounting and per-node reports.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Chunks ingested through the cluster front-end (not counting
+    /// migrations or recovery re-reads).
+    pub chunks: u64,
+    /// Chunks that were new to their bin when written.
+    pub unique_chunks: u64,
+    /// Chunks deduplicated against a bin directory.
+    pub dedup_hits: u64,
+    /// Digests currently referenced by at least one placement entry.
+    pub live_digests: u64,
+    /// Per-node pipeline reports, ascending node id.
+    pub nodes: Vec<(NodeId, Report)>,
+}
+
+/// The sharded multi-node reduction cluster.
+///
+/// ```
+/// use dr_cluster::{Cluster, ClusterConfig};
+///
+/// let mut cluster = Cluster::new(ClusterConfig {
+///     nodes: 2,
+///     ..ClusterConfig::default()
+/// });
+/// cluster.create_volume("vol", 16).unwrap();
+/// let block = vec![7u8; 4096];
+/// cluster.write("vol", 3, &block).unwrap();
+/// assert_eq!(cluster.read("vol", 3).unwrap(), block);
+/// let (joined, _) = cluster.join().unwrap();
+/// assert_eq!(cluster.read("vol", 3).unwrap(), block, "join loses nothing");
+/// cluster.leave(joined).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    router: BinRouter,
+    ring: Ring,
+    nodes: BTreeMap<NodeId, Node>,
+    next_node: NodeId,
+    /// Volume name → size in blocks (cluster-level metadata; durable).
+    volumes: BTreeMap<String, u64>,
+    /// `(volume, block)` → placement (cluster-level metadata; durable).
+    map: BTreeMap<(String, u64), MapEntry>,
+    shards: ShardSet,
+    chunks: u64,
+    unique_chunks: u64,
+    dedup_hits: u64,
+    /// Cluster-front-end registry (named `router` so the rollup's
+    /// `cluster.*` aggregate namespace stays collision-free).
+    obs: ObsHandle,
+    /// Test hook: corrupt the next handoff in transit, forcing the
+    /// destination's CRC validation to reject and re-request it.
+    pub corrupt_next_handoff: bool,
+}
+
+impl Cluster {
+    /// Builds the initial cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.nodes` is zero or exceeds `config.max_nodes`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        assert!(
+            config.nodes <= config.max_nodes,
+            "initial size exceeds max_nodes"
+        );
+        let obs = if config.node.obs.is_enabled() {
+            ObsHandle::enabled("router")
+        } else {
+            ObsHandle::disabled()
+        };
+        let mut nodes = BTreeMap::new();
+        for id in 0..config.nodes as NodeId {
+            nodes.insert(id, Node::new(id, &config.node));
+        }
+        let ring = Ring::new(&nodes.keys().copied().collect::<Vec<_>>());
+        Cluster {
+            router: BinRouter::new(config.prefix_bytes),
+            ring,
+            next_node: nodes.len() as NodeId,
+            nodes,
+            volumes: BTreeMap::new(),
+            map: BTreeMap::new(),
+            shards: ShardSet::default(),
+            chunks: 0,
+            unique_chunks: 0,
+            dedup_hits: 0,
+            obs,
+            corrupt_next_handoff: false,
+            config,
+        }
+    }
+
+    /// Current member ids, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Number of member nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node, by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to one node — the hook fault-injection harnesses
+    /// use to arm per-node device fault schedules.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// The chunk size every node shares.
+    pub fn chunk_bytes(&self) -> usize {
+        self.config.node.chunk_bytes
+    }
+
+    /// Where a block currently lives (`None` when unwritten).
+    pub fn locate(&self, name: &str, block: u64) -> Option<&MapEntry> {
+        self.map.get(&(name.to_owned(), block))
+    }
+
+    /// Creates a volume on every node (and on every future joiner), so
+    /// any node can receive any of its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::AlreadyExists`].
+    pub fn create_volume(&mut self, name: &str, blocks: u64) -> Result<(), ClusterError> {
+        if self.volumes.contains_key(name) {
+            return Err(VolumeError::AlreadyExists(name.to_owned()).into());
+        }
+        for node in self.nodes.values_mut() {
+            node.vm.create_volume(name, blocks)?;
+        }
+        self.volumes.insert(name.to_owned(), blocks);
+        Ok(())
+    }
+
+    /// Writes `data` (whole chunks) at `start_block`, content-routing
+    /// each chunk and batching node-contiguous runs into single node
+    /// writes — a single-node cluster therefore issues exactly the call
+    /// sequence a bare [`VolumeManager`](dr_reduction::VolumeManager)
+    /// would, and its pipeline state is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::Misaligned`] / [`VolumeError::UnknownVolume`] /
+    /// [`VolumeError::OutOfRange`], in the single-node order.
+    pub fn write(
+        &mut self,
+        name: &str,
+        start_block: u64,
+        data: &[u8],
+    ) -> Result<WriteOutcome, ClusterError> {
+        let chunk_bytes = self.chunk_bytes();
+        if data.is_empty() || !data.len().is_multiple_of(chunk_bytes) {
+            return Err(VolumeError::Misaligned {
+                len: data.len(),
+                chunk_bytes,
+            }
+            .into());
+        }
+        let n = (data.len() / chunk_bytes) as u64;
+        let size = *self
+            .volumes
+            .get(name)
+            .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+        if start_block + n > size {
+            return Err(VolumeError::OutOfRange {
+                block: start_block + n - 1,
+                size,
+            }
+            .into());
+        }
+        // Route every chunk, then group consecutive same-node chunks.
+        let placed: Vec<(ChunkDigest, u64, NodeId)> = data
+            .chunks(chunk_bytes)
+            .map(|chunk| {
+                let digest = sha1_digest(chunk);
+                let bin = self.router.route(&digest) as u64;
+                (digest, bin, self.ring.route(bin))
+            })
+            .collect();
+        let mut outcome = WriteOutcome::default();
+        let mut i = 0usize;
+        while i < placed.len() {
+            let node_id = placed[i].2;
+            let mut j = i + 1;
+            while j < placed.len() && placed[j].2 == node_id {
+                j += 1;
+            }
+            let run_start = start_block + i as u64;
+            let bytes = &data[i * chunk_bytes..j * chunk_bytes];
+            let node = self
+                .nodes
+                .get_mut(&node_id)
+                .expect("ring routes to members");
+            node.vm.write(name, run_start, bytes)?;
+            let ack = node.vm.last_ack();
+            for (k, (digest, bin, _)) in placed.iter().enumerate().take(j).skip(i) {
+                self.account_write(name, start_block + k as u64, *digest, *bin, node_id);
+            }
+            outcome.runs.push(PlacedRun {
+                start_block: run_start,
+                nblocks: (j - i) as u64,
+                node: node_id,
+                ack,
+            });
+            i = j;
+        }
+        Ok(outcome)
+    }
+
+    /// Updates the placement map, shard directory, and dedup accounting
+    /// for one written chunk. Acquire-before-release so that rewriting a
+    /// block with its own content counts as the dedup hit the node also
+    /// sees, not a release-to-zero plus a fresh unique.
+    fn account_write(
+        &mut self,
+        name: &str,
+        block: u64,
+        digest: ChunkDigest,
+        bin: u64,
+        node: NodeId,
+    ) {
+        self.chunks += 1;
+        if self.shards.shard_mut(bin, &self.ring).acquire(digest) {
+            self.unique_chunks += 1;
+            self.obs.counter("ingest.unique").incr();
+        } else {
+            self.dedup_hits += 1;
+            self.obs.counter("ingest.dedup_hits").incr();
+        }
+        let prev = self
+            .map
+            .insert((name.to_owned(), block), MapEntry { node, bin, digest });
+        if let Some(prev) = prev {
+            self.shards
+                .shard_mut(prev.bin, &self.ring)
+                .release(&prev.digest);
+        }
+    }
+
+    /// Validates a read target against cluster metadata, mirroring the
+    /// single-node error order, and resolves its placement.
+    fn resolve(&self, name: &str, block: u64) -> Result<NodeId, VolumeError> {
+        let size = *self
+            .volumes
+            .get(name)
+            .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+        if block >= size {
+            return Err(VolumeError::OutOfRange { block, size });
+        }
+        match self.map.get(&(name.to_owned(), block)) {
+            Some(entry) => Ok(entry.node),
+            None => Err(VolumeError::Unwritten { block }),
+        }
+    }
+
+    /// Reads one block from wherever it lives.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::UnknownVolume`] / [`VolumeError::OutOfRange`] /
+    /// [`VolumeError::Unwritten`] / [`VolumeError::ReadFailed`].
+    pub fn read(&mut self, name: &str, block: u64) -> Result<Vec<u8>, ClusterError> {
+        let node_id = self.resolve(name, block)?;
+        let node = self.nodes.get_mut(&node_id).expect("map points at members");
+        Ok(node.vm.read(name, block)?)
+    }
+
+    /// Reads a batch, grouping requests per home node into one node-level
+    /// batched read each, and reassembling in request order. All indices
+    /// validate before any device work.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::read`]; the first invalid index wins.
+    pub fn read_batch(&mut self, name: &str, blocks: &[u64]) -> Result<Vec<Vec<u8>>, ClusterError> {
+        let mut groups: BTreeMap<NodeId, Vec<(usize, u64)>> = BTreeMap::new();
+        for (pos, &block) in blocks.iter().enumerate() {
+            let node_id = self.resolve(name, block)?;
+            groups.entry(node_id).or_default().push((pos, block));
+        }
+        let mut out = vec![Vec::new(); blocks.len()];
+        for (node_id, group) in groups {
+            let node = self.nodes.get_mut(&node_id).expect("map points at members");
+            let node_blocks: Vec<u64> = group.iter().map(|&(_, b)| b).collect();
+            let data = node.vm.read_batch(name, &node_blocks)?;
+            for ((pos, _), bytes) in group.into_iter().zip(data) {
+                out[pos] = bytes;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes every node (pipeline flush, journal checkpoint when
+    /// journaled) and syncs every shard mirror — the mirror's freshness
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::ReadFailed`] when a node's flush fails at the
+    /// device past retries.
+    pub fn flush(&mut self) -> Result<(), ClusterError> {
+        for node in self.nodes.values_mut() {
+            node.vm
+                .pipeline_mut()
+                .flush()
+                .map_err(|e| ClusterError::Volume(VolumeError::ReadFailed(e)))?;
+            if node.vm.pipeline().config().journal_pages > 0 {
+                node.vm
+                    .pipeline_mut()
+                    .journal_checkpoint()
+                    .map_err(|e| ClusterError::Recovery(e.to_string()))?;
+            }
+        }
+        let synced = self.shards.sync_mirrors();
+        self.obs.counter("shard.mirror_syncs").add(synced);
+        Ok(())
+    }
+
+    /// Adds a node: it gets every volume, joins the ring, and the ~1/N
+    /// of bins it now wins migrate over.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Full`], or a migration failure.
+    pub fn join(&mut self) -> Result<(NodeId, RebalanceOutcome), ClusterError> {
+        if self.nodes.len() >= self.config.max_nodes {
+            return Err(ClusterError::Full {
+                max: self.config.max_nodes,
+            });
+        }
+        let id = self.next_node;
+        self.next_node += 1;
+        let mut node = Node::new(id, &self.config.node);
+        for (name, blocks) in &self.volumes {
+            node.vm
+                .create_volume(name, *blocks)
+                .expect("fresh node has no volumes");
+        }
+        self.nodes.insert(id, node);
+        self.ring.add(id);
+        self.shards.reassign(&self.ring);
+        let rebalance = self.rebalance()?;
+        self.obs.counter("membership.joins").incr();
+        Ok((id, rebalance))
+    }
+
+    /// Removes a node after migrating everything it holds to the
+    /// survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] / [`ClusterError::LastNode`], or a
+    /// migration failure.
+    pub fn leave(&mut self, id: NodeId) -> Result<RebalanceOutcome, ClusterError> {
+        if !self.nodes.contains_key(&id) {
+            return Err(ClusterError::UnknownNode(id));
+        }
+        if self.nodes.len() == 1 {
+            return Err(ClusterError::LastNode);
+        }
+        self.ring.remove(id);
+        self.shards.reassign(&self.ring);
+        let rebalance = self.rebalance()?;
+        debug_assert!(
+            self.map.values().all(|e| e.node != id),
+            "rebalance must drain a leaving node"
+        );
+        self.nodes.remove(&id);
+        self.obs.counter("membership.leaves").incr();
+        Ok(rebalance)
+    }
+
+    /// Migrates every placement entry whose bin re-homed, in bounded
+    /// batches, then re-syncs shard mirrors. Dedup accounting is
+    /// untouched: moving a block changes where it lives, not what the
+    /// cluster stores.
+    fn rebalance(&mut self) -> Result<RebalanceOutcome, ClusterError> {
+        let moves: Vec<((String, u64), NodeId, NodeId)> = self
+            .map
+            .iter()
+            .filter_map(|(key, entry)| {
+                let home = self.ring.route(entry.bin);
+                (home != entry.node).then(|| (key.clone(), entry.node, home))
+            })
+            .collect();
+        let mut outcome = RebalanceOutcome::default();
+        for batch in moves.chunks(self.config.rebalance_batch.max(1)) {
+            for ((name, block), from, to) in batch {
+                let moved = self.migrate(name, *block, *from, *to, &mut outcome.crc_resends)?;
+                outcome.moves.push(moved);
+            }
+            outcome.rounds += 1;
+        }
+        self.obs
+            .counter("rebalance.moves")
+            .add(outcome.moves.len() as u64);
+        self.obs.counter("rebalance.rounds").add(outcome.rounds);
+        self.obs
+            .counter("rebalance.crc_resends")
+            .add(outcome.crc_resends);
+        let synced = self.shards.sync_mirrors();
+        self.obs.counter("shard.mirror_syncs").add(synced);
+        Ok(outcome)
+    }
+
+    /// Moves one block: source read (source clock), CRC-sealed transfer,
+    /// destination validation + write (destination clock + journal), map
+    /// flip.
+    fn migrate(
+        &mut self,
+        name: &str,
+        block: u64,
+        from: NodeId,
+        to: NodeId,
+        crc_resends: &mut u64,
+    ) -> Result<MovedBlock, ClusterError> {
+        let data = self.read_with_retries(from, name, block)?;
+        let seal = crc32c(&data);
+        let mut attempts = 0usize;
+        let ack = loop {
+            let mut wire = data.clone();
+            if self.corrupt_next_handoff {
+                self.corrupt_next_handoff = false;
+                wire[0] ^= 0xFF;
+            }
+            if crc32c(&wire) == seal {
+                let dest = self.nodes.get_mut(&to).expect("ring routes to members");
+                dest.vm.write(name, block, &wire)?;
+                break dest.vm.last_ack();
+            }
+            *crc_resends += 1;
+            attempts += 1;
+            if attempts > self.config.crc_retries {
+                return Err(ClusterError::Handoff {
+                    name: name.to_owned(),
+                    block,
+                    from,
+                    to,
+                });
+            }
+        };
+        self.obs
+            .counter("rebalance.transfer_sim_ns")
+            .add(data.len() as u64 * self.config.transfer_ns_per_byte);
+        self.obs.counter("rebalance.bytes").add(data.len() as u64);
+        let entry = self
+            .map
+            .get_mut(&(name.to_owned(), block))
+            .expect("migrating a mapped block");
+        entry.node = to;
+        Ok(MovedBlock {
+            name: name.to_owned(),
+            block,
+            from,
+            to,
+            ack,
+        })
+    }
+
+    /// A node read with bounded retries over transient device faults.
+    fn read_with_retries(
+        &mut self,
+        node_id: NodeId,
+        name: &str,
+        block: u64,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let node = self.nodes.get_mut(&node_id).expect("reading from a member");
+        let mut last = None;
+        for _ in 0..=TRANSIENT_RETRIES {
+            match node.vm.read(name, block) {
+                Ok(data) => return Ok(data),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClusterError::Volume(last.expect("loop ran")))
+    }
+
+    /// Power-cuts one node at a seeded instant within its acked horizon,
+    /// recovers it from its journal, and reconciles the cluster around
+    /// it: map entries the node durably holds stay (updating their digest
+    /// when the node reverted to an older version), lost entries leave
+    /// the map, shards homed on the node rebuild from mirror + map, and a
+    /// final rebalance re-homes any reverted entry whose digest now
+    /// routes elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] / [`ClusterError::Recovery`], or a
+    /// migration failure during the re-homing pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node's pipeline has no journal
+    /// (`journal_pages == 0` in the template config).
+    pub fn crash_node(&mut self, id: NodeId, seed: u64) -> Result<NodeRecovery, ClusterError> {
+        let node = self
+            .nodes
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownNode(id))?;
+        let mut rng = SplitMix64::new(seed);
+        let cut = SimTime::from_nanos(rng.next_below(node.vm.last_ack().as_nanos() + 1));
+        let outcome = node
+            .vm
+            .crash_and_recover(CrashSpec {
+                at: cut,
+                torn_seed: seed,
+            })
+            .map_err(|e| ClusterError::Recovery(e.to_string()))?;
+        // The node may have lost volume-create records; cluster metadata
+        // is authoritative, so re-create what's missing (empty — if the
+        // create record is gone, every later record for it is too).
+        let node = self.nodes.get_mut(&id).expect("still a member");
+        let present: Vec<String> = node
+            .vm
+            .volume_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for (name, blocks) in &self.volumes {
+            if !present.iter().any(|p| p == name) {
+                node.vm
+                    .create_volume(name, *blocks)
+                    .expect("recovered node lacks this volume");
+            }
+        }
+        // Reconcile placement entries homed on the crashed node.
+        let mine: Vec<(String, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.node == id)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut lost = Vec::new();
+        let mut reverted = Vec::new();
+        for (name, block) in mine {
+            let node = self.nodes.get_mut(&id).expect("still a member");
+            let written = node
+                .vm
+                .is_written(&name, block)
+                .expect("volume exists and block was in range");
+            if !written {
+                self.map.remove(&(name.clone(), block));
+                lost.push((name, block));
+                continue;
+            }
+            let data = self.read_with_retries(id, &name, block)?;
+            let digest = sha1_digest(&data);
+            let entry = self
+                .map
+                .get_mut(&(name.clone(), block))
+                .expect("entry still mapped");
+            if digest != entry.digest {
+                entry.digest = digest;
+                entry.bin = self.router.route(&digest) as u64;
+                reverted.push((name, block));
+            }
+        }
+        self.obs.counter("reconcile.lost").add(lost.len() as u64);
+        self.obs
+            .counter("reconcile.reverted")
+            .add(reverted.len() as u64);
+        // Rebuild shard directories. Authoritative refcounts come from
+        // the surviving map; shards homed on the crashed node rebuild
+        // from mirror + map (counting mirror staleness), shards merely
+        // *mirrored* on it resync from their intact primaries, and other
+        // shards pick up reverted-entry reference moves directly.
+        let mut auth: BTreeMap<u64, BTreeMap<ChunkDigest, u32>> = BTreeMap::new();
+        for entry in self.map.values() {
+            *auth
+                .entry(entry.bin)
+                .or_default()
+                .entry(entry.digest)
+                .or_insert(0) += 1;
+        }
+        let bins: Vec<u64> = self.shards.iter().map(|(b, _)| b).collect();
+        let mut rebuilt = 0u64;
+        let mut stale = 0u64;
+        for bin in bins {
+            let shard = self.shards.shard_mut(bin, &self.ring);
+            let truth = auth.remove(&bin).unwrap_or_default();
+            if shard.primary == id {
+                stale += shard.rebuild_from_mirror(truth);
+                rebuilt += 1;
+            } else {
+                // Primary survived the crash intact, but a reverted
+                // entry's older digest may route into this bin — acquire
+                // any references the surviving map derives that the
+                // directory does not hold yet. (References never vanish
+                // from surviving shards: lost and overwritten entries
+                // all lived on the crashed node's bins.)
+                for (digest, count) in truth {
+                    let have = shard
+                        .live()
+                        .find(|(d, _)| **d == digest)
+                        .map_or(0, |(_, n)| n);
+                    for _ in have..count {
+                        shard.acquire(digest);
+                    }
+                }
+                if shard.mirror == Some(id) {
+                    shard.sync_mirror();
+                }
+            }
+        }
+        // Bins that gained their first reference through a revert (the
+        // older version's digest had no shard yet).
+        for (bin, truth) in auth {
+            let shard = self.shards.shard_mut(bin, &self.ring);
+            for (digest, count) in truth {
+                for _ in 0..count {
+                    shard.acquire(digest);
+                }
+            }
+            shard.sync_mirror();
+        }
+        self.obs.counter("shard.rebuilds").add(rebuilt);
+        self.obs.counter("shard.mirror_stale").add(stale);
+        self.obs.counter("membership.crashes").incr();
+        self.nodes.get_mut(&id).expect("still a member").reanchor();
+        // Reverted digests may route elsewhere under the (unchanged)
+        // ring; restore the entry.node == ring.route(entry.bin)
+        // invariant before the next operation.
+        let rebalance = self.rebalance()?;
+        Ok(NodeRecovery {
+            node: id,
+            cut,
+            outcome,
+            lost,
+            reverted,
+            rebalance,
+        })
+    }
+
+    /// Cluster-wide accounting plus per-node reports.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            chunks: self.chunks,
+            unique_chunks: self.unique_chunks,
+            dedup_hits: self.dedup_hits,
+            live_digests: self.shards.live_digests(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(id, n)| (*id, n.vm.report().clone()))
+                .collect(),
+        }
+    }
+
+    /// The merged obs view: every node's metrics namespaced (`node3.…`),
+    /// `cluster.*` aggregates across nodes, and the front-end's own
+    /// `router.*` counters.
+    pub fn rollup(&self) -> Snapshot {
+        let mut parts: Vec<Snapshot> = self.nodes.values().map(|n| n.snapshot()).collect();
+        if let Some(own) = self.obs.snapshot() {
+            parts.push(own);
+        }
+        merge_snapshots("cluster", &parts)
+    }
+
+    /// Structural self-audit: placement, shard directories, accounting,
+    /// and per-node conservation all agree. The checker calls this after
+    /// every op; it is `Err` with a description on the first violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        if self.chunks != self.unique_chunks + self.dedup_hits {
+            return Err(format!(
+                "accounting: chunks {} != unique {} + dedup {}",
+                self.chunks, self.unique_chunks, self.dedup_hits
+            ));
+        }
+        let mut auth: BTreeMap<u64, BTreeMap<ChunkDigest, u32>> = BTreeMap::new();
+        for ((name, block), entry) in &self.map {
+            let node = self
+                .nodes
+                .get(&entry.node)
+                .ok_or_else(|| format!("{name}/{block}: placed on dead node {}", entry.node))?;
+            if self.ring.route(entry.bin) != entry.node {
+                return Err(format!(
+                    "{name}/{block}: on node {} but bin {} homes on {}",
+                    entry.node,
+                    entry.bin,
+                    self.ring.route(entry.bin)
+                ));
+            }
+            if self.router.route(&entry.digest) as u64 != entry.bin {
+                return Err(format!("{name}/{block}: bin does not match digest prefix"));
+            }
+            if node.vm.is_written(name, *block) != Ok(true) {
+                return Err(format!(
+                    "{name}/{block}: node {} has no durable mapping",
+                    entry.node
+                ));
+            }
+            if self.config.node.dedup_enabled && !node.vm.pipeline().index().contains(&entry.digest)
+            {
+                return Err(format!(
+                    "{name}/{block}: digest missing from node {}'s bin index",
+                    entry.node
+                ));
+            }
+            *auth
+                .entry(entry.bin)
+                .or_default()
+                .entry(entry.digest)
+                .or_insert(0) += 1;
+        }
+        for (bin, shard) in self.shards.iter() {
+            let (primary, mirror) = self.ring.ranked(bin);
+            if shard.primary != primary || shard.mirror != mirror {
+                return Err(format!("shard {bin}: placement disagrees with ring"));
+            }
+            let truth = auth.remove(&bin).unwrap_or_default();
+            let live: BTreeMap<ChunkDigest, u32> = shard.live().map(|(d, n)| (*d, n)).collect();
+            if live != truth {
+                return Err(format!(
+                    "shard {bin}: directory has {} digests, map derives {}",
+                    live.len(),
+                    truth.len()
+                ));
+            }
+        }
+        if !auth.is_empty() {
+            return Err(format!(
+                "{} bins referenced by map but have no shard",
+                auth.len()
+            ));
+        }
+        for (id, node) in &self.nodes {
+            if !node.destage_conserved() {
+                return Err(format!("node {id}: destage conservation violated"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,367 @@
+//! End-to-end cluster behavior: loss-free membership change, cross-node
+//! dedup accounting, crash reconciliation, CRC-validated handoff, the
+//! obs rollup, and single-node bit-identity with the bare array.
+
+use dr_cluster::{Cluster, ClusterConfig, ClusterError};
+use dr_obs::ObsHandle;
+use dr_reduction::{IntegrationMode, PipelineConfig, VolumeError, VolumeManager};
+use dr_workload::synthesize_block;
+
+const CHUNK: usize = 4096;
+
+fn node_config(journal: bool, obs: bool) -> PipelineConfig {
+    PipelineConfig {
+        mode: IntegrationMode::CpuOnly,
+        pool_workers: 1,
+        journal_pages: if journal { 1024 } else { 0 },
+        obs: if obs {
+            ObsHandle::enabled("template")
+        } else {
+            ObsHandle::disabled()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn cluster(nodes: usize, journal: bool) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes,
+        node: node_config(journal, true),
+        ..ClusterConfig::default()
+    })
+}
+
+fn payload(seed: u64) -> Vec<u8> {
+    synthesize_block(seed, CHUNK, 2.0)
+}
+
+/// Writes `count` distinct blocks and returns their contents.
+fn fill(c: &mut Cluster, name: &str, count: u64) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|b| {
+            let data = payload(1000 + b);
+            c.write(name, b, &data).unwrap();
+            data
+        })
+        .collect()
+}
+
+#[test]
+fn writes_spread_across_nodes_and_read_back() {
+    let mut c = cluster(3, false);
+    c.create_volume("v", 64).unwrap();
+    let contents = fill(&mut c, "v", 64);
+    let homes: std::collections::BTreeSet<_> =
+        (0..64).map(|b| c.locate("v", b).unwrap().node).collect();
+    assert!(
+        homes.len() > 1,
+        "64 distinct blocks must span several nodes"
+    );
+    for (b, want) in contents.iter().enumerate() {
+        assert_eq!(&c.read("v", b as u64).unwrap(), want, "block {b}");
+    }
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn multi_chunk_write_routes_per_chunk() {
+    let mut c = cluster(4, false);
+    c.create_volume("v", 16).unwrap();
+    let data: Vec<u8> = (0..8).flat_map(|i| payload(50 + i)).collect();
+    let outcome = c.write("v", 2, &data).unwrap();
+    let total: u64 = outcome.runs.iter().map(|r| r.nblocks).sum();
+    assert_eq!(total, 8);
+    for (i, chunk) in data.chunks(CHUNK).enumerate() {
+        assert_eq!(c.read("v", 2 + i as u64).unwrap(), chunk);
+    }
+    let batch = c.read_batch("v", &[9, 2, 5, 2]).unwrap();
+    assert_eq!(batch[1], batch[3]);
+    assert_eq!(batch[1], data.chunks(CHUNK).next().unwrap());
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn cross_node_dedup_counts_exactly_once() {
+    let mut c = cluster(3, false);
+    c.create_volume("a", 8).unwrap();
+    c.create_volume("b", 8).unwrap();
+    let shared = payload(7);
+    c.write("a", 0, &shared).unwrap();
+    c.write("b", 3, &shared).unwrap();
+    c.write("a", 5, &shared).unwrap();
+    let r = c.report();
+    assert_eq!(r.chunks, 3);
+    assert_eq!(
+        r.unique_chunks, 1,
+        "identical bytes stored once cluster-wide"
+    );
+    assert_eq!(r.dedup_hits, 2);
+    assert_eq!(r.live_digests, 1);
+    // Content routing puts every copy on the same node, so the node-level
+    // counters agree with the cluster-level ones.
+    let stored: u64 = r.nodes.iter().map(|(_, n)| n.unique_chunks).sum();
+    assert_eq!(stored, 1);
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn overwrite_with_same_content_is_a_dedup_hit() {
+    let mut c = cluster(2, false);
+    c.create_volume("v", 4).unwrap();
+    let data = payload(3);
+    c.write("v", 0, &data).unwrap();
+    c.write("v", 0, &data).unwrap();
+    let r = c.report();
+    assert_eq!((r.unique_chunks, r.dedup_hits), (1, 1));
+    assert_eq!(r.live_digests, 1);
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn join_and_leave_lose_nothing_and_keep_accounting() {
+    let mut c = cluster(2, false);
+    c.create_volume("v", 48).unwrap();
+    let contents = fill(&mut c, "v", 48);
+    let before = c.report();
+    let (joined, outcome) = c.join().unwrap();
+    assert!(!outcome.moves.is_empty(), "a join must win some bins");
+    assert!(
+        outcome.moves.iter().all(|m| m.to == joined),
+        "join migrations flow to the joiner only"
+    );
+    c.check_integrity().unwrap();
+    let after_join = c.report();
+    assert_eq!(after_join.chunks, before.chunks);
+    assert_eq!(after_join.unique_chunks, before.unique_chunks);
+    assert_eq!(after_join.dedup_hits, before.dedup_hits);
+    for (b, want) in contents.iter().enumerate() {
+        assert_eq!(&c.read("v", b as u64).unwrap(), want, "post-join block {b}");
+    }
+    let drained = c.leave(0).unwrap();
+    assert!(drained.moves.iter().all(|m| m.from == 0));
+    assert!(!c.node_ids().contains(&0));
+    c.check_integrity().unwrap();
+    for (b, want) in contents.iter().enumerate() {
+        assert_eq!(
+            &c.read("v", b as u64).unwrap(),
+            want,
+            "post-leave block {b}"
+        );
+    }
+    let after_leave = c.report();
+    assert_eq!(after_leave.chunks, before.chunks);
+    assert_eq!(after_leave.unique_chunks, before.unique_chunks);
+}
+
+#[test]
+fn rebalance_is_batched() {
+    let mut c = Cluster::new(ClusterConfig {
+        nodes: 2,
+        rebalance_batch: 4,
+        node: node_config(false, true),
+        ..ClusterConfig::default()
+    });
+    c.create_volume("v", 40).unwrap();
+    fill(&mut c, "v", 40);
+    let (_, outcome) = c.join().unwrap();
+    let expected_rounds = outcome.moves.len().div_ceil(4) as u64;
+    assert_eq!(outcome.rounds, expected_rounds, "bounded in-flight batches");
+}
+
+#[test]
+fn corrupted_handoff_is_detected_and_resent() {
+    let mut c = cluster(2, false);
+    c.create_volume("v", 32).unwrap();
+    let contents = fill(&mut c, "v", 32);
+    c.corrupt_next_handoff = true;
+    let (_, outcome) = c.join().unwrap();
+    assert_eq!(outcome.crc_resends, 1, "destination caught the bad frame");
+    for (b, want) in contents.iter().enumerate() {
+        assert_eq!(&c.read("v", b as u64).unwrap(), want);
+    }
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn membership_errors_are_typed() {
+    let mut c = Cluster::new(ClusterConfig {
+        nodes: 1,
+        max_nodes: 1,
+        node: node_config(false, false),
+        ..ClusterConfig::default()
+    });
+    assert!(matches!(c.join(), Err(ClusterError::Full { max: 1 })));
+    assert!(matches!(c.leave(9), Err(ClusterError::UnknownNode(9))));
+    assert!(matches!(c.leave(0), Err(ClusterError::LastNode)));
+    c.create_volume("v", 4).unwrap();
+    assert!(matches!(
+        c.create_volume("v", 4),
+        Err(ClusterError::Volume(VolumeError::AlreadyExists(_)))
+    ));
+    assert!(matches!(
+        c.write("v", 0, &[1, 2, 3]),
+        Err(ClusterError::Volume(VolumeError::Misaligned { .. }))
+    ));
+    assert!(matches!(
+        c.read("v", 0),
+        Err(ClusterError::Volume(VolumeError::Unwritten { .. }))
+    ));
+    assert!(matches!(
+        c.read("v", 9),
+        Err(ClusterError::Volume(VolumeError::OutOfRange { .. }))
+    ));
+}
+
+#[test]
+fn node_crash_keeps_acked_blocks_and_drops_unacked_tail() {
+    let mut c = cluster(3, true);
+    c.create_volume("v", 32).unwrap();
+    let contents = fill(&mut c, "v", 32);
+    c.flush().unwrap();
+    let victim = c.locate("v", 0).unwrap().node;
+    // Crash seed 0 draws a cut somewhere inside the horizon; whatever
+    // survives must be byte-identical to what was written, and the
+    // cluster must stay structurally sound.
+    let recovery = c.crash_node(victim, 12345).unwrap();
+    assert_eq!(recovery.node, victim);
+    c.check_integrity().unwrap();
+    for (b, want) in contents.iter().enumerate() {
+        match c.read("v", b as u64) {
+            Ok(got) => assert_eq!(&got, want, "surviving block {b} must be intact"),
+            Err(ClusterError::Volume(VolumeError::Unwritten { .. })) => {
+                assert!(
+                    recovery
+                        .lost
+                        .iter()
+                        .any(|(n, blk)| n == "v" && *blk == b as u64),
+                    "unreadable block {b} must be in the reported lost set"
+                );
+            }
+            Err(e) => panic!("block {b}: unexpected error {e}"),
+        }
+    }
+    // Blocks on other nodes are untouched.
+    let elsewhere: Vec<u64> = (0..contents.len() as u64)
+        .filter(|&b| matches!(c.locate("v", b), Some(e) if e.node != victim))
+        .collect();
+    assert!(!elsewhere.is_empty());
+    for b in elsewhere {
+        assert_eq!(&c.read("v", b).unwrap(), &contents[b as usize]);
+    }
+}
+
+#[test]
+fn crash_at_full_ack_horizon_loses_nothing() {
+    let mut c = cluster(2, true);
+    c.create_volume("v", 24).unwrap();
+    let contents = fill(&mut c, "v", 24);
+    // Seed 0: SplitMix64::new(0).next_below(h+1) picks some cut; instead
+    // force the no-loss case by crashing a node that acked everything —
+    // scan seeds until the cut equals the horizon.
+    let victim = c.node_ids()[0];
+    let horizon = c.node(victim).unwrap().vm.last_ack();
+    let seed = (0..u64::MAX)
+        .find(|&s| {
+            dr_des::SplitMix64::new(s).next_below(horizon.as_nanos() + 1) == horizon.as_nanos()
+        })
+        .unwrap();
+    let recovery = c.crash_node(victim, seed).unwrap();
+    assert_eq!(recovery.cut, horizon);
+    assert!(recovery.lost.is_empty(), "cut at horizon keeps everything");
+    assert!(recovery.reverted.is_empty());
+    for (b, want) in contents.iter().enumerate() {
+        assert_eq!(&c.read("v", b as u64).unwrap(), want);
+    }
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn cluster_keeps_serving_after_crash() {
+    let mut c = cluster(3, true);
+    c.create_volume("v", 16).unwrap();
+    fill(&mut c, "v", 16);
+    c.crash_node(1, 77).unwrap();
+    let fresh = payload(9999);
+    c.write("v", 2, &fresh).unwrap();
+    assert_eq!(c.read("v", 2).unwrap(), fresh);
+    c.check_integrity().unwrap();
+}
+
+#[test]
+fn rollup_namespaces_nodes_and_aggregates() {
+    let mut c = cluster(2, false);
+    c.create_volume("v", 16).unwrap();
+    fill(&mut c, "v", 16);
+    c.join().unwrap();
+    let roll = c.rollup();
+    assert_eq!(roll.name, "cluster");
+    let names: Vec<&str> = roll.counters.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.iter().any(|n| n.starts_with("node0.")));
+    assert!(
+        names.iter().any(|n| n.starts_with("node2.")),
+        "joiner present"
+    );
+    assert!(names.contains(&"cluster.destage.appends"));
+    assert!(names.contains(&"router.rebalance.moves"));
+    assert!(names.contains(&"cluster.rebalance.moves"));
+    let get = |k: &str| {
+        roll.counters
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let per_node: u64 = c
+        .node_ids()
+        .iter()
+        .map(|id| get(&format!("node{id}.destage.appends")))
+        .sum();
+    assert_eq!(get("cluster.destage.appends"), per_node);
+    assert!(get("router.rebalance.transfer_sim_ns") > 0);
+}
+
+#[test]
+fn single_node_cluster_is_bit_identical_to_bare_array() {
+    for mode in [
+        IntegrationMode::CpuOnly,
+        IntegrationMode::GpuForDedup,
+        IntegrationMode::GpuForCompression,
+        IntegrationMode::GpuForBoth,
+    ] {
+        let config = PipelineConfig {
+            mode,
+            pool_workers: 1,
+            obs: ObsHandle::disabled(),
+            ..PipelineConfig::default()
+        };
+        let mut bare = VolumeManager::new(config.clone());
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 1,
+            node: config,
+            ..ClusterConfig::default()
+        });
+        bare.create_volume("v", 32).unwrap();
+        c.create_volume("v", 32).unwrap();
+        for b in 0..16u64 {
+            let data = payload(b % 5);
+            bare.write("v", b, &data).unwrap();
+            c.write("v", b, &data).unwrap();
+        }
+        let multi: Vec<u8> = (0..4).flat_map(|i| payload(100 + i)).collect();
+        bare.write("v", 20, &multi).unwrap();
+        c.write("v", 20, &multi).unwrap();
+        for b in [0u64, 5, 20, 23] {
+            assert_eq!(bare.read("v", b).unwrap(), c.read("v", b).unwrap());
+        }
+        assert_eq!(
+            bare.read_batch("v", &[1, 2, 3, 20]).unwrap(),
+            c.read_batch("v", &[1, 2, 3, 20]).unwrap()
+        );
+        let br = bare.report().clone();
+        let cr = &c.report().nodes[0].1;
+        assert_eq!(
+            &br, cr,
+            "{mode:?}: single-node cluster must equal bare array"
+        );
+    }
+}

@@ -58,5 +58,5 @@ pub use profile::{profile, ProfileReport, TrackStat, WorkerStat};
 pub use registry::{
     CounterHandle, GaugeHandle, HistogramHandle, ObsHandle, Registry, Span, StageObs,
 };
-pub use snapshot::{snapshots_to_json, HistogramSummary, Snapshot};
+pub use snapshot::{merge_snapshots, snapshots_to_json, HistogramSummary, Snapshot};
 pub use trace::{chrome_trace_json, trace_args, TraceEvent, TraceSink, Tracer, Track, WallSpan};

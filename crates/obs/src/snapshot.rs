@@ -129,6 +129,71 @@ impl Snapshot {
     }
 }
 
+/// Merges per-node snapshots into one namespaced report.
+///
+/// Every metric of part `p` reappears as `<p.name>.<metric>` (e.g.
+/// `node3.destage.appends`), and metrics sharing a name across parts are
+/// additionally aggregated under `<name>.<metric>` (e.g.
+/// `cluster.destage.appends`). Counters and gauges sum. Histogram digests
+/// sum `count`/`sum`, span `min`/`max`, recompute the mean, and take the
+/// worst (max) per-part quantiles — exact merged quantiles cannot be
+/// reconstructed from digests, so the aggregate quantiles are
+/// deliberately conservative upper bounds.
+///
+/// The result keeps the per-kind sorted-by-name invariant of
+/// [`Snapshot`], so existing report tooling (JSON rendering, text tables)
+/// works unchanged on the merged view.
+pub fn merge_snapshots(name: &str, parts: &[Snapshot]) -> Snapshot {
+    use std::collections::BTreeMap;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, HistogramSummary> = BTreeMap::new();
+    for part in parts {
+        for (k, v) in &part.counters {
+            counters.insert(format!("{}.{k}", part.name), *v);
+            *counters.entry(format!("{name}.{k}")).or_insert(0) += *v;
+        }
+        for (k, v) in &part.gauges {
+            gauges.insert(format!("{}.{k}", part.name), *v);
+            *gauges.entry(format!("{name}.{k}")).or_insert(0) += *v;
+        }
+        for (k, s) in &part.histograms {
+            histograms.insert(format!("{}.{k}", part.name), *s);
+            let agg = histograms.entry(format!("{name}.{k}")).or_default();
+            *agg = merge_histogram_summaries(agg, s);
+        }
+    }
+    Snapshot {
+        name: name.to_owned(),
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().collect(),
+        histograms: histograms.into_iter().collect(),
+    }
+}
+
+/// Combines two histogram digests: exact for `count`/`sum`/`min`/`max`/
+/// `mean`, conservative (max) for the quantiles.
+fn merge_histogram_summaries(a: &HistogramSummary, b: &HistogramSummary) -> HistogramSummary {
+    if a.count == 0 {
+        return *b;
+    }
+    if b.count == 0 {
+        return *a;
+    }
+    let count = a.count + b.count;
+    let sum = a.sum + b.sum;
+    HistogramSummary {
+        count,
+        sum,
+        min: a.min.min(b.min),
+        max: a.max.max(b.max),
+        mean: sum as f64 / count as f64,
+        p50: a.p50.max(b.p50),
+        p95: a.p95.max(b.p95),
+        p99: a.p99.max(b.p99),
+    }
+}
+
 /// Renders several snapshots (one per run/mode) as a JSON array.
 pub fn snapshots_to_json(snapshots: &[Snapshot]) -> String {
     let mut out = String::from("[\n");
@@ -285,6 +350,95 @@ mod tests {
         assert!(json.ends_with("}\n]"));
         assert!(json.contains("\"test-run\""));
         assert!(json.contains("\"second\""));
+    }
+
+    fn node_snapshot(name: &str, appends: u64, lat: &[u64]) -> Snapshot {
+        let obs = ObsHandle::enabled(name);
+        obs.counter("destage.appends").add(appends);
+        obs.gauge("index.resident_bins").set(appends as i64);
+        let h = obs.histogram("read.latency_sim_ns");
+        for &v in lat {
+            h.record(v);
+        }
+        obs.snapshot().unwrap()
+    }
+
+    #[test]
+    fn merged_snapshot_namespaces_and_aggregates() {
+        let parts = [
+            node_snapshot("node0", 3, &[100, 200]),
+            node_snapshot("node1", 5, &[400]),
+        ];
+        let merged = merge_snapshots("cluster", &parts);
+        assert_eq!(merged.name, "cluster");
+        let counter = |k: &str| {
+            merged
+                .counters
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("node0.destage.appends"), Some(3));
+        assert_eq!(counter("node1.destage.appends"), Some(5));
+        assert_eq!(counter("cluster.destage.appends"), Some(8));
+        let gauge = |k: &str| merged.gauges.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(gauge("cluster.index.resident_bins"), Some(8));
+        let hist = |k: &str| {
+            merged
+                .histograms
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, s)| *s)
+        };
+        let agg = hist("cluster.read.latency_sim_ns").unwrap();
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.sum, 700);
+        assert!(agg.min <= 100 + 100 / 8, "bucketed min near 100");
+        assert!(agg.max >= 400, "max spans both parts");
+        assert!(
+            agg.p99 >= hist("node0.read.latency_sim_ns").unwrap().p99,
+            "aggregate quantiles are conservative"
+        );
+    }
+
+    #[test]
+    fn merged_snapshot_stays_sorted_and_renders() {
+        let parts = [
+            node_snapshot("node1", 1, &[10]),
+            node_snapshot("node0", 2, &[20]),
+        ];
+        let merged = merge_snapshots("cluster", &parts);
+        for w in merged.counters.windows(2) {
+            assert!(w[0].0 < w[1].0, "counters sorted: {} vs {}", w[0].0, w[1].0);
+        }
+        for w in merged.histograms.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        let json = merged.to_json();
+        assert!(json.contains("\"cluster.destage.appends\": 3"));
+        assert!(json.contains("\"node0.destage.appends\": 2"));
+    }
+
+    #[test]
+    fn merging_empty_summary_is_identity() {
+        let s = HistogramSummary {
+            count: 2,
+            sum: 10,
+            min: 4,
+            max: 6,
+            mean: 5.0,
+            p50: 5,
+            p95: 6,
+            p99: 6,
+        };
+        assert_eq!(
+            merge_histogram_summaries(&HistogramSummary::default(), &s),
+            s
+        );
+        assert_eq!(
+            merge_histogram_summaries(&s, &HistogramSummary::default()),
+            s
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::pipeline::IntegrationMode;
 /// clock: [`Report::iops`] is chunks per simulated second at the instant
 /// the *last chunk finished reduction* — destaging continues
 /// asynchronously until [`Report::ssd_end`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// GPU assignment used for the run.
     pub mode: IntegrationMode,

@@ -295,6 +295,27 @@ impl VolumeManager {
             .map_err(VolumeError::ReadFailed)
     }
 
+    /// Whether a block currently maps to stored data — a metadata-only
+    /// probe that never touches the device or advances the simulated
+    /// clock. After a crash/recovery this reflects the *durable* map:
+    /// cluster reconciliation uses it to decide which placement entries a
+    /// recovered node can still serve.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::UnknownVolume`] / [`VolumeError::OutOfRange`].
+    pub fn is_written(&self, name: &str, block: u64) -> Result<bool, VolumeError> {
+        let volume = self
+            .volumes
+            .get(name)
+            .ok_or_else(|| VolumeError::UnknownVolume(name.to_owned()))?;
+        let size = volume.blocks.len() as u64;
+        if block >= size {
+            return Err(VolumeError::OutOfRange { block, size });
+        }
+        Ok(volume.blocks[block as usize].is_some())
+    }
+
     /// Reads a batch of blocks in one read-pipeline pass: requests are
     /// grouped by stored frame, served from the decompressed-chunk cache
     /// when resident, and cold frames route to the CPU or GPU
@@ -464,6 +485,41 @@ mod tests {
             "failed validation must not advance the read clock"
         );
         assert_eq!(m.read_batch("v", &[0]).unwrap(), vec![block(1)]);
+    }
+
+    #[test]
+    fn is_written_tracks_map_without_device_work() {
+        let mut m = manager();
+        m.create_volume("v", 4).unwrap();
+        m.write("v", 1, &block(1)).unwrap();
+        let read_end = m.report().read_end;
+        assert!(m.is_written("v", 1).unwrap());
+        assert!(!m.is_written("v", 0).unwrap());
+        assert!(matches!(
+            m.is_written("v", 9),
+            Err(VolumeError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.is_written("nope", 0),
+            Err(VolumeError::UnknownVolume(_))
+        ));
+        assert_eq!(m.report().read_end, read_end, "probe charges no sim time");
+    }
+
+    #[test]
+    fn is_written_reflects_durable_map_after_crash() {
+        let mut m = journaled_manager();
+        m.create_volume("v", 4).unwrap();
+        m.write("v", 0, &block(1)).unwrap();
+        let ack = m.last_ack();
+        m.write("v", 1, &block(2)).unwrap();
+        m.crash_and_recover(CrashSpec {
+            at: ack,
+            torn_seed: 11,
+        })
+        .unwrap();
+        assert!(m.is_written("v", 0).unwrap(), "acked write survives");
+        assert!(!m.is_written("v", 1).unwrap(), "unacked write is absent");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! A large simulated client population driving a shared volume space.
+//!
+//! Cluster experiments (e9) want traffic that looks like many tenants
+//! hitting one array: each client owns a contiguous block range of a
+//! shared logical volume, picks *which client is active* zipf-skewed
+//! (a few tenants dominate, the long tail trickles), and within the
+//! active client picks a zipf-skewed hot block. Payloads are seeded per
+//! (client, block, version) with a bounded version counter so a slice of
+//! every client's content recurs — cross-client duplicates are what give
+//! a cluster-wide dedup domain something to find.
+
+use dr_des::SplitMix64;
+
+use crate::synth::synthesize_block;
+use crate::zipf::ZipfSampler;
+
+/// Configuration for a [`ClientPopulation`].
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationConfig {
+    /// Number of simulated clients.
+    pub clients: usize,
+    /// Blocks owned by each client (contiguous range of the shared volume).
+    pub blocks_per_client: u64,
+    /// Bytes per block (one pipeline chunk).
+    pub block_bytes: usize,
+    /// Zipf skew across clients and across each client's blocks.
+    pub theta: f64,
+    /// Distinct payload versions per block; smaller values mean more
+    /// rewrites of identical content and therefore more dedup hits.
+    pub versions: u64,
+    /// Target compression ratio of the synthesized payloads.
+    pub compress_ratio: f64,
+    /// Base RNG seed; every derived sampler is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            clients: 64,
+            blocks_per_client: 32,
+            block_bytes: 4096,
+            theta: 0.99,
+            versions: 4,
+            compress_ratio: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One generated client write: a block of the shared volume plus its
+/// payload.
+#[derive(Debug, Clone)]
+pub struct ClientWrite {
+    /// Index of the client that issued the write.
+    pub client: usize,
+    /// Absolute block in the shared volume
+    /// (`client * blocks_per_client + local_block`).
+    pub block: u64,
+    /// Payload, `block_bytes` long.
+    pub data: Vec<u8>,
+}
+
+/// A deterministic stream of client writes over a shared volume space.
+///
+/// ```
+/// use dr_workload::{ClientPopulation, PopulationConfig};
+/// let mut pop = ClientPopulation::new(PopulationConfig::default());
+/// let w = pop.next_write();
+/// assert!(w.block < pop.volume_blocks());
+/// assert_eq!(w.data.len(), 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientPopulation {
+    config: PopulationConfig,
+    client_picker: ZipfSampler,
+    block_picker: ZipfSampler,
+    rng: SplitMix64,
+}
+
+impl ClientPopulation {
+    /// Creates the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients`, `blocks_per_client`, or `versions` is zero
+    /// (delegated zipf construction also rejects bad `theta`).
+    pub fn new(config: PopulationConfig) -> Self {
+        assert!(config.blocks_per_client > 0, "clients need blocks");
+        assert!(config.versions > 0, "at least one payload version");
+        ClientPopulation {
+            client_picker: ZipfSampler::new(config.clients, config.theta, config.seed ^ 0x11),
+            block_picker: ZipfSampler::new(
+                config.blocks_per_client as usize,
+                config.theta,
+                config.seed ^ 0x22,
+            ),
+            rng: SplitMix64::new(config.seed ^ 0x33),
+            config,
+        }
+    }
+
+    /// Total blocks in the shared volume the population addresses.
+    pub fn volume_blocks(&self) -> u64 {
+        self.config.clients as u64 * self.config.blocks_per_client
+    }
+
+    /// Draws the next write: zipf-picked client, zipf-picked block within
+    /// the client's range, payload seeded by (block, version) so repeated
+    /// versions of a block — and identical versions across clients — are
+    /// byte-identical (dedupable).
+    pub fn next_write(&mut self) -> ClientWrite {
+        let client = self.client_picker.sample();
+        let local = self.block_picker.sample() as u64;
+        let block = client as u64 * self.config.blocks_per_client + local;
+        let version = self.rng.next_below(self.config.versions);
+        // Seed by (local block, version) but not client: two clients
+        // writing the same version of the same local block produce the
+        // same bytes, the cross-client duplicate pattern (VDI images).
+        let payload_seed = local.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ version;
+        let data = synthesize_block(
+            payload_seed,
+            self.config.block_bytes,
+            self.config.compress_ratio,
+        );
+        ClientWrite {
+            client,
+            block,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PopulationConfig {
+        PopulationConfig {
+            clients: 8,
+            blocks_per_client: 16,
+            versions: 2,
+            seed: 9,
+            ..PopulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn writes_stay_in_client_ranges() {
+        let mut pop = ClientPopulation::new(config());
+        for _ in 0..500 {
+            let w = pop.next_write();
+            assert!(w.block < pop.volume_blocks());
+            assert_eq!(w.block / 16, w.client as u64);
+            assert_eq!(w.data.len(), 4096);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = || {
+            let mut pop = ClientPopulation::new(config());
+            (0..50)
+                .map(|_| {
+                    let w = pop.next_write();
+                    (w.client, w.block, w.data)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn cross_client_duplicates_exist() {
+        let mut pop = ClientPopulation::new(config());
+        let mut seen: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut cross = 0;
+        for _ in 0..400 {
+            let w = pop.next_write();
+            if seen.iter().any(|(c, d)| *c != w.client && *d == w.data) {
+                cross += 1;
+            }
+            seen.push((w.client, w.data));
+        }
+        assert!(cross > 0, "population must produce cross-client duplicates");
+    }
+
+    #[test]
+    fn client_skew_is_zipfian() {
+        let mut pop = ClientPopulation::new(PopulationConfig {
+            clients: 32,
+            seed: 4,
+            ..PopulationConfig::default()
+        });
+        let mut counts = vec![0u32; 32];
+        for _ in 0..20_000 {
+            counts[pop.next_write().client] += 1;
+        }
+        let hottest: u32 = counts.iter().copied().max().unwrap();
+        assert!(
+            hottest > 20_000 / 32 * 4,
+            "hottest client should dominate a uniform share: {counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks")]
+    fn zero_blocks_rejected() {
+        ClientPopulation::new(PopulationConfig {
+            blocks_per_client: 0,
+            ..PopulationConfig::default()
+        });
+    }
+}

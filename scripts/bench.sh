@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark harness: builds the release binaries, runs the
 # end-to-end experiments that exercise the execution engine (E2 dedup
-# throughput, E3 compression throughput, E4 integration, E8 read path),
-# and emits a
+# throughput, E3 compression throughput, E4 integration, E8 read path,
+# E9 cluster scale-out), and emits a
 # machine-readable BENCH_<date>.json at the repository root.
 #
 # Usage:
@@ -47,7 +47,7 @@ fi
 echo "==> cargo build --release -p dr-bench"
 cargo build --release -q -p dr-bench
 
-BENCHES=(e2_dedup_throughput e3_compress_throughput e4_fig2_integration e8_read_path)
+BENCHES=(e2_dedup_throughput e3_compress_throughput e4_fig2_integration e8_read_path e9_cluster)
 DATE="$(date +%Y%m%d)"
 OUT="BENCH_${DATE}.json"
 SCALE="${DR_SCALE:-1.0}"

@@ -56,6 +56,16 @@ cargo run --release -q -p dr-check -- run --mode all --scenario both
 echo "==> dr-check crash smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes)"
 cargo run --release -q -p dr-check -- run --mode all --scenario crash
 
+# Cluster smoke: the same seeded-sequence machinery against the sharded
+# multi-node cluster, with membership churn (node join/leave) and
+# per-node power cuts in the op alphabet. The cluster oracle checks byte
+# identity across any routing history, rebalance custody, crash
+# envelopes, and cluster-wide conservation (DESIGN.md §16). The default
+# seed range provably exercises join, leave, and node-crash (pinned by a
+# dr-check unit test).
+echo "==> dr-check cluster smoke (${DR_CHECK_SEEDS:-25} seeds x 4 modes)"
+cargo run --release -q -p dr-check -- run --mode all --scenario cluster
+
 # Trace smoke: a traced bench run must exit cleanly, leave stdout
 # bit-identical to an untraced run (DESIGN.md §12), and write a
 # non-empty Chrome trace_event document.

@@ -19,7 +19,9 @@
 //! * [`obs`] — zero-dependency observability: counters, gauges, latency
 //!   histograms and JSON metric snapshots for every pipeline stage,
 //! * [`check`] — model-based differential checker: seeded op sequences
-//!   against an in-memory oracle, with shrinking and replay artifacts.
+//!   against an in-memory oracle, with shrinking and replay artifacts,
+//! * [`cluster`] — sharded multi-node cluster: rendezvous-hash routing,
+//!   incremental rebalancing, and per-node crash recovery.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use dr_binindex as binindex;
 pub use dr_check as check;
 pub use dr_chunking as chunking;
+pub use dr_cluster as cluster;
 pub use dr_compress as compress;
 pub use dr_des as des;
 pub use dr_gpu_sim as gpu_sim;
